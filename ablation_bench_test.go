@@ -1,0 +1,130 @@
+package truthinference
+
+// Ablation benches for the design choices DESIGN.md §7 calls out,
+// mirroring the paper's §6.3.4 factor analysis. Each bench reports the
+// quality delta the design choice buys on the dataset where the paper says
+// it matters.
+
+import (
+	"fmt"
+	"testing"
+
+	"truthinference/internal/experiment"
+	"truthinference/internal/methods/ds"
+	"truthinference/internal/methods/lfc"
+	"truthinference/internal/methods/multi"
+	"truthinference/internal/methods/vi"
+	"truthinference/internal/methods/zc"
+	"truthinference/internal/simulate"
+)
+
+// BenchmarkAblationWorkerModel compares the worker-probability chassis
+// (ZC) against the confusion-matrix chassis (D&S) on D_Product, where the
+// asymmetric per-class accuracies make the difference (§6.3.4 "Worker
+// Models"). Reported metrics: F1 of each.
+func BenchmarkAblationWorkerModel(b *testing.B) {
+	d := simulate.GenerateScaled(simulate.DProduct, 1, benchScale)
+	var zcF1, dsF1 float64
+	for i := 0; i < b.N; i++ {
+		zr, err := zc.New().Infer(d, Options{Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		dr, err := ds.New().Infer(d, Options{Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		zcF1 = F1(zr.Truth, d.Truth)
+		dsF1 = F1(dr.Truth, d.Truth)
+	}
+	b.ReportMetric(100*zcF1, "zc_f1%")
+	b.ReportMetric(100*dsF1, "ds_f1%")
+}
+
+// BenchmarkAblationPriors compares D&S (maximum likelihood) against LFC
+// (the same EM with Dirichlet priors) on the sparse, low-quality S_Rel
+// crowd where the paper finds the priors buy robustness.
+func BenchmarkAblationPriors(b *testing.B) {
+	d := simulate.GenerateScaled(simulate.SRel, 1, benchScale)
+	var dsAcc, lfcAcc float64
+	for i := 0; i < b.N; i++ {
+		dr, err := ds.New().Infer(d, Options{Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		lr, err := lfc.New().Infer(d, Options{Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		dsAcc = Accuracy(dr.Truth, d.Truth)
+		lfcAcc = Accuracy(lr.Truth, d.Truth)
+	}
+	b.ReportMetric(100*dsAcc, "ds_acc%")
+	b.ReportMetric(100*lfcAcc, "lfc_acc%")
+}
+
+// BenchmarkAblationInference compares point estimation (ZC) against the
+// Bayesian mean-field estimator over the same worker-probability model
+// (VI-MF) — the §5.3(1) "Optimization Function" axis.
+func BenchmarkAblationInference(b *testing.B) {
+	d := simulate.GenerateScaled(simulate.DProduct, 1, benchScale)
+	var zcAcc, mfAcc float64
+	for i := 0; i < b.N; i++ {
+		zr, err := zc.New().Infer(d, Options{Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		mr, err := vi.NewMF().Infer(d, Options{Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		zcAcc = Accuracy(zr.Truth, d.Truth)
+		mfAcc = Accuracy(mr.Truth, d.Truth)
+	}
+	b.ReportMetric(100*zcAcc, "zc_acc%")
+	b.ReportMetric(100*mfAcc, "vimf_acc%")
+}
+
+// BenchmarkAblationQualification measures what qualification-test
+// initialization buys ZC on the sparse D_Product crowd (the dataset where
+// Table 7 reports the largest benefit, because 3 answers per task leave
+// worker qualities otherwise under-determined).
+func BenchmarkAblationQualification(b *testing.B) {
+	d := simulate.GenerateScaled(simulate.DProduct, 1, benchScale)
+	var plain, seeded float64
+	for i := 0; i < b.N; i++ {
+		pr, err := zc.New().Infer(d, Options{Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc, _ := experiment.QualificationVectors(d, int64(i))
+		sr, err := zc.New().Infer(d, Options{Seed: int64(i), QualificationAccuracy: acc})
+		if err != nil {
+			b.Fatal(err)
+		}
+		plain = F1(pr.Truth, d.Truth)
+		seeded = F1(sr.Truth, d.Truth)
+	}
+	b.ReportMetric(100*plain, "plain_f1%")
+	b.ReportMetric(100*seeded, "qualified_f1%")
+}
+
+// BenchmarkAblationLatentDims sweeps Multi's latent dimensionality K (the
+// latent-topics knob of §4.1.2) on D_Product.
+func BenchmarkAblationLatentDims(b *testing.B) {
+	d := simulate.GenerateScaled(simulate.DProduct, 1, benchScale)
+	for _, k := range []int{1, 2, 4} {
+		k := k
+		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				res, err := (&multi.Multi{K: k}).Infer(d, Options{Seed: int64(i)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				acc = Accuracy(res.Truth, d.Truth)
+			}
+			b.ReportMetric(100*acc, "accuracy%")
+		})
+	}
+}

@@ -1,0 +1,208 @@
+package truthinference
+
+// Benchmark harness: one testing.B target per table and figure of the
+// paper's evaluation section (see DESIGN.md §5 for the experiment index)
+// plus the ablation benches of DESIGN.md §7. Each bench reports, via
+// b.ReportMetric, the headline quality number of the artifact it
+// regenerates alongside the usual ns/op, so `go test -bench=. -benchmem`
+// doubles as a compact reproduction log. Dataset sizes are scaled to keep
+// a full -bench=. run in the minutes range; `cmd/benchall -scale 1` runs
+// the same experiments at the paper's full sizes.
+
+import (
+	"fmt"
+	"testing"
+
+	"truthinference/internal/dataset"
+	"truthinference/internal/experiment"
+	"truthinference/internal/simulate"
+)
+
+// benchScale keeps bench datasets small enough for tight iteration while
+// preserving the worker-population mixtures.
+const benchScale = 0.1
+
+var benchCfg = experiment.Config{Seed: 1, Repeats: 1}
+
+func benchData(b *testing.B, kind simulate.Kind) *dataset.Dataset {
+	b.Helper()
+	return simulate.GenerateScaled(kind, 1, benchScale)
+}
+
+// BenchmarkTable5Stats regenerates Table 5: the per-dataset statistics of
+// all five benchmark datasets plus the §6.2.1 consistency values.
+func BenchmarkTable5Stats(b *testing.B) {
+	datasets := make([]*dataset.Dataset, len(simulate.Kinds))
+	for i, k := range simulate.Kinds {
+		datasets[i] = benchData(b, k)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, d := range datasets {
+			s := dataset.ComputeStats(d)
+			if s.NumTasks == 0 {
+				b.Fatal("empty dataset")
+			}
+		}
+	}
+}
+
+// BenchmarkFig2Redundancy regenerates the Figure 2 worker-redundancy
+// histograms.
+func BenchmarkFig2Redundancy(b *testing.B) {
+	datasets := make([]*dataset.Dataset, len(simulate.Kinds))
+	for i, k := range simulate.Kinds {
+		datasets[i] = benchData(b, k)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, d := range datasets {
+			_, counts := dataset.RedundancyHistogram(d, 10)
+			if len(counts) != 10 {
+				b.Fatal("bad histogram")
+			}
+		}
+	}
+}
+
+// BenchmarkFig3WorkerQuality regenerates the Figure 3 worker-quality
+// histograms (accuracy for categorical crowds, RMSE for numeric).
+func BenchmarkFig3WorkerQuality(b *testing.B) {
+	datasets := make([]*dataset.Dataset, len(simulate.Kinds))
+	for i, k := range simulate.Kinds {
+		datasets[i] = benchData(b, k)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, d := range datasets {
+			if d.Categorical() {
+				dataset.QualityHistogram(dataset.WorkerAccuracy(d), 0, 1, 10)
+			} else {
+				dataset.QualityHistogram(dataset.WorkerRMSE(d), 0, 50, 10)
+			}
+		}
+	}
+}
+
+// BenchmarkFig4RedundancyDecision regenerates Figure 4: the redundancy
+// sweep of the 14 decision-making methods on D_Product and D_PosSent.
+func BenchmarkFig4RedundancyDecision(b *testing.B) {
+	prod := benchData(b, simulate.DProduct)
+	sent := benchData(b, simulate.DPosSent)
+	methods := MethodsForType(Decision)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiment.RedundancySweep(methods, prod, []int{1, 2, 3}, benchCfg)
+		experiment.RedundancySweep(methods, sent, []int{1, 10, 20}, benchCfg)
+	}
+}
+
+// BenchmarkFig5RedundancySingle regenerates Figure 5: the redundancy sweep
+// of the 10 single-choice methods on S_Rel and S_Adult.
+func BenchmarkFig5RedundancySingle(b *testing.B) {
+	rel := benchData(b, simulate.SRel)
+	adult := benchData(b, simulate.SAdult)
+	methods := MethodsForType(SingleChoice)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiment.RedundancySweep(methods, rel, []int{1, 3, 5}, benchCfg)
+		experiment.RedundancySweep(methods, adult, []int{1, 5, 9}, benchCfg)
+	}
+}
+
+// BenchmarkFig6RedundancyNumeric regenerates Figure 6: the redundancy
+// sweep of the 5 numeric methods on N_Emotion.
+func BenchmarkFig6RedundancyNumeric(b *testing.B) {
+	d := benchData(b, simulate.NEmotion)
+	methods := MethodsForType(Numeric)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiment.RedundancySweep(methods, d, []int{1, 4, 7, 10}, benchCfg)
+	}
+}
+
+// BenchmarkTable6 regenerates Table 6 per dataset × method: quality and
+// running time of every applicable method on the complete data. The
+// per-method sub-benchmarks expose the paper's efficiency ordering
+// (direct < EM < Gibbs/variational < gradient-based).
+func BenchmarkTable6(b *testing.B) {
+	for _, kind := range simulate.Kinds {
+		d := benchData(b, kind)
+		for _, m := range NewRegistry() {
+			if !m.Capabilities().SupportsType(d.Type) {
+				continue
+			}
+			m := m
+			b.Run(fmt.Sprintf("%s/%s", d.Name, m.Name()), func(b *testing.B) {
+				var quality float64
+				for i := 0; i < b.N; i++ {
+					res, err := m.Infer(d, Options{Seed: int64(i)})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if d.Categorical() {
+						quality = Accuracy(res.Truth, d.Truth)
+					} else {
+						quality = RMSE(res.Truth, d.Truth)
+					}
+				}
+				if d.Categorical() {
+					b.ReportMetric(100*quality, "accuracy%")
+				} else {
+					b.ReportMetric(quality, "rmse")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTable7Qualification regenerates Table 7: the effect of
+// qualification-test initialization on the 8 qualification-capable
+// methods, on every dataset.
+func BenchmarkTable7Qualification(b *testing.B) {
+	for _, kind := range simulate.Kinds {
+		d := benchData(b, kind)
+		b.Run(d.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := experiment.QualificationTest(NewRegistry(), d, benchCfg)
+				if len(res) == 0 {
+					b.Fatal("no qualification-capable methods")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig7HiddenDecision regenerates Figure 7: hidden-test sweeps on
+// the decision-making datasets.
+func BenchmarkFig7HiddenDecision(b *testing.B) {
+	prod := benchData(b, simulate.DProduct)
+	sent := benchData(b, simulate.DPosSent)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiment.HiddenTest(NewRegistry(), prod, []int{0, 25, 50}, benchCfg)
+		experiment.HiddenTest(NewRegistry(), sent, []int{0, 25, 50}, benchCfg)
+	}
+}
+
+// BenchmarkFig8HiddenSingle regenerates Figure 8: hidden-test sweeps on
+// the single-choice datasets.
+func BenchmarkFig8HiddenSingle(b *testing.B) {
+	rel := benchData(b, simulate.SRel)
+	adult := benchData(b, simulate.SAdult)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiment.HiddenTest(NewRegistry(), rel, []int{0, 25, 50}, benchCfg)
+		experiment.HiddenTest(NewRegistry(), adult, []int{0, 25, 50}, benchCfg)
+	}
+}
+
+// BenchmarkFig9HiddenNumeric regenerates Figure 9: hidden-test sweeps on
+// N_Emotion.
+func BenchmarkFig9HiddenNumeric(b *testing.B) {
+	d := benchData(b, simulate.NEmotion)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiment.HiddenTest(NewRegistry(), d, []int{0, 25, 50}, benchCfg)
+	}
+}

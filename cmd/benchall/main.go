@@ -1,0 +1,192 @@
+// Command benchall regenerates every table and figure of the paper's
+// evaluation section (Section 6) on the calibrated synthetic datasets.
+//
+// Usage:
+//
+//	benchall [-exp all|table5|fig2|fig3|consistency|fig4|fig5|fig6|table6|table7|fig7|fig8|fig9]
+//	         [-scale 0.15] [-repeats 3] [-seed 1] [-maxiter 0]
+//
+// -scale scales dataset sizes (1 = the paper's full sizes; smaller values
+// keep the worker mixture and redundancy but bound runtime). The default
+// favors a complete run in a few minutes; use -scale 1 for full scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	ti "truthinference"
+	"truthinference/internal/dataset"
+	"truthinference/internal/experiment"
+	"truthinference/internal/simulate"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id (all, table5, fig2, fig3, consistency, fig4, fig5, fig6, table6, table7, fig7, fig8, fig9)")
+		scale   = flag.Float64("scale", 0.15, "dataset size scale in (0,1]")
+		repeats = flag.Int("repeats", 3, "repetitions to average for stochastic experiments")
+		seed    = flag.Int64("seed", 1, "base random seed")
+		maxIter = flag.Int("maxiter", 0, "cap iterative methods (0 = method defaults)")
+	)
+	flag.Parse()
+
+	r := runner{
+		cfg:   experiment.Config{Seed: *seed, Repeats: *repeats, MaxIterations: *maxIter},
+		scale: *scale,
+		seed:  *seed,
+	}
+	ids := strings.Split(*exp, ",")
+	if *exp == "all" {
+		ids = []string{"table5", "consistency", "fig2", "fig3", "fig4", "fig5", "fig6", "table6", "table7", "fig7", "fig8", "fig9"}
+	}
+	for _, id := range ids {
+		if err := r.run(strings.TrimSpace(id)); err != nil {
+			fmt.Fprintf(os.Stderr, "benchall: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+type runner struct {
+	cfg   experiment.Config
+	scale float64
+	seed  int64
+	cache map[simulate.Kind]*dataset.Dataset
+}
+
+func (r *runner) data(k simulate.Kind) *dataset.Dataset {
+	if r.cache == nil {
+		r.cache = map[simulate.Kind]*dataset.Dataset{}
+	}
+	if d, ok := r.cache[k]; ok {
+		return d
+	}
+	d := simulate.GenerateScaled(k, r.seed, r.scale)
+	r.cache[k] = d
+	return d
+}
+
+func (r *runner) run(id string) error {
+	switch id {
+	case "table5":
+		var stats []dataset.Stats
+		for _, k := range simulate.Kinds {
+			stats = append(stats, dataset.ComputeStats(r.data(k)))
+		}
+		fmt.Println("=== Table 5: dataset statistics ===")
+		fmt.Println(experiment.RenderStatsTable(stats))
+	case "consistency":
+		fmt.Println("=== §6.2.1 data consistency C ===")
+		for _, k := range simulate.Kinds {
+			d := r.data(k)
+			fmt.Printf("%-11s C = %.2f\n", d.Name, dataset.Consistency(d))
+		}
+		fmt.Println()
+	case "fig2":
+		fmt.Println("=== Figure 2: worker redundancy histograms ===")
+		for _, k := range simulate.Kinds {
+			d := r.data(k)
+			edges, counts := dataset.RedundancyHistogram(d, 10)
+			fmt.Print(experiment.RenderHistogram(
+				fmt.Sprintf("%s (%d workers, #tasks answered)", d.Name, d.NumWorkers), edges, counts))
+		}
+		fmt.Println()
+	case "fig3":
+		fmt.Println("=== Figure 3: worker quality histograms ===")
+		for _, k := range simulate.Kinds {
+			d := r.data(k)
+			if d.Categorical() {
+				q := dataset.WorkerAccuracy(d)
+				edges, counts := dataset.QualityHistogram(q, 0, 1, 10)
+				fmt.Print(experiment.RenderHistogram(
+					fmt.Sprintf("%s (worker accuracy, mean %.2f)", d.Name, dataset.MeanWorkerQuality(q)), edges, counts))
+			} else {
+				q := dataset.WorkerRMSE(d)
+				edges, counts := dataset.QualityHistogram(q, 0, 50, 10)
+				fmt.Print(experiment.RenderHistogram(
+					fmt.Sprintf("%s (worker RMSE, mean %.1f)", d.Name, dataset.MeanWorkerQuality(q)), edges, counts))
+			}
+		}
+		fmt.Println()
+	case "fig4":
+		fmt.Println("=== Figure 4: redundancy sweep, decision-making ===")
+		d := r.data(simulate.DProduct)
+		pts := experiment.RedundancySweep(ti.MethodsForType(ti.Decision), d, []int{1, 2, 3}, r.cfg)
+		fmt.Print(experiment.RenderSweep("D_Product", pts, experiment.MetricAccuracy))
+		fmt.Println()
+		fmt.Print(experiment.RenderSweep("D_Product", pts, experiment.MetricF1))
+		fmt.Println()
+		d = r.data(simulate.DPosSent)
+		pts = experiment.RedundancySweep(ti.MethodsForType(ti.Decision), d, []int{1, 5, 10, 15, 20}, r.cfg)
+		fmt.Print(experiment.RenderSweep("D_PosSent", pts, experiment.MetricAccuracy))
+		fmt.Println()
+		fmt.Print(experiment.RenderSweep("D_PosSent", pts, experiment.MetricF1))
+		fmt.Println()
+	case "fig5":
+		fmt.Println("=== Figure 5: redundancy sweep, single-label ===")
+		d := r.data(simulate.SRel)
+		pts := experiment.RedundancySweep(ti.MethodsForType(ti.SingleChoice), d, []int{1, 2, 3, 4, 5}, r.cfg)
+		fmt.Print(experiment.RenderSweep("S_Rel", pts, experiment.MetricAccuracy))
+		fmt.Println()
+		d = r.data(simulate.SAdult)
+		pts = experiment.RedundancySweep(ti.MethodsForType(ti.SingleChoice), d, []int{1, 3, 5, 7, 9}, r.cfg)
+		fmt.Print(experiment.RenderSweep("S_Adult", pts, experiment.MetricAccuracy))
+		fmt.Println()
+	case "fig6":
+		fmt.Println("=== Figure 6: redundancy sweep, numeric ===")
+		d := r.data(simulate.NEmotion)
+		pts := experiment.RedundancySweep(ti.MethodsForType(ti.Numeric), d, []int{1, 2, 4, 6, 8, 10}, r.cfg)
+		fmt.Print(experiment.RenderSweep("N_Emotion", pts, experiment.MetricMAE))
+		fmt.Println()
+		fmt.Print(experiment.RenderSweep("N_Emotion", pts, experiment.MetricRMSE))
+		fmt.Println()
+	case "table6":
+		fmt.Println("=== Table 6: quality and running time, complete data ===")
+		for _, k := range simulate.Kinds {
+			d := r.data(k)
+			scores := experiment.FullComparison(ti.NewRegistry(), d, r.cfg)
+			fmt.Print(experiment.RenderScores(d.Name, d.Categorical(), scores))
+			fmt.Println()
+		}
+	case "table7":
+		fmt.Println("=== Table 7: effect of qualification test ===")
+		for _, k := range simulate.Kinds {
+			d := r.data(k)
+			res := experiment.QualificationTest(ti.NewRegistry(), d, r.cfg)
+			fmt.Print(experiment.RenderQualification(d.Name, d.Categorical(), res))
+			fmt.Println()
+		}
+	case "fig7":
+		fmt.Println("=== Figure 7: hidden test, decision-making ===")
+		for _, k := range []simulate.Kind{simulate.DProduct, simulate.DPosSent} {
+			d := r.data(k)
+			pts := experiment.HiddenTest(ti.NewRegistry(), d, []int{0, 10, 20, 30, 40, 50}, r.cfg)
+			fmt.Print(experiment.RenderHidden(d.Name, pts, experiment.MetricAccuracy))
+			fmt.Println()
+			fmt.Print(experiment.RenderHidden(d.Name, pts, experiment.MetricF1))
+			fmt.Println()
+		}
+	case "fig8":
+		fmt.Println("=== Figure 8: hidden test, single-label ===")
+		for _, k := range []simulate.Kind{simulate.SRel, simulate.SAdult} {
+			d := r.data(k)
+			pts := experiment.HiddenTest(ti.NewRegistry(), d, []int{0, 10, 20, 30, 40, 50}, r.cfg)
+			fmt.Print(experiment.RenderHidden(d.Name, pts, experiment.MetricAccuracy))
+			fmt.Println()
+		}
+	case "fig9":
+		fmt.Println("=== Figure 9: hidden test, numeric ===")
+		d := r.data(simulate.NEmotion)
+		pts := experiment.HiddenTest(ti.NewRegistry(), d, []int{0, 10, 20, 30, 40, 50}, r.cfg)
+		fmt.Print(experiment.RenderHidden(d.Name, pts, experiment.MetricMAE))
+		fmt.Println()
+		fmt.Print(experiment.RenderHidden(d.Name, pts, experiment.MetricRMSE))
+		fmt.Println()
+	default:
+		return fmt.Errorf("unknown experiment %q", id)
+	}
+	return nil
+}

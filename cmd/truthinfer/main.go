@@ -1,0 +1,127 @@
+// Command truthinfer runs one truth-inference method on a dataset stored
+// in the repository's TSV format and reports the inferred truth, worker
+// qualities and (when ground truth is available) the §6.1.2 metrics.
+//
+// Usage:
+//
+//	truthinfer -method D&S -data path/to/base [-seed 1] [-maxiter 0]
+//	           [-out inferred.tsv] [-golden 0.1] [-qualification]
+//
+// -data expects the base path of a <base>.answers.tsv / <base>.truth.tsv
+// pair (see cmd/datagen to produce the five benchmark datasets).
+// -golden p hides a random fraction p of the known truths as golden tasks
+// (hidden test); -qualification initializes worker qualities from a
+// simulated qualification test (§6.3.2).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	ti "truthinference"
+	"truthinference/internal/experiment"
+	"truthinference/internal/randx"
+)
+
+func main() {
+	var (
+		method        = flag.String("method", "MV", "method name (see -list)")
+		data          = flag.String("data", "", "dataset base path (expects <base>.answers.tsv)")
+		seed          = flag.Int64("seed", 1, "random seed")
+		maxIter       = flag.Int("maxiter", 0, "iteration cap (0 = method default)")
+		out           = flag.String("out", "", "optional path for the inferred truth TSV")
+		goldenFrac    = flag.Float64("golden", 0, "fraction of known truths to feed back as golden tasks")
+		qualification = flag.Bool("qualification", false, "initialize worker qualities from a simulated qualification test")
+		list          = flag.Bool("list", false, "list available methods and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, m := range ti.NewRegistry() {
+			caps := m.Capabilities()
+			fmt.Printf("%-8s task-types=%v worker-model=%q technique=%q golden=%v qualification=%v\n",
+				m.Name(), caps.TaskTypes, caps.WorkerModel, caps.Technique, caps.Golden, caps.Qualification)
+		}
+		return
+	}
+	if *data == "" {
+		fatal("missing -data (base path of <base>.answers.tsv)")
+	}
+	d, err := ti.LoadDataset(*data)
+	if err != nil {
+		fatal("load dataset: %v", err)
+	}
+	opts := ti.Options{Seed: *seed, MaxIterations: *maxIter}
+	evalTruth := d.Truth
+	if *goldenFrac > 0 {
+		golden, eval := d.SplitGolden(*goldenFrac, randx.New(*seed))
+		opts.Golden = golden
+		evalTruth = eval
+		fmt.Printf("hidden test: %d golden tasks, evaluating on %d\n", len(golden), len(eval))
+	}
+	if *qualification {
+		acc, mse := experiment.QualificationVectors(d, *seed)
+		opts.QualificationAccuracy = acc
+		opts.QualificationError = mse
+	}
+
+	res, err := ti.Infer(*method, d, opts)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	fmt.Printf("dataset %s: %d tasks, %d workers, %d answers (redundancy %.1f)\n",
+		d.Name, d.NumTasks, d.NumWorkers, len(d.Answers), d.Redundancy())
+	fmt.Printf("method %s: %d iterations, converged=%v\n", *method, res.Iterations, res.Converged)
+	if len(evalTruth) > 0 {
+		if d.Categorical() {
+			fmt.Printf("Accuracy = %.2f%%  F1 = %.2f%%\n",
+				100*ti.Accuracy(res.Truth, evalTruth), 100*ti.F1(res.Truth, evalTruth))
+		} else {
+			fmt.Printf("MAE = %.3f  RMSE = %.3f\n",
+				ti.MAE(res.Truth, evalTruth), ti.RMSE(res.Truth, evalTruth))
+		}
+	}
+
+	// Top and bottom workers by estimated quality.
+	type wq struct {
+		w int
+		q float64
+	}
+	qs := make([]wq, d.NumWorkers)
+	for w, q := range res.WorkerQuality {
+		qs[w] = wq{w, q}
+	}
+	sort.Slice(qs, func(i, j int) bool { return qs[i].q > qs[j].q })
+	show := 5
+	if show > len(qs) {
+		show = len(qs)
+	}
+	fmt.Println("top workers by estimated quality:")
+	for _, x := range qs[:show] {
+		fmt.Printf("  worker %4d  quality %8.4f  answers %d\n", x.w, x.q, len(d.WorkerAnswers(x.w)))
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal("create %s: %v", *out, err)
+		}
+		defer f.Close()
+		for i, v := range res.Truth {
+			if d.Categorical() {
+				fmt.Fprintf(f, "%d\t%d\n", i, int(v))
+			} else {
+				fmt.Fprintf(f, "%d\t%g\n", i, v)
+			}
+		}
+		fmt.Printf("wrote inferred truth for %d tasks to %s\n", len(res.Truth), *out)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "truthinfer: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,47 @@
+// Entity resolution: the paper's motivating workload (§1, D_Product).
+//
+// This example simulates the D_Product benchmark — thousands of "are
+// these two products the same?" decision tasks with a heavily skewed
+// truth (most pairs differ) and workers who are far better at spotting
+// differences than sameness — and shows why Accuracy is misleading and
+// F1-score is the metric that separates the methods (§6.1.2), and why
+// confusion-matrix methods win it (§6.3.1(4)).
+//
+//	go run ./examples/entityresolution
+package main
+
+import (
+	"fmt"
+	"log"
+
+	ti "truthinference"
+)
+
+func main() {
+	// A 20%-scale D_Product: ≈1600 tasks, 3 answers each.
+	d := ti.SimulateDatasetScaled(ti.DProduct, 42, 0.2)
+	stats := ti.ComputeStats(d)
+	fmt.Printf("dataset %s: %d tasks, %d answers, %d workers (consistency %.2f)\n\n",
+		d.Name, stats.NumTasks, stats.NumAnswers, stats.NumWorkers, stats.Consistency)
+
+	// The naive baseline the paper warns about: declare every pair
+	// "different". Accuracy looks great, F1 is zero.
+	allDifferent := make([]float64, d.NumTasks)
+	fmt.Printf("%-22s Accuracy %6.2f%%   F1 %6.2f%%\n", "always-\"different\"",
+		100*ti.Accuracy(allDifferent, d.Truth), 100*ti.F1(allDifferent, d.Truth))
+
+	for _, method := range []string{"MV", "ZC", "PM", "D&S", "LFC", "BCC"} {
+		res, err := ti.Infer(method, d, ti.Options{Seed: 7})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s Accuracy %6.2f%%   F1 %6.2f%%\n", method,
+			100*ti.Accuracy(res.Truth, d.Truth), 100*ti.F1(res.Truth, d.Truth))
+	}
+
+	fmt.Println()
+	fmt.Println("Note the gap: Accuracy barely separates the methods (the 0.12:0.88")
+	fmt.Println("truth skew lets even always-\"different\" score ≈88%), while F1 exposes")
+	fmt.Println("it — and the confusion-matrix methods (D&S, LFC, BCC), which model a")
+	fmt.Println("worker's per-class behaviour, beat the single-probability methods.")
+}

@@ -1,0 +1,46 @@
+// Numeric tasks: the N_Emotion workload (§6.1.1) — workers score the
+// emotional intensity of texts in [-100, 100] — evaluated with MAE and
+// RMSE (Eq. 5), reproducing the paper's surprising numeric finding: the
+// plain Mean beats every worker-modeling method (§6.3.1, Figure 6).
+//
+//	go run ./examples/numeric
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	ti "truthinference"
+)
+
+func main() {
+	d := ti.SimulateDataset(ti.NEmotion, 5)
+	fmt.Printf("dataset %s: %d texts × %d scores each from %d workers\n\n",
+		d.Name, d.NumTasks, int(d.Redundancy()), d.NumWorkers)
+
+	type row struct {
+		method    string
+		mae, rmse float64
+	}
+	var rows []row
+	for _, m := range ti.MethodsForType(ti.Numeric) {
+		res, err := m.Infer(d, ti.Options{Seed: 9})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, row{m.Name(), ti.MAE(res.Truth, d.Truth), ti.RMSE(res.Truth, d.Truth)})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].rmse < rows[j].rmse })
+
+	fmt.Printf("%-8s %8s %8s\n", "Method", "MAE", "RMSE")
+	for _, r := range rows {
+		fmt.Printf("%-8s %8.2f %8.2f\n", r.method, r.mae, r.rmse)
+	}
+
+	fmt.Println()
+	fmt.Println("Why Mean wins (§6.3.1): every worker carries a systematic bias and")
+	fmt.Println("every task a shared ambiguity offset. Averaging many workers cancels")
+	fmt.Println("the biases; quality-weighting (PM, CATD) concentrates weight on a few")
+	fmt.Println("low-variance workers whose biases then do not cancel.")
+}

@@ -1,0 +1,56 @@
+// Sentiment analysis with golden tasks: the D_PosSent workload (§6.1.1)
+// with the two quality-control techniques the paper evaluates —
+// qualification tests (§6.3.2, Table 7) and hidden tests (§6.3.3,
+// Figure 7) — applied through the public API.
+//
+//	go run ./examples/sentiment
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"math/rand"
+
+	ti "truthinference"
+)
+
+func main() {
+	d := ti.SimulateDatasetScaled(ti.DPosSent, 11, 0.5)
+	fmt.Printf("dataset %s: %d tweets × %d answers each, %d workers\n\n",
+		d.Name, d.NumTasks, int(d.Redundancy()), d.NumWorkers)
+
+	const method = "ZC"
+
+	// Plain unsupervised inference.
+	base, err := ti.Infer(method, d, ti.Options{Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s unsupervised:          Accuracy %.2f%%\n", method, 100*ti.Accuracy(base.Truth, d.Truth))
+
+	// Qualification test: every worker answers 20 golden tasks before
+	// starting; their measured accuracy initializes the worker model.
+	acc, _ := ti.QualificationVectors(d, 3)
+	qual, err := ti.Infer(method, d, ti.Options{Seed: 3, QualificationAccuracy: acc})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s + qualification test:  Accuracy %.2f%%\n", method, 100*ti.Accuracy(qual.Truth, d.Truth))
+
+	// Hidden test: 20% of the tasks are golden tasks whose truth is known
+	// and pinned during inference; evaluation uses the remaining 80%.
+	golden, eval := d.SplitGolden(0.2, rand.New(rand.NewSource(3)))
+	hidden, err := ti.Infer(method, d, ti.Options{Seed: 3, Golden: golden})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s + 20%% hidden test:     Accuracy %.2f%% (on the %d non-golden tasks)\n",
+		method, 100*ti.Accuracy(hidden.Truth, eval), len(eval))
+
+	fmt.Println()
+	fmt.Println("The paper's finding (§6.3.2–6.3.3): with 20 answers per task the")
+	fmt.Println("unsupervised estimate is already near its ceiling, so golden-task")
+	fmt.Println("supervision moves D_PosSent little — the gains show up on sparse")
+	fmt.Println("datasets like D_Product instead.")
+}

@@ -1,0 +1,82 @@
+package truthinference
+
+import (
+	"truthinference/internal/experiment"
+)
+
+// Experiment-harness aliases: the Section-6 evaluation machinery exposed
+// through the public API. See internal/experiment for full documentation.
+type (
+	// ExperimentConfig controls seeds, repetition counts and iteration
+	// caps for the harness functions below.
+	ExperimentConfig = experiment.Config
+	// Score is one method's averaged evaluation on one dataset setup.
+	Score = experiment.Score
+	// SweepPoint is one redundancy level of a Figure-4/5/6 series.
+	SweepPoint = experiment.SweepPoint
+	// HiddenPoint is one golden-percentage level of a Figure-7/8/9 series.
+	HiddenPoint = experiment.HiddenPoint
+	// QualificationResult pairs with/without-qualification scores (Table 7).
+	QualificationResult = experiment.QualificationResult
+	// Metric selects which Score field a rendered series plots.
+	Metric = experiment.Metric
+)
+
+// Metric selectors for the renderers.
+const (
+	MetricAccuracy = experiment.MetricAccuracy
+	MetricF1       = experiment.MetricF1
+	MetricMAE      = experiment.MetricMAE
+	MetricRMSE     = experiment.MetricRMSE
+)
+
+// RunFullComparison reproduces one dataset's Table-6 column group: every
+// applicable method evaluated on the complete dataset.
+func RunFullComparison(methods []Method, d *Dataset, cfg ExperimentConfig) []Score {
+	return experiment.FullComparison(methods, d, cfg)
+}
+
+// RunRedundancySweep reproduces Figures 4–6: per-task answer sub-sampling
+// at each redundancy in rs, averaged over cfg.Repeats.
+func RunRedundancySweep(methods []Method, d *Dataset, rs []int, cfg ExperimentConfig) []SweepPoint {
+	return experiment.RedundancySweep(methods, d, rs, cfg)
+}
+
+// RunQualificationTest reproduces Table 7 for the qualification-capable
+// methods.
+func RunQualificationTest(methods []Method, d *Dataset, cfg ExperimentConfig) []QualificationResult {
+	return experiment.QualificationTest(methods, d, cfg)
+}
+
+// RunHiddenTest reproduces Figures 7–9 for the golden-capable methods.
+func RunHiddenTest(methods []Method, d *Dataset, percents []int, cfg ExperimentConfig) []HiddenPoint {
+	return experiment.HiddenTest(methods, d, percents, cfg)
+}
+
+// QualificationVectors simulates a qualification test (§6.3.2): bootstrap
+// 20 of each worker's truth-bearing answers and return the per-worker
+// accuracy (categorical) or mean-squared-error (numeric) vector for
+// Options.QualificationAccuracy / Options.QualificationError.
+func QualificationVectors(d *Dataset, seed int64) (accuracy, mse []float64) {
+	return experiment.QualificationVectors(d, seed)
+}
+
+// RenderScores formats a Table-6 column group as text.
+func RenderScores(name string, categorical bool, scores []Score) string {
+	return experiment.RenderScores(name, categorical, scores)
+}
+
+// RenderSweep formats a redundancy sweep as a methods × redundancy table.
+func RenderSweep(name string, points []SweepPoint, metric Metric) string {
+	return experiment.RenderSweep(name, points, metric)
+}
+
+// RenderHidden formats a hidden-test series as a methods × percentage table.
+func RenderHidden(name string, points []HiddenPoint, metric Metric) string {
+	return experiment.RenderHidden(name, points, metric)
+}
+
+// RenderQualification formats Table 7 for one dataset.
+func RenderQualification(name string, categorical bool, results []QualificationResult) string {
+	return experiment.RenderQualification(name, categorical, results)
+}

@@ -1,0 +1,271 @@
+// Package core defines the shared framework behind all 17 truth-inference
+// methods: the Method interface, inference Options (seeds, convergence
+// control, golden tasks for the hidden test, qualification-test
+// initialization), the Result type, method capability metadata mirroring
+// Table 4 of the paper, and convergence helpers for the iterative
+// two-step loop of Algorithm 1.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"truthinference/internal/dataset"
+)
+
+// Defaults for iterative methods; individual methods may override via
+// Options.
+const (
+	DefaultMaxIterations = 100
+	DefaultTolerance     = 1e-4
+)
+
+// Options parameterizes a single inference run.
+type Options struct {
+	// Seed drives every random choice (initialization, Gibbs sampling,
+	// tie-breaking). Two runs with equal options are byte-identical.
+	Seed int64
+
+	// MaxIterations bounds the Algorithm-1 loop. Zero means
+	// DefaultMaxIterations.
+	MaxIterations int
+
+	// Tolerance is the convergence threshold on the parameter change
+	// between iterations (the "10^-3-style" check the paper describes).
+	// Zero means DefaultTolerance.
+	Tolerance float64
+
+	// Golden holds hidden-test golden tasks (§6.3.3): task id → known
+	// truth. Methods that support golden tasks pin these truths during
+	// the truth step and use them in the quality step. Methods that do
+	// not support golden tasks return ErrGoldenUnsupported when Golden
+	// is non-empty.
+	Golden map[int]float64
+
+	// QualificationAccuracy optionally initializes each worker's quality
+	// from a qualification test (§6.3.2) for categorical tasks: entry w
+	// is worker w's fraction of correctly answered golden tasks, or NaN
+	// to keep the method's default initialization for that worker.
+	QualificationAccuracy []float64
+
+	// QualificationError optionally initializes numeric methods: entry w
+	// is worker w's mean squared error on the qualification test, or NaN
+	// to keep the default.
+	QualificationError []float64
+}
+
+// ErrGoldenUnsupported is returned by methods that cannot incorporate
+// hidden-test golden tasks (§6.3.3 found only 9 of 17 can).
+var ErrGoldenUnsupported = errors.New("method does not support golden tasks")
+
+// ErrQualificationUnsupported is returned by methods that cannot be
+// initialized from a qualification test (§6.3.2 found only 8 of 17 can).
+var ErrQualificationUnsupported = errors.New("method does not support qualification-test initialization")
+
+// ErrTaskType is returned when a method is run on a task type outside its
+// Table-4 row.
+var ErrTaskType = errors.New("method does not support this task type")
+
+// MaxIter returns the effective iteration bound.
+func (o Options) MaxIter() int {
+	if o.MaxIterations > 0 {
+		return o.MaxIterations
+	}
+	return DefaultMaxIterations
+}
+
+// Tol returns the effective convergence tolerance.
+func (o Options) Tol() float64 {
+	if o.Tolerance > 0 {
+		return o.Tolerance
+	}
+	return DefaultTolerance
+}
+
+// WantQualification reports whether any qualification initialization was
+// provided.
+func (o Options) WantQualification() bool {
+	return len(o.QualificationAccuracy) > 0 || len(o.QualificationError) > 0
+}
+
+// Result is the output of one inference run: the inferred truth of every
+// task, per-worker quality summaries, optional task posteriors and
+// confusion matrices, and the loop accounting.
+type Result struct {
+	// Truth[i] is the inferred truth of task i: a label index for
+	// categorical tasks or a value for numeric tasks. Tasks with no
+	// answers get the method's prior guess (documented per method).
+	Truth []float64
+
+	// Posterior, when non-nil, holds tasks × choices posterior
+	// probabilities for categorical methods.
+	Posterior [][]float64
+
+	// WorkerQuality[w] is a scalar quality summary for worker w; its
+	// scale is method-specific (probability for ZC, weight for PM, …).
+	WorkerQuality []float64
+
+	// Confusion, when non-nil, holds per-worker ℓ×ℓ confusion matrices
+	// for confusion-matrix methods (D&S, LFC, BCC, CBCC, VI-*).
+	Confusion [][][]float64
+
+	// Iterations is the number of two-step iterations executed.
+	Iterations int
+	// Converged reports whether the parameter change fell below the
+	// tolerance before MaxIterations.
+	Converged bool
+}
+
+// Technique mirrors the "Techniques" column of Table 4.
+type Technique string
+
+const (
+	Direct       Technique = "direct computation"
+	Optimization Technique = "optimization"
+	PGM          Technique = "probabilistic graphical model"
+)
+
+// Capabilities mirrors a method's Table-4 row plus the golden-task and
+// qualification-test support discovered in §6.3.2–6.3.3.
+type Capabilities struct {
+	TaskTypes     []dataset.TaskType
+	TaskModel     string // "none", "task difficulty", "latent topics"
+	WorkerModel   string // "none", "worker probability", "confusion matrix", ...
+	Technique     Technique
+	Qualification bool // accepts Options.Qualification*
+	Golden        bool // accepts Options.Golden
+}
+
+// SupportsType reports whether the method handles datasets of type t.
+func (c Capabilities) SupportsType(t dataset.TaskType) bool {
+	for _, tt := range c.TaskTypes {
+		if tt == t {
+			return true
+		}
+	}
+	return false
+}
+
+// Method is one truth-inference algorithm under the Algorithm-1 framework.
+type Method interface {
+	// Name returns the paper's name for the method ("MV", "D&S", ...).
+	Name() string
+	// Capabilities describes supported task types, models and extensions.
+	Capabilities() Capabilities
+	// Infer runs the method on d. Implementations must not mutate d.
+	Infer(d *dataset.Dataset, opts Options) (*Result, error)
+}
+
+// CheckSupport validates d and opts against m's capabilities, returning a
+// descriptive error for unsupported combinations. Method implementations
+// call this first in Infer.
+func CheckSupport(m Method, d *dataset.Dataset, opts Options) error {
+	caps := m.Capabilities()
+	if !caps.SupportsType(d.Type) {
+		return fmt.Errorf("%s on %s dataset %q: %w", m.Name(), d.Type, d.Name, ErrTaskType)
+	}
+	if len(opts.Golden) > 0 && !caps.Golden {
+		return fmt.Errorf("%s: %w", m.Name(), ErrGoldenUnsupported)
+	}
+	if opts.WantQualification() && !caps.Qualification {
+		return fmt.Errorf("%s: %w", m.Name(), ErrQualificationUnsupported)
+	}
+	if opts.QualificationAccuracy != nil && len(opts.QualificationAccuracy) != d.NumWorkers {
+		return fmt.Errorf("%s: qualification accuracy vector has %d entries for %d workers", m.Name(), len(opts.QualificationAccuracy), d.NumWorkers)
+	}
+	if opts.QualificationError != nil && len(opts.QualificationError) != d.NumWorkers {
+		return fmt.Errorf("%s: qualification error vector has %d entries for %d workers", m.Name(), len(opts.QualificationError), d.NumWorkers)
+	}
+	return nil
+}
+
+// MaxAbsDiff returns the largest absolute element-wise difference between
+// a and b; it is the convergence measure used by the iterative methods.
+// Slices of unequal length return +Inf.
+func MaxAbsDiff(a, b []float64) float64 {
+	if len(a) != len(b) {
+		return math.Inf(1)
+	}
+	var m float64
+	for i := range a {
+		d := math.Abs(a[i] - b[i])
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// ArgmaxTieBreak returns the index of the maximum of w; exact ties are
+// broken by pick, which receives the number of tied candidates and returns
+// the chosen rank (callers pass rng.Intn for random tie-breaks, or a
+// deterministic function in tests). A single maximum never invokes pick.
+func ArgmaxTieBreak(w []float64, pick func(n int) int) int {
+	if len(w) == 0 {
+		return -1
+	}
+	best := w[0]
+	ties := []int{0}
+	for i, x := range w[1:] {
+		switch {
+		case x > best:
+			best = x
+			ties = ties[:1]
+			ties[0] = i + 1
+		case x == best:
+			ties = append(ties, i+1)
+		}
+	}
+	if len(ties) == 1 {
+		return ties[0]
+	}
+	return ties[pick(len(ties))]
+}
+
+// PosteriorLabels converts a tasks × choices posterior into hard labels
+// with random tie-breaking via pick, honoring golden truths if given.
+func PosteriorLabels(post [][]float64, golden map[int]float64, pick func(n int) int) []float64 {
+	out := make([]float64, len(post))
+	for i, p := range post {
+		if gv, ok := golden[i]; ok {
+			out[i] = gv
+			continue
+		}
+		out[i] = float64(ArgmaxTieBreak(p, pick))
+	}
+	return out
+}
+
+// UniformPosterior allocates a tasks × choices matrix filled with 1/ℓ.
+func UniformPosterior(numTasks, numChoices int) [][]float64 {
+	flat := make([]float64, numTasks*numChoices)
+	u := 1 / float64(numChoices)
+	for i := range flat {
+		flat[i] = u
+	}
+	out := make([][]float64, numTasks)
+	for i := range out {
+		out[i] = flat[i*numChoices : (i+1)*numChoices]
+	}
+	return out
+}
+
+// PinGolden overwrites posterior rows of golden tasks with the one-hot
+// distribution of their known truth. It is the standard way the iterative
+// methods incorporate hidden-test golden tasks in the truth step.
+func PinGolden(post [][]float64, golden map[int]float64) {
+	for t, v := range golden {
+		if t < 0 || t >= len(post) {
+			continue
+		}
+		row := post[t]
+		for k := range row {
+			row[k] = 0
+		}
+		l := int(v)
+		if l >= 0 && l < len(row) {
+			row[l] = 1
+		}
+	}
+}

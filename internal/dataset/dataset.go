@@ -1,0 +1,292 @@
+// Package dataset defines the task/worker/answer data model of the paper
+// (Definitions 1–5), TSV persistence compatible with the published
+// benchmark format (answer triples and truth pairs), the per-dataset
+// statistics reported in Table 5 and Section 6.2 (redundancy, consistency,
+// worker quality), and the sub-sampling operations used by the redundancy
+// sweep and golden-task experiments in Section 6.3.
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// TaskType enumerates the three task families studied in the paper.
+type TaskType int
+
+const (
+	// Decision is a two-choice decision-making task. Label 1 is the
+	// positive ("T") choice and label 0 the negative ("F") choice; the
+	// F1-score is computed with respect to label 1.
+	Decision TaskType = iota
+	// SingleChoice is an ℓ-choice single-label task with labels 0..ℓ-1.
+	SingleChoice
+	// Numeric is a task whose answer is a real value.
+	Numeric
+)
+
+// String implements fmt.Stringer.
+func (t TaskType) String() string {
+	switch t {
+	case Decision:
+		return "decision"
+	case SingleChoice:
+		return "single-choice"
+	case Numeric:
+		return "numeric"
+	default:
+		return fmt.Sprintf("TaskType(%d)", int(t))
+	}
+}
+
+// Answer is a single worker's answer v^w_i for one task. For categorical
+// task types Value holds the choice index (0..ℓ-1) as a float64; for
+// numeric tasks it holds the raw value.
+type Answer struct {
+	Task   int
+	Worker int
+	Value  float64
+}
+
+// Label returns the categorical choice index of the answer.
+func (a Answer) Label() int { return int(a.Value) }
+
+// Dataset is a complete crowdsourced answer set V together with optional
+// ground truth for a subset of tasks. Tasks and workers are dense integer
+// ids 0..NumTasks-1 and 0..NumWorkers-1.
+//
+// The zero value is not usable; construct datasets with New or a loader
+// and always call Build (New does this) after mutating Answers.
+type Dataset struct {
+	Name       string
+	Type       TaskType
+	NumChoices int // ℓ; 2 for Decision, 0 for Numeric
+	NumTasks   int
+	NumWorkers int
+	Answers    []Answer
+
+	// Truth maps a task id to its ground truth v*_i. Large benchmark
+	// datasets only expose truth for a subset of tasks (Table 5).
+	Truth map[int]float64
+
+	byTask   [][]int // answer indices per task
+	byWorker [][]int // answer indices per worker
+}
+
+// New constructs a dataset and builds its indices. It validates that every
+// answer references a task and worker inside the declared ranges and, for
+// categorical types, a choice in [0, ℓ).
+func New(name string, typ TaskType, numChoices, numTasks, numWorkers int, answers []Answer, truth map[int]float64) (*Dataset, error) {
+	d := &Dataset{
+		Name:       name,
+		Type:       typ,
+		NumChoices: numChoices,
+		NumTasks:   numTasks,
+		NumWorkers: numWorkers,
+		Answers:    answers,
+		Truth:      truth,
+	}
+	if err := d.Build(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Build validates the dataset and (re)builds the per-task and per-worker
+// indices. It must be called after any direct mutation of Answers.
+func (d *Dataset) Build() error {
+	if d.NumTasks < 0 || d.NumWorkers < 0 {
+		return errors.New("dataset: negative task or worker count")
+	}
+	switch d.Type {
+	case Decision:
+		if d.NumChoices == 0 {
+			d.NumChoices = 2
+		}
+		if d.NumChoices != 2 {
+			return fmt.Errorf("dataset %q: decision tasks need exactly 2 choices, got %d", d.Name, d.NumChoices)
+		}
+	case SingleChoice:
+		if d.NumChoices < 2 {
+			return fmt.Errorf("dataset %q: single-choice tasks need >=2 choices, got %d", d.Name, d.NumChoices)
+		}
+	case Numeric:
+		d.NumChoices = 0
+	default:
+		return fmt.Errorf("dataset %q: unknown task type %d", d.Name, int(d.Type))
+	}
+	d.byTask = make([][]int, d.NumTasks)
+	d.byWorker = make([][]int, d.NumWorkers)
+	for idx, a := range d.Answers {
+		if a.Task < 0 || a.Task >= d.NumTasks {
+			return fmt.Errorf("dataset %q: answer %d references task %d outside [0,%d)", d.Name, idx, a.Task, d.NumTasks)
+		}
+		if a.Worker < 0 || a.Worker >= d.NumWorkers {
+			return fmt.Errorf("dataset %q: answer %d references worker %d outside [0,%d)", d.Name, idx, a.Worker, d.NumWorkers)
+		}
+		if d.Type != Numeric {
+			l := a.Label()
+			if float64(l) != a.Value || l < 0 || l >= d.NumChoices {
+				return fmt.Errorf("dataset %q: answer %d has invalid label %v for %d choices", d.Name, idx, a.Value, d.NumChoices)
+			}
+		} else if math.IsNaN(a.Value) || math.IsInf(a.Value, 0) {
+			return fmt.Errorf("dataset %q: answer %d has non-finite numeric value", d.Name, idx)
+		}
+		d.byTask[a.Task] = append(d.byTask[a.Task], idx)
+		d.byWorker[a.Worker] = append(d.byWorker[a.Worker], idx)
+	}
+	for t, v := range d.Truth {
+		if t < 0 || t >= d.NumTasks {
+			return fmt.Errorf("dataset %q: truth references task %d outside [0,%d)", d.Name, t, d.NumTasks)
+		}
+		if d.Type != Numeric {
+			l := int(v)
+			if float64(l) != v || l < 0 || l >= d.NumChoices {
+				return fmt.Errorf("dataset %q: truth for task %d has invalid label %v", d.Name, t, v)
+			}
+		}
+	}
+	return nil
+}
+
+// Categorical reports whether the dataset holds decision-making or
+// single-choice tasks (as opposed to numeric ones).
+func (d *Dataset) Categorical() bool { return d.Type != Numeric }
+
+// TaskAnswers returns the indices into Answers for task i (W_i in the
+// paper's notation, as answer records).
+func (d *Dataset) TaskAnswers(task int) []int { return d.byTask[task] }
+
+// WorkerAnswers returns the indices into Answers for worker w (T^w).
+func (d *Dataset) WorkerAnswers(worker int) []int { return d.byWorker[worker] }
+
+// Redundancy returns |V|/n, the average number of answers per task
+// (Table 5's |V|/n column). It is zero for an empty dataset.
+func (d *Dataset) Redundancy() float64 {
+	if d.NumTasks == 0 {
+		return 0
+	}
+	return float64(len(d.Answers)) / float64(d.NumTasks)
+}
+
+// MaxRedundancy returns the largest number of answers any task received.
+func (d *Dataset) MaxRedundancy() int {
+	m := 0
+	for _, idxs := range d.byTask {
+		if len(idxs) > m {
+			m = len(idxs)
+		}
+	}
+	return m
+}
+
+// Clone returns a deep copy of the dataset, including indices.
+func (d *Dataset) Clone() *Dataset {
+	cp := &Dataset{
+		Name:       d.Name,
+		Type:       d.Type,
+		NumChoices: d.NumChoices,
+		NumTasks:   d.NumTasks,
+		NumWorkers: d.NumWorkers,
+		Answers:    append([]Answer(nil), d.Answers...),
+		Truth:      make(map[int]float64, len(d.Truth)),
+	}
+	for k, v := range d.Truth {
+		cp.Truth[k] = v
+	}
+	if err := cp.Build(); err != nil {
+		// A valid dataset always clones to a valid dataset.
+		panic("dataset: Clone of valid dataset failed: " + err.Error())
+	}
+	return cp
+}
+
+// SampleRedundancy returns a new dataset in which every task keeps at most
+// r of its answers, selected uniformly at random — the construction used
+// for the redundancy sweeps behind Figures 4, 5 and 6. Truth is carried
+// over unchanged.
+func (d *Dataset) SampleRedundancy(r int, rng *rand.Rand) *Dataset {
+	if r < 0 {
+		r = 0
+	}
+	keep := make([]Answer, 0, min(len(d.Answers), r*d.NumTasks))
+	perm := make([]int, 0, 64)
+	for task := 0; task < d.NumTasks; task++ {
+		idxs := d.byTask[task]
+		if len(idxs) <= r {
+			for _, ai := range idxs {
+				keep = append(keep, d.Answers[ai])
+			}
+			continue
+		}
+		perm = perm[:0]
+		perm = append(perm, idxs...)
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		for _, ai := range perm[:r] {
+			keep = append(keep, d.Answers[ai])
+		}
+	}
+	out := &Dataset{
+		Name:       d.Name,
+		Type:       d.Type,
+		NumChoices: d.NumChoices,
+		NumTasks:   d.NumTasks,
+		NumWorkers: d.NumWorkers,
+		Answers:    keep,
+		Truth:      d.Truth,
+	}
+	if err := out.Build(); err != nil {
+		panic("dataset: SampleRedundancy produced invalid dataset: " + err.Error())
+	}
+	return out
+}
+
+// SplitGolden selects fraction p (0..1) of the tasks *with known truth*
+// uniformly at random and returns their ids and truths as the golden set
+// (the hidden-test construction of §6.3.3). The remaining truth-bearing
+// tasks form the evaluation set, returned as the second value.
+func (d *Dataset) SplitGolden(p float64, rng *rand.Rand) (golden map[int]float64, eval map[int]float64) {
+	ids := make([]int, 0, len(d.Truth))
+	for t := range d.Truth {
+		ids = append(ids, t)
+	}
+	sort.Ints(ids)
+	rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	k := int(math.Round(p * float64(len(ids))))
+	if k > len(ids) {
+		k = len(ids)
+	}
+	golden = make(map[int]float64, k)
+	eval = make(map[int]float64, len(ids)-k)
+	for i, t := range ids {
+		if i < k {
+			golden[t] = d.Truth[t]
+		} else {
+			eval[t] = d.Truth[t]
+		}
+	}
+	return golden, eval
+}
+
+// TruthVector returns the truth as a dense slice with NaN for tasks whose
+// truth is unknown.
+func (d *Dataset) TruthVector() []float64 {
+	out := make([]float64, d.NumTasks)
+	for i := range out {
+		out[i] = math.NaN()
+	}
+	for t, v := range d.Truth {
+		out[t] = v
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

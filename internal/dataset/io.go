@@ -1,0 +1,215 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The on-disk format mirrors the published benchmark's layout:
+//
+//	answer file: one "task<TAB>worker<TAB>value" triple per line
+//	truth file:  one "task<TAB>value" pair per line
+//
+// plus a small header line in the answer file carrying the metadata this
+// library needs to rebuild the Dataset:
+//
+//	#dataset<TAB>name<TAB>type<TAB>numChoices<TAB>numTasks<TAB>numWorkers
+//
+// Lines starting with '#' other than the header are comments.
+
+// WriteAnswers serializes the dataset's answers (with header) to w.
+func WriteAnswers(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "#dataset\t%s\t%s\t%d\t%d\t%d\n", d.Name, d.Type, d.NumChoices, d.NumTasks, d.NumWorkers)
+	for _, a := range d.Answers {
+		if d.Categorical() {
+			fmt.Fprintf(bw, "%d\t%d\t%d\n", a.Task, a.Worker, a.Label())
+		} else {
+			fmt.Fprintf(bw, "%d\t%d\t%g\n", a.Task, a.Worker, a.Value)
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteTruth serializes the dataset's known truths to w, sorted by task id.
+func WriteTruth(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	ids := make([]int, 0, len(d.Truth))
+	for t := range d.Truth {
+		ids = append(ids, t)
+	}
+	sort.Ints(ids)
+	for _, t := range ids {
+		v := d.Truth[t]
+		if d.Categorical() {
+			fmt.Fprintf(bw, "%d\t%d\n", t, int(v))
+		} else {
+			fmt.Fprintf(bw, "%d\t%g\n", t, v)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadAnswers parses an answer stream produced by WriteAnswers.
+func ReadAnswers(r io.Reader) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	d := &Dataset{Truth: map[int]float64{}}
+	sawHeader := false
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if strings.HasPrefix(line, "#dataset\t") {
+				fields := strings.Split(line, "\t")
+				if len(fields) != 6 {
+					return nil, fmt.Errorf("dataset: malformed header at line %d", lineno)
+				}
+				d.Name = fields[1]
+				typ, err := parseTaskType(fields[2])
+				if err != nil {
+					return nil, fmt.Errorf("dataset: line %d: %w", lineno, err)
+				}
+				d.Type = typ
+				vals := make([]int, 3)
+				for i, f := range fields[3:] {
+					v, err := strconv.Atoi(f)
+					if err != nil {
+						return nil, fmt.Errorf("dataset: malformed header field %q at line %d", f, lineno)
+					}
+					vals[i] = v
+				}
+				d.NumChoices, d.NumTasks, d.NumWorkers = vals[0], vals[1], vals[2]
+				sawHeader = true
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("dataset: expected 3 fields at line %d, got %d", lineno, len(fields))
+		}
+		task, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: bad task id at line %d: %w", lineno, err)
+		}
+		worker, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: bad worker id at line %d: %w", lineno, err)
+		}
+		val, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: bad answer value at line %d: %w", lineno, err)
+		}
+		d.Answers = append(d.Answers, Answer{Task: task, Worker: worker, Value: val})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("dataset: missing #dataset header")
+	}
+	if err := d.Build(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// ReadTruthInto parses a truth stream produced by WriteTruth and installs
+// the truths into d (validating ranges via Build).
+func ReadTruthInto(r io.Reader, d *Dataset) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	lineno := 0
+	if d.Truth == nil {
+		d.Truth = map[int]float64{}
+	}
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return fmt.Errorf("dataset: expected 2 fields at line %d, got %d", lineno, len(fields))
+		}
+		task, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return fmt.Errorf("dataset: bad task id at line %d: %w", lineno, err)
+		}
+		val, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return fmt.Errorf("dataset: bad truth value at line %d: %w", lineno, err)
+		}
+		d.Truth[task] = val
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return d.Build()
+}
+
+// SaveFiles writes <base>.answers.tsv and <base>.truth.tsv.
+func SaveFiles(base string, d *Dataset) error {
+	af, err := os.Create(base + ".answers.tsv")
+	if err != nil {
+		return err
+	}
+	defer af.Close()
+	if err := WriteAnswers(af, d); err != nil {
+		return err
+	}
+	tf, err := os.Create(base + ".truth.tsv")
+	if err != nil {
+		return err
+	}
+	defer tf.Close()
+	return WriteTruth(tf, d)
+}
+
+// LoadFiles reads a dataset saved by SaveFiles.
+func LoadFiles(base string) (*Dataset, error) {
+	af, err := os.Open(base + ".answers.tsv")
+	if err != nil {
+		return nil, err
+	}
+	defer af.Close()
+	d, err := ReadAnswers(af)
+	if err != nil {
+		return nil, err
+	}
+	tf, err := os.Open(base + ".truth.tsv")
+	if err != nil {
+		if os.IsNotExist(err) {
+			return d, nil
+		}
+		return nil, err
+	}
+	defer tf.Close()
+	if err := ReadTruthInto(tf, d); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func parseTaskType(s string) (TaskType, error) {
+	switch s {
+	case "decision":
+		return Decision, nil
+	case "single-choice":
+		return SingleChoice, nil
+	case "numeric":
+		return Numeric, nil
+	default:
+		return 0, fmt.Errorf("unknown task type %q", s)
+	}
+}

@@ -1,0 +1,133 @@
+package dataset
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestAnswerRoundTrip(t *testing.T) {
+	d := small(t)
+	var buf bytes.Buffer
+	if err := WriteAnswers(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAnswers(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != d.Name || got.Type != d.Type || got.NumChoices != d.NumChoices ||
+		got.NumTasks != d.NumTasks || got.NumWorkers != d.NumWorkers {
+		t.Errorf("header mismatch: %+v vs %+v", got, d)
+	}
+	if !reflect.DeepEqual(got.Answers, d.Answers) {
+		t.Errorf("answers mismatch")
+	}
+}
+
+func TestTruthRoundTrip(t *testing.T) {
+	d := small(t)
+	var abuf, tbuf bytes.Buffer
+	if err := WriteAnswers(&abuf, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTruth(&tbuf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAnswers(&abuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ReadTruthInto(&tbuf, got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Truth, d.Truth) {
+		t.Errorf("truth mismatch: %v vs %v", got.Truth, d.Truth)
+	}
+}
+
+func TestNumericRoundTripPreservesValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var answers []Answer
+	truth := map[int]float64{}
+	for i := 0; i < 20; i++ {
+		truth[i] = 100 * rng.NormFloat64()
+		for w := 0; w < 3; w++ {
+			answers = append(answers, Answer{Task: i, Worker: w, Value: truth[i] + rng.NormFloat64()})
+		}
+	}
+	d, err := New("num", Numeric, 0, 20, 3, answers, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var abuf, tbuf bytes.Buffer
+	if err := WriteAnswers(&abuf, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTruth(&tbuf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAnswers(&abuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ReadTruthInto(&tbuf, got); err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range d.Answers {
+		if got.Answers[i] != a {
+			t.Fatalf("answer %d: %+v vs %+v", i, got.Answers[i], a)
+		}
+	}
+	for k, v := range d.Truth {
+		if got.Truth[k] != v {
+			t.Fatalf("truth %d: %v vs %v", k, got.Truth[k], v)
+		}
+	}
+}
+
+func TestSaveLoadFiles(t *testing.T) {
+	d := small(t)
+	base := filepath.Join(t.TempDir(), "ds")
+	if err := SaveFiles(base, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFiles(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Answers, d.Answers) || !reflect.DeepEqual(got.Truth, d.Truth) {
+		t.Error("SaveFiles/LoadFiles round trip mismatch")
+	}
+}
+
+func TestReadAnswersErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"missing header", "0\t0\t1\n"},
+		{"malformed header", "#dataset\tname\tdecision\n"},
+		{"bad field count", "#dataset\tx\tdecision\t2\t1\t1\n0\t0\n"},
+		{"bad task id", "#dataset\tx\tdecision\t2\t1\t1\nz\t0\t1\n"},
+		{"bad value", "#dataset\tx\tdecision\t2\t1\t1\n0\t0\tz\n"},
+		{"unknown type", "#dataset\tx\twat\t2\t1\t1\n"},
+		{"answer out of range", "#dataset\tx\tdecision\t2\t1\t1\n5\t0\t1\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadAnswers(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestCommentsAndBlankLinesIgnored(t *testing.T) {
+	in := "# a comment\n\n#dataset\tx\tdecision\t2\t2\t1\n\n0\t0\t1\n# trailing comment\n1\t0\t0\n"
+	d, err := ReadAnswers(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Answers) != 2 {
+		t.Errorf("got %d answers, want 2", len(d.Answers))
+	}
+}

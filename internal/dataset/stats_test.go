@@ -1,0 +1,189 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConsistencyBoundsCategorical(t *testing.T) {
+	// Unanimous answers → C = 0; perfectly split answers → C = 1.
+	unanimous, err := New("u", Decision, 2, 2, 2, []Answer{
+		{Task: 0, Worker: 0, Value: 1}, {Task: 0, Worker: 1, Value: 1},
+		{Task: 1, Worker: 0, Value: 0}, {Task: 1, Worker: 1, Value: 0},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Consistency(unanimous); got != 0 {
+		t.Errorf("unanimous consistency = %v, want 0", got)
+	}
+	split, err := New("s", Decision, 2, 1, 2, []Answer{
+		{Task: 0, Worker: 0, Value: 1}, {Task: 0, Worker: 1, Value: 0},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Consistency(split); math.Abs(got-1) > 1e-12 {
+		t.Errorf("split consistency = %v, want 1", got)
+	}
+}
+
+func TestConsistencyInUnitIntervalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		d := randomCategorical(seed, 20, 6, 4, 5)
+		c := Consistency(d)
+		return c >= 0 && c <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConsistencyNumeric(t *testing.T) {
+	// Identical answers → 0 deviation.
+	d, err := New("n", Numeric, 0, 1, 3, []Answer{
+		{Task: 0, Worker: 0, Value: 5}, {Task: 0, Worker: 1, Value: 5}, {Task: 0, Worker: 2, Value: 5},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Consistency(d); got != 0 {
+		t.Errorf("identical numeric answers: C = %v, want 0", got)
+	}
+	// Known small case: answers {0, 10} → median 5, deviation 5.
+	d2, err := New("n2", Numeric, 0, 1, 2, []Answer{
+		{Task: 0, Worker: 0, Value: 0}, {Task: 0, Worker: 1, Value: 10},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Consistency(d2); math.Abs(got-5) > 1e-12 {
+		t.Errorf("C = %v, want 5", got)
+	}
+}
+
+func TestWorkerRedundancyAndHistogram(t *testing.T) {
+	d := small(t)
+	red := WorkerRedundancy(d)
+	if red[0] != 2 || red[1] != 2 {
+		t.Errorf("redundancy = %v", red)
+	}
+	edges, counts := RedundancyHistogram(d, 4)
+	if len(edges) != 4 || len(counts) != 4 {
+		t.Fatalf("histogram sizes %d/%d", len(edges), len(counts))
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != d.NumWorkers {
+		t.Errorf("histogram total %d, want %d workers", total, d.NumWorkers)
+	}
+}
+
+func TestWorkerAccuracy(t *testing.T) {
+	// Worker 0 answers task 0 (truth 1) with 1 → correct; task 1 has no
+	// truth → ignored. Worker 1 answers task 0 with 0 (wrong) and task 2
+	// (truth 1) with 1 (right) → 0.5.
+	d := small(t)
+	acc := WorkerAccuracy(d)
+	if acc[0] != 1 {
+		t.Errorf("worker 0 accuracy = %v, want 1", acc[0])
+	}
+	if acc[1] != 0.5 {
+		t.Errorf("worker 1 accuracy = %v, want 0.5", acc[1])
+	}
+}
+
+func TestWorkerAccuracyNaNWithoutTruth(t *testing.T) {
+	d, err := New("nt", Decision, 2, 1, 1, []Answer{{Task: 0, Worker: 0, Value: 1}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := WorkerAccuracy(d); !math.IsNaN(acc[0]) {
+		t.Errorf("accuracy without truth = %v, want NaN", acc[0])
+	}
+}
+
+func TestWorkerRMSE(t *testing.T) {
+	d, err := New("wr", Numeric, 0, 2, 1, []Answer{
+		{Task: 0, Worker: 0, Value: 3}, {Task: 1, Worker: 0, Value: 4},
+	}, map[int]float64{0: 0, 1: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmse := WorkerRMSE(d)
+	want := math.Sqrt((9.0 + 16.0) / 2)
+	if math.Abs(rmse[0]-want) > 1e-12 {
+		t.Errorf("RMSE = %v, want %v", rmse[0], want)
+	}
+}
+
+func TestQualityHistogramIgnoresNaN(t *testing.T) {
+	q := []float64{0.1, 0.9, math.NaN(), 0.5}
+	_, counts := QualityHistogram(q, 0, 1, 5)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 3 {
+		t.Errorf("histogram counted %d entries, want 3 (NaN skipped)", total)
+	}
+}
+
+func TestMeanWorkerQuality(t *testing.T) {
+	if got := MeanWorkerQuality([]float64{0.4, math.NaN(), 0.6}); got != 0.5 {
+		t.Errorf("MeanWorkerQuality = %v, want 0.5", got)
+	}
+	if !math.IsNaN(MeanWorkerQuality([]float64{math.NaN()})) {
+		t.Error("all-NaN quality mean should be NaN")
+	}
+}
+
+func TestComputeStatsMatchesTable5Shape(t *testing.T) {
+	d := small(t)
+	s := ComputeStats(d)
+	if s.NumTasks != 3 || s.NumWorkers != 2 || s.NumAnswers != 4 || s.NumTruth != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+	if math.Abs(s.Redundancy-4.0/3) > 1e-12 {
+		t.Errorf("redundancy = %v", s.Redundancy)
+	}
+}
+
+// randomCategorical builds a random but valid categorical dataset for
+// property tests.
+func randomCategorical(seed int64, n, w, ell, perTask int) *Dataset {
+	rng := newRand(seed)
+	var answers []Answer
+	for i := 0; i < n; i++ {
+		for k := 0; k < perTask; k++ {
+			answers = append(answers, Answer{
+				Task: i, Worker: rng.Intn(w), Value: float64(rng.Intn(ell)),
+			})
+		}
+	}
+	typ := SingleChoice
+	if ell == 2 {
+		typ = Decision
+	}
+	d, err := New("rand", typ, ell, n, w, answers, nil)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func newRand(seed int64) *randSource {
+	return &randSource{state: uint64(seed)*2862933555777941757 + 3037000493}
+}
+
+// randSource is a tiny deterministic generator for property tests,
+// avoiding a math/rand import cycle in this file.
+type randSource struct{ state uint64 }
+
+func (r *randSource) Intn(n int) int {
+	r.state = r.state*6364136223846793005 + 1442695040888963407
+	return int((r.state >> 33) % uint64(n))
+}

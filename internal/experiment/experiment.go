@@ -1,0 +1,215 @@
+// Package experiment implements the paper's evaluation harness
+// (Section 6): full-data comparisons of quality and running time
+// (Table 6), redundancy sweeps (Figures 4–6), the qualification-test
+// experiment (Table 7), the hidden-test experiment (Figures 7–9) and the
+// crowd-data statistics (Table 5, Figures 2–3, the §6.2.1 consistency
+// values). Rendering helpers print the same rows/series the paper
+// reports.
+package experiment
+
+import (
+	"math"
+	"time"
+
+	"truthinference/internal/core"
+	"truthinference/internal/dataset"
+	"truthinference/internal/metrics"
+	"truthinference/internal/randx"
+)
+
+// PositiveLabel is the decision-task positive class used by F1.
+const PositiveLabel = 1
+
+// Config controls an experiment run.
+type Config struct {
+	// Seed drives dataset sub-sampling and method seeds.
+	Seed int64
+	// Repeats is the number of repetitions to average (the paper uses 30
+	// for redundancy sweeps and 100 for golden-task experiments; the
+	// default 1 runs once).
+	Repeats int
+	// MaxIterations caps iterative methods when positive (useful to
+	// bound harness runtime at full dataset scale).
+	MaxIterations int
+	// Tolerance overrides the convergence tolerance when positive.
+	Tolerance float64
+}
+
+func (c Config) repeats() int {
+	if c.Repeats > 0 {
+		return c.Repeats
+	}
+	return 1
+}
+
+// Score is one method's evaluation on one dataset configuration, averaged
+// over Config.Repeats runs.
+type Score struct {
+	Method   string
+	Accuracy float64
+	F1       float64
+	MAE      float64
+	RMSE     float64
+	// Seconds is the mean wall-clock inference time.
+	Seconds float64
+	// Iterations is the mean iteration count.
+	Iterations float64
+	// Converged reports whether every repetition converged.
+	Converged bool
+	// Err is non-empty if the method failed (unsupported combination or
+	// inference error); metric fields are NaN in that case.
+	Err string
+}
+
+// Evaluate runs method m on d once per repeat, evaluating against
+// evalTruth (pass d.Truth for the standard setup, or the non-golden
+// remainder for hidden tests). Golden and qualification options flow
+// through opts; opts.Seed is advanced per repetition.
+func Evaluate(m core.Method, d *dataset.Dataset, opts core.Options, evalTruth map[int]float64, cfg Config) Score {
+	s := Score{Method: m.Name(), Converged: true,
+		Accuracy: math.NaN(), F1: math.NaN(), MAE: math.NaN(), RMSE: math.NaN()}
+	if cfg.MaxIterations > 0 && opts.MaxIterations == 0 {
+		opts.MaxIterations = cfg.MaxIterations
+	}
+	if cfg.Tolerance > 0 && opts.Tolerance == 0 {
+		opts.Tolerance = cfg.Tolerance
+	}
+	var accSum, f1Sum, maeSum, rmseSum, secSum, iterSum float64
+	n := 0
+	for rep := 0; rep < cfg.repeats(); rep++ {
+		runOpts := opts
+		runOpts.Seed = opts.Seed + int64(rep)*7919
+		start := time.Now()
+		res, err := m.Infer(d, runOpts)
+		elapsed := time.Since(start).Seconds()
+		if err != nil {
+			s.Err = err.Error()
+			return s
+		}
+		n++
+		secSum += elapsed
+		iterSum += float64(res.Iterations)
+		if !res.Converged {
+			s.Converged = false
+		}
+		if d.Categorical() {
+			accSum += metrics.Accuracy(res.Truth, evalTruth)
+			f1Sum += metrics.F1(res.Truth, evalTruth, PositiveLabel)
+		} else {
+			maeSum += metrics.MAE(res.Truth, evalTruth)
+			rmseSum += metrics.RMSE(res.Truth, evalTruth)
+		}
+	}
+	fn := float64(n)
+	s.Seconds = secSum / fn
+	s.Iterations = iterSum / fn
+	if d.Categorical() {
+		s.Accuracy = accSum / fn
+		s.F1 = f1Sum / fn
+	} else {
+		s.MAE = maeSum / fn
+		s.RMSE = rmseSum / fn
+	}
+	return s
+}
+
+// FullComparison reproduces one dataset column-group of Table 6: every
+// applicable method evaluated on the complete dataset. Methods whose
+// capabilities exclude the dataset's task type are skipped (the paper
+// marks them "×").
+func FullComparison(methods []core.Method, d *dataset.Dataset, cfg Config) []Score {
+	var out []Score
+	for _, m := range methods {
+		if !m.Capabilities().SupportsType(d.Type) {
+			continue
+		}
+		out = append(out, Evaluate(m, d, core.Options{Seed: cfg.Seed}, d.Truth, cfg))
+	}
+	return out
+}
+
+// accumulator averages repeated Scores of one method. A failed repetition
+// poisons the accumulator; finish then reports the error with NaN metrics.
+type accumulator struct {
+	out                                             Score
+	accSum, f1Sum, maeSum, rmseSum, secSum, iterSum float64
+	n                                               int
+}
+
+func newAccumulator(method string) *accumulator {
+	return &accumulator{out: Score{Method: method, Converged: true}}
+}
+
+// add folds in one repetition; it returns false (and records the error)
+// when the repetition failed, signalling the caller to stop repeating.
+func (a *accumulator) add(one Score) bool {
+	if one.Err != "" {
+		a.out.Err = one.Err
+		return false
+	}
+	a.n++
+	a.accSum += one.Accuracy
+	a.f1Sum += one.F1
+	a.maeSum += one.MAE
+	a.rmseSum += one.RMSE
+	a.secSum += one.Seconds
+	a.iterSum += one.Iterations
+	if !one.Converged {
+		a.out.Converged = false
+	}
+	return true
+}
+
+func (a *accumulator) finish() Score {
+	if a.n == 0 || a.out.Err != "" {
+		a.out.Accuracy, a.out.F1 = math.NaN(), math.NaN()
+		a.out.MAE, a.out.RMSE = math.NaN(), math.NaN()
+		return a.out
+	}
+	fn := float64(a.n)
+	a.out.Accuracy = a.accSum / fn
+	a.out.F1 = a.f1Sum / fn
+	a.out.MAE = a.maeSum / fn
+	a.out.RMSE = a.rmseSum / fn
+	a.out.Seconds = a.secSum / fn
+	a.out.Iterations = a.iterSum / fn
+	return a.out
+}
+
+// single wraps cfg for one-repetition inner evaluations.
+func (c Config) single() Config {
+	return Config{Seed: c.Seed, Repeats: 1, MaxIterations: c.MaxIterations, Tolerance: c.Tolerance}
+}
+
+// SweepPoint is one redundancy level of a Figure-4/5/6 series.
+type SweepPoint struct {
+	Redundancy int
+	Scores     []Score
+}
+
+// RedundancySweep reproduces Figures 4–6: for each redundancy r it
+// sub-samples r answers per task (fresh sample per repetition) and
+// evaluates every applicable method, averaging over Config.Repeats.
+func RedundancySweep(methods []core.Method, d *dataset.Dataset, rs []int, cfg Config) []SweepPoint {
+	out := make([]SweepPoint, 0, len(rs))
+	for _, r := range rs {
+		point := SweepPoint{Redundancy: r}
+		for _, m := range methods {
+			if !m.Capabilities().SupportsType(d.Type) {
+				continue
+			}
+			acc := newAccumulator(m.Name())
+			for rep := 0; rep < cfg.repeats(); rep++ {
+				rng := randx.New(cfg.Seed + int64(r)*1_000_003 + int64(rep)*97)
+				sub := d.SampleRedundancy(r, rng)
+				one := Evaluate(m, sub, core.Options{Seed: cfg.Seed + int64(rep)}, sub.Truth, cfg.single())
+				if !acc.add(one) {
+					break
+				}
+			}
+			point.Scores = append(point.Scores, acc.finish())
+		}
+		out = append(out, point)
+	}
+	return out
+}

@@ -1,0 +1,212 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"truthinference/internal/core"
+	"truthinference/internal/dataset"
+	"truthinference/internal/methods/direct"
+	"truthinference/internal/methods/ds"
+	"truthinference/internal/methods/zc"
+	"truthinference/internal/testutil"
+)
+
+func methods() []core.Method {
+	return []core.Method{direct.NewMV(), zc.New(), ds.New()}
+}
+
+func crowd() *dataset.Dataset {
+	return testutil.Categorical(testutil.CrowdSpec{NumTasks: 120, NumWorkers: 12, Redundancy: 5, Seed: 1})
+}
+
+func TestEvaluateScoresCategorical(t *testing.T) {
+	d := crowd()
+	s := Evaluate(direct.NewMV(), d, core.Options{Seed: 1}, d.Truth, Config{Seed: 1})
+	if s.Err != "" {
+		t.Fatalf("unexpected error: %s", s.Err)
+	}
+	if s.Accuracy < 0.8 || s.Accuracy > 1 {
+		t.Errorf("accuracy %.3f implausible", s.Accuracy)
+	}
+	if math.IsNaN(s.F1) {
+		t.Error("F1 should be computed for decision datasets")
+	}
+	if !math.IsNaN(s.MAE) {
+		t.Error("MAE should be NaN for categorical datasets")
+	}
+	if s.Seconds < 0 {
+		t.Error("negative runtime")
+	}
+}
+
+func TestEvaluateRecordsErrors(t *testing.T) {
+	num := testutil.Numeric(testutil.NumericSpec{NumTasks: 10, NumWorkers: 4, Redundancy: 3, Seed: 1})
+	s := Evaluate(direct.NewMV(), num, core.Options{}, num.Truth, Config{})
+	if s.Err == "" {
+		t.Error("MV on numeric data must record an error")
+	}
+	if !math.IsNaN(s.Accuracy) {
+		t.Error("failed evaluation must report NaN metrics")
+	}
+}
+
+func TestFullComparisonSkipsInapplicable(t *testing.T) {
+	num := testutil.Numeric(testutil.NumericSpec{NumTasks: 30, NumWorkers: 5, Redundancy: 3, Seed: 2})
+	all := []core.Method{direct.NewMV(), direct.NewMean(), direct.NewMedian()}
+	scores := FullComparison(all, num, Config{Seed: 1})
+	if len(scores) != 2 {
+		t.Fatalf("got %d scores, want 2 (MV skipped)", len(scores))
+	}
+	for _, s := range scores {
+		if s.Err != "" {
+			t.Errorf("%s: %s", s.Method, s.Err)
+		}
+	}
+}
+
+func TestRedundancySweepShape(t *testing.T) {
+	d := crowd()
+	pts := RedundancySweep(methods(), d, []int{1, 3, 5}, Config{Seed: 1, Repeats: 2})
+	if len(pts) != 3 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for _, p := range pts {
+		if len(p.Scores) != 3 {
+			t.Fatalf("r=%d: %d scores", p.Redundancy, len(p.Scores))
+		}
+	}
+	// Accuracy at r=5 must beat accuracy at r=1 for MV on this easy crowd
+	// (the Figure 4 "quality increases with redundancy" shape).
+	if pts[2].Scores[0].Accuracy <= pts[0].Scores[0].Accuracy {
+		t.Errorf("MV accuracy did not increase with redundancy: r1=%.3f r5=%.3f",
+			pts[0].Scores[0].Accuracy, pts[2].Scores[0].Accuracy)
+	}
+}
+
+func TestQualificationVectorsBounds(t *testing.T) {
+	d := crowd()
+	acc, mse := QualificationVectors(d, 1)
+	if mse != nil {
+		t.Fatal("categorical dataset should not produce MSE vector")
+	}
+	for w, a := range acc {
+		if math.IsNaN(a) {
+			continue
+		}
+		if a < 0 || a > 1 {
+			t.Errorf("worker %d qualification accuracy %v outside [0,1]", w, a)
+		}
+	}
+	num := testutil.Numeric(testutil.NumericSpec{NumTasks: 60, NumWorkers: 8, Redundancy: 4, Seed: 3})
+	acc2, mse2 := QualificationVectors(num, 1)
+	if acc2 != nil {
+		t.Fatal("numeric dataset should not produce accuracy vector")
+	}
+	for w, e := range mse2 {
+		if !math.IsNaN(e) && e < 0 {
+			t.Errorf("worker %d qualification MSE %v negative", w, e)
+		}
+	}
+}
+
+func TestQualificationVectorsNaNForWorkersWithoutTruth(t *testing.T) {
+	d, err := dataset.New("nt", dataset.Decision, 2, 2, 2, []dataset.Answer{
+		{Task: 0, Worker: 0, Value: 1}, // truth-bearing
+		{Task: 1, Worker: 1, Value: 1}, // no truth
+	}, map[int]float64{0: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, _ := QualificationVectors(d, 1)
+	if math.IsNaN(acc[0]) {
+		t.Error("worker 0 has truth-bearing answers, accuracy should be defined")
+	}
+	if !math.IsNaN(acc[1]) {
+		t.Error("worker 1 has no truth-bearing answers, accuracy should be NaN")
+	}
+}
+
+func TestQualificationTestOnlyQualifiedMethods(t *testing.T) {
+	d := crowd()
+	res := QualificationTest(methods(), d, Config{Seed: 1, Repeats: 2})
+	// MV does not support qualification; ZC and D&S do.
+	if len(res) != 2 {
+		t.Fatalf("got %d results, want 2", len(res))
+	}
+	for _, r := range res {
+		if r.With.Err != "" || r.Without.Err != "" {
+			t.Errorf("%s errored: %s / %s", r.Method, r.With.Err, r.Without.Err)
+		}
+		if math.IsNaN(r.DeltaAcc) {
+			t.Errorf("%s: NaN delta", r.Method)
+		}
+	}
+}
+
+func TestHiddenTestEvaluatesOnRemainder(t *testing.T) {
+	d := crowd()
+	pts := HiddenTest(methods(), d, []int{0, 20, 50}, Config{Seed: 1, Repeats: 2})
+	if len(pts) != 3 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for _, p := range pts {
+		// Only golden-capable methods appear (ZC, D&S).
+		if len(p.Scores) != 2 {
+			t.Fatalf("p=%d: %d scores, want 2", p.Percent, len(p.Scores))
+		}
+		for _, s := range p.Scores {
+			if s.Err != "" {
+				t.Errorf("p=%d %s: %s", p.Percent, s.Method, s.Err)
+			}
+			if s.Accuracy < 0 || s.Accuracy > 1 {
+				t.Errorf("p=%d %s: accuracy %v", p.Percent, s.Method, s.Accuracy)
+			}
+		}
+	}
+}
+
+func TestRenderersIncludeMethodsAndValues(t *testing.T) {
+	d := crowd()
+	scores := FullComparison(methods(), d, Config{Seed: 1})
+	table := RenderScores("crowd", true, scores)
+	for _, m := range methods() {
+		if !strings.Contains(table, m.Name()) {
+			t.Errorf("RenderScores missing %s:\n%s", m.Name(), table)
+		}
+	}
+	pts := RedundancySweep(methods(), d, []int{1, 2}, Config{Seed: 1})
+	sweep := RenderSweep("crowd", pts, MetricAccuracy)
+	if !strings.Contains(sweep, "r=1") || !strings.Contains(sweep, "r=2") {
+		t.Errorf("RenderSweep missing redundancy columns:\n%s", sweep)
+	}
+	hp := HiddenTest(methods(), d, []int{0, 10}, Config{Seed: 1})
+	hidden := RenderHidden("crowd", hp, MetricAccuracy)
+	if !strings.Contains(hidden, "p=10%") {
+		t.Errorf("RenderHidden missing percent columns:\n%s", hidden)
+	}
+	stats := RenderStatsTable([]dataset.Stats{dataset.ComputeStats(d)})
+	if !strings.Contains(stats, "testcrowd") {
+		t.Errorf("RenderStatsTable missing dataset name:\n%s", stats)
+	}
+	qr := QualificationTest(methods(), d, Config{Seed: 1})
+	qual := RenderQualification("crowd", true, qr)
+	if !strings.Contains(qual, "ZC") {
+		t.Errorf("RenderQualification missing method:\n%s", qual)
+	}
+	hist := RenderHistogram("h", []float64{1, 2}, []int{3, 4})
+	if !strings.Contains(hist, "h") {
+		t.Error("RenderHistogram missing title")
+	}
+}
+
+func TestMetricAccessors(t *testing.T) {
+	s := Score{Accuracy: 0.1, F1: 0.2, MAE: 0.3, RMSE: 0.4}
+	if MetricAccuracy.of(s) != 0.1 || MetricF1.of(s) != 0.2 || MetricMAE.of(s) != 0.3 || MetricRMSE.of(s) != 0.4 {
+		t.Error("metric accessors broken")
+	}
+	if !MetricAccuracy.percent() || MetricMAE.percent() {
+		t.Error("percent flags broken")
+	}
+}

@@ -1,0 +1,160 @@
+package experiment
+
+import (
+	"math"
+
+	"truthinference/internal/core"
+	"truthinference/internal/dataset"
+	"truthinference/internal/randx"
+)
+
+// QualificationSize is the number of golden tasks in a qualification test
+// (the paper uses 20, §6.3.2).
+const QualificationSize = 20
+
+// QualificationVectors simulates a qualification test for every worker by
+// bootstrap-resampling QualificationSize of the worker's answers on
+// truth-bearing tasks and measuring performance against the truth —
+// exactly the paper's §6.3.2 construction ("sample with replacement ...
+// which can uncover the real distribution, i.e., worker's quality").
+//
+// It returns the per-worker accuracy vector (categorical datasets) or the
+// per-worker mean-squared-error vector (numeric datasets); the unused
+// vector is nil. Workers with no truth-bearing answers get NaN, which
+// methods interpret as "keep the default initialization".
+func QualificationVectors(d *dataset.Dataset, seed int64) (acc []float64, mse []float64) {
+	rng := randx.New(seed)
+	if d.Categorical() {
+		acc = make([]float64, d.NumWorkers)
+	} else {
+		mse = make([]float64, d.NumWorkers)
+	}
+	// Collect each worker's answers on truth-bearing tasks.
+	for w := 0; w < d.NumWorkers; w++ {
+		var pool []dataset.Answer
+		for _, ai := range d.WorkerAnswers(w) {
+			a := d.Answers[ai]
+			if _, ok := d.Truth[a.Task]; ok {
+				pool = append(pool, a)
+			}
+		}
+		if len(pool) == 0 {
+			if acc != nil {
+				acc[w] = math.NaN()
+			} else {
+				mse[w] = math.NaN()
+			}
+			continue
+		}
+		idxs := randx.Bootstrap(rng, len(pool), QualificationSize)
+		if acc != nil {
+			correct := 0
+			for _, pi := range idxs {
+				a := pool[pi]
+				if a.Label() == int(d.Truth[a.Task]) {
+					correct++
+				}
+			}
+			acc[w] = float64(correct) / QualificationSize
+		} else {
+			var ss float64
+			for _, pi := range idxs {
+				a := pool[pi]
+				dv := a.Value - d.Truth[a.Task]
+				ss += dv * dv
+			}
+			mse[w] = ss / QualificationSize
+		}
+	}
+	return acc, mse
+}
+
+// QualificationResult pairs the with-qualification score with the plain
+// score, exposing the paper's Δ = c̃ - c columns of Table 7.
+type QualificationResult struct {
+	Method   string
+	With     Score // c̃: quality with qualification-test initialization
+	Without  Score // c: quality with default initialization
+	DeltaAcc float64
+	DeltaF1  float64
+	DeltaMAE float64
+	DeltaRMS float64
+}
+
+// QualificationTest reproduces Table 7: for every method that supports
+// qualification-test initialization it compares quality with and without
+// the simulated qualification vectors, averaging over Config.Repeats
+// (fresh bootstrap per repetition, as in the paper's 100 repetitions).
+func QualificationTest(methods []core.Method, d *dataset.Dataset, cfg Config) []QualificationResult {
+	var out []QualificationResult
+	for _, m := range methods {
+		caps := m.Capabilities()
+		if !caps.SupportsType(d.Type) || !caps.Qualification {
+			continue
+		}
+		without := Evaluate(m, d, core.Options{Seed: cfg.Seed}, d.Truth, cfg)
+		accum := newAccumulator(m.Name())
+		for rep := 0; rep < cfg.repeats(); rep++ {
+			acc, mse := QualificationVectors(d, cfg.Seed+int64(rep)*131)
+			opts := core.Options{
+				Seed:                  cfg.Seed + int64(rep),
+				QualificationAccuracy: acc,
+				QualificationError:    mse,
+			}
+			one := Evaluate(m, d, opts, d.Truth, cfg.single())
+			if !accum.add(one) {
+				break
+			}
+		}
+		with := accum.finish()
+		out = append(out, QualificationResult{
+			Method:   m.Name(),
+			With:     with,
+			Without:  without,
+			DeltaAcc: with.Accuracy - without.Accuracy,
+			DeltaF1:  with.F1 - without.F1,
+			DeltaMAE: with.MAE - without.MAE,
+			DeltaRMS: with.RMSE - without.RMSE,
+		})
+	}
+	return out
+}
+
+// HiddenPoint is one golden-fraction level of a Figure-7/8/9 series.
+type HiddenPoint struct {
+	Percent int
+	Scores  []Score
+}
+
+// HiddenTest reproduces Figures 7–9: for each percentage p it selects p%
+// of the truth-bearing tasks as golden (fresh split per repetition),
+// feeds them to every golden-capable method, and evaluates on the
+// remaining truth-bearing tasks.
+func HiddenTest(methods []core.Method, d *dataset.Dataset, percents []int, cfg Config) []HiddenPoint {
+	out := make([]HiddenPoint, 0, len(percents))
+	for _, p := range percents {
+		point := HiddenPoint{Percent: p}
+		for _, m := range methods {
+			caps := m.Capabilities()
+			if !caps.SupportsType(d.Type) || !caps.Golden {
+				continue
+			}
+			accum := newAccumulator(m.Name())
+			for rep := 0; rep < cfg.repeats(); rep++ {
+				rng := randx.New(cfg.Seed + int64(p)*65_537 + int64(rep)*89)
+				golden, eval := d.SplitGolden(float64(p)/100, rng)
+				if len(eval) == 0 {
+					continue
+				}
+				opts := core.Options{Seed: cfg.Seed + int64(rep), Golden: golden}
+				one := Evaluate(m, d, opts, eval, cfg.single())
+				if !accum.add(one) {
+					break
+				}
+			}
+			point.Scores = append(point.Scores, accum.finish())
+		}
+		out = append(out, point)
+	}
+	return out
+}

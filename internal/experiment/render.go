@@ -1,0 +1,204 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"truthinference/internal/dataset"
+)
+
+// RenderStatsTable formats Table 5 (dataset statistics) plus the §6.2.1
+// consistency column for a set of datasets.
+func RenderStatsTable(stats []dataset.Stats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-11s %-13s %9s %8s %9s %7s %6s %12s\n",
+		"Dataset", "Type", "#tasks", "#truth", "|V|", "|V|/n", "|W|", "Consistency")
+	for _, s := range stats {
+		fmt.Fprintf(&b, "%-11s %-13s %9d %8d %9d %7.1f %6d %12.2f\n",
+			s.Name, s.Type.String(), s.NumTasks, s.NumTruth, s.NumAnswers, s.Redundancy, s.NumWorkers, s.Consistency)
+	}
+	return b.String()
+}
+
+// RenderScores formats one dataset's Table-6 column group. Categorical
+// datasets show Accuracy/F1, numeric ones MAE/RMSE; both show time.
+func RenderScores(name string, categorical bool, scores []Score) string {
+	var b strings.Builder
+	if categorical {
+		fmt.Fprintf(&b, "%s\n%-9s %9s %9s %9s %6s\n", name, "Method", "Accuracy", "F1", "Time", "Iter")
+		for _, s := range scores {
+			if s.Err != "" {
+				fmt.Fprintf(&b, "%-9s %9s %9s %9s %6s  # %s\n", s.Method, "×", "×", "×", "×", s.Err)
+				continue
+			}
+			fmt.Fprintf(&b, "%-9s %8.2f%% %8.2f%% %8.2fs %6.1f\n", s.Method, 100*s.Accuracy, 100*s.F1, s.Seconds, s.Iterations)
+		}
+	} else {
+		fmt.Fprintf(&b, "%s\n%-9s %9s %9s %9s %6s\n", name, "Method", "MAE", "RMSE", "Time", "Iter")
+		for _, s := range scores {
+			if s.Err != "" {
+				fmt.Fprintf(&b, "%-9s %9s %9s %9s %6s  # %s\n", s.Method, "×", "×", "×", "×", s.Err)
+				continue
+			}
+			fmt.Fprintf(&b, "%-9s %9.2f %9.2f %8.2fs %6.1f\n", s.Method, s.MAE, s.RMSE, s.Seconds, s.Iterations)
+		}
+	}
+	return b.String()
+}
+
+// Metric selects which Score field a figure series plots.
+type Metric int
+
+// The four paper metrics.
+const (
+	MetricAccuracy Metric = iota
+	MetricF1
+	MetricMAE
+	MetricRMSE
+)
+
+// String implements fmt.Stringer.
+func (m Metric) String() string {
+	switch m {
+	case MetricAccuracy:
+		return "Accuracy"
+	case MetricF1:
+		return "F1-score"
+	case MetricMAE:
+		return "MAE"
+	case MetricRMSE:
+		return "RMSE"
+	default:
+		return fmt.Sprintf("Metric(%d)", int(m))
+	}
+}
+
+func (m Metric) of(s Score) float64 {
+	switch m {
+	case MetricAccuracy:
+		return s.Accuracy
+	case MetricF1:
+		return s.F1
+	case MetricMAE:
+		return s.MAE
+	default:
+		return s.RMSE
+	}
+}
+
+// percent reports whether the metric is conventionally shown as a
+// percentage.
+func (m Metric) percent() bool { return m == MetricAccuracy || m == MetricF1 }
+
+// RenderSweep formats a redundancy-sweep series (Figures 4–6) as a
+// methods × redundancy table of the chosen metric.
+func RenderSweep(name string, points []SweepPoint, metric Metric) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%s by data redundancy r)\n", name, metric)
+	if len(points) == 0 {
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%-9s", "Method")
+	for _, p := range points {
+		fmt.Fprintf(&b, " %8s", fmt.Sprintf("r=%d", p.Redundancy))
+	}
+	b.WriteByte('\n')
+	for mi := range points[0].Scores {
+		fmt.Fprintf(&b, "%-9s", points[0].Scores[mi].Method)
+		for _, p := range points {
+			writeMetricCell(&b, metric, p.Scores[mi])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderHidden formats a hidden-test series (Figures 7–9) as a methods ×
+// golden-percentage table of the chosen metric.
+func RenderHidden(name string, points []HiddenPoint, metric Metric) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%s by %% of known truth)\n", name, metric)
+	if len(points) == 0 {
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%-9s", "Method")
+	for _, p := range points {
+		fmt.Fprintf(&b, " %8s", fmt.Sprintf("p=%d%%", p.Percent))
+	}
+	b.WriteByte('\n')
+	for mi := range points[0].Scores {
+		fmt.Fprintf(&b, "%-9s", points[0].Scores[mi].Method)
+		for _, p := range points {
+			writeMetricCell(&b, metric, p.Scores[mi])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderQualification formats Table 7: quality with qualification test and
+// the benefit Δ per method.
+func RenderQualification(name string, categorical bool, results []QualificationResult) string {
+	var b strings.Builder
+	if categorical {
+		fmt.Fprintf(&b, "%s (qualification test)\n%-9s %12s %12s %12s %12s\n",
+			name, "Method", "Acc (c̃)", "ΔAcc", "F1 (c̃)", "ΔF1")
+		for _, r := range results {
+			if r.With.Err != "" {
+				fmt.Fprintf(&b, "%-9s  # %s\n", r.Method, r.With.Err)
+				continue
+			}
+			fmt.Fprintf(&b, "%-9s %11.2f%% %+11.2f%% %11.2f%% %+11.2f%%\n",
+				r.Method, 100*r.With.Accuracy, 100*r.DeltaAcc, 100*r.With.F1, 100*r.DeltaF1)
+		}
+	} else {
+		fmt.Fprintf(&b, "%s (qualification test)\n%-9s %12s %12s %12s %12s\n",
+			name, "Method", "MAE (c̃)", "ΔMAE", "RMSE (c̃)", "ΔRMSE")
+		for _, r := range results {
+			if r.With.Err != "" {
+				fmt.Fprintf(&b, "%-9s  # %s\n", r.Method, r.With.Err)
+				continue
+			}
+			fmt.Fprintf(&b, "%-9s %12.2f %+12.2f %12.2f %+12.2f\n",
+				r.Method, r.With.MAE, r.DeltaMAE, r.With.RMSE, r.DeltaRMS)
+		}
+	}
+	return b.String()
+}
+
+// RenderHistogram formats a histogram (Figures 2–3) as edge/count rows.
+func RenderHistogram(title string, edges []float64, counts []int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	lo := 0.0
+	for i, e := range edges {
+		bar := strings.Repeat("#", scaleBar(counts[i], counts))
+		fmt.Fprintf(&b, "  [%8.1f, %8.1f) %6d %s\n", lo, e, counts[i], bar)
+		lo = e
+	}
+	return b.String()
+}
+
+func writeMetricCell(b *strings.Builder, metric Metric, s Score) {
+	v := metric.of(s)
+	switch {
+	case s.Err != "" || math.IsNaN(v):
+		fmt.Fprintf(b, " %8s", "×")
+	case metric.percent():
+		fmt.Fprintf(b, " %7.2f%%", 100*v)
+	default:
+		fmt.Fprintf(b, " %8.2f", v)
+	}
+}
+
+func scaleBar(c int, counts []int) int {
+	maxC := 1
+	for _, x := range counts {
+		if x > maxC {
+			maxC = x
+		}
+	}
+	const width = 40
+	return c * width / maxC
+}

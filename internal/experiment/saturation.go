@@ -1,0 +1,81 @@
+package experiment
+
+import "math"
+
+// SaturationRedundancy addresses the paper's future-work question §7(3):
+// "how to estimate the data redundancy with stable quality?". Given a
+// redundancy sweep for one method, it returns the smallest redundancy r̂
+// whose metric is within epsilon of the best value attained anywhere in
+// the sweep — the point past which buying more answers stops paying.
+//
+// metric selects the quality column; for error metrics (MAE, RMSE) lower
+// is better and the comparison flips accordingly. The method is selected
+// by name within each SweepPoint. It returns -1 when the method is absent
+// or every point errored.
+func SaturationRedundancy(points []SweepPoint, method string, metric Metric, epsilon float64) int {
+	lowerBetter := metric == MetricMAE || metric == MetricRMSE
+	best := math.Inf(-1)
+	if lowerBetter {
+		best = math.Inf(1)
+	}
+	values := make([]float64, 0, len(points))
+	reds := make([]int, 0, len(points))
+	for _, p := range points {
+		for _, s := range p.Scores {
+			if s.Method != method {
+				continue
+			}
+			v := metric.of(s)
+			if math.IsNaN(v) {
+				continue
+			}
+			values = append(values, v)
+			reds = append(reds, p.Redundancy)
+			if lowerBetter && v < best || !lowerBetter && v > best {
+				best = v
+			}
+		}
+	}
+	if len(values) == 0 {
+		return -1
+	}
+	for i, v := range values {
+		if lowerBetter && v <= best+epsilon || !lowerBetter && v >= best-epsilon {
+			return reds[i]
+		}
+	}
+	return reds[len(reds)-1]
+}
+
+// MarginalGain estimates the quality improvement of adding one more answer
+// per task at redundancy r, by linear interpolation of the sweep — the
+// paper's companion question "is it possible to estimate the improvement
+// with more data redundancy?". It returns NaN when r is outside the swept
+// range or the method is absent.
+func MarginalGain(points []SweepPoint, method string, metric Metric, r int) float64 {
+	var lo, hi *struct {
+		red int
+		val float64
+	}
+	for _, p := range points {
+		for _, s := range p.Scores {
+			if s.Method != method || math.IsNaN(metric.of(s)) {
+				continue
+			}
+			entry := &struct {
+				red int
+				val float64
+			}{p.Redundancy, metric.of(s)}
+			if p.Redundancy <= r && (lo == nil || p.Redundancy > lo.red) {
+				lo = entry
+			}
+			if p.Redundancy > r && (hi == nil || p.Redundancy < hi.red) {
+				hi = entry
+			}
+		}
+	}
+	if lo == nil || hi == nil || hi.red == lo.red {
+		return math.NaN()
+	}
+	return (hi.val - lo.val) / float64(hi.red-lo.red)
+}

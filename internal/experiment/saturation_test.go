@@ -1,0 +1,61 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+)
+
+func sweepFixture() []SweepPoint {
+	mk := func(r int, acc, rmse float64) SweepPoint {
+		return SweepPoint{Redundancy: r, Scores: []Score{
+			{Method: "M", Accuracy: acc, F1: acc, MAE: rmse, RMSE: rmse},
+		}}
+	}
+	return []SweepPoint{
+		mk(1, 0.60, 30),
+		mk(3, 0.85, 20),
+		mk(5, 0.90, 16),
+		mk(7, 0.905, 15.8),
+		mk(9, 0.906, 15.7),
+	}
+}
+
+func TestSaturationRedundancyAccuracy(t *testing.T) {
+	pts := sweepFixture()
+	// Within 0.001 of the best (0.906): threshold 0.905, first at r=7.
+	if got := SaturationRedundancy(pts, "M", MetricAccuracy, 0.001); got != 7 {
+		t.Errorf("saturation = %d, want 7", got)
+	}
+	// A loose epsilon (0.06 → threshold 0.846) saturates already at r=3.
+	if got := SaturationRedundancy(pts, "M", MetricAccuracy, 0.06); got != 3 {
+		t.Errorf("loose saturation = %d, want 3", got)
+	}
+	// Unknown method → -1.
+	if got := SaturationRedundancy(pts, "nope", MetricAccuracy, 0.01); got != -1 {
+		t.Errorf("unknown method = %d, want -1", got)
+	}
+}
+
+func TestSaturationRedundancyErrorMetric(t *testing.T) {
+	pts := sweepFixture()
+	// RMSE best 15.7; within 0.5 first at r=5 (16 ≤ 15.7+0.5).
+	if got := SaturationRedundancy(pts, "M", MetricRMSE, 0.5); got != 5 {
+		t.Errorf("error-metric saturation = %d, want 5", got)
+	}
+}
+
+func TestMarginalGain(t *testing.T) {
+	pts := sweepFixture()
+	// Between r=1 (0.60) and r=3 (0.85): slope 0.125 per answer.
+	if got := MarginalGain(pts, "M", MetricAccuracy, 1); math.Abs(got-0.125) > 1e-12 {
+		t.Errorf("gain at r=1 = %v, want 0.125", got)
+	}
+	// Past the sweep → NaN.
+	if got := MarginalGain(pts, "M", MetricAccuracy, 9); !math.IsNaN(got) {
+		t.Errorf("gain past sweep = %v, want NaN", got)
+	}
+	// The gain must shrink as redundancy grows (diminishing returns).
+	if MarginalGain(pts, "M", MetricAccuracy, 5) >= MarginalGain(pts, "M", MetricAccuracy, 1) {
+		t.Error("marginal gain did not diminish with redundancy")
+	}
+}

@@ -1,0 +1,264 @@
+// Package bcc implements BCC (Kim & Ghahramani, "Bayesian classifier
+// combination", AISTATS 2012) as surveyed in §5.3(2) of the paper.
+//
+// BCC is a fully Bayesian confusion-matrix model: it maximizes the
+// posterior joint probability
+//
+//	Π_i Pr(v*_i | β) Π_w Pr(q^w | α) Π_i Π_{w∈W_i} Pr(v^w_i | q^w, v*_i)
+//
+// with Dirichlet priors α on each confusion row and β on the class prior,
+// and infers the parameters by Gibbs sampling: alternately sampling every
+// task's label from its conditional, every worker's confusion rows from
+// their Dirichlet posteriors, and the class prior. After burn-in the
+// label samples are accumulated and the posterior mode is reported — this
+// is why BCC needs noticeably more iterations than the EM methods
+// (paper §6.3.1(2)).
+package bcc
+
+import (
+	"math"
+	"math/rand"
+
+	"truthinference/internal/core"
+	"truthinference/internal/dataset"
+	"truthinference/internal/mathx"
+	"truthinference/internal/randx"
+)
+
+// Default Gibbs schedule: total sweeps when Options.MaxIterations is zero,
+// with the first BurnInFraction discarded.
+const (
+	DefaultSweeps  = 120
+	BurnInFraction = 0.33
+)
+
+// Dirichlet hyperparameters: each confusion row gets a diagonally boosted
+// prior (workers are a priori better than random), the class prior a
+// symmetric one.
+const (
+	rowPriorOff  = 1.0
+	rowPriorDiag = 4.0
+	classPrior   = 1.0
+)
+
+// BCC is the Gibbs-sampled Bayesian confusion-matrix method.
+type BCC struct{}
+
+// New returns a BCC instance.
+func New() *BCC { return &BCC{} }
+
+// Name implements core.Method.
+func (*BCC) Name() string { return "BCC" }
+
+// Capabilities implements core.Method (Table 4 row: decision-making and
+// single-choice, confusion matrix, PGM; no qualification/golden support
+// per §6.3.2–6.3.3).
+func (*BCC) Capabilities() core.Capabilities {
+	return core.Capabilities{
+		TaskTypes:   []dataset.TaskType{dataset.Decision, dataset.SingleChoice},
+		TaskModel:   "none",
+		WorkerModel: "confusion matrix",
+		Technique:   core.PGM,
+	}
+}
+
+// Infer implements core.Method.
+func (m *BCC) Infer(d *dataset.Dataset, opts core.Options) (*core.Result, error) {
+	if err := core.CheckSupport(m, d, opts); err != nil {
+		return nil, err
+	}
+	sweeps := DefaultSweeps
+	if opts.MaxIterations > 0 {
+		sweeps = opts.MaxIterations
+	}
+	burn := int(BurnInFraction * float64(sweeps))
+	rng := randx.New(opts.Seed)
+
+	g := newGibbsState(d, rng)
+	tally := make([]float64, d.NumTasks*d.NumChoices)
+	diagSum := make([]float64, d.NumWorkers)
+	samples := 0
+
+	for sweep := 0; sweep < sweeps; sweep++ {
+		g.sampleConfusions(rng, nil, 0)
+		g.sampleClassPrior(rng)
+		g.sampleLabels(rng)
+		if sweep >= burn {
+			samples++
+			for i, z := range g.labels {
+				tally[i*d.NumChoices+z]++
+			}
+			for w := 0; w < d.NumWorkers; w++ {
+				var s float64
+				for j := 0; j < d.NumChoices; j++ {
+					s += g.conf.row(w, j)[j]
+				}
+				diagSum[w] += s / float64(d.NumChoices)
+			}
+		}
+	}
+	if samples == 0 {
+		samples = 1
+	}
+
+	post := make([][]float64, d.NumTasks)
+	truth := make([]float64, d.NumTasks)
+	for i := range post {
+		row := tally[i*d.NumChoices : (i+1)*d.NumChoices]
+		mathx.Normalize(row)
+		post[i] = row
+		truth[i] = float64(core.ArgmaxTieBreak(row, rng.Intn))
+	}
+	quality := make([]float64, d.NumWorkers)
+	for w := range quality {
+		quality[w] = diagSum[w] / float64(samples)
+	}
+	return &core.Result{
+		Truth:         truth,
+		Posterior:     post,
+		WorkerQuality: quality,
+		Iterations:    sweeps,
+		Converged:     true,
+	}, nil
+}
+
+// gibbsState holds the chain's variables; it is shared with package cbcc
+// via the exported Run helper below.
+type gibbsState struct {
+	d          *dataset.Dataset
+	labels     []int      // current z_i
+	conf       *confusion // current per-worker confusion matrices
+	classProbs []float64  // current class prior ρ
+	// counts[w][j][k]: worker w's answers k on tasks currently labeled j.
+	counts *confusion
+}
+
+func newGibbsState(d *dataset.Dataset, rng *rand.Rand) *gibbsState {
+	g := &gibbsState{
+		d:          d,
+		labels:     make([]int, d.NumTasks),
+		conf:       newConfusion(d.NumWorkers, d.NumChoices),
+		classProbs: make([]float64, d.NumChoices),
+		counts:     newConfusion(d.NumWorkers, d.NumChoices),
+	}
+	// Initialize labels by majority vote with random tie-breaks: a good
+	// chain start that matches the EM methods' initialization.
+	votes := make([]float64, d.NumChoices)
+	for i := 0; i < d.NumTasks; i++ {
+		for k := range votes {
+			votes[k] = 0
+		}
+		idxs := d.TaskAnswers(i)
+		for _, ai := range idxs {
+			votes[d.Answers[ai].Label()]++
+		}
+		if len(idxs) == 0 {
+			g.labels[i] = rng.Intn(d.NumChoices)
+			continue
+		}
+		g.labels[i] = core.ArgmaxTieBreak(votes, rng.Intn)
+	}
+	for k := range g.classProbs {
+		g.classProbs[k] = 1 / float64(d.NumChoices)
+	}
+	return g
+}
+
+// refreshCounts rebuilds the (label, answer) count tensor from the current
+// labels.
+func (g *gibbsState) refreshCounts() {
+	for i := range g.counts.flat {
+		g.counts.flat[i] = 0
+	}
+	for _, a := range g.d.Answers {
+		g.counts.row(a.Worker, g.labels[a.Task])[a.Label()]++
+	}
+}
+
+// sampleConfusions draws each worker's confusion rows from their Dirichlet
+// posteriors. When community is non-nil (the CBCC extension), the prior
+// pseudo-counts of worker w's row j are strength·community[cw[w]].row(j)
+// instead of the flat diagonal prior.
+func (g *gibbsState) sampleConfusions(rng *rand.Rand, communityPrior func(w, j int) []float64, strength float64) {
+	g.refreshCounts()
+	ell := g.d.NumChoices
+	alpha := make([]float64, ell)
+	for w := 0; w < g.d.NumWorkers; w++ {
+		for j := 0; j < ell; j++ {
+			cnt := g.counts.row(w, j)
+			if communityPrior != nil {
+				base := communityPrior(w, j)
+				for k := 0; k < ell; k++ {
+					alpha[k] = strength*base[k] + cnt[k]
+					if alpha[k] <= 0 {
+						alpha[k] = 1e-3
+					}
+				}
+			} else {
+				for k := 0; k < ell; k++ {
+					p := rowPriorOff
+					if j == k {
+						p = rowPriorDiag
+					}
+					alpha[k] = p + cnt[k]
+				}
+			}
+			row := randx.Dirichlet(rng, alpha)
+			copy(g.conf.row(w, j), row)
+		}
+	}
+}
+
+// sampleClassPrior draws ρ from its Dirichlet posterior.
+func (g *gibbsState) sampleClassPrior(rng *rand.Rand) {
+	ell := g.d.NumChoices
+	alpha := make([]float64, ell)
+	for k := range alpha {
+		alpha[k] = classPrior
+	}
+	for _, z := range g.labels {
+		alpha[z]++
+	}
+	copy(g.classProbs, randx.Dirichlet(rng, alpha))
+}
+
+// sampleLabels draws each task's label from its full conditional.
+func (g *gibbsState) sampleLabels(rng *rand.Rand) {
+	ell := g.d.NumChoices
+	logw := make([]float64, ell)
+	for i := 0; i < g.d.NumTasks; i++ {
+		for k := 0; k < ell; k++ {
+			logw[k] = logOf(g.classProbs[k])
+		}
+		for _, ai := range g.d.TaskAnswers(i) {
+			a := g.d.Answers[ai]
+			for j := 0; j < ell; j++ {
+				logw[j] += logOf(g.conf.row(a.Worker, j)[a.Label()])
+			}
+		}
+		mathx.NormalizeLog(logw)
+		g.labels[i] = randx.Categorical(rng, logw)
+	}
+}
+
+func logOf(x float64) float64 {
+	if x < 1e-12 {
+		x = 1e-12
+	}
+	return math.Log(x)
+}
+
+// confusion is a dense workers × ℓ × ℓ tensor backed by one slice.
+type confusion struct {
+	flat []float64
+	ell  int
+}
+
+func newConfusion(workers, ell int) *confusion {
+	return &confusion{flat: make([]float64, workers*ell*ell), ell: ell}
+}
+
+func (c *confusion) row(worker, j int) []float64 {
+	base := (worker*c.ell + j) * c.ell
+	return c.flat[base : base+c.ell]
+}

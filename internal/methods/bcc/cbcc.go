@@ -1,0 +1,205 @@
+package bcc
+
+// This file implements CBCC (Venanzi et al., "Community-based Bayesian
+// aggregation models for crowdsourcing", WWW 2014), which extends BCC
+// with worker communities: each worker belongs to one of M communities,
+// each community has a representative confusion matrix, and workers in
+// the same community share very similar confusion matrices (paper
+// §5.3(2)). It lives in this package because it reuses BCC's Gibbs
+// chassis.
+
+import (
+	"math"
+	"math/rand"
+
+	"truthinference/internal/core"
+	"truthinference/internal/dataset"
+	"truthinference/internal/mathx"
+	"truthinference/internal/randx"
+)
+
+// DefaultCommunities is the number of worker communities M when the field
+// is zero; the original paper finds a handful of communities (good
+// workers, spammers, biased workers) suffices.
+const DefaultCommunities = 3
+
+// CommunityStrength is the concentration of a worker's confusion prior
+// around the community's representative matrix: the community row scaled
+// by this factor acts as pseudo-counts for the worker's Dirichlet.
+const CommunityStrength = 10.0
+
+// CBCC is the community-based Bayesian confusion-matrix method.
+type CBCC struct {
+	// Communities overrides DefaultCommunities when positive.
+	Communities int
+}
+
+// NewCBCC returns a CBCC instance with the default community count.
+func NewCBCC() *CBCC { return &CBCC{} }
+
+// Name implements core.Method.
+func (*CBCC) Name() string { return "CBCC" }
+
+// Capabilities implements core.Method.
+func (*CBCC) Capabilities() core.Capabilities {
+	return core.Capabilities{
+		TaskTypes:   []dataset.TaskType{dataset.Decision, dataset.SingleChoice},
+		TaskModel:   "none",
+		WorkerModel: "confusion matrix (community)",
+		Technique:   core.PGM,
+	}
+}
+
+// Infer implements core.Method.
+func (m *CBCC) Infer(d *dataset.Dataset, opts core.Options) (*core.Result, error) {
+	if err := core.CheckSupport(m, d, opts); err != nil {
+		return nil, err
+	}
+	M := m.Communities
+	if M <= 0 {
+		M = DefaultCommunities
+	}
+	sweeps := DefaultSweeps
+	if opts.MaxIterations > 0 {
+		sweeps = opts.MaxIterations
+	}
+	burn := int(BurnInFraction * float64(sweeps))
+	rng := randx.New(opts.Seed)
+
+	g := newGibbsState(d, rng)
+	ell := d.NumChoices
+
+	// Community state: representative matrices and worker memberships.
+	comm := newConfusion(M, ell)
+	for c := 0; c < M; c++ {
+		// Stagger the initial diagonals so communities start distinct
+		// (e.g. experts / average / spammers).
+		diag := 0.9 - 0.3*float64(c)/math.Max(1, float64(M-1))
+		off := (1 - diag) / float64(ell-1)
+		for j := 0; j < ell; j++ {
+			row := comm.row(c, j)
+			for k := range row {
+				if j == k {
+					row[k] = diag
+				} else {
+					row[k] = off
+				}
+			}
+		}
+	}
+	membership := make([]int, d.NumWorkers)
+	for w := range membership {
+		membership[w] = rng.Intn(M)
+	}
+
+	tally := make([]float64, d.NumTasks*ell)
+	diagSum := make([]float64, d.NumWorkers)
+	samples := 0
+
+	communityPrior := func(w, j int) []float64 { return comm.row(membership[w], j) }
+
+	for sweep := 0; sweep < sweeps; sweep++ {
+		g.sampleConfusions(rng, communityPrior, CommunityStrength)
+		g.sampleClassPrior(rng)
+		g.sampleLabels(rng)
+		sampleMemberships(rng, g, comm, membership)
+		updateCommunities(g, comm, membership)
+		if sweep >= burn {
+			samples++
+			for i, z := range g.labels {
+				tally[i*ell+z]++
+			}
+			for w := 0; w < d.NumWorkers; w++ {
+				var s float64
+				for j := 0; j < ell; j++ {
+					s += g.conf.row(w, j)[j]
+				}
+				diagSum[w] += s / float64(ell)
+			}
+		}
+	}
+	if samples == 0 {
+		samples = 1
+	}
+
+	post := make([][]float64, d.NumTasks)
+	truth := make([]float64, d.NumTasks)
+	for i := range post {
+		row := tally[i*ell : (i+1)*ell]
+		mathx.Normalize(row)
+		post[i] = row
+		truth[i] = float64(core.ArgmaxTieBreak(row, rng.Intn))
+	}
+	quality := make([]float64, d.NumWorkers)
+	for w := range quality {
+		quality[w] = diagSum[w] / float64(samples)
+	}
+	return &core.Result{
+		Truth:         truth,
+		Posterior:     post,
+		WorkerQuality: quality,
+		Iterations:    sweeps,
+		Converged:     true,
+	}, nil
+}
+
+// sampleMemberships re-draws every worker's community from the categorical
+// likelihood of their current (label, answer) counts under each
+// community's representative matrix.
+func sampleMemberships(rng *rand.Rand, g *gibbsState, comm *confusion, membership []int) {
+	g.refreshCounts()
+	M := len(comm.flat) / (comm.ell * comm.ell)
+	logw := make([]float64, M)
+	for w := 0; w < g.d.NumWorkers; w++ {
+		for c := 0; c < M; c++ {
+			var ll float64
+			for j := 0; j < g.d.NumChoices; j++ {
+				cnt := g.counts.row(w, j)
+				rep := comm.row(c, j)
+				for k, n := range cnt {
+					if n > 0 {
+						ll += n * logOf(rep[k])
+					}
+				}
+			}
+			logw[c] = ll
+		}
+		mathx.NormalizeLog(logw)
+		membership[w] = randx.Categorical(rng, logw)
+	}
+}
+
+// updateCommunities recomputes each community's representative matrix as
+// the smoothed aggregate of its members' counts.
+func updateCommunities(g *gibbsState, comm *confusion, membership []int) {
+	ell := g.d.NumChoices
+	M := len(comm.flat) / (ell * ell)
+	agg := newConfusion(M, ell)
+	for i := range agg.flat {
+		agg.flat[i] = 0
+	}
+	for w := 0; w < g.d.NumWorkers; w++ {
+		c := membership[w]
+		for j := 0; j < ell; j++ {
+			cnt := g.counts.row(w, j)
+			row := agg.row(c, j)
+			for k, n := range cnt {
+				row[k] += n
+			}
+		}
+	}
+	for c := 0; c < M; c++ {
+		for j := 0; j < ell; j++ {
+			row := agg.row(c, j)
+			for k := range row {
+				p := rowPriorOff
+				if j == k {
+					p = rowPriorDiag
+				}
+				row[k] += p
+			}
+			mathx.Normalize(row)
+			copy(comm.row(c, j), row)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package catd
+
+import (
+	"math"
+	"testing"
+
+	"truthinference/internal/core"
+	"truthinference/internal/dataset"
+	"truthinference/internal/mathx"
+	"truthinference/internal/testutil"
+)
+
+func TestCATDRecoversEasyCrowds(t *testing.T) {
+	dec := testutil.Categorical(testutil.CrowdSpec{NumTasks: 300, NumWorkers: 20, Redundancy: 5, Seed: 1})
+	res, err := New().Infer(dec, core.Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := testutil.AccuracyOf(dec.Truth, res.Truth); got < 0.88 {
+		t.Errorf("categorical accuracy %.3f < 0.88", got)
+	}
+	num := testutil.Numeric(testutil.NumericSpec{NumTasks: 300, NumWorkers: 15, Redundancy: 6, Seed: 1})
+	nres, err := New().Infer(num, core.Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ss float64
+	for i, v := range nres.Truth {
+		d := v - num.Truth[i]
+		ss += d * d
+	}
+	if rmse := math.Sqrt(ss / float64(num.NumTasks)); rmse > 6 {
+		t.Errorf("numeric RMSE %.2f > 6", rmse)
+	}
+}
+
+// TestCATDConfidencePenalizesSparseWorkers is the method's core claim
+// (§4.2.4): two workers with identical error *rates*, one with far more
+// answers, must receive different weights — the prolific one higher —
+// because χ²(0.975, n)/loss grows sub-linearly in n for the numerator but
+// the loss grows linearly.
+func TestCATDConfidenceCoefficient(t *testing.T) {
+	// Construct: worker 0 answers 200 tasks, worker 1 answers 10, both
+	// with zero errors against a crowd whose majority fixes the truth.
+	var answers []dataset.Answer
+	const n = 200
+	truth := map[int]float64{}
+	for i := 0; i < n; i++ {
+		truth[i] = 1
+		// Three filler workers lock the truth at 1.
+		answers = append(answers,
+			dataset.Answer{Task: i, Worker: 2, Value: 1},
+			dataset.Answer{Task: i, Worker: 3, Value: 1},
+			dataset.Answer{Task: i, Worker: 4, Value: 1},
+		)
+		answers = append(answers, dataset.Answer{Task: i, Worker: 0, Value: 1})
+		if i < 10 {
+			answers = append(answers, dataset.Answer{Task: i, Worker: 1, Value: 1})
+		}
+	}
+	d, err := dataset.New("conf", dataset.Decision, 2, n, 5, answers, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := New().Infer(d, core.Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WorkerQuality[0] <= res.WorkerQuality[1] {
+		t.Errorf("prolific zero-error worker weight %.3f not above sparse one %.3f (χ² confidence scaling)",
+			res.WorkerQuality[0], res.WorkerQuality[1])
+	}
+	// And the scaling must match the chi-square quantiles' ratio within
+	// the loss-epsilon regularization: q0/q1 ≈ χ²(0.975,201)/χ²(0.975,13).
+	wantRatio := mathx.ChiSquareQuantile(0.975, float64(len(d.WorkerAnswers(0)))) /
+		mathx.ChiSquareQuantile(0.975, float64(len(d.WorkerAnswers(1))))
+	gotRatio := res.WorkerQuality[0] / res.WorkerQuality[1]
+	if math.Abs(gotRatio-wantRatio)/wantRatio > 0.01 {
+		t.Errorf("weight ratio %.3f, want χ² ratio %.3f", gotRatio, wantRatio)
+	}
+}
+
+func TestCATDDownweightsNoisyNumericWorkers(t *testing.T) {
+	const nw = 10
+	sig := make([]float64, nw)
+	for w := range sig {
+		if w < 5 {
+			sig[w] = 1
+		} else {
+			sig[w] = 30
+		}
+	}
+	d := testutil.Numeric(testutil.NumericSpec{NumTasks: 300, NumWorkers: nw, Redundancy: 6, Sigmas: sig, Seed: 3})
+	res, err := New().Infer(d, core.Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lo, hi float64
+	for w := 0; w < nw; w++ {
+		if w < 5 {
+			lo += res.WorkerQuality[w]
+		} else {
+			hi += res.WorkerQuality[w]
+		}
+	}
+	if lo/5 <= hi/5 {
+		t.Errorf("precise workers weight %.3f not above noisy %.3f", lo/5, hi/5)
+	}
+}
+
+func TestCATDGoldenPinned(t *testing.T) {
+	d := testutil.Categorical(testutil.CrowdSpec{NumTasks: 50, NumWorkers: 8, Redundancy: 4, Seed: 5})
+	golden := map[int]float64{1: d.Truth[1]}
+	res, err := New().Infer(d, core.Options{Seed: 2, Golden: golden})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truth[1] != d.Truth[1] {
+		t.Error("golden task not pinned")
+	}
+}
+
+func TestCATDQualificationVectors(t *testing.T) {
+	d := testutil.Categorical(testutil.CrowdSpec{NumTasks: 50, NumWorkers: 5, Redundancy: 3, Seed: 7})
+	qa := []float64{0.95, 0.55, 0.55, 0.55, math.NaN()}
+	res, err := New().Infer(d, core.Options{Seed: 2, QualificationAccuracy: qa, MaxIterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WorkerQuality[0] <= res.WorkerQuality[1] {
+		t.Errorf("qualification-seeded strong worker %.3f not above weak %.3f",
+			res.WorkerQuality[0], res.WorkerQuality[1])
+	}
+}

@@ -1,0 +1,166 @@
+// Package direct implements the three direct-computation baselines of the
+// paper (§5.1): Majority Voting for categorical tasks, and Mean and Median
+// for numeric tasks. None of them model workers or tasks; they aggregate
+// answers in a single pass.
+package direct
+
+import (
+	"math"
+
+	"truthinference/internal/core"
+	"truthinference/internal/dataset"
+	"truthinference/internal/mathx"
+	"truthinference/internal/randx"
+)
+
+// MV is Majority Voting: the truth of each task is the plurality answer,
+// with uniformly random tie-breaking (the paper notes MV breaks the tie on
+// t1 of the running example randomly).
+type MV struct{}
+
+// NewMV returns the Majority Voting baseline.
+func NewMV() *MV { return &MV{} }
+
+// Name implements core.Method.
+func (*MV) Name() string { return "MV" }
+
+// Capabilities implements core.Method; MV has no task or worker model.
+func (*MV) Capabilities() core.Capabilities {
+	return core.Capabilities{
+		TaskTypes:   []dataset.TaskType{dataset.Decision, dataset.SingleChoice},
+		TaskModel:   "none",
+		WorkerModel: "none",
+		Technique:   core.Direct,
+	}
+}
+
+// Infer implements core.Method.
+func (m *MV) Infer(d *dataset.Dataset, opts core.Options) (*core.Result, error) {
+	if err := core.CheckSupport(m, d, opts); err != nil {
+		return nil, err
+	}
+	rng := randx.New(opts.Seed)
+	post := make([][]float64, d.NumTasks)
+	counts := make([]float64, d.NumTasks*d.NumChoices)
+	for i := range post {
+		post[i] = counts[i*d.NumChoices : (i+1)*d.NumChoices]
+	}
+	for _, a := range d.Answers {
+		post[a.Task][a.Label()]++
+	}
+	truth := make([]float64, d.NumTasks)
+	for i, row := range post {
+		truth[i] = float64(core.ArgmaxTieBreak(row, rng.Intn))
+		mathx.Normalize(row)
+	}
+	return &core.Result{
+		Truth:         truth,
+		Posterior:     post,
+		WorkerQuality: uniformQuality(d.NumWorkers),
+		Iterations:    1,
+		Converged:     true,
+	}, nil
+}
+
+// Mean regards the arithmetic mean of a task's answers as its truth
+// (numeric baseline; the paper finds it the best method on N_Emotion).
+type Mean struct{}
+
+// NewMean returns the Mean baseline.
+func NewMean() *Mean { return &Mean{} }
+
+// Name implements core.Method.
+func (*Mean) Name() string { return "Mean" }
+
+// Capabilities implements core.Method.
+func (*Mean) Capabilities() core.Capabilities {
+	return core.Capabilities{
+		TaskTypes:   []dataset.TaskType{dataset.Numeric},
+		TaskModel:   "none",
+		WorkerModel: "none",
+		Technique:   core.Direct,
+	}
+}
+
+// Infer implements core.Method. Tasks with no answers get 0.
+func (m *Mean) Infer(d *dataset.Dataset, opts core.Options) (*core.Result, error) {
+	if err := core.CheckSupport(m, d, opts); err != nil {
+		return nil, err
+	}
+	truth := make([]float64, d.NumTasks)
+	for i := 0; i < d.NumTasks; i++ {
+		idxs := d.TaskAnswers(i)
+		if len(idxs) == 0 {
+			continue
+		}
+		var s float64
+		for _, ai := range idxs {
+			s += d.Answers[ai].Value
+		}
+		truth[i] = s / float64(len(idxs))
+	}
+	return &core.Result{
+		Truth:         truth,
+		WorkerQuality: uniformQuality(d.NumWorkers),
+		Iterations:    1,
+		Converged:     true,
+	}, nil
+}
+
+// Median regards the median of a task's answers as its truth (numeric
+// baseline robust to outliers).
+type Median struct{}
+
+// NewMedian returns the Median baseline.
+func NewMedian() *Median { return &Median{} }
+
+// Name implements core.Method.
+func (*Median) Name() string { return "Median" }
+
+// Capabilities implements core.Method.
+func (*Median) Capabilities() core.Capabilities {
+	return core.Capabilities{
+		TaskTypes:   []dataset.TaskType{dataset.Numeric},
+		TaskModel:   "none",
+		WorkerModel: "none",
+		Technique:   core.Direct,
+	}
+}
+
+// Infer implements core.Method. Tasks with no answers get 0.
+func (m *Median) Infer(d *dataset.Dataset, opts core.Options) (*core.Result, error) {
+	if err := core.CheckSupport(m, d, opts); err != nil {
+		return nil, err
+	}
+	truth := make([]float64, d.NumTasks)
+	vals := make([]float64, 0, 64)
+	for i := 0; i < d.NumTasks; i++ {
+		idxs := d.TaskAnswers(i)
+		if len(idxs) == 0 {
+			continue
+		}
+		vals = vals[:0]
+		for _, ai := range idxs {
+			vals = append(vals, d.Answers[ai].Value)
+		}
+		med := mathx.Median(vals)
+		if math.IsNaN(med) {
+			med = 0
+		}
+		truth[i] = med
+	}
+	return &core.Result{
+		Truth:         truth,
+		WorkerQuality: uniformQuality(d.NumWorkers),
+		Iterations:    1,
+		Converged:     true,
+	}, nil
+}
+
+func uniformQuality(n int) []float64 {
+	q := make([]float64, n)
+	for i := range q {
+		q[i] = 1
+	}
+	return q
+}

@@ -1,0 +1,114 @@
+package direct
+
+import (
+	"math"
+	"testing"
+
+	"truthinference/internal/core"
+	"truthinference/internal/dataset"
+)
+
+func mustDataset(t *testing.T, typ dataset.TaskType, ell, n, w int, answers []dataset.Answer) *dataset.Dataset {
+	t.Helper()
+	d, err := dataset.New("t", typ, ell, n, w, answers, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestMVPluralityWins(t *testing.T) {
+	d := mustDataset(t, dataset.SingleChoice, 3, 2, 4, []dataset.Answer{
+		{Task: 0, Worker: 0, Value: 2}, {Task: 0, Worker: 1, Value: 2}, {Task: 0, Worker: 2, Value: 1},
+		{Task: 1, Worker: 0, Value: 0}, {Task: 1, Worker: 3, Value: 0},
+	})
+	res, err := NewMV().Infer(d, core.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truth[0] != 2 || res.Truth[1] != 0 {
+		t.Errorf("MV truth = %v", res.Truth)
+	}
+	// Posterior rows must be normalized vote shares.
+	if math.Abs(res.Posterior[0][2]-2.0/3) > 1e-12 {
+		t.Errorf("posterior = %v", res.Posterior[0])
+	}
+}
+
+func TestMVTieBreakIsUniformish(t *testing.T) {
+	d := mustDataset(t, dataset.Decision, 2, 1, 2, []dataset.Answer{
+		{Task: 0, Worker: 0, Value: 1}, {Task: 0, Worker: 1, Value: 0},
+	})
+	counts := [2]int{}
+	for seed := int64(0); seed < 400; seed++ {
+		res, err := NewMV().Infer(d, core.Options{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[int(res.Truth[0])]++
+	}
+	// Both outcomes must occur with roughly equal frequency.
+	if counts[0] < 120 || counts[1] < 120 {
+		t.Errorf("tie-break counts %v not balanced", counts)
+	}
+}
+
+func TestMVEmptyTaskGetsSomeLabel(t *testing.T) {
+	d := mustDataset(t, dataset.Decision, 2, 2, 1, []dataset.Answer{
+		{Task: 0, Worker: 0, Value: 1},
+	})
+	res, err := NewMV().Infer(d, core.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l := int(res.Truth[1]); l != 0 && l != 1 {
+		t.Errorf("empty task label = %d", l)
+	}
+}
+
+func TestMeanExact(t *testing.T) {
+	d := mustDataset(t, dataset.Numeric, 0, 2, 3, []dataset.Answer{
+		{Task: 0, Worker: 0, Value: 1}, {Task: 0, Worker: 1, Value: 2}, {Task: 0, Worker: 2, Value: 6},
+	})
+	res, err := NewMean().Infer(d, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truth[0] != 3 {
+		t.Errorf("Mean = %v, want 3", res.Truth[0])
+	}
+	if res.Truth[1] != 0 {
+		t.Errorf("empty task Mean = %v, want 0", res.Truth[1])
+	}
+}
+
+func TestMedianExact(t *testing.T) {
+	d := mustDataset(t, dataset.Numeric, 0, 2, 4, []dataset.Answer{
+		{Task: 0, Worker: 0, Value: 1}, {Task: 0, Worker: 1, Value: 100}, {Task: 0, Worker: 2, Value: 2},
+		{Task: 1, Worker: 0, Value: 4}, {Task: 1, Worker: 3, Value: 8},
+	})
+	res, err := NewMedian().Infer(d, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truth[0] != 2 {
+		t.Errorf("odd Median = %v, want 2 (robust to the outlier)", res.Truth[0])
+	}
+	if res.Truth[1] != 6 {
+		t.Errorf("even Median = %v, want 6", res.Truth[1])
+	}
+}
+
+func TestDirectTaskTypeGuards(t *testing.T) {
+	num := mustDataset(t, dataset.Numeric, 0, 1, 1, []dataset.Answer{{Task: 0, Worker: 0, Value: 1}})
+	dec := mustDataset(t, dataset.Decision, 2, 1, 1, []dataset.Answer{{Task: 0, Worker: 0, Value: 1}})
+	if _, err := NewMV().Infer(num, core.Options{}); err == nil {
+		t.Error("MV on numeric dataset should fail")
+	}
+	if _, err := NewMean().Infer(dec, core.Options{}); err == nil {
+		t.Error("Mean on decision dataset should fail")
+	}
+	if _, err := NewMedian().Infer(dec, core.Options{}); err == nil {
+		t.Error("Median on decision dataset should fail")
+	}
+}

@@ -1,0 +1,240 @@
+// Package ds implements D&S (Dawid & Skene, "Maximum likelihood estimation
+// of observer error-rates using the EM algorithm", Applied Statistics
+// 1979), the classical confusion-matrix EM method of §5.3(2) and the
+// paper's overall recommendation for categorical tasks.
+//
+// Each worker w is an ℓ×ℓ confusion matrix q^w with
+// q^w[j][k] = Pr(v^w_i = k | v*_i = j); tasks carry a shared class prior.
+// EM alternates task posteriors (E-step) with closed-form re-estimation of
+// confusion matrices and priors (M-step), with a small Laplace smoothing
+// term to keep estimates strictly positive.
+package ds
+
+import (
+	"math"
+
+	"truthinference/internal/core"
+	"truthinference/internal/dataset"
+	"truthinference/internal/mathx"
+	"truthinference/internal/randx"
+)
+
+// Smoothing is the Laplace pseudo-count added to every confusion cell and
+// prior bucket in the M-step. It keeps log-likelihood terms finite for
+// sparse workers without meaningfully biasing dense ones.
+const Smoothing = 0.01
+
+// DS is the Dawid–Skene EM method.
+type DS struct{}
+
+// New returns a D&S instance.
+func New() *DS { return &DS{} }
+
+// Name implements core.Method.
+func (*DS) Name() string { return "D&S" }
+
+// Capabilities implements core.Method (Table 4 row: decision-making and
+// single-choice, no task model, confusion matrix, PGM).
+func (*DS) Capabilities() core.Capabilities {
+	return core.Capabilities{
+		TaskTypes:     []dataset.TaskType{dataset.Decision, dataset.SingleChoice},
+		TaskModel:     "none",
+		WorkerModel:   "confusion matrix",
+		Technique:     core.PGM,
+		Qualification: true,
+		Golden:        true,
+	}
+}
+
+// Infer implements core.Method.
+func (m *DS) Infer(d *dataset.Dataset, opts core.Options) (*core.Result, error) {
+	if err := core.CheckSupport(m, d, opts); err != nil {
+		return nil, err
+	}
+	return run(d, opts, nil)
+}
+
+// RunWithPriors runs the Dawid–Skene EM with extra Dirichlet pseudo-counts
+// added to each worker's confusion M-step: priors(w, j, k) is the
+// pseudo-count α^w_{j,k} for worker w's row j, column k. Package lfc uses
+// this hook to implement LFC (Raykar et al. 2010), which is exactly D&S
+// with Beta/Dirichlet priors on the confusion rows (§5.3(2) "Priors").
+func RunWithPriors(d *dataset.Dataset, opts core.Options, priors func(worker, j, k int) float64) (*core.Result, error) {
+	return run(d, opts, priors)
+}
+
+// run is the shared EM core. priors, when non-nil, holds per-worker
+// ℓ×ℓ pseudo-counts added to the confusion M-step (the LFC extension).
+func run(d *dataset.Dataset, opts core.Options, priors func(worker, j, k int) float64) (*core.Result, error) {
+	rng := randx.New(opts.Seed)
+	ell := d.NumChoices
+
+	conf := newConfusion(d.NumWorkers, ell)
+	initConfusion(conf, d, opts)
+
+	classPrior := make([]float64, ell)
+	for k := range classPrior {
+		classPrior[k] = 1 / float64(ell)
+	}
+
+	// Initialize posteriors from majority voting so the first M-step has
+	// signal (standard D&S initialization).
+	post := core.UniformPosterior(d.NumTasks, ell)
+	for i := 0; i < d.NumTasks; i++ {
+		row := post[i]
+		for k := range row {
+			row[k] = 0
+		}
+		idxs := d.TaskAnswers(i)
+		for _, ai := range idxs {
+			row[d.Answers[ai].Label()]++
+		}
+		if len(idxs) == 0 {
+			for k := range row {
+				row[k] = 1
+			}
+		}
+		mathx.Normalize(row)
+	}
+	core.PinGolden(post, opts.Golden)
+
+	logw := make([]float64, ell)
+	flatPrev := make([]float64, d.NumWorkers*ell*ell)
+	var iter int
+	converged := false
+	for iter = 1; iter <= opts.MaxIter(); iter++ {
+		// M-step: confusion matrices and class prior from posteriors.
+		copy(flatPrev, conf.flat)
+		for w := 0; w < d.NumWorkers; w++ {
+			for j := 0; j < ell; j++ {
+				row := conf.row(w, j)
+				for k := range row {
+					row[k] = Smoothing
+					if priors != nil {
+						row[k] += priors(w, j, k)
+					}
+				}
+			}
+			for _, ai := range d.WorkerAnswers(w) {
+				a := d.Answers[ai]
+				p := post[a.Task]
+				for j := 0; j < ell; j++ {
+					conf.row(w, j)[a.Label()] += p[j]
+				}
+			}
+			for j := 0; j < ell; j++ {
+				mathx.Normalize(conf.row(w, j))
+			}
+		}
+		for k := range classPrior {
+			classPrior[k] = Smoothing
+		}
+		for i := 0; i < d.NumTasks; i++ {
+			for k, p := range post[i] {
+				classPrior[k] += p
+			}
+		}
+		mathx.Normalize(classPrior)
+
+		// E-step: task posteriors from confusion matrices.
+		for i := 0; i < d.NumTasks; i++ {
+			for k := 0; k < ell; k++ {
+				logw[k] = math.Log(classPrior[k])
+			}
+			for _, ai := range d.TaskAnswers(i) {
+				a := d.Answers[ai]
+				for j := 0; j < ell; j++ {
+					logw[j] += math.Log(conf.row(a.Worker, j)[a.Label()])
+				}
+			}
+			mathx.NormalizeLog(logw)
+			copy(post[i], logw)
+		}
+		core.PinGolden(post, opts.Golden)
+
+		if core.MaxAbsDiff(conf.flat, flatPrev) < opts.Tol() {
+			converged = true
+			break
+		}
+	}
+	if iter > opts.MaxIter() {
+		iter = opts.MaxIter()
+	}
+
+	truth := core.PosteriorLabels(post, opts.Golden, rng.Intn)
+	return &core.Result{
+		Truth:         truth,
+		Posterior:     post,
+		WorkerQuality: conf.diagMeans(),
+		Confusion:     conf.matrices(),
+		Iterations:    iter,
+		Converged:     converged,
+	}, nil
+}
+
+// confusion is a dense workers × ℓ × ℓ tensor backed by one slice.
+type confusion struct {
+	flat []float64
+	ell  int
+}
+
+func newConfusion(workers, ell int) *confusion {
+	return &confusion{flat: make([]float64, workers*ell*ell), ell: ell}
+}
+
+func (c *confusion) row(worker, j int) []float64 {
+	base := (worker*c.ell + j) * c.ell
+	return c.flat[base : base+c.ell]
+}
+
+// diagMeans summarizes each worker by the mean of the confusion diagonal —
+// the expected accuracy under a uniform class prior.
+func (c *confusion) diagMeans() []float64 {
+	workers := len(c.flat) / (c.ell * c.ell)
+	out := make([]float64, workers)
+	for w := 0; w < workers; w++ {
+		var s float64
+		for j := 0; j < c.ell; j++ {
+			s += c.row(w, j)[j]
+		}
+		out[w] = s / float64(c.ell)
+	}
+	return out
+}
+
+func (c *confusion) matrices() [][][]float64 {
+	workers := len(c.flat) / (c.ell * c.ell)
+	out := make([][][]float64, workers)
+	for w := range out {
+		mat := make([][]float64, c.ell)
+		for j := range mat {
+			mat[j] = append([]float64(nil), c.row(w, j)...)
+		}
+		out[w] = mat
+	}
+	return out
+}
+
+// initConfusion seeds each worker's matrix with a diagonally dominant
+// stochastic matrix; with a qualification test the diagonal is the
+// worker's measured golden-task accuracy.
+func initConfusion(c *confusion, d *dataset.Dataset, opts core.Options) {
+	ell := float64(c.ell)
+	for w := 0; w < d.NumWorkers; w++ {
+		diag := 0.7
+		if opts.QualificationAccuracy != nil && !math.IsNaN(opts.QualificationAccuracy[w]) {
+			diag = mathx.Clamp(opts.QualificationAccuracy[w], 0.05, 0.95)
+		}
+		off := (1 - diag) / (ell - 1)
+		for j := 0; j < c.ell; j++ {
+			row := c.row(w, j)
+			for k := range row {
+				if j == k {
+					row[k] = diag
+				} else {
+					row[k] = off
+				}
+			}
+		}
+	}
+}

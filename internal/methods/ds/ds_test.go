@@ -1,0 +1,188 @@
+package ds
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"truthinference/internal/core"
+	"truthinference/internal/dataset"
+	"truthinference/internal/testutil"
+)
+
+// asymmetricCrowd plants workers whose per-class accuracy differs sharply
+// (high on class 0, low on class 1) — the D_Product-style structure only a
+// confusion matrix can represent.
+func asymmetricCrowd(t *testing.T, seed int64) (*dataset.Dataset, [2]float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	const (
+		n, nw, r    = 600, 15, 5
+		acc0, acc1  = 0.95, 0.6
+		posFraction = 0.2
+	)
+	truth := make(map[int]float64, n)
+	var answers []dataset.Answer
+	for i := 0; i < n; i++ {
+		tv := 0
+		if rng.Float64() < posFraction {
+			tv = 1
+		}
+		truth[i] = float64(tv)
+		perm := rng.Perm(nw)
+		for _, w := range perm[:r] {
+			acc := acc0
+			if tv == 1 {
+				acc = acc1
+			}
+			l := tv
+			if rng.Float64() > acc {
+				l = 1 - tv
+			}
+			answers = append(answers, dataset.Answer{Task: i, Worker: w, Value: float64(l)})
+		}
+	}
+	d, err := dataset.New("asym", dataset.Decision, 2, n, nw, answers, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, [2]float64{acc0, acc1}
+}
+
+func TestDSRecoversAsymmetricConfusion(t *testing.T) {
+	d, acc := asymmetricCrowd(t, 11)
+	res, err := New().Infer(d, core.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := testutil.AccuracyOf(d.Truth, res.Truth); got < 0.9 {
+		t.Errorf("accuracy %.3f < 0.9", got)
+	}
+	// The learned confusion matrices must reflect the planted asymmetry:
+	// mean q_00 close to 0.95, mean q_11 close to 0.6.
+	var q00, q11 float64
+	for _, conf := range res.Confusion {
+		q00 += conf[0][0]
+		q11 += conf[1][1]
+	}
+	q00 /= float64(len(res.Confusion))
+	q11 /= float64(len(res.Confusion))
+	if math.Abs(q00-acc[0]) > 0.08 {
+		t.Errorf("mean q_00 = %.3f, want ≈ %.2f", q00, acc[0])
+	}
+	if math.Abs(q11-acc[1]) > 0.12 {
+		t.Errorf("mean q_11 = %.3f, want ≈ %.2f", q11, acc[1])
+	}
+}
+
+func TestDSConfusionRowsAreDistributions(t *testing.T) {
+	d := testutil.Categorical(testutil.CrowdSpec{NumTasks: 80, NumWorkers: 10, NumChoices: 4, Redundancy: 4, Seed: 13})
+	res, err := New().Infer(d, core.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w, conf := range res.Confusion {
+		for j, row := range conf {
+			var sum float64
+			for _, p := range row {
+				if p <= 0 || p >= 1 {
+					t.Fatalf("worker %d row %d has boundary probability %v", w, j, p)
+				}
+				sum += p
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("worker %d row %d sums to %v", w, j, sum)
+			}
+		}
+	}
+}
+
+func TestDSClassPriorHandlesImbalance(t *testing.T) {
+	// 90/10 imbalance with good workers: D&S must not collapse to the
+	// majority class (F1 of the minority class must be positive and high).
+	rng := rand.New(rand.NewSource(17))
+	const n, nw, r = 500, 12, 5
+	truth := make(map[int]float64, n)
+	var answers []dataset.Answer
+	for i := 0; i < n; i++ {
+		tv := 0
+		if rng.Float64() < 0.1 {
+			tv = 1
+		}
+		truth[i] = float64(tv)
+		perm := rng.Perm(nw)
+		for _, w := range perm[:r] {
+			l := tv
+			if rng.Float64() > 0.85 {
+				l = 1 - tv
+			}
+			answers = append(answers, dataset.Answer{Task: i, Worker: w, Value: float64(l)})
+		}
+	}
+	d, err := dataset.New("imb", dataset.Decision, 2, n, nw, answers, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := New().Infer(d, core.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, fn := 0, 0
+	for i := 0; i < n; i++ {
+		if truth[i] == 1 {
+			if res.Truth[i] == 1 {
+				tp++
+			} else {
+				fn++
+			}
+		}
+	}
+	if recall := float64(tp) / float64(tp+fn); recall < 0.7 {
+		t.Errorf("minority recall %.3f < 0.7 — D&S collapsed to the majority class", recall)
+	}
+}
+
+func TestRunWithPriorsSmoothsSparseWorkers(t *testing.T) {
+	// A worker with a single answer: with strong pseudo-counts the learned
+	// row must stay close to the prior, not jump to a 0/1 matrix.
+	answers := []dataset.Answer{
+		{Task: 0, Worker: 0, Value: 1},
+		{Task: 0, Worker: 1, Value: 1},
+		{Task: 0, Worker: 2, Value: 1},
+		{Task: 1, Worker: 0, Value: 0},
+		{Task: 1, Worker: 1, Value: 0},
+		{Task: 1, Worker: 2, Value: 0},
+		{Task: 0, Worker: 3, Value: 1}, // sparse worker
+	}
+	d, err := dataset.New("sparse", dataset.Decision, 2, 2, 4, answers, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunWithPriors(d, core.Options{Seed: 1}, func(_, j, k int) float64 {
+		if j == k {
+			return 10
+		}
+		return 10
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := res.Confusion[3][1]
+	if math.Abs(row[1]-0.5) > 0.1 {
+		t.Errorf("sparse worker row = %v; with symmetric pseudo-count 10 it should stay near 0.5", row)
+	}
+}
+
+func TestDSGoldenPinned(t *testing.T) {
+	d := testutil.Categorical(testutil.CrowdSpec{NumTasks: 60, NumWorkers: 8, Redundancy: 4, Seed: 19})
+	golden := map[int]float64{3: d.Truth[3], 4: d.Truth[4]}
+	res, err := New().Infer(d, core.Options{Seed: 1, Golden: golden})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, v := range golden {
+		if res.Truth[id] != v {
+			t.Errorf("golden task %d = %v, want %v", id, res.Truth[id], v)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+// Package kos implements KOS (Karger, Oh, Shah, "Iterative learning for
+// reliable crowdsourcing systems", NIPS 2011) as surveyed in §5.3(1) of
+// the paper: a belief-propagation-style message-passing algorithm for
+// decision-making tasks.
+//
+// Answers are mapped to A_{iw} ∈ {+1,-1} (label 1 → +1, label 0 → -1).
+// Two message families are iterated on the task–worker bipartite graph:
+//
+//	x_{i→w} = Σ_{w'∈W_i \ {w}} A_{iw'} · y_{w'→i}   (task messages)
+//	y_{w→i} = Σ_{i'∈T^w \ {i}} A_{i'w} · x_{i'→w}   (worker messages)
+//
+// Worker messages start from N(1,1) draws (the original paper's random
+// initialization that breaks symmetry), and the final decision is
+// sign(Σ_{w∈W_i} A_{iw} · y_{w→i}). Messages are L2-normalized each round
+// to prevent overflow; the decision is invariant to this scaling.
+package kos
+
+import (
+	"math"
+
+	"truthinference/internal/core"
+	"truthinference/internal/dataset"
+	"truthinference/internal/randx"
+)
+
+// DefaultRounds is the number of message-passing rounds when
+// Options.MaxIterations is zero; KOS converges in O(log n) rounds.
+const DefaultRounds = 20
+
+// KOS is the message-passing method.
+type KOS struct{}
+
+// New returns a KOS instance.
+func New() *KOS { return &KOS{} }
+
+// Name implements core.Method.
+func (*KOS) Name() string { return "KOS" }
+
+// Capabilities implements core.Method (Table 4 row: decision-making only,
+// worker probability, PGM; no qualification or golden support).
+func (*KOS) Capabilities() core.Capabilities {
+	return core.Capabilities{
+		TaskTypes:   []dataset.TaskType{dataset.Decision},
+		TaskModel:   "none",
+		WorkerModel: "worker probability",
+		Technique:   core.PGM,
+	}
+}
+
+// Infer implements core.Method.
+func (m *KOS) Infer(d *dataset.Dataset, opts core.Options) (*core.Result, error) {
+	if err := core.CheckSupport(m, d, opts); err != nil {
+		return nil, err
+	}
+	rng := randx.New(opts.Seed)
+	rounds := DefaultRounds
+	if opts.MaxIterations > 0 {
+		rounds = opts.MaxIterations
+	}
+
+	nEdges := len(d.Answers)
+	sign := make([]float64, nEdges) // A_{iw}
+	for e, a := range d.Answers {
+		if a.Label() == 1 {
+			sign[e] = 1
+		} else {
+			sign[e] = -1
+		}
+	}
+
+	x := make([]float64, nEdges) // x_{i→w} indexed by answer/edge
+	y := make([]float64, nEdges) // y_{w→i}
+	for e := range y {
+		y[e] = 1 + rng.NormFloat64()
+	}
+
+	// Per-task and per-worker aggregate sums let each round run in
+	// O(edges) instead of O(edges · degree).
+	taskSum := make([]float64, d.NumTasks)
+	workerSum := make([]float64, d.NumWorkers)
+
+	for round := 0; round < rounds; round++ {
+		// Task messages: x_{i→w} = taskSum_i - A_{iw} y_{w→i}.
+		for i := range taskSum {
+			taskSum[i] = 0
+		}
+		for e, a := range d.Answers {
+			taskSum[a.Task] += sign[e] * y[e]
+		}
+		for e, a := range d.Answers {
+			x[e] = taskSum[a.Task] - sign[e]*y[e]
+		}
+		// Worker messages: y_{w→i} = workerSum_w - A_{iw} x_{i→w}.
+		for w := range workerSum {
+			workerSum[w] = 0
+		}
+		for e, a := range d.Answers {
+			workerSum[a.Worker] += sign[e] * x[e]
+		}
+		for e, a := range d.Answers {
+			y[e] = workerSum[a.Worker] - sign[e]*x[e]
+		}
+		normalizeL2(y)
+	}
+
+	// Final beliefs and decisions.
+	for i := range taskSum {
+		taskSum[i] = 0
+	}
+	for e, a := range d.Answers {
+		taskSum[a.Task] += sign[e] * y[e]
+	}
+	truth := make([]float64, d.NumTasks)
+	for i, b := range taskSum {
+		switch {
+		case b > 0:
+			truth[i] = 1
+		case b < 0:
+			truth[i] = 0
+		default:
+			truth[i] = float64(rng.Intn(2))
+		}
+	}
+
+	// Worker quality summary: the normalized reliability estimate
+	// Σ A x / |T^w| (positive ⇒ better than random).
+	quality := make([]float64, d.NumWorkers)
+	counts := make([]float64, d.NumWorkers)
+	for e, a := range d.Answers {
+		quality[a.Worker] += sign[e] * x[e]
+		counts[a.Worker]++
+	}
+	for w := range quality {
+		if counts[w] > 0 {
+			quality[w] /= counts[w]
+		}
+	}
+
+	return &core.Result{
+		Truth:         truth,
+		WorkerQuality: quality,
+		Iterations:    rounds,
+		Converged:     true,
+	}, nil
+}
+
+func normalizeL2(xs []float64) {
+	var ss float64
+	for _, v := range xs {
+		ss += v * v
+	}
+	if ss == 0 {
+		return
+	}
+	norm := math.Sqrt(ss / float64(len(xs)))
+	for i := range xs {
+		xs[i] /= norm
+	}
+}

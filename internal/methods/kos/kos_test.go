@@ -1,0 +1,90 @@
+package kos
+
+import (
+	"testing"
+
+	"truthinference/internal/core"
+	"truthinference/internal/dataset"
+	"truthinference/internal/testutil"
+)
+
+func TestKOSRecoversEasyCrowd(t *testing.T) {
+	d := testutil.Categorical(testutil.CrowdSpec{NumTasks: 400, NumWorkers: 25, Redundancy: 6, Seed: 1})
+	res, err := New().Infer(d, core.Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := testutil.AccuracyOf(d.Truth, res.Truth); got < 0.9 {
+		t.Errorf("accuracy %.3f < 0.9", got)
+	}
+}
+
+// TestKOSMaliciousWorkersGetNegativeReliability: KOS's reliability
+// estimate y is signed — a worker who systematically inverts the truth
+// should end with negative estimated reliability, which the decision rule
+// then exploits (the anti-correlation is information, not noise).
+func TestKOSMaliciousWorkers(t *testing.T) {
+	const nw = 20
+	acc := make([]float64, nw)
+	for w := range acc {
+		if w < 5 {
+			acc[w] = 0.1 // malicious: almost always wrong
+		} else {
+			acc[w] = 0.85
+		}
+	}
+	d := testutil.Categorical(testutil.CrowdSpec{NumTasks: 400, NumWorkers: nw, Redundancy: 6, Accuracies: acc, Seed: 3})
+	res, err := New().Infer(d, core.Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := testutil.AccuracyOf(d.Truth, res.Truth); got < 0.9 {
+		t.Errorf("accuracy %.3f < 0.9 with malicious workers", got)
+	}
+	for w := 0; w < 5; w++ {
+		if res.WorkerQuality[w] >= 0 {
+			t.Errorf("malicious worker %d reliability %.3f not negative", w, res.WorkerQuality[w])
+		}
+	}
+	for w := 5; w < nw; w++ {
+		if res.WorkerQuality[w] <= 0 {
+			t.Errorf("honest worker %d reliability %.3f not positive", w, res.WorkerQuality[w])
+		}
+	}
+}
+
+func TestKOSDecisionOnly(t *testing.T) {
+	d := testutil.Categorical(testutil.CrowdSpec{NumTasks: 10, NumWorkers: 5, NumChoices: 4, Redundancy: 3, Seed: 5})
+	if _, err := New().Infer(d, core.Options{}); err == nil {
+		t.Error("KOS must reject single-choice datasets (Table 4)")
+	}
+}
+
+func TestKOSEmptyTasksGetRandomLabel(t *testing.T) {
+	d, err := dataset.New("empty", dataset.Decision, 2, 3, 2, []dataset.Answer{
+		{Task: 0, Worker: 0, Value: 1},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := New().Infer(d, core.Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range res.Truth {
+		if v != 0 && v != 1 {
+			t.Errorf("task %d label %v invalid", i, v)
+		}
+	}
+}
+
+func TestKOSRoundsOption(t *testing.T) {
+	d := testutil.Categorical(testutil.CrowdSpec{NumTasks: 50, NumWorkers: 8, Redundancy: 4, Seed: 7})
+	res, err := New().Infer(d, core.Options{Seed: 2, MaxIterations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 3 {
+		t.Errorf("iterations = %d, want 3", res.Iterations)
+	}
+}

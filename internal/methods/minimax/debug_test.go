@@ -1,0 +1,53 @@
+package minimax
+
+import (
+	"math/rand"
+	"testing"
+
+	"truthinference/internal/core"
+	"truthinference/internal/dataset"
+)
+
+// easyCrowd builds a binary dataset with uniformly competent workers.
+func easyCrowd(t *testing.T, numTasks, numWorkers, redundancy int, acc float64, seed int64) *dataset.Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	truth := make(map[int]float64, numTasks)
+	var answers []dataset.Answer
+	for i := 0; i < numTasks; i++ {
+		tv := rng.Intn(2)
+		truth[i] = float64(tv)
+		perm := rng.Perm(numWorkers)
+		for _, w := range perm[:redundancy] {
+			l := tv
+			if rng.Float64() > acc {
+				l = 1 - tv
+			}
+			answers = append(answers, dataset.Answer{Task: i, Worker: w, Value: float64(l)})
+		}
+	}
+	d, err := dataset.New("easy", dataset.Decision, 2, numTasks, numWorkers, answers, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestMinimaxEasyCrowd(t *testing.T) {
+	d := easyCrowd(t, 200, 20, 5, 0.8, 42)
+	res, err := New().Infer(d, core.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := 0; i < d.NumTasks; i++ {
+		if int(res.Truth[i]) == int(d.Truth[i]) {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(d.NumTasks)
+	t.Logf("minimax accuracy on easy crowd: %.3f (iters %d, converged %v)", acc, res.Iterations, res.Converged)
+	if acc < 0.85 {
+		t.Fatalf("minimax accuracy %.3f below 0.85 on easy crowd", acc)
+	}
+}

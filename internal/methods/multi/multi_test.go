@@ -1,0 +1,80 @@
+package multi
+
+import (
+	"testing"
+
+	"truthinference/internal/core"
+	"truthinference/internal/testutil"
+)
+
+func TestMultiRecoversEasyCrowd(t *testing.T) {
+	d := testutil.Categorical(testutil.CrowdSpec{NumTasks: 300, NumWorkers: 20, Redundancy: 6, Seed: 1})
+	res, err := New().Infer(d, core.Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := testutil.AccuracyOf(d.Truth, res.Truth); got < 0.85 {
+		t.Errorf("accuracy %.3f < 0.85", got)
+	}
+}
+
+func TestMultiHighRedundancyStable(t *testing.T) {
+	// The regression this guards: per-degree gradient normalization.
+	// With 20 answers per task the unnormalized ascent diverged.
+	d := testutil.Categorical(testutil.CrowdSpec{NumTasks: 150, NumWorkers: 25, Redundancy: 20, Seed: 3})
+	res, err := New().Infer(d, core.Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := testutil.AccuracyOf(d.Truth, res.Truth); got < 0.9 {
+		t.Errorf("accuracy %.3f < 0.9 at redundancy 20", got)
+	}
+}
+
+func TestMultiAlignmentQuality(t *testing.T) {
+	const nw = 20
+	acc := make([]float64, nw)
+	for w := range acc {
+		if w < 10 {
+			acc[w] = 0.55
+		} else {
+			acc[w] = 0.95
+		}
+	}
+	d := testutil.Categorical(testutil.CrowdSpec{NumTasks: 400, NumWorkers: nw, Redundancy: 6, Accuracies: acc, Seed: 5})
+	res, err := New().Infer(d, core.Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lo, hi float64
+	for w := 0; w < nw; w++ {
+		if w < 10 {
+			lo += res.WorkerQuality[w]
+		} else {
+			hi += res.WorkerQuality[w]
+		}
+	}
+	if lo/10 >= hi/10 {
+		t.Errorf("weak workers alignment %.3f not below strong %.3f", lo/10, hi/10)
+	}
+}
+
+func TestMultiLatentDimsConfigurable(t *testing.T) {
+	d := testutil.Categorical(testutil.CrowdSpec{NumTasks: 100, NumWorkers: 10, Redundancy: 5, Seed: 7})
+	for _, k := range []int{1, 2, 4} {
+		res, err := (&Multi{K: k}).Infer(d, core.Options{Seed: 2})
+		if err != nil {
+			t.Fatalf("K=%d: %v", k, err)
+		}
+		if got := testutil.AccuracyOf(d.Truth, res.Truth); got < 0.8 {
+			t.Errorf("K=%d accuracy %.3f < 0.8", k, got)
+		}
+	}
+}
+
+func TestMultiDecisionOnly(t *testing.T) {
+	d := testutil.Categorical(testutil.CrowdSpec{NumTasks: 10, NumWorkers: 4, NumChoices: 3, Redundancy: 3, Seed: 9})
+	if _, err := New().Infer(d, core.Options{}); err == nil {
+		t.Error("Multi must reject non-decision datasets (Table 4)")
+	}
+}

@@ -1,0 +1,282 @@
+// Package pm implements PM (Li et al., "Resolving conflicts in
+// heterogeneous data by truth discovery and source reliability
+// estimation", SIGMOD 2014; Aydin et al., AAAI 2014) as surveyed in
+// §5.2(1) and worked through in the paper's §3 running example.
+//
+// PM minimizes  f({q_w},{v*_i}) = Σ_w q_w Σ_{i∈T^w} d(v^w_i, v*_i)
+// by coordinate descent:
+//
+//	Step 1 (truth):   v*_i = argmin_v Σ_{w∈W_i} q_w · d(v^w_i, v)
+//	                  (for categorical tasks: the quality-weighted vote)
+//	Step 2 (quality): q_w = -log( Σ_{i∈T^w} d(v^w_i, v*_i)
+//	                              / max_{w'} Σ_{i∈T^w'} d(v^{w'}_i, v*_i) )
+//
+// For categorical tasks d is the 0/1 loss; for numeric tasks d is the
+// squared loss normalized by each task's answer spread, which makes the
+// losses comparable across tasks of different scales (the standard CRH
+// normalization).
+package pm
+
+import (
+	"math"
+
+	"truthinference/internal/core"
+	"truthinference/internal/dataset"
+	"truthinference/internal/mathx"
+	"truthinference/internal/randx"
+)
+
+// lossEpsilon regularizes the -log quality step: a worker with zero
+// accumulated loss would otherwise get infinite weight, and the worker
+// with maximal loss zero weight forever. The paper's running example
+// exhibits exactly this (q_{w1} → 4.9e-15), so the epsilon is kept tiny.
+const lossEpsilon = 1e-12
+
+// PM is the conflict-resolution optimization method.
+type PM struct{}
+
+// New returns a PM instance.
+func New() *PM { return &PM{} }
+
+// Name implements core.Method.
+func (*PM) Name() string { return "PM" }
+
+// Capabilities implements core.Method (Table 4 row: decision-making,
+// single-choice and numeric tasks, worker probability, optimization).
+func (*PM) Capabilities() core.Capabilities {
+	return core.Capabilities{
+		TaskTypes:     []dataset.TaskType{dataset.Decision, dataset.SingleChoice, dataset.Numeric},
+		TaskModel:     "none",
+		WorkerModel:   "worker probability",
+		Technique:     core.Optimization,
+		Qualification: true,
+		Golden:        true,
+	}
+}
+
+// Infer implements core.Method.
+func (m *PM) Infer(d *dataset.Dataset, opts core.Options) (*core.Result, error) {
+	if err := core.CheckSupport(m, d, opts); err != nil {
+		return nil, err
+	}
+	if d.Categorical() {
+		return m.inferCategorical(d, opts)
+	}
+	return m.inferNumeric(d, opts)
+}
+
+func (m *PM) inferCategorical(d *dataset.Dataset, opts core.Options) (*core.Result, error) {
+	rng := randx.New(opts.Seed)
+	q := initialQuality(d, opts, func(acc float64) float64 {
+		// Map qualification accuracy onto the PM weight scale: a worker
+		// with error rate (1-acc) behaves like one whose normalized loss
+		// is (1-acc), so seed with -log(1-acc).
+		return -math.Log(math.Max(1-acc, lossEpsilon))
+	})
+
+	truth := make([]float64, d.NumTasks)
+	prevTruth := make([]float64, d.NumTasks)
+	votes := make([]float64, d.NumChoices)
+
+	var iter int
+	converged := false
+	for iter = 1; iter <= opts.MaxIter(); iter++ {
+		copy(prevTruth, truth)
+		// Step 1: quality-weighted vote.
+		for i := 0; i < d.NumTasks; i++ {
+			if gv, ok := opts.Golden[i]; ok {
+				truth[i] = gv
+				continue
+			}
+			for k := range votes {
+				votes[k] = 0
+			}
+			idxs := d.TaskAnswers(i)
+			if len(idxs) == 0 {
+				continue
+			}
+			for _, ai := range idxs {
+				a := d.Answers[ai]
+				votes[a.Label()] += q[a.Worker]
+			}
+			truth[i] = float64(core.ArgmaxTieBreak(votes, rng.Intn))
+		}
+		// Step 2: q_w = -log(loss_w / max loss).
+		maxLoss := lossEpsilon
+		losses := make([]float64, d.NumWorkers)
+		for w := 0; w < d.NumWorkers; w++ {
+			var loss float64
+			for _, ai := range d.WorkerAnswers(w) {
+				a := d.Answers[ai]
+				if a.Label() != int(truth[a.Task]) {
+					loss++
+				}
+			}
+			losses[w] = loss
+			if loss > maxLoss {
+				maxLoss = loss
+			}
+		}
+		for w := range q {
+			if len(d.WorkerAnswers(w)) == 0 {
+				continue
+			}
+			q[w] = -math.Log((losses[w] + lossEpsilon) / (maxLoss + lossEpsilon))
+			if q[w] == 0 {
+				q[w] = 0 // normalize -0 from -log(1)
+			}
+		}
+		if iter > 1 && core.MaxAbsDiff(truth, prevTruth) == 0 {
+			converged = true
+			break
+		}
+	}
+	if iter > opts.MaxIter() {
+		iter = opts.MaxIter()
+	}
+	return &core.Result{
+		Truth:         truth,
+		WorkerQuality: q,
+		Iterations:    iter,
+		Converged:     converged,
+	}, nil
+}
+
+func (m *PM) inferNumeric(d *dataset.Dataset, opts core.Options) (*core.Result, error) {
+	q := initialQuality(d, opts, func(_ float64) float64 { return 1 })
+	if opts.QualificationError != nil {
+		maxErr := lossEpsilon
+		for _, e := range opts.QualificationError {
+			if !math.IsNaN(e) && e > maxErr {
+				maxErr = e
+			}
+		}
+		for w := range q {
+			if !math.IsNaN(opts.QualificationError[w]) {
+				q[w] = -math.Log((opts.QualificationError[w] + lossEpsilon) / (maxErr + lossEpsilon))
+				if q[w] <= 0 {
+					q[w] = lossEpsilon
+				}
+			}
+		}
+	}
+	// Per-task scale for the CRH loss normalization.
+	scale := taskScales(d)
+
+	truth := make([]float64, d.NumTasks)
+	prevTruth := make([]float64, d.NumTasks)
+
+	var iter int
+	converged := false
+	for iter = 1; iter <= opts.MaxIter(); iter++ {
+		copy(prevTruth, truth)
+		// Step 1: weighted mean minimizes the weighted squared loss.
+		for i := 0; i < d.NumTasks; i++ {
+			if gv, ok := opts.Golden[i]; ok {
+				truth[i] = gv
+				continue
+			}
+			idxs := d.TaskAnswers(i)
+			if len(idxs) == 0 {
+				continue
+			}
+			var num, den float64
+			for _, ai := range idxs {
+				a := d.Answers[ai]
+				num += q[a.Worker] * a.Value
+				den += q[a.Worker]
+			}
+			if den > 0 {
+				truth[i] = num / den
+			}
+		}
+		// Step 2: normalized squared losses → -log weights.
+		losses := make([]float64, d.NumWorkers)
+		maxLoss := lossEpsilon
+		for w := 0; w < d.NumWorkers; w++ {
+			var loss float64
+			for _, ai := range d.WorkerAnswers(w) {
+				a := d.Answers[ai]
+				dv := (a.Value - truth[a.Task]) / scale[a.Task]
+				loss += dv * dv
+			}
+			losses[w] = loss
+			if loss > maxLoss {
+				maxLoss = loss
+			}
+		}
+		for w := range q {
+			if len(d.WorkerAnswers(w)) == 0 {
+				continue
+			}
+			qw := -math.Log((losses[w] + lossEpsilon) / (maxLoss + lossEpsilon))
+			if qw <= 0 {
+				qw = lossEpsilon // keep strictly positive weights
+			}
+			q[w] = qw
+		}
+		if core.MaxAbsDiff(truth, prevTruth) < opts.Tol() {
+			converged = true
+			break
+		}
+	}
+	if iter > opts.MaxIter() {
+		iter = opts.MaxIter()
+	}
+	return &core.Result{
+		Truth:         truth,
+		WorkerQuality: q,
+		Iterations:    iter,
+		Converged:     converged,
+	}, nil
+}
+
+// initialQuality starts every worker at weight 1 (the paper's §3
+// initialization) or maps a qualification-test accuracy through seed.
+func initialQuality(d *dataset.Dataset, opts core.Options, seed func(acc float64) float64) []float64 {
+	q := make([]float64, d.NumWorkers)
+	for w := range q {
+		q[w] = 1
+		if opts.QualificationAccuracy != nil && !math.IsNaN(opts.QualificationAccuracy[w]) {
+			q[w] = math.Max(seed(mathx.Clamp(opts.QualificationAccuracy[w], 0, 1)), lossEpsilon)
+		}
+	}
+	return q
+}
+
+// taskScales returns a per-task normalizer: the standard deviation of the
+// task's answers, floored at a small fraction of the dataset-wide spread
+// so that unanimous tasks do not produce infinite losses.
+func taskScales(d *dataset.Dataset) []float64 {
+	global := 0.0
+	{
+		vals := make([]float64, 0, len(d.Answers))
+		for _, a := range d.Answers {
+			vals = append(vals, a.Value)
+		}
+		global = math.Sqrt(mathx.Variance(vals))
+		if !(global > 0) {
+			global = 1
+		}
+	}
+	floor := 0.01 * global
+	out := make([]float64, d.NumTasks)
+	vals := make([]float64, 0, 64)
+	for i := 0; i < d.NumTasks; i++ {
+		idxs := d.TaskAnswers(i)
+		if len(idxs) == 0 {
+			out[i] = global
+			continue
+		}
+		vals = vals[:0]
+		for _, ai := range idxs {
+			vals = append(vals, d.Answers[ai].Value)
+		}
+		s := math.Sqrt(mathx.Variance(vals))
+		if s < floor {
+			s = floor
+		}
+		out[i] = s
+	}
+	return out
+}

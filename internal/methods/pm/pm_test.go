@@ -1,0 +1,140 @@
+package pm
+
+import (
+	"math"
+	"testing"
+
+	"truthinference/internal/core"
+	"truthinference/internal/dataset"
+	"truthinference/internal/testutil"
+)
+
+// TestPMPaperExample re-runs the §3 worked example at the package level,
+// additionally checking the first-iteration quality values the paper
+// derives by hand: q_w1 = -log(3/3) = 0, q_w2 = -log(2/3) ≈ 0.41,
+// q_w3 = -log(1/3) ≈ 1.10.
+func TestPMPaperExample(t *testing.T) {
+	answers := []dataset.Answer{
+		{Task: 0, Worker: 0, Value: 0}, {Task: 1, Worker: 0, Value: 1}, {Task: 2, Worker: 0, Value: 1},
+		{Task: 3, Worker: 0, Value: 0}, {Task: 4, Worker: 0, Value: 0}, {Task: 5, Worker: 0, Value: 0},
+		{Task: 1, Worker: 1, Value: 0}, {Task: 2, Worker: 1, Value: 0}, {Task: 3, Worker: 1, Value: 1},
+		{Task: 4, Worker: 1, Value: 1}, {Task: 5, Worker: 1, Value: 0},
+		{Task: 0, Worker: 2, Value: 1}, {Task: 1, Worker: 2, Value: 0}, {Task: 2, Worker: 2, Value: 0},
+		{Task: 3, Worker: 2, Value: 0}, {Task: 4, Worker: 2, Value: 0}, {Task: 5, Worker: 2, Value: 1},
+	}
+	d, err := dataset.New("table2", dataset.Decision, 2, 6, 3, answers, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := New().Infer(d, core.Options{Seed: 1, MaxIterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantQ := []float64{0, -math.Log(2.0 / 3), -math.Log(1.0 / 3)}
+	for w, want := range wantQ {
+		if math.Abs(one.WorkerQuality[w]-want) > 1e-6 {
+			t.Errorf("iteration-1 q_w%d = %.4f, want %.4f", w+1, one.WorkerQuality[w], want)
+		}
+	}
+	full, err := New().Infer(d, core.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 0, 0, 0, 0, 1}
+	for i, v := range want {
+		if full.Truth[i] != v {
+			t.Errorf("converged truth[t%d] = %v, want %v", i+1, full.Truth[i], v)
+		}
+	}
+	if !full.Converged {
+		t.Error("PM did not converge on the 6-task example")
+	}
+}
+
+func TestPMNumericWeightedMean(t *testing.T) {
+	// Two precise workers at the truth, one far-off worker: after
+	// reweighting, the estimate must sit near the precise pair.
+	answers := []dataset.Answer{}
+	truth := map[int]float64{}
+	for i := 0; i < 50; i++ {
+		truth[i] = float64(10 * i)
+		answers = append(answers,
+			dataset.Answer{Task: i, Worker: 0, Value: truth[i] + 0.5},
+			dataset.Answer{Task: i, Worker: 1, Value: truth[i] - 0.5},
+			dataset.Answer{Task: i, Worker: 2, Value: truth[i] + 40},
+		)
+	}
+	d, err := dataset.New("numeric", dataset.Numeric, 0, 50, 3, answers, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := New().Infer(d, core.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxErr float64
+	for i := 0; i < 50; i++ {
+		if e := math.Abs(res.Truth[i] - truth[i]); e > maxErr {
+			maxErr = e
+		}
+	}
+	if maxErr > 3 {
+		t.Errorf("max error %.2f > 3; the off-by-40 worker was not downweighted (qualities %v)", maxErr, res.WorkerQuality)
+	}
+	if res.WorkerQuality[2] >= res.WorkerQuality[0] {
+		t.Errorf("off worker quality %.4f not below precise worker %.4f", res.WorkerQuality[2], res.WorkerQuality[0])
+	}
+}
+
+func TestPMGoldenNumericPinned(t *testing.T) {
+	d := testutil.Numeric(testutil.NumericSpec{NumTasks: 40, NumWorkers: 6, Redundancy: 4, Seed: 3})
+	golden := map[int]float64{0: d.Truth[0]}
+	res, err := New().Infer(d, core.Options{Seed: 1, Golden: golden})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truth[0] != d.Truth[0] {
+		t.Errorf("golden numeric task not pinned: %v", res.Truth[0])
+	}
+}
+
+func TestPMQualificationSeeding(t *testing.T) {
+	d := testutil.Categorical(testutil.CrowdSpec{NumTasks: 40, NumWorkers: 4, Redundancy: 3, Seed: 5})
+	qa := []float64{0.99, 0.5, 0.5, 0.5}
+	res, err := New().Infer(d, core.Options{Seed: 1, QualificationAccuracy: qa, MaxIterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Truth) != 40 {
+		t.Fatal("missing truth")
+	}
+}
+
+func TestPMAllAgreeingWorkers(t *testing.T) {
+	// Degenerate case: everyone gives identical answers; all losses are
+	// zero, qualities must stay finite and truth must match the answers.
+	answers := []dataset.Answer{}
+	for i := 0; i < 10; i++ {
+		for w := 0; w < 3; w++ {
+			answers = append(answers, dataset.Answer{Task: i, Worker: w, Value: 1})
+		}
+	}
+	d, err := dataset.New("agree", dataset.Decision, 2, 10, 3, answers, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := New().Infer(d, core.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range res.Truth {
+		if v != 1 {
+			t.Errorf("task %d inferred %v, want 1", i, v)
+		}
+	}
+	for w, q := range res.WorkerQuality {
+		if math.IsInf(q, 0) || math.IsNaN(q) {
+			t.Errorf("worker %d quality %v not finite", w, q)
+		}
+	}
+}

@@ -1,0 +1,275 @@
+// Package vi implements VI-BP and VI-MF (Liu, Peng, Ihler, "Variational
+// inference for crowdsourcing", NIPS 2012) as surveyed in §5.3(1) of the
+// paper. Both are Bayesian estimators: instead of the point estimate of
+// ZC they place Beta(A, B) priors on every worker's reliability q_w and
+// estimate the truth by (approximately) integrating q_w out:
+//
+//	Pr(v*_i = z | V) = ∫ Pr(v*_i = z, {q_w} | V) d{q_w}
+//
+// VI-MF approximates the integral with a mean-field factorization
+// q({v*}, {q_w}) = Π_i μ_i(v*_i) Π_w Beta(q_w; a_w, b_w); the coordinate
+// updates use digamma expectations E[ln q] = ψ(a) - ψ(a+b).
+//
+// VI-BP runs the same Beta-posterior computation on the task–worker graph
+// with belief-propagation-style cavity messages: worker w's message to
+// task i uses a Beta posterior that excludes task i's own belief, and task
+// i's message to worker w excludes worker w's message — the KOS recursion
+// generalized to arbitrary priors (§5.3: "a more general model based on
+// KOS").
+package vi
+
+import (
+	"math"
+
+	"truthinference/internal/core"
+	"truthinference/internal/dataset"
+	"truthinference/internal/mathx"
+	"truthinference/internal/randx"
+)
+
+// Beta prior hyperparameters on worker reliability. (2,1) encodes the mild
+// optimism that workers beat coin flips, the default in the original
+// implementation.
+const (
+	PriorA = 2.0
+	PriorB = 1.0
+)
+
+// Variant selects the approximate-inference flavor.
+type Variant int
+
+const (
+	// MeanField is VI-MF.
+	MeanField Variant = iota
+	// BeliefPropagation is VI-BP.
+	BeliefPropagation
+)
+
+// VI is the variational-inference method in one of its two variants.
+type VI struct {
+	variant Variant
+}
+
+// NewMF returns VI-MF.
+func NewMF() *VI { return &VI{variant: MeanField} }
+
+// NewBP returns VI-BP.
+func NewBP() *VI { return &VI{variant: BeliefPropagation} }
+
+// Name implements core.Method.
+func (m *VI) Name() string {
+	if m.variant == MeanField {
+		return "VI-MF"
+	}
+	return "VI-BP"
+}
+
+// Capabilities implements core.Method. Table 4 restricts both variants to
+// decision-making tasks; per §6.3.2–6.3.3 only VI-MF accepts
+// qualification-test initialization and golden tasks.
+func (m *VI) Capabilities() core.Capabilities {
+	caps := core.Capabilities{
+		TaskTypes:   []dataset.TaskType{dataset.Decision},
+		TaskModel:   "none",
+		WorkerModel: "confusion matrix",
+		Technique:   core.PGM,
+	}
+	if m.variant == MeanField {
+		caps.Qualification = true
+		caps.Golden = true
+	}
+	return caps
+}
+
+// Infer implements core.Method.
+func (m *VI) Infer(d *dataset.Dataset, opts core.Options) (*core.Result, error) {
+	if err := core.CheckSupport(m, d, opts); err != nil {
+		return nil, err
+	}
+	if m.variant == MeanField {
+		return m.inferMF(d, opts)
+	}
+	return m.inferBP(d, opts)
+}
+
+// inferMF runs the mean-field coordinate ascent.
+func (m *VI) inferMF(d *dataset.Dataset, opts core.Options) (*core.Result, error) {
+	rng := randx.New(opts.Seed)
+
+	// Beta posterior parameters per worker.
+	a := make([]float64, d.NumWorkers)
+	b := make([]float64, d.NumWorkers)
+	for w := range a {
+		a[w], b[w] = PriorA, PriorB
+		if opts.QualificationAccuracy != nil && !math.IsNaN(opts.QualificationAccuracy[w]) {
+			// A qualification test with g golden tasks acts as g
+			// pseudo-observations split by the measured accuracy.
+			const g = 20
+			acc := mathx.Clamp(opts.QualificationAccuracy[w], 0, 1)
+			a[w] += g * acc
+			b[w] += g * (1 - acc)
+		}
+	}
+
+	post := core.UniformPosterior(d.NumTasks, 2)
+	prevA := make([]float64, d.NumWorkers)
+	logw := make([]float64, 2)
+
+	var iter int
+	converged := false
+	for iter = 1; iter <= opts.MaxIter(); iter++ {
+		// Task update: μ_i(z) ∝ exp Σ_w [1{v=z}E ln q + 1{v≠z}E ln(1-q)].
+		for i := 0; i < d.NumTasks; i++ {
+			logw[0], logw[1] = 0, 0
+			for _, ai := range d.TaskAnswers(i) {
+				ans := d.Answers[ai]
+				elnq := mathx.Digamma(a[ans.Worker]) - mathx.Digamma(a[ans.Worker]+b[ans.Worker])
+				eln1q := mathx.Digamma(b[ans.Worker]) - mathx.Digamma(a[ans.Worker]+b[ans.Worker])
+				l := ans.Label()
+				logw[l] += elnq
+				logw[1-l] += eln1q
+			}
+			mathx.NormalizeLog(logw)
+			post[i][0], post[i][1] = logw[0], logw[1]
+		}
+		core.PinGolden(post, opts.Golden)
+
+		// Worker update: Beta(a,b) with expected correct/incorrect counts.
+		copy(prevA, a)
+		for w := 0; w < d.NumWorkers; w++ {
+			aw, bw := PriorA, PriorB
+			for _, ai := range d.WorkerAnswers(w) {
+				ans := d.Answers[ai]
+				pCorrect := post[ans.Task][ans.Label()]
+				aw += pCorrect
+				bw += 1 - pCorrect
+			}
+			a[w], b[w] = aw, bw
+		}
+
+		if core.MaxAbsDiff(a, prevA) < opts.Tol() {
+			converged = true
+			break
+		}
+	}
+	if iter > opts.MaxIter() {
+		iter = opts.MaxIter()
+	}
+
+	truth := core.PosteriorLabels(post, opts.Golden, rng.Intn)
+	quality := make([]float64, d.NumWorkers)
+	for w := range quality {
+		quality[w] = a[w] / (a[w] + b[w]) // posterior mean reliability
+	}
+	return &core.Result{
+		Truth:         truth,
+		Posterior:     post,
+		WorkerQuality: quality,
+		Iterations:    iter,
+		Converged:     converged,
+	}, nil
+}
+
+// inferBP runs the cavity-message version on the bipartite graph. Edge e
+// corresponds to answer e; mu[e] is the task→worker message (probability
+// that the worker's answer on this edge is correct, excluding the
+// worker's own influence).
+func (m *VI) inferBP(d *dataset.Dataset, opts core.Options) (*core.Result, error) {
+	rng := randx.New(opts.Seed)
+	nEdges := len(d.Answers)
+
+	mu := make([]float64, nEdges) // task→worker cavity: Pr(edge answer correct)
+	for e := range mu {
+		mu[e] = 0.5 + 0.1*rng.NormFloat64()
+		mu[e] = mathx.Clamp(mu[e], 0.05, 0.95)
+	}
+	// Worker sums of μ over their edges, to form cavity Beta posteriors.
+	wSum := make([]float64, d.NumWorkers)
+	wCount := make([]float64, d.NumWorkers)
+	prevMu := make([]float64, nEdges)
+	logw := make([]float64, 2)
+
+	post := core.UniformPosterior(d.NumTasks, 2)
+
+	var iter int
+	converged := false
+	for iter = 1; iter <= opts.MaxIter(); iter++ {
+		copy(prevMu, mu)
+		// Accumulate worker totals once per round.
+		for w := range wSum {
+			wSum[w], wCount[w] = 0, 0
+		}
+		for e, ans := range d.Answers {
+			wSum[ans.Worker] += mu[e]
+			wCount[ans.Worker]++
+		}
+		// Worker→task messages: digamma expectations of the cavity Beta
+		// posterior (excluding edge e itself), then task beliefs and new
+		// task→worker messages.
+		// First compute per-task log-odds with all workers included, then
+		// subtract each edge's own contribution to form the cavity.
+		taskLog0 := make([]float64, d.NumTasks)
+		taskLog1 := make([]float64, d.NumTasks)
+		edgeLog0 := make([]float64, nEdges)
+		edgeLog1 := make([]float64, nEdges)
+		for e, ans := range d.Answers {
+			aCav := PriorA + wSum[ans.Worker] - mu[e]
+			bCav := PriorB + (wCount[ans.Worker] - 1) - (wSum[ans.Worker] - mu[e])
+			if bCav < 1e-6 {
+				bCav = 1e-6
+			}
+			elnq := mathx.Digamma(aCav) - mathx.Digamma(aCav+bCav)
+			eln1q := mathx.Digamma(bCav) - mathx.Digamma(aCav+bCav)
+			if ans.Label() == 1 {
+				edgeLog1[e], edgeLog0[e] = elnq, eln1q
+			} else {
+				edgeLog0[e], edgeLog1[e] = elnq, eln1q
+			}
+			taskLog0[ans.Task] += edgeLog0[e]
+			taskLog1[ans.Task] += edgeLog1[e]
+		}
+		// Update task→worker cavity messages and beliefs.
+		for e, ans := range d.Answers {
+			l0 := taskLog0[ans.Task] - edgeLog0[e]
+			l1 := taskLog1[ans.Task] - edgeLog1[e]
+			// Probability that the edge's answer equals the truth under
+			// the cavity belief.
+			p1 := mathx.Logistic(l1 - l0)
+			if ans.Label() == 1 {
+				mu[e] = mathx.Clamp(p1, 1e-6, 1-1e-6)
+			} else {
+				mu[e] = mathx.Clamp(1-p1, 1e-6, 1-1e-6)
+			}
+		}
+		for i := 0; i < d.NumTasks; i++ {
+			logw[0], logw[1] = taskLog0[i], taskLog1[i]
+			mathx.NormalizeLog(logw)
+			post[i][0], post[i][1] = logw[0], logw[1]
+		}
+
+		if core.MaxAbsDiff(mu, prevMu) < opts.Tol() {
+			converged = true
+			break
+		}
+	}
+	if iter > opts.MaxIter() {
+		iter = opts.MaxIter()
+	}
+
+	truth := core.PosteriorLabels(post, nil, rng.Intn)
+	quality := make([]float64, d.NumWorkers)
+	for w := range quality {
+		if wCount[w] > 0 {
+			quality[w] = (PriorA + wSum[w]) / (PriorA + PriorB + wCount[w])
+		} else {
+			quality[w] = PriorA / (PriorA + PriorB)
+		}
+	}
+	return &core.Result{
+		Truth:         truth,
+		Posterior:     post,
+		WorkerQuality: quality,
+		Iterations:    iter,
+		Converged:     converged,
+	}, nil
+}

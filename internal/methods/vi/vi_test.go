@@ -1,0 +1,128 @@
+package vi
+
+import (
+	"math"
+	"testing"
+
+	"truthinference/internal/core"
+	"truthinference/internal/testutil"
+)
+
+func TestBothVariantsRecoverEasyCrowd(t *testing.T) {
+	d := testutil.Categorical(testutil.CrowdSpec{NumTasks: 400, NumWorkers: 25, Redundancy: 6, Seed: 1})
+	for _, m := range []*VI{NewMF(), NewBP()} {
+		res, err := m.Infer(d, core.Options{Seed: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if got := testutil.AccuracyOf(d.Truth, res.Truth); got < 0.9 {
+			t.Errorf("%s accuracy %.3f < 0.9", m.Name(), got)
+		}
+	}
+}
+
+func TestPosteriorReliabilityOrdering(t *testing.T) {
+	const nw = 20
+	acc := make([]float64, nw)
+	for w := range acc {
+		if w < 10 {
+			acc[w] = 0.6
+		} else {
+			acc[w] = 0.95
+		}
+	}
+	d := testutil.Categorical(testutil.CrowdSpec{NumTasks: 400, NumWorkers: nw, Redundancy: 6, Accuracies: acc, Seed: 3})
+	for _, m := range []*VI{NewMF(), NewBP()} {
+		res, err := m.Infer(d, core.Options{Seed: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		var lo, hi float64
+		for w := 0; w < nw; w++ {
+			q := res.WorkerQuality[w]
+			if q <= 0 || q >= 1 {
+				t.Fatalf("%s: posterior mean reliability %v outside (0,1)", m.Name(), q)
+			}
+			if w < 10 {
+				lo += q
+			} else {
+				hi += q
+			}
+		}
+		if lo/10 >= hi/10 {
+			t.Errorf("%s: weak workers %.3f not below strong %.3f", m.Name(), lo/10, hi/10)
+		}
+	}
+}
+
+func TestMFBayesianShrinkage(t *testing.T) {
+	// A worker with very few answers must have a reliability estimate
+	// shrunk toward the Beta prior mean, unlike a prolific worker with
+	// the same empirical accuracy — the Bayesian-estimator property that
+	// separates VI methods from ZC's point estimates (§5.3(1)).
+	d := testutil.Categorical(testutil.CrowdSpec{NumTasks: 200, NumWorkers: 10, Redundancy: 5, Seed: 5})
+	res, err := NewMF().Infer(d, core.Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	priorMean := PriorA / (PriorA + PriorB)
+	// Every estimate stays strictly inside (0,1) and the population mean
+	// is pulled above the prior mean (competent crowd).
+	var mean float64
+	for _, q := range res.WorkerQuality {
+		mean += q
+	}
+	mean /= float64(len(res.WorkerQuality))
+	if mean <= priorMean {
+		t.Errorf("population reliability %.3f not above prior mean %.3f on a competent crowd", mean, priorMean)
+	}
+}
+
+func TestVariantCapabilities(t *testing.T) {
+	mf, bp := NewMF(), NewBP()
+	if !mf.Capabilities().Golden || !mf.Capabilities().Qualification {
+		t.Error("VI-MF must support golden and qualification (§6.3.2–6.3.3)")
+	}
+	if bp.Capabilities().Golden || bp.Capabilities().Qualification {
+		t.Error("VI-BP must not support golden or qualification")
+	}
+	d := testutil.Categorical(testutil.CrowdSpec{NumTasks: 10, NumWorkers: 4, NumChoices: 4, Redundancy: 3, Seed: 7})
+	if _, err := mf.Infer(d, core.Options{}); err == nil {
+		t.Error("VI methods must reject single-choice datasets (Table 4)")
+	}
+}
+
+func TestMFGoldenAndQualification(t *testing.T) {
+	d := testutil.Categorical(testutil.CrowdSpec{NumTasks: 80, NumWorkers: 8, Redundancy: 4, Seed: 9})
+	golden := map[int]float64{0: d.Truth[0], 1: d.Truth[1]}
+	res, err := NewMF().Infer(d, core.Options{Seed: 2, Golden: golden})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, v := range golden {
+		if res.Truth[id] != v {
+			t.Errorf("golden task %d not pinned", id)
+		}
+	}
+	qa := make([]float64, 8)
+	for i := range qa {
+		qa[i] = 0.9
+	}
+	if _, err := NewMF().Infer(d, core.Options{Seed: 2, QualificationAccuracy: qa}); err != nil {
+		t.Errorf("qualification run failed: %v", err)
+	}
+}
+
+func TestBPPosteriorsValid(t *testing.T) {
+	d := testutil.Categorical(testutil.CrowdSpec{NumTasks: 100, NumWorkers: 10, Redundancy: 4, Seed: 11})
+	res, err := NewBP().Infer(d, core.Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range res.Posterior {
+		sum := row[0] + row[1]
+		if math.Abs(sum-1) > 1e-9 || row[0] < 0 || row[1] < 0 {
+			t.Fatalf("task %d posterior %v invalid", i, row)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+// Package zc implements ZC (Demartini, Difallah, Cudré-Mauroux,
+// "ZenCrowd", WWW 2012) as surveyed in §5.3(1) of the paper: an
+// expectation–maximization method that models each worker with a single
+// worker probability q_w ∈ [0,1] and maximizes the likelihood of the
+// observed answers Pr(V | {q_w}) with the task truths as latent variables.
+//
+// E-step (truth): Pr(v*_i = z) ∝ Π_{w ∈ W_i} q_w^{1[v^w_i = z]} ·
+// ((1-q_w)/(ℓ-1))^{1[v^w_i ≠ z]}, computed in log space.
+//
+// M-step (quality): q_w = Σ_{i ∈ T^w} Pr(v*_i = v^w_i) / |T^w|, i.e. the
+// expected fraction of tasks the worker answered correctly.
+//
+// ZC accepts qualification-test initialization (q_w set from golden-task
+// accuracy, §6.3.2) and hidden-test golden tasks (their posteriors pinned
+// to the known truth during the E-step, §6.3.3).
+package zc
+
+import (
+	"math"
+
+	"truthinference/internal/core"
+	"truthinference/internal/dataset"
+	"truthinference/internal/mathx"
+	"truthinference/internal/randx"
+)
+
+// DefaultInitialQuality is the optimistic prior used when no qualification
+// test is provided: workers are assumed mostly reliable, which is the
+// standard symmetric-breaking initialization for EM truth inference.
+const DefaultInitialQuality = 0.8
+
+// qualityFloor keeps q_w strictly inside (0,1) so log-likelihood terms stay
+// finite even for workers the E-step judges always wrong (or right).
+const qualityFloor = 1e-4
+
+// ZC is the ZenCrowd EM method.
+type ZC struct{}
+
+// New returns a ZC instance.
+func New() *ZC { return &ZC{} }
+
+// Name implements core.Method.
+func (*ZC) Name() string { return "ZC" }
+
+// Capabilities implements core.Method (Table 4 row: decision-making and
+// single-choice tasks, no task model, worker probability, PGM).
+func (*ZC) Capabilities() core.Capabilities {
+	return core.Capabilities{
+		TaskTypes:     []dataset.TaskType{dataset.Decision, dataset.SingleChoice},
+		TaskModel:     "none",
+		WorkerModel:   "worker probability",
+		Technique:     core.PGM,
+		Qualification: true,
+		Golden:        true,
+	}
+}
+
+// Infer implements core.Method.
+func (m *ZC) Infer(d *dataset.Dataset, opts core.Options) (*core.Result, error) {
+	if err := core.CheckSupport(m, d, opts); err != nil {
+		return nil, err
+	}
+	rng := randx.New(opts.Seed)
+	ell := float64(d.NumChoices)
+
+	q := make([]float64, d.NumWorkers)
+	for w := range q {
+		q[w] = DefaultInitialQuality
+		if opts.QualificationAccuracy != nil && !math.IsNaN(opts.QualificationAccuracy[w]) {
+			q[w] = mathx.Clamp(opts.QualificationAccuracy[w], qualityFloor, 1-qualityFloor)
+		}
+	}
+
+	post := core.UniformPosterior(d.NumTasks, d.NumChoices)
+	prevQ := make([]float64, d.NumWorkers)
+	logw := make([]float64, d.NumChoices)
+
+	var iter int
+	converged := false
+	for iter = 1; iter <= opts.MaxIter(); iter++ {
+		// E-step: task posteriors from current worker qualities.
+		for i := 0; i < d.NumTasks; i++ {
+			for k := range logw {
+				logw[k] = 0
+			}
+			for _, ai := range d.TaskAnswers(i) {
+				a := d.Answers[ai]
+				qw := mathx.Clamp(q[a.Worker], qualityFloor, 1-qualityFloor)
+				logCorrect := math.Log(qw)
+				logWrong := math.Log((1 - qw) / (ell - 1))
+				for k := 0; k < d.NumChoices; k++ {
+					if a.Label() == k {
+						logw[k] += logCorrect
+					} else {
+						logw[k] += logWrong
+					}
+				}
+			}
+			mathx.NormalizeLog(logw)
+			copy(post[i], logw)
+		}
+		core.PinGolden(post, opts.Golden)
+
+		// M-step: expected accuracy per worker.
+		copy(prevQ, q)
+		for w := 0; w < d.NumWorkers; w++ {
+			idxs := d.WorkerAnswers(w)
+			if len(idxs) == 0 {
+				continue
+			}
+			var s float64
+			for _, ai := range idxs {
+				a := d.Answers[ai]
+				s += post[a.Task][a.Label()]
+			}
+			q[w] = mathx.Clamp(s/float64(len(idxs)), qualityFloor, 1-qualityFloor)
+		}
+
+		if core.MaxAbsDiff(q, prevQ) < opts.Tol() {
+			converged = true
+			break
+		}
+	}
+	if iter > opts.MaxIter() {
+		iter = opts.MaxIter()
+	}
+
+	truth := core.PosteriorLabels(post, opts.Golden, rng.Intn)
+	return &core.Result{
+		Truth:         truth,
+		Posterior:     post,
+		WorkerQuality: q,
+		Iterations:    iter,
+		Converged:     converged,
+	}, nil
+}

@@ -1,0 +1,127 @@
+// Package metrics implements the evaluation metrics of Section 6.1.2 of
+// the paper: Accuracy (Eq. 3) and F1-score (Eq. 4) for categorical tasks,
+// and MAE and RMSE (Eq. 5) for numeric tasks, together with
+// precision/recall and confusion counting helpers.
+//
+// All metrics evaluate an inferred truth assignment against a ground-truth
+// map over a subset of tasks, matching the benchmark setup in which large
+// datasets only publish truth for some tasks (Table 5).
+package metrics
+
+import (
+	"math"
+)
+
+// Accuracy is the fraction of truth-bearing tasks whose inferred label
+// equals the ground truth (Eq. 3). inferred[i] holds the inferred label of
+// task i (as a float64 label index); truth maps task ids to true labels.
+// It returns NaN when truth is empty.
+func Accuracy(inferred []float64, truth map[int]float64) float64 {
+	if len(truth) == 0 {
+		return math.NaN()
+	}
+	correct := 0
+	for t, tv := range truth {
+		if t < 0 || t >= len(inferred) {
+			continue
+		}
+		if int(inferred[t]) == int(tv) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(truth))
+}
+
+// PrecisionRecall returns the precision and recall of the positive class
+// `positive` over the truth-bearing tasks. Conventions follow Eq. 4 of the
+// paper: precision = TP/(TP+FP), recall = TP/(TP+FN). Empty denominators
+// produce NaN.
+func PrecisionRecall(inferred []float64, truth map[int]float64, positive int) (precision, recall float64) {
+	tp, fp, fn := 0, 0, 0
+	for t, tv := range truth {
+		if t < 0 || t >= len(inferred) {
+			continue
+		}
+		predPos := int(inferred[t]) == positive
+		truePos := int(tv) == positive
+		switch {
+		case predPos && truePos:
+			tp++
+		case predPos && !truePos:
+			fp++
+		case !predPos && truePos:
+			fn++
+		}
+	}
+	precision = math.NaN()
+	if tp+fp > 0 {
+		precision = float64(tp) / float64(tp+fp)
+	}
+	recall = math.NaN()
+	if tp+fn > 0 {
+		recall = float64(tp) / float64(tp+fn)
+	}
+	return precision, recall
+}
+
+// F1 is the harmonic mean of precision and recall of the positive class
+// (Eq. 4). Following the equation's direct form it equals
+// 2·TP / (#true-positive-class + #predicted-positive-class); when both
+// counts are zero it returns 0, matching the paper's treatment of
+// degenerate predictors (e.g. BCC at r=1, §6.3.1(5)).
+func F1(inferred []float64, truth map[int]float64, positive int) float64 {
+	tp, trueP, predP := 0, 0, 0
+	for t, tv := range truth {
+		if t < 0 || t >= len(inferred) {
+			continue
+		}
+		predPos := int(inferred[t]) == positive
+		truePos := int(tv) == positive
+		if predPos && truePos {
+			tp++
+		}
+		if predPos {
+			predP++
+		}
+		if truePos {
+			trueP++
+		}
+	}
+	if trueP+predP == 0 {
+		return 0
+	}
+	return 2 * float64(tp) / float64(trueP+predP)
+}
+
+// MAE is the mean absolute error over truth-bearing tasks (Eq. 5). It
+// returns NaN when truth is empty.
+func MAE(inferred []float64, truth map[int]float64) float64 {
+	if len(truth) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for t, tv := range truth {
+		if t < 0 || t >= len(inferred) {
+			continue
+		}
+		s += math.Abs(inferred[t] - tv)
+	}
+	return s / float64(len(truth))
+}
+
+// RMSE is the root mean square error over truth-bearing tasks (Eq. 5). It
+// returns NaN when truth is empty.
+func RMSE(inferred []float64, truth map[int]float64) float64 {
+	if len(truth) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for t, tv := range truth {
+		if t < 0 || t >= len(inferred) {
+			continue
+		}
+		d := inferred[t] - tv
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(truth)))
+}

@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccuracyBasics(t *testing.T) {
+	inferred := []float64{1, 0, 1}
+	truth := map[int]float64{0: 1, 1: 1, 2: 1}
+	if got := Accuracy(inferred, truth); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("Accuracy = %v, want 2/3", got)
+	}
+	if !math.IsNaN(Accuracy(inferred, nil)) {
+		t.Error("Accuracy with empty truth should be NaN")
+	}
+	// Truth referencing tasks outside the inferred range counts as wrong
+	// (it cannot possibly have been inferred).
+	if got := Accuracy([]float64{1}, map[int]float64{0: 1, 9: 1}); got != 0.5 {
+		t.Errorf("out-of-range truth: Accuracy = %v, want 0.5", got)
+	}
+}
+
+func TestF1DegenerateCases(t *testing.T) {
+	// No positives anywhere → 0 (the paper's convention for BCC at r=1).
+	if got := F1([]float64{0, 0}, map[int]float64{0: 0, 1: 0}, 1); got != 0 {
+		t.Errorf("no-positive F1 = %v, want 0", got)
+	}
+	// All positive and all predicted positive → 1.
+	if got := F1([]float64{1, 1}, map[int]float64{0: 1, 1: 1}, 1); got != 1 {
+		t.Errorf("perfect F1 = %v, want 1", got)
+	}
+	// Predicts everything positive on a skewed truth: F1 = 2p/(p+1) with
+	// p the positive rate.
+	truth := map[int]float64{0: 1, 1: 0, 2: 0, 3: 0}
+	got := F1([]float64{1, 1, 1, 1}, truth, 1)
+	if math.Abs(got-2.0/5) > 1e-12 {
+		t.Errorf("all-positive F1 = %v, want 0.4", got)
+	}
+}
+
+func TestF1IsHarmonicMeanOfPrecisionRecall(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		inferred := make([]float64, n)
+		truth := make(map[int]float64, n)
+		for i := 0; i < n; i++ {
+			inferred[i] = float64(rng.Intn(2))
+			truth[i] = float64(rng.Intn(2))
+		}
+		f1 := F1(inferred, truth, 1)
+		p, r := PrecisionRecall(inferred, truth, 1)
+		if math.IsNaN(p) || math.IsNaN(r) || p+r == 0 {
+			return f1 >= 0 && f1 <= 1
+		}
+		want := 2 * p * r / (p + r)
+		return math.Abs(f1-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMetricsInRangeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(30)
+		inferred := make([]float64, n)
+		truth := map[int]float64{}
+		for i := 0; i < n; i++ {
+			inferred[i] = float64(rng.Intn(3))
+			truth[i] = float64(rng.Intn(3))
+		}
+		a := Accuracy(inferred, truth)
+		f1 := F1(inferred, truth, 1)
+		return a >= 0 && a <= 1 && f1 >= 0 && f1 <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMAERMSERelationship(t *testing.T) {
+	// RMSE ≥ MAE always (power-mean inequality), equality iff all errors
+	// have equal magnitude.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(30)
+		inferred := make([]float64, n)
+		truth := map[int]float64{}
+		for i := 0; i < n; i++ {
+			inferred[i] = 10 * rng.NormFloat64()
+			truth[i] = 10 * rng.NormFloat64()
+		}
+		return RMSE(inferred, truth) >= MAE(inferred, truth)-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+	// Equal-magnitude errors: MAE = RMSE.
+	inferred := []float64{1, -1}
+	truth := map[int]float64{0: 0, 1: 0}
+	if m, r := MAE(inferred, truth), RMSE(inferred, truth); math.Abs(m-r) > 1e-12 {
+		t.Errorf("MAE %v != RMSE %v for equal-magnitude errors", m, r)
+	}
+}
+
+func TestPerfectPredictionIsZeroError(t *testing.T) {
+	inferred := []float64{3.5, -2, 0}
+	truth := map[int]float64{0: 3.5, 1: -2, 2: 0}
+	if got := MAE(inferred, truth); got != 0 {
+		t.Errorf("perfect MAE = %v", got)
+	}
+	if got := RMSE(inferred, truth); got != 0 {
+		t.Errorf("perfect RMSE = %v", got)
+	}
+}

@@ -1,0 +1,205 @@
+// Package randx provides the deterministic random-sampling substrate used
+// by the stochastic inference methods (Gibbs sampling in BCC/CBCC, random
+// initialization, tie-breaking) and by the dataset simulators: categorical,
+// Beta, Dirichlet and truncated-Gaussian sampling, shuffles, and the
+// bootstrap resampling used by the qualification-test experiment (§6.3.2
+// of the paper).
+//
+// All functions take an explicit *rand.Rand so that every experiment in
+// the repository is reproducible from a seed.
+package randx
+
+import (
+	"math"
+	"math/rand"
+)
+
+// New returns a seeded *rand.Rand with the splittable source from
+// math/rand. Use distinct seeds for independent experiment repetitions.
+func New(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Categorical draws an index from the (not necessarily normalized)
+// non-negative weight vector w. If all weights are zero it draws uniformly.
+// It panics on an empty weight vector, which is always a programming error
+// at the call sites in this repository.
+func Categorical(rng *rand.Rand, w []float64) int {
+	if len(w) == 0 {
+		panic("randx: Categorical on empty weights")
+	}
+	var total float64
+	for _, x := range w {
+		if x > 0 {
+			total += x
+		}
+	}
+	if total <= 0 {
+		return rng.Intn(len(w))
+	}
+	u := rng.Float64() * total
+	var c float64
+	for i, x := range w {
+		if x > 0 {
+			c += x
+		}
+		if u < c {
+			return i
+		}
+	}
+	return len(w) - 1
+}
+
+// Bernoulli returns true with probability p.
+func Bernoulli(rng *rand.Rand, p float64) bool {
+	return rng.Float64() < p
+}
+
+// Gamma draws from the Gamma(shape, 1) distribution using the
+// Marsaglia–Tsang method, with the standard shape<1 boost.
+func Gamma(rng *rand.Rand, shape float64) float64 {
+	if shape <= 0 {
+		return math.NaN()
+	}
+	if shape < 1 {
+		// Boost: Gamma(a) = Gamma(a+1) * U^{1/a}
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		return Gamma(rng, shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3
+	c := 1 / math.Sqrt(9*d)
+	for {
+		var x, v float64
+		for {
+			x = rng.NormFloat64()
+			v = 1 + c*x
+			if v > 0 {
+				break
+			}
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// Beta draws from the Beta(a, b) distribution.
+func Beta(rng *rand.Rand, a, b float64) float64 {
+	x := Gamma(rng, a)
+	y := Gamma(rng, b)
+	if x+y == 0 {
+		return 0.5
+	}
+	return x / (x + y)
+}
+
+// Dirichlet draws a probability vector from Dirichlet(alpha). The result
+// has the same length as alpha.
+func Dirichlet(rng *rand.Rand, alpha []float64) []float64 {
+	out := make([]float64, len(alpha))
+	var sum float64
+	for i, a := range alpha {
+		g := Gamma(rng, a)
+		out[i] = g
+		sum += g
+	}
+	if sum <= 0 {
+		u := 1 / float64(len(alpha))
+		for i := range out {
+			out[i] = u
+		}
+		return out
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// TruncNormal draws from N(mu, sigma²) truncated to [lo, hi] by rejection
+// with a safe fallback to clamping after too many rejections (which can
+// only happen for pathological intervals far in the tail).
+func TruncNormal(rng *rand.Rand, mu, sigma, lo, hi float64) float64 {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	for i := 0; i < 1000; i++ {
+		x := mu + sigma*rng.NormFloat64()
+		if x >= lo && x <= hi {
+			return x
+		}
+	}
+	return math.Min(math.Max(mu, lo), hi)
+}
+
+// Shuffle permutes xs in place.
+func Shuffle[T any](rng *rand.Rand, xs []T) {
+	rng.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// SampleWithoutReplacement returns k distinct indices drawn uniformly from
+// [0, n). If k >= n it returns the full identity permutation (shuffled).
+func SampleWithoutReplacement(rng *rand.Rand, n, k int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	Shuffle(rng, idx)
+	if k >= n {
+		return idx
+	}
+	return idx[:k]
+}
+
+// Bootstrap returns k indices drawn uniformly with replacement from [0, n).
+// This is the bootstrap resampling used to simulate a worker's answers to
+// a qualification test (paper §6.3.2).
+func Bootstrap(rng *rand.Rand, n, k int) []int {
+	out := make([]int, k)
+	for i := range out {
+		out[i] = rng.Intn(n)
+	}
+	return out
+}
+
+// Zipf draws from a bounded Zipf-like distribution over {0,...,n-1} with
+// exponent s, i.e. Pr(i) ∝ 1/(i+1)^s. It is used by the dataset
+// simulators to produce the long-tail worker redundancy of Figure 2.
+type Zipf struct {
+	cum []float64
+}
+
+// NewZipf precomputes the cumulative weights for a bounded Zipf
+// distribution with n atoms and exponent s > 0.
+func NewZipf(n int, s float64) *Zipf {
+	cum := make([]float64, n)
+	var total float64
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		cum[i] = total
+	}
+	return &Zipf{cum: cum}
+}
+
+// Draw samples an atom index in [0, n).
+func (z *Zipf) Draw(rng *rand.Rand) int {
+	u := rng.Float64() * z.cum[len(z.cum)-1]
+	lo, hi := 0, len(z.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,297 @@
+package simulate
+
+import (
+	"math/rand"
+
+	"truthinference/internal/dataset"
+	"truthinference/internal/mathx"
+	"truthinference/internal/randx"
+)
+
+// genDProduct builds the entity-resolution decision dataset.
+//
+// Calibration targets (Table 5 / §6.1.2 / §6.3.1(4)): 8315 tasks, 24945
+// answers (redundancy 3), 176 workers, truth skew 1101 T : 7214 F.
+// Workers find *different* products easy (one spotted difference settles
+// the task → high q_FF) and *same* products hard (all features must match
+// → low q_TT); a minority are spammers, and a small fraction of product
+// pairs are intrinsically ambiguous (per-task hardness). This asymmetry
+// is exactly what makes confusion-matrix methods dominate
+// worker-probability methods on F1 in the paper.
+func genDProduct(rng *rand.Rand, scale float64) *dataset.Dataset {
+	numTasks := scaleCount(8315, scale, 60)
+	numWorkers := scaleCount(176, scale, 12)
+	numAnswers := 3 * numTasks
+	numPos := scaleCount(1101, scale, 8)
+
+	truth := make([]int, numTasks)
+	for _, i := range randx.SampleWithoutReplacement(rng, numTasks, numPos) {
+		truth[i] = 1
+	}
+
+	workers := make([]catWorker, numWorkers)
+	for w := range workers {
+		if rng.Float64() < 0.12 {
+			// Spammer: near-random on both classes.
+			workers[w] = catWorker{conf: drawBetaConfusion(rng, 2,
+				[]float64{10, 10}, []float64{10, 10}, nil)}
+			continue
+		}
+		// Normal worker: row 0 = truth F (easy, acc ≈ 0.94),
+		// row 1 = truth T (hard, acc ≈ 0.60).
+		workers[w] = catWorker{conf: drawBetaConfusion(rng, 2,
+			[]float64{33, 6}, []float64{2, 4}, nil)}
+	}
+
+	assignment := assign(rng, numTasks, numWorkers, numAnswers, 0.9)
+	hardness := hardTasks(rng, numTasks, 0.08, 0.85)
+	return buildCategorical(rng, "D_Product", dataset.Decision, 2, truth,
+		allTasks(numTasks), workers, assignment, hardness)
+}
+
+// genDPosSent builds the tweet-sentiment decision dataset.
+//
+// Calibration targets: 1000 tasks, 20000 answers (redundancy 20), 85
+// workers, truth 528 positive / 472 negative, mean worker accuracy ≈ 0.79
+// with symmetric per-class behavior (Accuracy ≈ F1 in the paper because
+// the classes are balanced). A tenth of the tweets are genuinely
+// ambiguous; they put the ≈96% quality ceiling on every method that the
+// paper observes despite 20-fold redundancy.
+func genDPosSent(rng *rand.Rand, scale float64) *dataset.Dataset {
+	numTasks := scaleCount(1000, scale, 50)
+	numWorkers := scaleCount(85, scale, 10)
+	numAnswers := 20 * numTasks
+	numPos := scaleCount(528, scale, 25)
+
+	truth := make([]int, numTasks)
+	for _, i := range randx.SampleWithoutReplacement(rng, numTasks, numPos) {
+		truth[i] = 1
+	}
+
+	workers := make([]catWorker, numWorkers)
+	for w := range workers {
+		if rng.Float64() < 0.18 {
+			workers[w] = catWorker{conf: drawBetaConfusion(rng, 2,
+				[]float64{10, 10}, []float64{10, 10}, nil)}
+			continue
+		}
+		// Symmetric competent worker, accuracy ≈ 0.86 on both classes.
+		acc := 12 + 6*rng.Float64()
+		workers[w] = catWorker{conf: drawBetaConfusion(rng, 2,
+			[]float64{acc, acc}, []float64{2.4, 2.4}, nil)}
+	}
+
+	assignment := assign(rng, numTasks, numWorkers, numAnswers, 0.55)
+	hardness := hardTasks(rng, numTasks, 0.10, 0.9)
+	return buildCategorical(rng, "D_PosSent", dataset.Decision, 2, truth,
+		allTasks(numTasks), workers, assignment, hardness)
+}
+
+// genSRel builds the 4-choice relevance-judging dataset.
+//
+// Calibration targets: 20232 tasks (truth published for 4460), 98453
+// answers (redundancy ≈ 4.9), 766 workers, mean worker accuracy ≈ 0.53 —
+// the lowest-quality crowd of the benchmark. Workers systematically
+// confuse *adjacent* relevance grades (highly-relevant ↔ relevant,
+// non-relevant ↔ broken-link) and a sizable fraction collapse the scale
+// entirely; this class-structured noise is what confusion-matrix methods
+// (D&S/BCC/LFC ≈ 61%) can exploit but worker-probability methods cannot
+// (ZC drops below MV, §6.3.1). A quarter of the documents are ambiguous.
+func genSRel(rng *rand.Rand, scale float64) *dataset.Dataset {
+	const ell = 4
+	numTasks := scaleCount(20232, scale, 120)
+	numWorkers := scaleCount(766, scale, 30)
+	numAnswers := scaleCount(98453, scale, 4*120)
+	numTruth := scaleCount(4460, scale, 60)
+
+	// Relevance grades are skewed toward non-relevant in TREC judging.
+	classDist := []float64{0.15, 0.25, 0.45, 0.15}
+	truth := make([]int, numTasks)
+	for i := range truth {
+		truth[i] = randx.Categorical(rng, classDist)
+	}
+
+	// Adjacent-grade confusability: stronger weight for neighbor classes.
+	adjacent := [][]float64{
+		{0, 3, 1, 0.5},
+		{2.5, 0, 2.5, 0.5},
+		{0.5, 2, 0, 2.5},
+		{0.5, 0.5, 3, 0},
+	}
+	workers := make([]catWorker, numWorkers)
+	for w := range workers {
+		r := rng.Float64()
+		switch {
+		case r < 0.18:
+			// Spammer: uniform-ish answers.
+			workers[w] = catWorker{conf: drawBetaConfusion(rng, ell,
+				[]float64{5, 5, 5, 5}, []float64{15, 15, 15, 15}, nil)}
+		case r < 0.30:
+			// Scale-collapser: strong systematic bias — "relevant" for
+			// the two relevant grades, "non-relevant" otherwise.
+			// Recoverable by confusion matrices, poison for
+			// worker-probability methods (the collapser looks
+			// *consistent*, so ZC trusts it).
+			conf := [][]float64{
+				{0.12, 0.72, 0.11, 0.05},
+				{0.05, 0.74, 0.16, 0.05},
+				{0.04, 0.16, 0.75, 0.05},
+				{0.05, 0.10, 0.72, 0.13},
+			}
+			workers[w] = catWorker{conf: perturbRows(rng, conf, 25)}
+		default:
+			// Mediocre grader with adjacent confusion, diag ≈ 0.53.
+			workers[w] = catWorker{conf: drawBetaConfusion(rng, ell,
+				[]float64{8, 8, 8, 8}, []float64{7, 7, 7, 7}, adjacent)}
+		}
+	}
+
+	assignment := assign(rng, numTasks, numWorkers, numAnswers, 0.85)
+	hardness := hardTasks(rng, numTasks, 0.18, 0.75)
+	return buildCategorical(rng, "S_Rel", dataset.SingleChoice, ell, truth,
+		pickTruthSubset(rng, numTasks, numTruth), workers, assignment, hardness)
+}
+
+// genSAdult builds the 4-choice website adult-rating dataset.
+//
+// Calibration targets: 11040 tasks (truth for 1517), 92721 answers
+// (redundancy ≈ 8.4), 825 workers. The paper's striking property is that
+// *every* method lands at ≈ 36% accuracy, barely above the 'G' class
+// frequency: the very-high-volume workers that dominate every task's
+// answer set are nearly signal-free and share a bias toward 'G', and the
+// remaining workers are only mildly better with the same bias — so no
+// weighting scheme can recover much. The generator ties worker quality to
+// Zipf rank (heavy rank ⇒ noisier + more biased) to reproduce exactly
+// that ceiling. Note: the published per-worker mean accuracy (0.65,
+// Fig 3d) is inconsistent with every method scoring 36% under any
+// plausible answer distribution; we calibrate to the method table, the
+// deviation is recorded in EXPERIMENTS.md.
+func genSAdult(rng *rand.Rand, scale float64) *dataset.Dataset {
+	const ell = 4
+	numTasks := scaleCount(11040, scale, 120)
+	numWorkers := scaleCount(825, scale, 30)
+	numAnswers := scaleCount(92721, scale, 8*120)
+	numTruth := scaleCount(1517, scale, 60)
+
+	classDist := []float64{0.36, 0.28, 0.21, 0.15}
+	truth := make([]int, numTasks)
+	for i := range truth {
+		truth[i] = randx.Categorical(rng, classDist)
+	}
+
+	heavyCut := numWorkers / 20 // top 5% of Zipf ranks carry most answers
+	if heavyCut < 1 {
+		heavyCut = 1
+	}
+	workers := make([]catWorker, numWorkers)
+	for w := range workers {
+		if w < heavyCut {
+			// Heavy near-random worker biased toward 'G': diagonal at
+			// chance level, strong pull to class 0 whatever the truth.
+			conf := [][]float64{
+				{0.55, 0.20, 0.15, 0.10},
+				{0.52, 0.24, 0.14, 0.10},
+				{0.50, 0.20, 0.20, 0.10},
+				{0.48, 0.20, 0.16, 0.16},
+			}
+			workers[w] = catWorker{conf: perturbRows(rng, conf, 40)}
+			continue
+		}
+		// Light worker: barely more informative, same 'G' pull — the
+		// whole crowd shares the systematic bias, which is what pins
+		// every method near the 'G' class frequency.
+		conf := [][]float64{
+			{0.58, 0.19, 0.14, 0.09},
+			{0.44, 0.32, 0.14, 0.10},
+			{0.42, 0.19, 0.28, 0.11},
+			{0.40, 0.18, 0.17, 0.25},
+		}
+		workers[w] = catWorker{conf: perturbRows(rng, conf, 30)}
+	}
+
+	assignment := assign(rng, numTasks, numWorkers, numAnswers, 1.5)
+	hardness := hardTasks(rng, numTasks, 0.20, 0.8)
+	return buildCategorical(rng, "S_Adult", dataset.SingleChoice, ell, truth,
+		pickTruthSubset(rng, numTasks, numTruth), workers, assignment, hardness)
+}
+
+// genNEmotion builds the numeric emotion-scoring dataset.
+//
+// Calibration targets: 700 tasks, 7000 answers (redundancy 10), 38
+// workers, answers in [-100, 100], per-worker RMSE in [20, 45] with mean
+// ≈ 28.9 (Figure 3e). Two structural properties drive the paper's method
+// ranking (Mean best, CATD worst): every task carries a shared ambiguity
+// offset that all workers perceive, and each worker carries a sizable
+// systematic bias. Averaging over many workers cancels the biases, but
+// quality-weighting concentrates mass on a few low-variance workers whose
+// biases then do *not* cancel — so Mean beats PM which beats CATD,
+// exactly the Figure 6 / Table 6 ordering.
+func genNEmotion(rng *rand.Rand, scale float64) *dataset.Dataset {
+	numTasks := scaleCount(700, scale, 40)
+	numWorkers := scaleCount(38, scale, 8)
+	numAnswers := 10 * numTasks
+
+	truth := make([]float64, numTasks)
+	taskShift := make([]float64, numTasks)
+	for i := range truth {
+		truth[i] = randx.TruncNormal(rng, 0, 40, -100, 100)
+		taskShift[i] = 12 * rng.NormFloat64()
+	}
+
+	workers := make([]numWorker, numWorkers)
+	for w := range workers {
+		// Bias-variance correlated mixture: three quarters of the
+		// workers are *precise but systematically high* (+10, σ≈13), a
+		// quarter *noisy and systematically low* (-30, σ≈25). The
+		// mixture's mean bias is ≈ 0, so averaging all workers cancels
+		// it (Mean wins); any scheme that weights by apparent precision
+		// concentrates on the positive-bias cluster whose shared +10
+		// offset then cannot cancel (CATD worst, then PM/LFC_N), and the
+		// per-task median also sits inside the positive cluster (Median
+		// loses) — the paper's Figure 6 / Table 6 ordering.
+		bias := 10 + 2*rng.NormFloat64()
+		sigma := 13 + 2*rng.Float64()
+		if rng.Float64() < 0.25 {
+			bias = -30 + 4*rng.NormFloat64()
+			sigma = 25 + 4*rng.Float64()
+		}
+		workers[w] = numWorker{bias: bias, sigma: sigma}
+	}
+
+	assignment := assign(rng, numTasks, numWorkers, numAnswers, 0.5)
+	answers := make([]dataset.Answer, 0, numAnswers)
+	for i, ws := range assignment {
+		for _, w := range ws {
+			v := truth[i] + taskShift[i] + workers[w].bias + workers[w].sigma*rng.NormFloat64()
+			answers = append(answers, dataset.Answer{
+				Task:   i,
+				Worker: w,
+				Value:  mathx.Clamp(v, -100, 100),
+			})
+		}
+	}
+	truthMap := make(map[int]float64, numTasks)
+	for i, v := range truth {
+		truthMap[i] = v
+	}
+	d, err := dataset.New("N_Emotion", dataset.Numeric, 0, numTasks, numWorkers, answers, truthMap)
+	if err != nil {
+		panic("simulate: generated invalid dataset: " + err.Error())
+	}
+	return d
+}
+
+// perturbRows resamples each row of a template confusion matrix from a
+// Dirichlet centered on it with the given concentration, giving each
+// worker an individual variation of the archetype.
+func perturbRows(rng *rand.Rand, template [][]float64, concentration float64) [][]float64 {
+	out := make([][]float64, len(template))
+	alpha := make([]float64, len(template))
+	for j, row := range template {
+		for k, p := range row {
+			alpha[k] = p*concentration + 0.2
+		}
+		out[j] = randx.Dirichlet(rng, alpha)
+	}
+	return out
+}

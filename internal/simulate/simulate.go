@@ -1,0 +1,284 @@
+// Package simulate generates synthetic equivalents of the five real
+// crowdsourcing datasets used by the paper's evaluation (Table 5):
+// D_Product, D_PosSent, S_Rel, S_Adult and N_Emotion. The original crowd
+// answers are hosted on a project page that is not available offline, so
+// each generator is calibrated to the published statistics instead:
+//
+//   - task, answer and worker counts and the truth-bearing subset size
+//     (Table 5);
+//   - truth skew (D_Product 1101 T / 7214 F ≈ the 0.12:0.88 ratio of
+//     §6.1.2; D_PosSent 528/472);
+//   - long-tail worker redundancy via Zipf task assignment (Figure 2);
+//   - worker quality mixtures matching the Figure 3 histograms and the
+//     §6.2.3 mean accuracies (0.79, 0.79, 0.53, 0.65) and mean RMSE
+//     (≈28.9 for N_Emotion);
+//   - the structural properties §6.3 attributes each dataset's method
+//     ranking to: asymmetric per-class accuracies in D_Product (workers
+//     spot different products easily but same products rarely — high
+//     q_FF, low q_TT), systematic class confusion in S_Rel, heavy
+//     near-random high-volume workers in S_Adult, and shared per-task
+//     bias in N_Emotion (which is why Mean beats the weighted methods).
+//
+// Because these are the properties the paper's findings hinge on, the
+// benchmark harness exercises the same code paths and reproduces the same
+// qualitative shapes even though absolute numbers differ from the 2017
+// crowd.
+package simulate
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"truthinference/internal/dataset"
+	"truthinference/internal/randx"
+)
+
+// Kind selects one of the five benchmark datasets.
+type Kind int
+
+const (
+	// DProduct is the entity-resolution decision dataset (Table 5 row 1).
+	DProduct Kind = iota
+	// DPosSent is the tweet-sentiment decision dataset (row 2).
+	DPosSent
+	// SRel is the 4-choice relevance-judging dataset (row 3).
+	SRel
+	// SAdult is the 4-choice website adult-rating dataset (row 4).
+	SAdult
+	// NEmotion is the numeric emotion-scoring dataset (row 5).
+	NEmotion
+)
+
+// Kinds lists all five datasets in Table-5 order.
+var Kinds = []Kind{DProduct, DPosSent, SRel, SAdult, NEmotion}
+
+// String implements fmt.Stringer with the paper's dataset names.
+func (k Kind) String() string {
+	switch k {
+	case DProduct:
+		return "D_Product"
+	case DPosSent:
+		return "D_PosSent"
+	case SRel:
+		return "S_Rel"
+	case SAdult:
+		return "S_Adult"
+	case NEmotion:
+		return "N_Emotion"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// KindFromName parses a paper dataset name.
+func KindFromName(name string) (Kind, error) {
+	for _, k := range Kinds {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("simulate: unknown dataset %q", name)
+}
+
+// Generate produces the full-scale synthetic dataset for kind,
+// deterministically from seed.
+func Generate(kind Kind, seed int64) *dataset.Dataset {
+	return GenerateScaled(kind, seed, 1)
+}
+
+// GenerateScaled produces a dataset whose task, worker and answer counts
+// are scaled by the given factor (0 < scale ≤ 1); the worker population
+// mixture and redundancy are preserved. Scaled-down datasets keep the
+// qualitative method ranking and are used by the test suite and the
+// testing.B benches to bound runtime.
+func GenerateScaled(kind Kind, seed int64, scale float64) *dataset.Dataset {
+	if scale <= 0 || scale > 1 {
+		scale = 1
+	}
+	rng := randx.New(seed ^ int64(kind)*0x5851F42D4C957F2D)
+	switch kind {
+	case DProduct:
+		return genDProduct(rng, scale)
+	case DPosSent:
+		return genDPosSent(rng, scale)
+	case SRel:
+		return genSRel(rng, scale)
+	case SAdult:
+		return genSAdult(rng, scale)
+	case NEmotion:
+		return genNEmotion(rng, scale)
+	default:
+		panic("simulate: unknown kind")
+	}
+}
+
+// All generates the five datasets at full scale.
+func All(seed int64) []*dataset.Dataset {
+	out := make([]*dataset.Dataset, len(Kinds))
+	for i, k := range Kinds {
+		out[i] = Generate(k, seed)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Shared machinery
+
+// catWorker is a categorical worker: an ℓ×ℓ confusion matrix.
+type catWorker struct {
+	conf [][]float64
+}
+
+func (w catWorker) answer(rng *rand.Rand, truth int) int {
+	return randx.Categorical(rng, w.conf[truth])
+}
+
+// numWorker is a numeric worker with a systematic bias and answer noise.
+type numWorker struct {
+	bias  float64
+	sigma float64
+}
+
+// scaleCount scales an integer count, keeping at least lo.
+func scaleCount(n int, scale float64, lo int) int {
+	v := int(math.Round(float64(n) * scale))
+	if v < lo {
+		v = lo
+	}
+	return v
+}
+
+// assign distributes exactly numAnswers answers over numTasks tasks with
+// per-task redundancy base or base+1 (matching the Table-5 |V|/n values),
+// assigning distinct workers per task drawn from a bounded Zipf
+// distribution — the long-tail worker redundancy of Figure 2.
+func assign(rng *rand.Rand, numTasks, numWorkers, numAnswers int, zipfExp float64) [][]int {
+	base := numAnswers / numTasks
+	extra := numAnswers - base*numTasks
+	perTask := make([]int, numTasks)
+	for i := range perTask {
+		perTask[i] = base
+	}
+	for _, i := range randx.SampleWithoutReplacement(rng, numTasks, extra) {
+		perTask[i]++
+	}
+	z := randx.NewZipf(numWorkers, zipfExp)
+	out := make([][]int, numTasks)
+	seen := make(map[int]bool, 32)
+	for i, r := range perTask {
+		if r > numWorkers {
+			r = numWorkers
+		}
+		ws := make([]int, 0, r)
+		for k := range seen {
+			delete(seen, k)
+		}
+		for len(ws) < r {
+			w := z.Draw(rng)
+			if seen[w] {
+				continue
+			}
+			seen[w] = true
+			ws = append(ws, w)
+		}
+		out[i] = ws
+	}
+	return out
+}
+
+// pickTruthSubset returns a random subset of task ids of size k (the
+// truth-bearing subset of Table 5 for the large single-choice datasets).
+func pickTruthSubset(rng *rand.Rand, numTasks, k int) []int {
+	return randx.SampleWithoutReplacement(rng, numTasks, k)
+}
+
+// drawBetaConfusion builds an ℓ×ℓ confusion matrix whose diagonal entries
+// are Beta(a,b) draws (per-class accuracy) with the off-diagonal residual
+// split by offWeights (nil = uniform).
+func drawBetaConfusion(rng *rand.Rand, ell int, diagA, diagB []float64, offWeights [][]float64) [][]float64 {
+	conf := make([][]float64, ell)
+	for j := 0; j < ell; j++ {
+		row := make([]float64, ell)
+		diag := randx.Beta(rng, diagA[j], diagB[j])
+		row[j] = diag
+		rem := 1 - diag
+		var wsum float64
+		for k := 0; k < ell; k++ {
+			if k == j {
+				continue
+			}
+			w := 1.0
+			if offWeights != nil {
+				w = offWeights[j][k]
+			}
+			wsum += w
+		}
+		for k := 0; k < ell; k++ {
+			if k == j {
+				continue
+			}
+			w := 1.0
+			if offWeights != nil {
+				w = offWeights[j][k]
+			}
+			row[k] = rem * w / wsum
+		}
+		conf[j] = row
+	}
+	return conf
+}
+
+// buildCategorical draws every answer and assembles the dataset. hardness,
+// when non-nil, holds a per-task probability that an answer to the task is
+// drawn uniformly at random instead of from the worker's confusion row —
+// the "task difficulty" component that correlates errors across workers on
+// ambiguous tasks (without it, 20 answers per task would make D_PosSent
+// trivially solvable, unlike the paper's ≈96% ceiling).
+func buildCategorical(rng *rand.Rand, name string, typ dataset.TaskType, ell int, truth []int, truthKnown []int, workers []catWorker, assignment [][]int, hardness []float64) *dataset.Dataset {
+	answers := make([]dataset.Answer, 0, 1024)
+	for i, ws := range assignment {
+		for _, w := range ws {
+			var label int
+			if hardness != nil && rng.Float64() < hardness[i] {
+				label = rng.Intn(ell)
+			} else {
+				label = workers[w].answer(rng, truth[i])
+			}
+			answers = append(answers, dataset.Answer{
+				Task:   i,
+				Worker: w,
+				Value:  float64(label),
+			})
+		}
+	}
+	truthMap := make(map[int]float64, len(truthKnown))
+	for _, t := range truthKnown {
+		truthMap[t] = float64(truth[t])
+	}
+	d, err := dataset.New(name, typ, ell, len(truth), len(workers), answers, truthMap)
+	if err != nil {
+		panic("simulate: generated invalid dataset: " + err.Error())
+	}
+	return d
+}
+
+// hardTasks returns a per-task hardness vector: fraction hardFrac of the
+// tasks are "ambiguous" with mix-to-uniform probability hardMix, the rest
+// are easy (0).
+func hardTasks(rng *rand.Rand, numTasks int, hardFrac, hardMix float64) []float64 {
+	out := make([]float64, numTasks)
+	k := int(hardFrac * float64(numTasks))
+	for _, i := range randx.SampleWithoutReplacement(rng, numTasks, k) {
+		out[i] = hardMix
+	}
+	return out
+}
+
+func allTasks(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

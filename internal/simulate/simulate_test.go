@@ -1,0 +1,189 @@
+package simulate
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"truthinference/internal/dataset"
+)
+
+// TestTable5Calibration checks every generator reproduces the published
+// Table-5 statistics exactly at full scale: task, answer, worker and
+// truth-subset counts.
+func TestTable5Calibration(t *testing.T) {
+	want := []struct {
+		kind             Kind
+		tasks, answers   int
+		workers, truth   int
+		typ              dataset.TaskType
+		choices          int
+		redundancyApprox float64
+	}{
+		{DProduct, 8315, 24945, 176, 8315, dataset.Decision, 2, 3},
+		{DPosSent, 1000, 20000, 85, 1000, dataset.Decision, 2, 20},
+		{SRel, 20232, 98453, 766, 4460, dataset.SingleChoice, 4, 4.9},
+		{SAdult, 11040, 92721, 825, 1517, dataset.SingleChoice, 4, 8.4},
+		{NEmotion, 700, 7000, 38, 700, dataset.Numeric, 0, 10},
+	}
+	for _, c := range want {
+		d := Generate(c.kind, 1)
+		if d.NumTasks != c.tasks {
+			t.Errorf("%s: tasks = %d, want %d", c.kind, d.NumTasks, c.tasks)
+		}
+		if len(d.Answers) != c.answers {
+			t.Errorf("%s: answers = %d, want %d", c.kind, len(d.Answers), c.answers)
+		}
+		if d.NumWorkers != c.workers {
+			t.Errorf("%s: workers = %d, want %d", c.kind, d.NumWorkers, c.workers)
+		}
+		if len(d.Truth) != c.truth {
+			t.Errorf("%s: truth = %d, want %d", c.kind, len(d.Truth), c.truth)
+		}
+		if d.Type != c.typ || d.NumChoices != c.choices {
+			t.Errorf("%s: type/choices = %v/%d", c.kind, d.Type, d.NumChoices)
+		}
+		if r := d.Redundancy(); math.Abs(r-c.redundancyApprox) > 0.1 {
+			t.Errorf("%s: redundancy %.2f, want ≈ %.1f", c.kind, r, c.redundancyApprox)
+		}
+	}
+}
+
+func TestDProductTruthSkew(t *testing.T) {
+	d := Generate(DProduct, 1)
+	pos := 0
+	for _, v := range d.Truth {
+		if v == 1 {
+			pos++
+		}
+	}
+	if pos != 1101 {
+		t.Errorf("positive truths = %d, want 1101 (§6.1.2)", pos)
+	}
+}
+
+func TestDPosSentTruthBalance(t *testing.T) {
+	d := Generate(DPosSent, 1)
+	pos := 0
+	for _, v := range d.Truth {
+		if v == 1 {
+			pos++
+		}
+	}
+	if pos != 528 {
+		t.Errorf("positive truths = %d, want 528", pos)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, k := range Kinds {
+		a := GenerateScaled(k, 7, 0.05)
+		b := GenerateScaled(k, 7, 0.05)
+		if !reflect.DeepEqual(a.Answers, b.Answers) {
+			t.Errorf("%s: answers differ across equal-seed generations", k)
+		}
+		c := GenerateScaled(k, 8, 0.05)
+		if reflect.DeepEqual(a.Answers, c.Answers) {
+			t.Errorf("%s: answers identical across different seeds", k)
+		}
+	}
+}
+
+func TestScaledGenerationValidAndProportional(t *testing.T) {
+	for _, k := range Kinds {
+		full := Generate(k, 1)
+		half := GenerateScaled(k, 1, 0.5)
+		ratio := float64(half.NumTasks) / float64(full.NumTasks)
+		if math.Abs(ratio-0.5) > 0.02 {
+			t.Errorf("%s: scaled task ratio %.3f, want ≈ 0.5", k, ratio)
+		}
+		// Redundancy must be preserved by scaling.
+		if math.Abs(half.Redundancy()-full.Redundancy()) > 0.35 {
+			t.Errorf("%s: redundancy %.2f vs full %.2f", k, half.Redundancy(), full.Redundancy())
+		}
+	}
+}
+
+func TestLongTailRedundancy(t *testing.T) {
+	// Figure 2's long tail: the busiest worker must answer far more tasks
+	// than the median worker, and most workers answer few tasks.
+	for _, k := range []Kind{DProduct, SRel, SAdult} {
+		d := GenerateScaled(k, 1, 0.3)
+		red := dataset.WorkerRedundancy(d)
+		maxR, sum := 0, 0
+		for _, r := range red {
+			if r > maxR {
+				maxR = r
+			}
+			sum += r
+		}
+		mean := float64(sum) / float64(len(red))
+		if float64(maxR) < 4*mean {
+			t.Errorf("%s: max redundancy %d < 4×mean %.1f — no long tail", k, maxR, mean)
+		}
+	}
+}
+
+func TestWorkerQualityBands(t *testing.T) {
+	// §6.2.3 reports the decision crowds' mean worker accuracy ≈ 0.79 and
+	// N_Emotion's mean worker RMSE ≈ 28.9; hold the simulators inside a
+	// generous band around those anchors.
+	dp := Generate(DProduct, 1)
+	if m := dataset.MeanWorkerQuality(dataset.WorkerAccuracy(dp)); m < 0.7 || m > 0.92 {
+		t.Errorf("D_Product mean worker accuracy %.3f outside [0.70, 0.92]", m)
+	}
+	ps := Generate(DPosSent, 1)
+	if m := dataset.MeanWorkerQuality(dataset.WorkerAccuracy(ps)); m < 0.68 || m > 0.9 {
+		t.Errorf("D_PosSent mean worker accuracy %.3f outside [0.68, 0.90]", m)
+	}
+	sr := Generate(SRel, 1)
+	if m := dataset.MeanWorkerQuality(dataset.WorkerAccuracy(sr)); m < 0.4 || m > 0.62 {
+		t.Errorf("S_Rel mean worker accuracy %.3f outside [0.40, 0.62]", m)
+	}
+	ne := Generate(NEmotion, 1)
+	if m := dataset.MeanWorkerQuality(dataset.WorkerRMSE(ne)); m < 20 || m > 40 {
+		t.Errorf("N_Emotion mean worker RMSE %.1f outside [20, 40]", m)
+	}
+}
+
+func TestNEmotionAnswersInRange(t *testing.T) {
+	d := Generate(NEmotion, 1)
+	for _, a := range d.Answers {
+		if a.Value < -100 || a.Value > 100 {
+			t.Fatalf("answer %v outside [-100, 100]", a.Value)
+		}
+	}
+	for _, v := range d.Truth {
+		if v < -100 || v > 100 {
+			t.Fatalf("truth %v outside [-100, 100]", v)
+		}
+	}
+}
+
+func TestKindParsing(t *testing.T) {
+	for _, k := range Kinds {
+		got, err := KindFromName(k.String())
+		if err != nil || got != k {
+			t.Errorf("KindFromName(%s) = %v, %v", k, got, err)
+		}
+	}
+	if _, err := KindFromName("nope"); err == nil {
+		t.Error("KindFromName(nope) should fail")
+	}
+}
+
+func TestEachTaskAnsweredByDistinctWorkers(t *testing.T) {
+	for _, k := range Kinds {
+		d := GenerateScaled(k, 1, 0.05)
+		for task := 0; task < d.NumTasks; task++ {
+			seen := map[int]bool{}
+			for _, ai := range d.TaskAnswers(task) {
+				w := d.Answers[ai].Worker
+				if seen[w] {
+					t.Fatalf("%s: worker %d answered task %d twice", k, w, task)
+				}
+				seen[w] = true
+			}
+		}
+	}
+}

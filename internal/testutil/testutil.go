@@ -1,0 +1,132 @@
+// Package testutil provides small planted-truth crowd generators shared by
+// the method test suites: crowds with known worker accuracies where a
+// correct inference method must recover the planted truth.
+package testutil
+
+import (
+	"math/rand"
+
+	"truthinference/internal/dataset"
+)
+
+// CrowdSpec describes a planted-truth categorical crowd.
+type CrowdSpec struct {
+	NumTasks   int
+	NumWorkers int
+	NumChoices int
+	Redundancy int
+	// Accuracies[w] is worker w's probability of answering the truth;
+	// errors spread uniformly over the other choices. Defaults to 0.8
+	// for all workers when nil.
+	Accuracies []float64
+	Seed       int64
+}
+
+// Categorical builds a planted-truth decision or single-choice crowd.
+func Categorical(spec CrowdSpec) *dataset.Dataset {
+	if spec.NumChoices == 0 {
+		spec.NumChoices = 2
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	acc := spec.Accuracies
+	if acc == nil {
+		acc = make([]float64, spec.NumWorkers)
+		for w := range acc {
+			acc[w] = 0.8
+		}
+	}
+	truth := make(map[int]float64, spec.NumTasks)
+	var answers []dataset.Answer
+	for i := 0; i < spec.NumTasks; i++ {
+		tv := rng.Intn(spec.NumChoices)
+		truth[i] = float64(tv)
+		perm := rng.Perm(spec.NumWorkers)
+		r := spec.Redundancy
+		if r > spec.NumWorkers {
+			r = spec.NumWorkers
+		}
+		for _, w := range perm[:r] {
+			l := tv
+			if rng.Float64() > acc[w] {
+				shift := 1 + rng.Intn(spec.NumChoices-1)
+				l = (tv + shift) % spec.NumChoices
+			}
+			answers = append(answers, dataset.Answer{Task: i, Worker: w, Value: float64(l)})
+		}
+	}
+	typ := dataset.Decision
+	if spec.NumChoices > 2 {
+		typ = dataset.SingleChoice
+	}
+	d, err := dataset.New("testcrowd", typ, spec.NumChoices, spec.NumTasks, spec.NumWorkers, answers, truth)
+	if err != nil {
+		panic("testutil: invalid crowd: " + err.Error())
+	}
+	return d
+}
+
+// NumericSpec describes a planted-truth numeric crowd.
+type NumericSpec struct {
+	NumTasks   int
+	NumWorkers int
+	Redundancy int
+	// Sigmas[w] is worker w's answer noise; defaults to 10 when nil.
+	Sigmas []float64
+	// Biases[w] is worker w's systematic offset; defaults to 0 when nil.
+	Biases []float64
+	// TruthScale is the std-dev of planted truths (default 50).
+	TruthScale float64
+	Seed       int64
+}
+
+// Numeric builds a planted-truth numeric crowd.
+func Numeric(spec NumericSpec) *dataset.Dataset {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	if spec.TruthScale == 0 {
+		spec.TruthScale = 50
+	}
+	sig := spec.Sigmas
+	if sig == nil {
+		sig = make([]float64, spec.NumWorkers)
+		for w := range sig {
+			sig[w] = 10
+		}
+	}
+	bias := spec.Biases
+	if bias == nil {
+		bias = make([]float64, spec.NumWorkers)
+	}
+	truth := make(map[int]float64, spec.NumTasks)
+	var answers []dataset.Answer
+	for i := 0; i < spec.NumTasks; i++ {
+		tv := spec.TruthScale * rng.NormFloat64()
+		truth[i] = tv
+		perm := rng.Perm(spec.NumWorkers)
+		r := spec.Redundancy
+		if r > spec.NumWorkers {
+			r = spec.NumWorkers
+		}
+		for _, w := range perm[:r] {
+			answers = append(answers, dataset.Answer{
+				Task: i, Worker: w,
+				Value: tv + bias[w] + sig[w]*rng.NormFloat64(),
+			})
+		}
+	}
+	d, err := dataset.New("testcrowd-numeric", dataset.Numeric, 0, spec.NumTasks, spec.NumWorkers, answers, truth)
+	if err != nil {
+		panic("testutil: invalid numeric crowd: " + err.Error())
+	}
+	return d
+}
+
+// AccuracyOf scores inferred labels against the planted truth.
+func AccuracyOf(truthMap map[int]float64, inferred []float64) float64 {
+	correct := 0
+	for t, v := range truthMap {
+		if int(inferred[t]) == int(v) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(truthMap))
+}

@@ -1,0 +1,34 @@
+package truthinference
+
+import "truthinference/internal/metrics"
+
+// PositiveLabel is the label index treated as the positive class ("T") by
+// the F1-score on decision-making tasks, matching Eq. 4 of the paper.
+const PositiveLabel = 1
+
+// Accuracy is the fraction of truth-bearing tasks inferred correctly
+// (paper Eq. 3).
+func Accuracy(inferred []float64, truth map[int]float64) float64 {
+	return metrics.Accuracy(inferred, truth)
+}
+
+// F1 is the F1-score of the positive class on decision-making tasks
+// (paper Eq. 4).
+func F1(inferred []float64, truth map[int]float64) float64 {
+	return metrics.F1(inferred, truth, PositiveLabel)
+}
+
+// PrecisionRecall returns precision and recall of the positive class.
+func PrecisionRecall(inferred []float64, truth map[int]float64) (precision, recall float64) {
+	return metrics.PrecisionRecall(inferred, truth, PositiveLabel)
+}
+
+// MAE is the mean absolute error for numeric tasks (paper Eq. 5).
+func MAE(inferred []float64, truth map[int]float64) float64 {
+	return metrics.MAE(inferred, truth)
+}
+
+// RMSE is the root mean square error for numeric tasks (paper Eq. 5).
+func RMSE(inferred []float64, truth map[int]float64) float64 {
+	return metrics.RMSE(inferred, truth)
+}

@@ -1,0 +1,38 @@
+package truthinference
+
+import "truthinference/internal/simulate"
+
+// DatasetKind selects one of the five benchmark datasets of Table 5.
+type DatasetKind = simulate.Kind
+
+// The five benchmark datasets in Table-5 order.
+const (
+	DProduct = simulate.DProduct
+	DPosSent = simulate.DPosSent
+	SRel     = simulate.SRel
+	SAdult   = simulate.SAdult
+	NEmotion = simulate.NEmotion
+)
+
+// DatasetKinds lists the five benchmark datasets in Table-5 order.
+var DatasetKinds = simulate.Kinds
+
+// SimulateDataset generates the calibrated synthetic version of one of
+// the paper's five benchmark datasets, deterministically from seed. See
+// internal/simulate for the calibration details and DESIGN.md §4 for the
+// substitution rationale.
+func SimulateDataset(kind DatasetKind, seed int64) *Dataset {
+	return simulate.Generate(kind, seed)
+}
+
+// SimulateDatasetScaled generates a size-scaled variant (0 < scale ≤ 1)
+// preserving the worker-population mixture and redundancy; used to bound
+// test and bench runtime.
+func SimulateDatasetScaled(kind DatasetKind, seed int64, scale float64) *Dataset {
+	return simulate.GenerateScaled(kind, seed, scale)
+}
+
+// SimulateAll generates all five benchmark datasets at full scale.
+func SimulateAll(seed int64) []*Dataset {
+	return simulate.All(seed)
+}

@@ -1,0 +1,167 @@
+// Package truthinference is a from-scratch Go reproduction of the VLDB
+// 2017 benchmark "Truth Inference in Crowdsourcing: Is the Problem
+// Solved?" (Zheng, Li, Li, Shan, Cheng; PVLDB 10(5)).
+//
+// It provides:
+//
+//   - all 17 truth-inference methods surveyed by the paper (MV, ZC, GLAD,
+//     D&S, Minimax, BCC, CBCC, LFC, CATD, PM, Multi, KOS, VI-BP, VI-MF,
+//     LFC_N, Mean, Median) behind one Method interface;
+//   - the task/worker/answer data model with TSV persistence;
+//   - the evaluation metrics of §6.1.2 (Accuracy, F1, MAE, RMSE);
+//   - calibrated synthetic versions of the paper's 5 benchmark datasets;
+//   - the full experiment harness (redundancy sweeps, qualification test,
+//     hidden test, crowd-data statistics) that regenerates every table
+//     and figure of the paper's evaluation section.
+//
+// Quick start:
+//
+//	ds := truthinference.SimulateDataset(truthinference.DProduct, 1)
+//	res, err := truthinference.Infer("D&S", ds, truthinference.Options{Seed: 7})
+//	if err != nil { ... }
+//	acc := truthinference.Accuracy(res.Truth, ds.Truth)
+//
+// The package re-exports the internal building blocks through type
+// aliases so downstream users only ever import this one path.
+package truthinference
+
+import (
+	"fmt"
+	"sort"
+
+	"truthinference/internal/core"
+	"truthinference/internal/dataset"
+	"truthinference/internal/methods/bcc"
+	"truthinference/internal/methods/catd"
+	"truthinference/internal/methods/direct"
+	"truthinference/internal/methods/ds"
+	"truthinference/internal/methods/glad"
+	"truthinference/internal/methods/kos"
+	"truthinference/internal/methods/lfc"
+	"truthinference/internal/methods/minimax"
+	"truthinference/internal/methods/multi"
+	"truthinference/internal/methods/pm"
+	"truthinference/internal/methods/vi"
+	"truthinference/internal/methods/zc"
+)
+
+// Core data-model and framework aliases. See the internal packages for
+// full documentation of each type.
+type (
+	// Dataset is a crowdsourced answer set with optional ground truth.
+	Dataset = dataset.Dataset
+	// Answer is one worker's answer for one task.
+	Answer = dataset.Answer
+	// TaskType enumerates decision-making, single-choice and numeric tasks.
+	TaskType = dataset.TaskType
+	// Stats is the Table-5 statistics row of a dataset.
+	Stats = dataset.Stats
+	// Method is a truth-inference algorithm.
+	Method = core.Method
+	// Options parameterizes an inference run (seed, convergence, golden
+	// tasks, qualification initialization).
+	Options = core.Options
+	// Result is the output of an inference run.
+	Result = core.Result
+	// Capabilities mirrors a method's Table-4 row.
+	Capabilities = core.Capabilities
+)
+
+// Task type constants re-exported from the data model.
+const (
+	Decision     = dataset.Decision
+	SingleChoice = dataset.SingleChoice
+	Numeric      = dataset.Numeric
+)
+
+// Errors re-exported from the framework.
+var (
+	ErrGoldenUnsupported        = core.ErrGoldenUnsupported
+	ErrQualificationUnsupported = core.ErrQualificationUnsupported
+	ErrTaskType                 = core.ErrTaskType
+)
+
+// NewDataset constructs and validates a Dataset; see dataset.New.
+func NewDataset(name string, typ TaskType, numChoices, numTasks, numWorkers int, answers []Answer, truth map[int]float64) (*Dataset, error) {
+	return dataset.New(name, typ, numChoices, numTasks, numWorkers, answers, truth)
+}
+
+// LoadDataset reads <base>.answers.tsv and <base>.truth.tsv.
+func LoadDataset(base string) (*Dataset, error) { return dataset.LoadFiles(base) }
+
+// SaveDataset writes <base>.answers.tsv and <base>.truth.tsv.
+func SaveDataset(base string, d *Dataset) error { return dataset.SaveFiles(base, d) }
+
+// ComputeStats returns the Table-5 statistics of a dataset.
+func ComputeStats(d *Dataset) Stats { return dataset.ComputeStats(d) }
+
+// NewRegistry returns fresh instances of all 17 methods, in the paper's
+// Table-4/Table-6 order.
+func NewRegistry() []Method {
+	return []Method{
+		direct.NewMV(),
+		zc.New(),
+		glad.New(),
+		ds.New(),
+		minimax.New(),
+		bcc.New(),
+		bcc.NewCBCC(),
+		lfc.New(),
+		catd.New(),
+		pm.New(),
+		multi.New(),
+		kos.New(),
+		vi.NewBP(),
+		vi.NewMF(),
+		lfc.NewNumeric(),
+		direct.NewMean(),
+		direct.NewMedian(),
+	}
+}
+
+// MethodNames returns the names of all 17 methods in registry order.
+func MethodNames() []string {
+	reg := NewRegistry()
+	out := make([]string, len(reg))
+	for i, m := range reg {
+		out[i] = m.Name()
+	}
+	return out
+}
+
+// GetMethod returns the method with the given paper name ("MV", "ZC",
+// "GLAD", "D&S", "Minimax", "BCC", "CBCC", "LFC", "CATD", "PM", "Multi",
+// "KOS", "VI-BP", "VI-MF", "LFC_N", "Mean", "Median"), or an error listing
+// the valid names.
+func GetMethod(name string) (Method, error) {
+	for _, m := range NewRegistry() {
+		if m.Name() == name {
+			return m, nil
+		}
+	}
+	names := MethodNames()
+	sort.Strings(names)
+	return nil, fmt.Errorf("truthinference: unknown method %q (valid: %v)", name, names)
+}
+
+// MethodsForType returns the methods applicable to datasets of type t, in
+// registry order — e.g. the 14 decision-making methods compared in
+// Figure 4 or the 5 numeric methods of Figure 6.
+func MethodsForType(t TaskType) []Method {
+	var out []Method
+	for _, m := range NewRegistry() {
+		if m.Capabilities().SupportsType(t) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Infer runs the named method on d.
+func Infer(method string, d *Dataset, opts Options) (*Result, error) {
+	m, err := GetMethod(method)
+	if err != nil {
+		return nil, err
+	}
+	return m.Infer(d, opts)
+}
