@@ -4,17 +4,26 @@
 // Usage:
 //
 //	benchall [-exp all|table5|fig2|fig3|consistency|fig4|fig5|fig6|table6|table7|fig7|fig8|fig9]
-//	         [-scale 0.15] [-repeats 3] [-seed 1] [-maxiter 0]
+//	         [-scale 0.15] [-repeats 3] [-seed 1] [-maxiter 0] [-parallelism 0]
 //
 // -scale scales dataset sizes (1 = the paper's full sizes; smaller values
 // keep the worker mixture and redundancy but bound runtime). The default
 // favors a complete run in a few minutes; use -scale 1 for full scale.
+//
+// -parallelism sets how many (method × dataset × repetition) experiment
+// cells run concurrently; 0 (the default) uses every available CPU and 1
+// forces the sequential order. Reported quality numbers (accuracy, F1,
+// MAE, RMSE, iteration counts) are identical at every parallelism level.
+// Per-method running times (the Table-6 Time column) are wall-clock
+// measurements and inflate under CPU contention from sibling cells — use
+// -parallelism 1 when comparing the paper's efficiency ordering.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	ti "truthinference"
@@ -25,16 +34,21 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (all, table5, fig2, fig3, consistency, fig4, fig5, fig6, table6, table7, fig7, fig8, fig9)")
-		scale   = flag.Float64("scale", 0.15, "dataset size scale in (0,1]")
-		repeats = flag.Int("repeats", 3, "repetitions to average for stochastic experiments")
-		seed    = flag.Int64("seed", 1, "base random seed")
-		maxIter = flag.Int("maxiter", 0, "cap iterative methods (0 = method defaults)")
+		exp         = flag.String("exp", "all", "experiment id (all, table5, fig2, fig3, consistency, fig4, fig5, fig6, table6, table7, fig7, fig8, fig9)")
+		scale       = flag.Float64("scale", 0.15, "dataset size scale in (0,1]")
+		repeats     = flag.Int("repeats", 3, "repetitions to average for stochastic experiments")
+		seed        = flag.Int64("seed", 1, "base random seed")
+		maxIter     = flag.Int("maxiter", 0, "cap iterative methods (0 = method defaults)")
+		parallelism = flag.Int("parallelism", 0, "concurrent experiment cells (0 = all CPUs, 1 = sequential)")
 	)
 	flag.Parse()
 
+	par := *parallelism
+	if par == 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
 	r := runner{
-		cfg:   experiment.Config{Seed: *seed, Repeats: *repeats, MaxIterations: *maxIter},
+		cfg:   experiment.Config{Seed: *seed, Repeats: *repeats, MaxIterations: *maxIter, Parallelism: par},
 		scale: *scale,
 		seed:  *seed,
 	}

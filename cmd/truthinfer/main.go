@@ -6,6 +6,11 @@
 //
 //	truthinfer -method D&S -data path/to/base [-seed 1] [-maxiter 0]
 //	           [-out inferred.tsv] [-golden 0.1] [-qualification]
+//	           [-parallelism 0]
+//
+// -parallelism fans the method's EM hot loops out over that many
+// goroutines (0 = all CPUs, 1 = sequential); the inferred result is
+// bit-identical at every parallelism level.
 //
 // -data expects the base path of a <base>.answers.tsv / <base>.truth.tsv
 // pair (see cmd/datagen to produce the five benchmark datasets).
@@ -34,6 +39,7 @@ func main() {
 		out           = flag.String("out", "", "optional path for the inferred truth TSV")
 		goldenFrac    = flag.Float64("golden", 0, "fraction of known truths to feed back as golden tasks")
 		qualification = flag.Bool("qualification", false, "initialize worker qualities from a simulated qualification test")
+		parallelism   = flag.Int("parallelism", 0, "worker goroutines for the EM hot loops (0 = all CPUs, 1 = sequential)")
 		list          = flag.Bool("list", false, "list available methods and exit")
 	)
 	flag.Parse()
@@ -53,7 +59,11 @@ func main() {
 	if err != nil {
 		fatal("load dataset: %v", err)
 	}
-	opts := ti.Options{Seed: *seed, MaxIterations: *maxIter}
+	par := *parallelism
+	if par == 0 {
+		par = ti.AutoParallelism
+	}
+	opts := ti.Options{Seed: *seed, MaxIterations: *maxIter, Parallelism: par}
 	evalTruth := d.Truth
 	if *goldenFrac > 0 {
 		golden, eval := d.SplitGolden(*goldenFrac, randx.New(*seed))

@@ -1,0 +1,3 @@
+module truthinference
+
+go 1.22

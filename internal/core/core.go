@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 
 	"truthinference/internal/dataset"
 )
@@ -53,7 +54,19 @@ type Options struct {
 	// is worker w's mean squared error on the qualification test, or NaN
 	// to keep the default.
 	QualificationError []float64
+
+	// Parallelism is the number of goroutines the iterative methods fan
+	// their EM hot loops out over (E-steps over tasks, M-steps over
+	// workers, message passing over answers). 0 or 1 runs sequentially;
+	// AutoParallelism uses one goroutine per available CPU. Results are
+	// bit-identical at every parallelism level — see internal/engine for
+	// the determinism contract.
+	Parallelism int
 }
+
+// AutoParallelism requests one worker goroutine per available CPU
+// (runtime.GOMAXPROCS) when assigned to Options.Parallelism.
+const AutoParallelism = -1
 
 // ErrGoldenUnsupported is returned by methods that cannot incorporate
 // hidden-test golden tasks (§6.3.3 found only 9 of 17 can).
@@ -83,6 +96,19 @@ func (o Options) Tol() float64 {
 	return DefaultTolerance
 }
 
+// Workers returns the effective worker-goroutine count: 1 when
+// Parallelism is unset, runtime.GOMAXPROCS when it is negative
+// (AutoParallelism), and Parallelism itself otherwise.
+func (o Options) Workers() int {
+	if o.Parallelism < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if o.Parallelism == 0 {
+		return 1
+	}
+	return o.Parallelism
+}
+
 // WantQualification reports whether any qualification initialization was
 // provided.
 func (o Options) WantQualification() bool {
@@ -109,6 +135,11 @@ type Result struct {
 	// Confusion, when non-nil, holds per-worker ℓ×ℓ confusion matrices
 	// for confusion-matrix methods (D&S, LFC, BCC, CBCC, VI-*).
 	Confusion [][][]float64
+
+	// Community, when non-nil, holds the per-worker community assignment
+	// of community-based methods (CBCC): the modal membership over the
+	// post-burn-in Gibbs samples.
+	Community []int
 
 	// Iterations is the number of two-step iterations executed.
 	Iterations int

@@ -1,0 +1,140 @@
+// Package engine is the concurrency runtime behind the benchmark: a
+// chunked worker pool that fans loop iterations out over goroutines while
+// preserving bit-identical results between sequential and parallel runs.
+//
+// # Determinism contract
+//
+// Every parallel loop in this repository obeys one rule: the loop body for
+// index i writes only to output slots owned by i (task i's posterior row,
+// worker w's confusion rows, answer e's message) and performs any
+// floating-point accumulation internally, in a fixed order that depends
+// only on i (e.g. the ascending answer-index order of
+// dataset.TaskAnswers). Under that contract the chunk layout and the
+// number of workers only decide *which goroutine* executes an iteration,
+// never the arithmetic — so Parallelism: 1 and Parallelism: 64 produce
+// byte-identical floats, and no atomics or mutexes touch the numeric
+// state. Cross-cutting reductions that cannot be restructured this way
+// (e.g. finding a maximum loss) stay sequential; they are all O(tasks) or
+// O(workers) and far off the hot path.
+//
+// # Chunking
+//
+// Pool.For splits [0, n) into contiguous chunks of roughly
+// n/(workers·chunksPerWorker) iterations and lets the worker goroutines
+// claim chunks off a shared atomic cursor. Small chunk counts execute
+// inline on the calling goroutine; a pool with one worker never spawns at
+// all, so the sequential path pays no synchronization cost.
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// chunksPerWorker oversubscribes chunks relative to workers so that
+// uneven iteration costs (long-tail workers, dense tasks) load-balance
+// instead of serializing on the slowest chunk.
+const chunksPerWorker = 4
+
+// Pool executes chunked parallel loops with a fixed worker count. The
+// zero value and a nil pool both run everything inline on the caller.
+// Pools are stateless and safe for concurrent use.
+type Pool struct {
+	workers int
+}
+
+// New returns a pool with the given number of workers. Values below 1
+// mean "one worker per available CPU" (runtime.GOMAXPROCS).
+func New(workers int) *Pool {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers reports the pool's worker count (1 for a nil or zero pool).
+func (p *Pool) Workers() int {
+	if p == nil || p.workers < 1 {
+		return 1
+	}
+	return p.workers
+}
+
+// For runs fn over every sub-range of [0, n), partitioned into chunks,
+// using up to Workers goroutines. fn must follow the package determinism
+// contract: writes restricted to slots owned by indices in [lo, hi), no
+// shared mutable state. For blocks until every chunk completes; a panic
+// in any chunk is re-raised on the calling goroutine.
+func (p *Pool) For(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers := p.Workers()
+	if workers == 1 {
+		fn(0, n)
+		return
+	}
+	chunk := n / (workers * chunksPerWorker)
+	if chunk < 1 {
+		chunk = 1
+	}
+	numChunks := (n + chunk - 1) / chunk
+	if numChunks == 1 {
+		fn(0, n)
+		return
+	}
+	if workers > numChunks {
+		workers = numChunks
+	}
+
+	var (
+		cursor atomic.Int64
+		wg     sync.WaitGroup
+		panicV atomic.Value
+	)
+	body := func() {
+		defer wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				panicV.CompareAndSwap(nil, &panicked{r})
+			}
+		}()
+		for {
+			c := int(cursor.Add(1)) - 1
+			if c >= numChunks {
+				return
+			}
+			lo := c * chunk
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			fn(lo, hi)
+		}
+	}
+	wg.Add(workers)
+	for i := 1; i < workers; i++ {
+		go body()
+	}
+	body() // the caller is worker 0
+	wg.Wait()
+	if pv := panicV.Load(); pv != nil {
+		panic(pv.(*panicked).v)
+	}
+}
+
+// Each runs fn for every index in [0, n); it is For with a single-index
+// body, for loops whose per-iteration cost dwarfs the call overhead
+// (experiment cells, whole-method inference runs).
+func (p *Pool) Each(n int, fn func(i int)) {
+	p.For(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// panicked wraps a recovered panic value for atomic.Value (which needs a
+// consistent concrete type).
+type panicked struct{ v any }

@@ -1,0 +1,116 @@
+package engine
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestForCoversEveryIndexOnce checks the partition property for a spread
+// of sizes and worker counts: every index visited exactly once.
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 64, 1000, 4097} {
+		for _, workers := range []int{1, 2, 3, 8, 33} {
+			visits := make([]int32, n)
+			New(workers).For(n, func(lo, hi int) {
+				if lo < 0 || hi > n || lo > hi {
+					t.Errorf("n=%d workers=%d: bad chunk [%d,%d)", n, workers, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&visits[i], 1)
+				}
+			})
+			for i, v := range visits {
+				if v != 1 {
+					t.Fatalf("n=%d workers=%d: index %d visited %d times", n, workers, i, v)
+				}
+			}
+		}
+	}
+}
+
+// TestForDisjointWritesDeterministic runs a disjoint-write computation at
+// several parallelism levels and demands byte-identical float output —
+// the contract every parallel loop in the repository relies on.
+func TestForDisjointWritesDeterministic(t *testing.T) {
+	const n = 10_000
+	compute := func(workers int) []float64 {
+		out := make([]float64, n)
+		New(workers).For(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				// Accumulate in an i-owned order, as the methods do.
+				var s float64
+				for j := 0; j < 20; j++ {
+					s += float64(i*j) * 1e-3
+				}
+				out[i] = s
+			}
+		})
+		return out
+	}
+	want := compute(1)
+	for _, workers := range []int{2, 4, 16} {
+		got := compute(workers)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: out[%d] = %v, want %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestEach(t *testing.T) {
+	const n = 500
+	seen := make([]int32, n)
+	New(4).Each(n, func(i int) { atomic.AddInt32(&seen[i], 1) })
+	for i, v := range seen {
+		if v != 1 {
+			t.Fatalf("index %d visited %d times", i, v)
+		}
+	}
+}
+
+func TestNilAndZeroPoolRunInline(t *testing.T) {
+	var nilPool *Pool
+	var zero Pool
+	for _, p := range []*Pool{nilPool, &zero} {
+		if got := p.Workers(); got != 1 {
+			t.Errorf("Workers() = %d, want 1", got)
+		}
+		sum := 0
+		p.For(10, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				sum += i // safe: must run on the calling goroutine
+			}
+		})
+		if sum != 45 {
+			t.Errorf("inline sum = %d, want 45", sum)
+		}
+	}
+}
+
+func TestNewAutoWorkers(t *testing.T) {
+	if got := New(0).Workers(); got < 1 {
+		t.Errorf("New(0).Workers() = %d, want >= 1", got)
+	}
+	if got := New(-3).Workers(); got < 1 {
+		t.Errorf("New(-3).Workers() = %d, want >= 1", got)
+	}
+	if got := New(5).Workers(); got != 5 {
+		t.Errorf("New(5).Workers() = %d, want 5", got)
+	}
+}
+
+func TestForPropagatesPanic(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("panic in a chunk was swallowed")
+		}
+	}()
+	New(4).For(1000, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if i == 731 {
+				panic("boom")
+			}
+		}
+	})
+}

@@ -9,11 +9,9 @@ package experiment
 
 import (
 	"math"
-	"time"
 
 	"truthinference/internal/core"
 	"truthinference/internal/dataset"
-	"truthinference/internal/metrics"
 	"truthinference/internal/randx"
 )
 
@@ -33,6 +31,13 @@ type Config struct {
 	MaxIterations int
 	// Tolerance overrides the convergence tolerance when positive.
 	Tolerance float64
+	// Parallelism is the number of experiment cells — (method × dataset
+	// configuration × repetition) triples — the harness runs
+	// concurrently. 0 or 1 runs sequentially; negative values use one
+	// worker per available CPU. Every cell seeds its own RNGs from the
+	// cell coordinates, so results are identical at every parallelism
+	// level (see scheduler.go).
+	Parallelism int
 }
 
 func (c Config) repeats() int {
@@ -64,66 +69,43 @@ type Score struct {
 // Evaluate runs method m on d once per repeat, evaluating against
 // evalTruth (pass d.Truth for the standard setup, or the non-golden
 // remainder for hidden tests). Golden and qualification options flow
-// through opts; opts.Seed is advanced per repetition.
+// through opts; opts.Seed is advanced per repetition. Repetitions are
+// independent cells and fan out over cfg.Parallelism workers.
 func Evaluate(m core.Method, d *dataset.Dataset, opts core.Options, evalTruth map[int]float64, cfg Config) Score {
-	s := Score{Method: m.Name(), Converged: true,
-		Accuracy: math.NaN(), F1: math.NaN(), MAE: math.NaN(), RMSE: math.NaN()}
-	if cfg.MaxIterations > 0 && opts.MaxIterations == 0 {
-		opts.MaxIterations = cfg.MaxIterations
-	}
-	if cfg.Tolerance > 0 && opts.Tolerance == 0 {
-		opts.Tolerance = cfg.Tolerance
-	}
-	var accSum, f1Sum, maeSum, rmseSum, secSum, iterSum float64
-	n := 0
-	for rep := 0; rep < cfg.repeats(); rep++ {
+	opts = cfg.mergeOpts(opts)
+	reps := make([]*Score, cfg.repeats())
+	cfg.pool().Each(len(reps), func(rep int) {
 		runOpts := opts
-		runOpts.Seed = opts.Seed + int64(rep)*7919
-		start := time.Now()
-		res, err := m.Infer(d, runOpts)
-		elapsed := time.Since(start).Seconds()
-		if err != nil {
-			s.Err = err.Error()
-			return s
-		}
-		n++
-		secSum += elapsed
-		iterSum += float64(res.Iterations)
-		if !res.Converged {
-			s.Converged = false
-		}
-		if d.Categorical() {
-			accSum += metrics.Accuracy(res.Truth, evalTruth)
-			f1Sum += metrics.F1(res.Truth, evalTruth, PositiveLabel)
-		} else {
-			maeSum += metrics.MAE(res.Truth, evalTruth)
-			rmseSum += metrics.RMSE(res.Truth, evalTruth)
-		}
-	}
-	fn := float64(n)
-	s.Seconds = secSum / fn
-	s.Iterations = iterSum / fn
-	if d.Categorical() {
-		s.Accuracy = accSum / fn
-		s.F1 = f1Sum / fn
-	} else {
-		s.MAE = maeSum / fn
-		s.RMSE = rmseSum / fn
-	}
-	return s
+		runOpts.Seed = opts.Seed + int64(rep)*repSeedStride
+		one := evaluateOnce(m, d, runOpts, evalTruth)
+		reps[rep] = &one
+	})
+	return foldReps(m.Name(), reps)
 }
 
 // FullComparison reproduces one dataset column-group of Table 6: every
 // applicable method evaluated on the complete dataset. Methods whose
 // capabilities exclude the dataset's task type are skipped (the paper
-// marks them "×").
+// marks them "×"). The (method × repetition) cells run concurrently on
+// cfg.Parallelism workers.
 func FullComparison(methods []core.Method, d *dataset.Dataset, cfg Config) []Score {
-	var out []Score
+	var applicable []core.Method
 	for _, m := range methods {
-		if !m.Capabilities().SupportsType(d.Type) {
-			continue
+		if m.Capabilities().SupportsType(d.Type) {
+			applicable = append(applicable, m)
 		}
-		out = append(out, Evaluate(m, d, core.Options{Seed: cfg.Seed}, d.Truth, cfg))
+	}
+	nr := cfg.repeats()
+	cells := make([]*Score, len(applicable)*nr)
+	cfg.pool().Each(len(cells), func(c int) {
+		mi, rep := c/nr, c%nr
+		opts := cfg.mergeOpts(core.Options{Seed: cfg.Seed + int64(rep)*repSeedStride})
+		one := evaluateOnce(applicable[mi], d, opts, d.Truth)
+		cells[c] = &one
+	})
+	out := make([]Score, len(applicable))
+	for mi, m := range applicable {
+		out[mi] = foldReps(m.Name(), cells[mi*nr:(mi+1)*nr])
 	}
 	return out
 }
@@ -176,11 +158,6 @@ func (a *accumulator) finish() Score {
 	return a.out
 }
 
-// single wraps cfg for one-repetition inner evaluations.
-func (c Config) single() Config {
-	return Config{Seed: c.Seed, Repeats: 1, MaxIterations: c.MaxIterations, Tolerance: c.Tolerance}
-}
-
 // SweepPoint is one redundancy level of a Figure-4/5/6 series.
 type SweepPoint struct {
 	Redundancy int
@@ -189,25 +166,36 @@ type SweepPoint struct {
 
 // RedundancySweep reproduces Figures 4–6: for each redundancy r it
 // sub-samples r answers per task (fresh sample per repetition) and
-// evaluates every applicable method, averaging over Config.Repeats.
+// evaluates every applicable method, averaging over Config.Repeats. The
+// (redundancy × method × repetition) cells run concurrently on
+// cfg.Parallelism workers; each cell re-derives its sub-sample from the
+// (seed, redundancy, repetition) coordinates, exactly as the sequential
+// loops did.
 func RedundancySweep(methods []core.Method, d *dataset.Dataset, rs []int, cfg Config) []SweepPoint {
+	var applicable []core.Method
+	for _, m := range methods {
+		if m.Capabilities().SupportsType(d.Type) {
+			applicable = append(applicable, m)
+		}
+	}
+	nm, nr := len(applicable), cfg.repeats()
+	cells := make([]*Score, len(rs)*nm*nr)
+	cfg.pool().Each(len(cells), func(c int) {
+		ri, rem := c/(nm*nr), c%(nm*nr)
+		mi, rep := rem/nr, rem%nr
+		r := rs[ri]
+		rng := randx.New(cfg.Seed + int64(r)*1_000_003 + int64(rep)*97)
+		sub := d.SampleRedundancy(r, rng)
+		opts := cfg.mergeOpts(core.Options{Seed: cfg.Seed + int64(rep)})
+		one := evaluateOnce(applicable[mi], sub, opts, sub.Truth)
+		cells[c] = &one
+	})
 	out := make([]SweepPoint, 0, len(rs))
-	for _, r := range rs {
+	for ri, r := range rs {
 		point := SweepPoint{Redundancy: r}
-		for _, m := range methods {
-			if !m.Capabilities().SupportsType(d.Type) {
-				continue
-			}
-			acc := newAccumulator(m.Name())
-			for rep := 0; rep < cfg.repeats(); rep++ {
-				rng := randx.New(cfg.Seed + int64(r)*1_000_003 + int64(rep)*97)
-				sub := d.SampleRedundancy(r, rng)
-				one := Evaluate(m, sub, core.Options{Seed: cfg.Seed + int64(rep)}, sub.Truth, cfg.single())
-				if !acc.add(one) {
-					break
-				}
-			}
-			point.Scores = append(point.Scores, acc.finish())
+		for mi, m := range applicable {
+			base := (ri*nm + mi) * nr
+			point.Scores = append(point.Scores, foldReps(m.Name(), cells[base:base+nr]))
 		}
 		out = append(out, point)
 	}

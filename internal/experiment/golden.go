@@ -85,28 +85,42 @@ type QualificationResult struct {
 // qualification-test initialization it compares quality with and without
 // the simulated qualification vectors, averaging over Config.Repeats
 // (fresh bootstrap per repetition, as in the paper's 100 repetitions).
+// The (method × variant × repetition) cells run concurrently on
+// cfg.Parallelism workers.
 func QualificationTest(methods []core.Method, d *dataset.Dataset, cfg Config) []QualificationResult {
-	var out []QualificationResult
+	var applicable []core.Method
 	for _, m := range methods {
 		caps := m.Capabilities()
-		if !caps.SupportsType(d.Type) || !caps.Qualification {
-			continue
+		if caps.SupportsType(d.Type) && caps.Qualification {
+			applicable = append(applicable, m)
 		}
-		without := Evaluate(m, d, core.Options{Seed: cfg.Seed}, d.Truth, cfg)
-		accum := newAccumulator(m.Name())
-		for rep := 0; rep < cfg.repeats(); rep++ {
+	}
+	// Cell layout per method: cfg.repeats() "without" cells followed by
+	// cfg.repeats() "with" cells.
+	nr := cfg.repeats()
+	cells := make([]*Score, len(applicable)*2*nr)
+	cfg.pool().Each(len(cells), func(c int) {
+		mi, rem := c/(2*nr), c%(2*nr)
+		withQual, rep := rem/nr, rem%nr
+		var opts core.Options
+		if withQual == 0 {
+			opts = core.Options{Seed: cfg.Seed + int64(rep)*repSeedStride}
+		} else {
 			acc, mse := QualificationVectors(d, cfg.Seed+int64(rep)*131)
-			opts := core.Options{
+			opts = core.Options{
 				Seed:                  cfg.Seed + int64(rep),
 				QualificationAccuracy: acc,
 				QualificationError:    mse,
 			}
-			one := Evaluate(m, d, opts, d.Truth, cfg.single())
-			if !accum.add(one) {
-				break
-			}
 		}
-		with := accum.finish()
+		one := evaluateOnce(applicable[mi], d, cfg.mergeOpts(opts), d.Truth)
+		cells[c] = &one
+	})
+	var out []QualificationResult
+	for mi, m := range applicable {
+		base := mi * 2 * nr
+		without := foldReps(m.Name(), cells[base:base+nr])
+		with := foldReps(m.Name(), cells[base+nr:base+2*nr])
 		out = append(out, QualificationResult{
 			Method:   m.Name(),
 			With:     with,
@@ -129,30 +143,38 @@ type HiddenPoint struct {
 // HiddenTest reproduces Figures 7–9: for each percentage p it selects p%
 // of the truth-bearing tasks as golden (fresh split per repetition),
 // feeds them to every golden-capable method, and evaluates on the
-// remaining truth-bearing tasks.
+// remaining truth-bearing tasks. The (percentage × method × repetition)
+// cells run concurrently on cfg.Parallelism workers; each cell re-derives
+// its golden split from the (seed, percentage, repetition) coordinates.
 func HiddenTest(methods []core.Method, d *dataset.Dataset, percents []int, cfg Config) []HiddenPoint {
+	var applicable []core.Method
+	for _, m := range methods {
+		caps := m.Capabilities()
+		if caps.SupportsType(d.Type) && caps.Golden {
+			applicable = append(applicable, m)
+		}
+	}
+	nm, nr := len(applicable), cfg.repeats()
+	cells := make([]*Score, len(percents)*nm*nr)
+	cfg.pool().Each(len(cells), func(c int) {
+		pi, rem := c/(nm*nr), c%(nm*nr)
+		mi, rep := rem/nr, rem%nr
+		p := percents[pi]
+		rng := randx.New(cfg.Seed + int64(p)*65_537 + int64(rep)*89)
+		golden, eval := d.SplitGolden(float64(p)/100, rng)
+		if len(eval) == 0 {
+			return // skipped repetition; foldReps ignores the nil slot
+		}
+		opts := cfg.mergeOpts(core.Options{Seed: cfg.Seed + int64(rep), Golden: golden})
+		one := evaluateOnce(applicable[mi], d, opts, eval)
+		cells[c] = &one
+	})
 	out := make([]HiddenPoint, 0, len(percents))
-	for _, p := range percents {
+	for pi, p := range percents {
 		point := HiddenPoint{Percent: p}
-		for _, m := range methods {
-			caps := m.Capabilities()
-			if !caps.SupportsType(d.Type) || !caps.Golden {
-				continue
-			}
-			accum := newAccumulator(m.Name())
-			for rep := 0; rep < cfg.repeats(); rep++ {
-				rng := randx.New(cfg.Seed + int64(p)*65_537 + int64(rep)*89)
-				golden, eval := d.SplitGolden(float64(p)/100, rng)
-				if len(eval) == 0 {
-					continue
-				}
-				opts := core.Options{Seed: cfg.Seed + int64(rep), Golden: golden}
-				one := Evaluate(m, d, opts, eval, cfg.single())
-				if !accum.add(one) {
-					break
-				}
-			}
-			point.Scores = append(point.Scores, accum.finish())
+		for mi, m := range applicable {
+			base := (pi*nm + mi) * nr
+			point.Scores = append(point.Scores, foldReps(m.Name(), cells[base:base+nr]))
 		}
 		out = append(out, point)
 	}

@@ -1,0 +1,94 @@
+// Batched experiment scheduler: the Section-6 harness functions
+// (FullComparison, RedundancySweep, QualificationTest, HiddenTest) flatten
+// their nested method × configuration × repetition loops into a flat list
+// of independent cells and fan the cells out over an engine worker pool.
+//
+// Determinism: every cell derives its randomness from the cell's own
+// coordinates (cfg.Seed plus the same per-repetition strides the
+// sequential loops used), writes into a preallocated result slot owned by
+// the cell, and the per-method averages are folded from those slots in
+// repetition order after the pool drains. Parallelism therefore never
+// changes a quality number (accuracy, F1, MAE, RMSE, iterations,
+// convergence). The one exception is Score.Seconds: it is a wall-clock
+// measurement of each cell's inference call, and cells racing sibling
+// cells for CPUs measure slower than they would alone — run with
+// Parallelism 1 when the timing column itself is the result.
+
+package experiment
+
+import (
+	"math"
+	"time"
+
+	"truthinference/internal/core"
+	"truthinference/internal/dataset"
+	"truthinference/internal/engine"
+	"truthinference/internal/metrics"
+)
+
+// repSeedStride is the per-repetition seed advance used by Evaluate (a
+// prime, so repetition streams of adjacent base seeds do not collide).
+const repSeedStride = 7919
+
+// pool returns the worker pool the harness schedules cells on.
+func (c Config) pool() *engine.Pool { return engine.New(c.workers()) }
+
+func (c Config) workers() int {
+	if c.Parallelism == 0 {
+		return 1
+	}
+	return engine.New(c.Parallelism).Workers()
+}
+
+// mergeOpts folds the config-wide iteration cap and tolerance into opts,
+// keeping any per-call overrides.
+func (c Config) mergeOpts(opts core.Options) core.Options {
+	if c.MaxIterations > 0 && opts.MaxIterations == 0 {
+		opts.MaxIterations = c.MaxIterations
+	}
+	if c.Tolerance > 0 && opts.Tolerance == 0 {
+		opts.Tolerance = c.Tolerance
+	}
+	return opts
+}
+
+// evaluateOnce runs one repetition of method m on d — one scheduler cell —
+// and scores it against evalTruth.
+func evaluateOnce(m core.Method, d *dataset.Dataset, opts core.Options, evalTruth map[int]float64) Score {
+	s := Score{Method: m.Name(), Converged: true,
+		Accuracy: math.NaN(), F1: math.NaN(), MAE: math.NaN(), RMSE: math.NaN()}
+	start := time.Now()
+	res, err := m.Infer(d, opts)
+	s.Seconds = time.Since(start).Seconds()
+	if err != nil {
+		s.Err = err.Error()
+		return s
+	}
+	s.Iterations = float64(res.Iterations)
+	s.Converged = res.Converged
+	if d.Categorical() {
+		s.Accuracy = metrics.Accuracy(res.Truth, evalTruth)
+		s.F1 = metrics.F1(res.Truth, evalTruth, PositiveLabel)
+	} else {
+		s.MAE = metrics.MAE(res.Truth, evalTruth)
+		s.RMSE = metrics.RMSE(res.Truth, evalTruth)
+	}
+	return s
+}
+
+// foldReps averages the per-repetition scores of one method in repetition
+// order, reproducing the sequential stop-on-first-error semantics. nil
+// entries (skipped repetitions, e.g. an empty hidden-test evaluation
+// split) contribute nothing.
+func foldReps(method string, reps []*Score) Score {
+	acc := newAccumulator(method)
+	for _, one := range reps {
+		if one == nil {
+			continue
+		}
+		if !acc.add(*one) {
+			break
+		}
+	}
+	return acc.finish()
+}

@@ -1,0 +1,106 @@
+package experiment
+
+// Scheduler equivalence suite: the batched cell scheduler must report
+// numbers identical to the sequential loops it replaced, because every
+// cell derives its RNGs from its own coordinates. (Score.Seconds is
+// wall-clock and legitimately differs; everything else must match
+// exactly. NaN fields — the unused metric family — compare as equal.)
+
+import (
+	"math"
+	"testing"
+
+	"truthinference/internal/core"
+	"truthinference/internal/methods/ds"
+	"truthinference/internal/methods/glad"
+	"truthinference/internal/methods/zc"
+	"truthinference/internal/simulate"
+)
+
+func eqFloat(a, b float64) bool { return a == b || (math.IsNaN(a) && math.IsNaN(b)) }
+
+func eqScore(a, b Score) bool {
+	return a.Method == b.Method && eqFloat(a.Accuracy, b.Accuracy) && eqFloat(a.F1, b.F1) &&
+		eqFloat(a.MAE, b.MAE) && eqFloat(a.RMSE, b.RMSE) && eqFloat(a.Iterations, b.Iterations) &&
+		a.Converged == b.Converged && a.Err == b.Err
+}
+
+func schedMethods() []core.Method {
+	return []core.Method{zc.New(), ds.New(), glad.New()}
+}
+
+func TestFullComparisonParallelEquivalence(t *testing.T) {
+	d := simulate.GenerateScaled(simulate.DProduct, 1, 0.02)
+	seq := FullComparison(schedMethods(), d, Config{Seed: 3, Repeats: 2, MaxIterations: 10})
+	par := FullComparison(schedMethods(), d, Config{Seed: 3, Repeats: 2, MaxIterations: 10, Parallelism: 8})
+	if len(seq) != len(par) {
+		t.Fatalf("length %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if !eqScore(seq[i], par[i]) {
+			t.Errorf("score %d differs:\nsequential %+v\nparallel   %+v", i, seq[i], par[i])
+		}
+	}
+}
+
+func TestRedundancySweepParallelEquivalence(t *testing.T) {
+	d := simulate.GenerateScaled(simulate.DProduct, 1, 0.02)
+	seq := RedundancySweep(schedMethods(), d, []int{1, 2}, Config{Seed: 3, Repeats: 2, MaxIterations: 10})
+	par := RedundancySweep(schedMethods(), d, []int{1, 2}, Config{Seed: 3, Repeats: 2, MaxIterations: 10, Parallelism: 8})
+	for i := range seq {
+		if seq[i].Redundancy != par[i].Redundancy {
+			t.Fatalf("point %d redundancy %d vs %d", i, seq[i].Redundancy, par[i].Redundancy)
+		}
+		for j := range seq[i].Scores {
+			if !eqScore(seq[i].Scores[j], par[i].Scores[j]) {
+				t.Errorf("point %d score %d differs:\nsequential %+v\nparallel   %+v",
+					i, j, seq[i].Scores[j], par[i].Scores[j])
+			}
+		}
+	}
+}
+
+func TestQualificationTestParallelEquivalence(t *testing.T) {
+	d := simulate.GenerateScaled(simulate.DProduct, 1, 0.02)
+	seq := QualificationTest(schedMethods(), d, Config{Seed: 3, Repeats: 2, MaxIterations: 10})
+	par := QualificationTest(schedMethods(), d, Config{Seed: 3, Repeats: 2, MaxIterations: 10, Parallelism: 8})
+	if len(seq) != len(par) {
+		t.Fatalf("length %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i].Method != par[i].Method ||
+			!eqScore(seq[i].With, par[i].With) || !eqScore(seq[i].Without, par[i].Without) ||
+			!eqFloat(seq[i].DeltaAcc, par[i].DeltaAcc) || !eqFloat(seq[i].DeltaF1, par[i].DeltaF1) {
+			t.Errorf("result %d differs:\nsequential %+v\nparallel   %+v", i, seq[i], par[i])
+		}
+	}
+}
+
+func TestHiddenTestParallelEquivalence(t *testing.T) {
+	d := simulate.GenerateScaled(simulate.DProduct, 1, 0.02)
+	seq := HiddenTest(schedMethods(), d, []int{0, 20}, Config{Seed: 3, Repeats: 2, MaxIterations: 10})
+	par := HiddenTest(schedMethods(), d, []int{0, 20}, Config{Seed: 3, Repeats: 2, MaxIterations: 10, Parallelism: 8})
+	for i := range seq {
+		if seq[i].Percent != par[i].Percent {
+			t.Fatalf("point %d percent %d vs %d", i, seq[i].Percent, par[i].Percent)
+		}
+		for j := range seq[i].Scores {
+			if !eqScore(seq[i].Scores[j], par[i].Scores[j]) {
+				t.Errorf("point %d score %d differs:\nsequential %+v\nparallel   %+v",
+					i, j, seq[i].Scores[j], par[i].Scores[j])
+			}
+		}
+	}
+}
+
+// TestEvaluateParallelEquivalence covers the public per-method repeat
+// runner, whose repetitions fan out on cfg.Parallelism.
+func TestEvaluateParallelEquivalence(t *testing.T) {
+	d := simulate.GenerateScaled(simulate.DPosSent, 1, 0.02)
+	m := ds.New()
+	seq := Evaluate(m, d, core.Options{Seed: 5}, d.Truth, Config{Repeats: 3, MaxIterations: 10})
+	par := Evaluate(m, d, core.Options{Seed: 5}, d.Truth, Config{Repeats: 3, MaxIterations: 10, Parallelism: 8})
+	if !eqScore(seq, par) {
+		t.Errorf("Evaluate differs:\nsequential %+v\nparallel   %+v", seq, par)
+	}
+}

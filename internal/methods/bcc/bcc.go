@@ -21,6 +21,7 @@ import (
 
 	"truthinference/internal/core"
 	"truthinference/internal/dataset"
+	"truthinference/internal/engine"
 	"truthinference/internal/mathx"
 	"truthinference/internal/randx"
 )
@@ -39,6 +40,19 @@ const (
 	rowPriorOff  = 1.0
 	rowPriorDiag = 4.0
 	classPrior   = 1.0
+)
+
+// Salt constants separating the per-entity RNG streams of one sweep: the
+// chain draws every worker's confusion rows, every task's label, the
+// class prior and (for CBCC) every worker's membership from independent
+// streams keyed by (seed, sweep, salt, entity). Deriving streams instead
+// of sharing one *rand.Rand is what lets the sweeps fan out over workers
+// and tasks while staying bit-identical at every parallelism level.
+const (
+	saltConfusion  = 0x1EC5
+	saltLabel      = 0x2A93
+	saltClass      = 0x3B17
+	saltMembership = 0x4D09
 )
 
 // BCC is the Gibbs-sampled Bayesian confusion-matrix method.
@@ -74,15 +88,15 @@ func (m *BCC) Infer(d *dataset.Dataset, opts core.Options) (*core.Result, error)
 	burn := int(BurnInFraction * float64(sweeps))
 	rng := randx.New(opts.Seed)
 
-	g := newGibbsState(d, rng)
+	g := newGibbsState(d, rng, opts.Seed, engine.New(opts.Workers()))
 	tally := make([]float64, d.NumTasks*d.NumChoices)
 	diagSum := make([]float64, d.NumWorkers)
 	samples := 0
 
 	for sweep := 0; sweep < sweeps; sweep++ {
-		g.sampleConfusions(rng, nil, 0)
-		g.sampleClassPrior(rng)
-		g.sampleLabels(rng)
+		g.sampleConfusions(int64(sweep), nil, 0)
+		g.sampleClassPrior(int64(sweep))
+		g.sampleLabels(int64(sweep))
 		if sweep >= burn {
 			samples++
 			for i, z := range g.labels {
@@ -122,20 +136,24 @@ func (m *BCC) Infer(d *dataset.Dataset, opts core.Options) (*core.Result, error)
 	}, nil
 }
 
-// gibbsState holds the chain's variables; it is shared with package cbcc
-// via the exported Run helper below.
+// gibbsState holds the chain's variables; it is shared with the CBCC
+// implementation in cbcc.go, which reuses the same chassis.
 type gibbsState struct {
 	d          *dataset.Dataset
-	labels     []int      // current z_i
-	conf       *confusion // current per-worker confusion matrices
-	classProbs []float64  // current class prior ρ
+	seed       int64        // base seed for per-(sweep, entity) RNG streams
+	pool       *engine.Pool // fans sweep inner loops out over workers/tasks
+	labels     []int        // current z_i
+	conf       *confusion   // current per-worker confusion matrices
+	classProbs []float64    // current class prior ρ
 	// counts[w][j][k]: worker w's answers k on tasks currently labeled j.
 	counts *confusion
 }
 
-func newGibbsState(d *dataset.Dataset, rng *rand.Rand) *gibbsState {
+func newGibbsState(d *dataset.Dataset, rng *rand.Rand, seed int64, pool *engine.Pool) *gibbsState {
 	g := &gibbsState{
 		d:          d,
+		seed:       seed,
+		pool:       pool,
 		labels:     make([]int, d.NumTasks),
 		conf:       newConfusion(d.NumWorkers, d.NumChoices),
 		classProbs: make([]float64, d.NumChoices),
@@ -165,52 +183,65 @@ func newGibbsState(d *dataset.Dataset, rng *rand.Rand) *gibbsState {
 }
 
 // refreshCounts rebuilds the (label, answer) count tensor from the current
-// labels.
+// labels, fanned out over workers (each goroutine owns disjoint count
+// rows).
 func (g *gibbsState) refreshCounts() {
-	for i := range g.counts.flat {
-		g.counts.flat[i] = 0
-	}
-	for _, a := range g.d.Answers {
-		g.counts.row(a.Worker, g.labels[a.Task])[a.Label()]++
-	}
+	g.pool.For(g.d.NumWorkers, func(wlo, whi int) {
+		for w := wlo; w < whi; w++ {
+			base := w * g.counts.ell * g.counts.ell
+			rows := g.counts.flat[base : base+g.counts.ell*g.counts.ell]
+			for i := range rows {
+				rows[i] = 0
+			}
+			for _, ai := range g.d.WorkerAnswers(w) {
+				a := g.d.Answers[ai]
+				g.counts.row(w, g.labels[a.Task])[a.Label()]++
+			}
+		}
+	})
 }
 
 // sampleConfusions draws each worker's confusion rows from their Dirichlet
-// posteriors. When community is non-nil (the CBCC extension), the prior
-// pseudo-counts of worker w's row j are strength·community[cw[w]].row(j)
-// instead of the flat diagonal prior.
-func (g *gibbsState) sampleConfusions(rng *rand.Rand, communityPrior func(w, j int) []float64, strength float64) {
+// posteriors, fanned out over workers — worker w's rows come from the
+// (seed, sweep, saltConfusion, w) stream, so the draw is independent of
+// every other worker's. When communityPrior is non-nil (the CBCC
+// extension), the prior pseudo-counts of worker w's row j are
+// strength·community[cw[w]].row(j) instead of the flat diagonal prior.
+func (g *gibbsState) sampleConfusions(sweep int64, communityPrior func(w, j int) []float64, strength float64) {
 	g.refreshCounts()
 	ell := g.d.NumChoices
-	alpha := make([]float64, ell)
-	for w := 0; w < g.d.NumWorkers; w++ {
-		for j := 0; j < ell; j++ {
-			cnt := g.counts.row(w, j)
-			if communityPrior != nil {
-				base := communityPrior(w, j)
-				for k := 0; k < ell; k++ {
-					alpha[k] = strength*base[k] + cnt[k]
-					if alpha[k] <= 0 {
-						alpha[k] = 1e-3
+	g.pool.For(g.d.NumWorkers, func(wlo, whi int) {
+		alpha := make([]float64, ell)
+		for w := wlo; w < whi; w++ {
+			rng := randx.Derived(g.seed, sweep, saltConfusion, int64(w))
+			for j := 0; j < ell; j++ {
+				cnt := g.counts.row(w, j)
+				if communityPrior != nil {
+					base := communityPrior(w, j)
+					for k := 0; k < ell; k++ {
+						alpha[k] = strength*base[k] + cnt[k]
+						if alpha[k] <= 0 {
+							alpha[k] = 1e-3
+						}
+					}
+				} else {
+					for k := 0; k < ell; k++ {
+						p := rowPriorOff
+						if j == k {
+							p = rowPriorDiag
+						}
+						alpha[k] = p + cnt[k]
 					}
 				}
-			} else {
-				for k := 0; k < ell; k++ {
-					p := rowPriorOff
-					if j == k {
-						p = rowPriorDiag
-					}
-					alpha[k] = p + cnt[k]
-				}
+				row := randx.Dirichlet(rng, alpha)
+				copy(g.conf.row(w, j), row)
 			}
-			row := randx.Dirichlet(rng, alpha)
-			copy(g.conf.row(w, j), row)
 		}
-	}
+	})
 }
 
 // sampleClassPrior draws ρ from its Dirichlet posterior.
-func (g *gibbsState) sampleClassPrior(rng *rand.Rand) {
+func (g *gibbsState) sampleClassPrior(sweep int64) {
 	ell := g.d.NumChoices
 	alpha := make([]float64, ell)
 	for k := range alpha {
@@ -219,26 +250,30 @@ func (g *gibbsState) sampleClassPrior(rng *rand.Rand) {
 	for _, z := range g.labels {
 		alpha[z]++
 	}
-	copy(g.classProbs, randx.Dirichlet(rng, alpha))
+	copy(g.classProbs, randx.Dirichlet(randx.Derived(g.seed, sweep, saltClass), alpha))
 }
 
-// sampleLabels draws each task's label from its full conditional.
-func (g *gibbsState) sampleLabels(rng *rand.Rand) {
+// sampleLabels draws each task's label from its full conditional, fanned
+// out over tasks — task i's draw comes from the (seed, sweep, saltLabel,
+// i) stream.
+func (g *gibbsState) sampleLabels(sweep int64) {
 	ell := g.d.NumChoices
-	logw := make([]float64, ell)
-	for i := 0; i < g.d.NumTasks; i++ {
-		for k := 0; k < ell; k++ {
-			logw[k] = logOf(g.classProbs[k])
-		}
-		for _, ai := range g.d.TaskAnswers(i) {
-			a := g.d.Answers[ai]
-			for j := 0; j < ell; j++ {
-				logw[j] += logOf(g.conf.row(a.Worker, j)[a.Label()])
+	g.pool.For(g.d.NumTasks, func(ilo, ihi int) {
+		logw := make([]float64, ell)
+		for i := ilo; i < ihi; i++ {
+			for k := 0; k < ell; k++ {
+				logw[k] = logOf(g.classProbs[k])
 			}
+			for _, ai := range g.d.TaskAnswers(i) {
+				a := g.d.Answers[ai]
+				for j := 0; j < ell; j++ {
+					logw[j] += logOf(g.conf.row(a.Worker, j)[a.Label()])
+				}
+			}
+			mathx.NormalizeLog(logw)
+			g.labels[i] = randx.Categorical(randx.Derived(g.seed, sweep, saltLabel, int64(i)), logw)
 		}
-		mathx.NormalizeLog(logw)
-		g.labels[i] = randx.Categorical(rng, logw)
-	}
+	})
 }
 
 func logOf(x float64) float64 {

@@ -94,59 +94,8 @@ func TestBCCSweepOverride(t *testing.T) {
 	}
 }
 
-func TestCBCCRecoversEasyCrowd(t *testing.T) {
-	d := testutil.Categorical(testutil.CrowdSpec{NumTasks: 300, NumWorkers: 20, Redundancy: 5, Seed: 11})
-	res, err := NewCBCC().Infer(d, core.Options{Seed: 2})
-	if err != nil {
-		t.Fatal(err)
-	}
-	// The community prior trades a little per-worker fidelity for
-	// robustness; 0.88 still certifies correct aggregation on this crowd.
-	if got := testutil.AccuracyOf(d.Truth, res.Truth); got < 0.88 {
-		t.Errorf("accuracy %.3f < 0.88", got)
-	}
-}
-
-// TestCBCCCommunityStructure plants two sharply distinct worker
-// populations (experts vs spammers) and checks that CBCC's community
-// machinery still separates their estimated qualities — the community
-// prior must not wash out individual differences.
-func TestCBCCCommunityStructure(t *testing.T) {
-	const nw = 20
-	acc := make([]float64, nw)
-	for w := range acc {
-		if w%2 == 0 {
-			acc[w] = 0.95
-		} else {
-			acc[w] = 0.5
-		}
-	}
-	d := testutil.Categorical(testutil.CrowdSpec{NumTasks: 400, NumWorkers: nw, Redundancy: 6, Accuracies: acc, Seed: 13})
-	res, err := (&CBCC{Communities: 2}).Infer(d, core.Options{Seed: 2})
-	if err != nil {
-		t.Fatal(err)
-	}
-	var expert, spam float64
-	for w := 0; w < nw; w++ {
-		if w%2 == 0 {
-			expert += res.WorkerQuality[w]
-		} else {
-			spam += res.WorkerQuality[w]
-		}
-	}
-	if expert/10 <= spam/10 {
-		t.Errorf("expert community quality %.3f not above spammer community %.3f", expert/10, spam/10)
-	}
-	if got := testutil.AccuracyOf(d.Truth, res.Truth); got < 0.9 {
-		t.Errorf("accuracy %.3f < 0.9", got)
-	}
-}
-
-func TestCBCCNoGoldenSupport(t *testing.T) {
+func TestBCCNoQualificationSupport(t *testing.T) {
 	d := testutil.Categorical(testutil.CrowdSpec{NumTasks: 20, NumWorkers: 5, Redundancy: 3, Seed: 15})
-	if _, err := NewCBCC().Infer(d, core.Options{Golden: map[int]float64{0: 1}}); err == nil {
-		t.Error("CBCC must reject golden tasks (§6.3.3 lists 9 golden-capable methods; CBCC is not among them)")
-	}
 	if _, err := New().Infer(d, core.Options{QualificationAccuracy: make([]float64, 5)}); err == nil {
 		t.Error("BCC must reject qualification initialization (§6.3.2)")
 	}

@@ -10,10 +10,10 @@ package bcc
 
 import (
 	"math"
-	"math/rand"
 
 	"truthinference/internal/core"
 	"truthinference/internal/dataset"
+	"truthinference/internal/engine"
 	"truthinference/internal/mathx"
 	"truthinference/internal/randx"
 )
@@ -66,7 +66,7 @@ func (m *CBCC) Infer(d *dataset.Dataset, opts core.Options) (*core.Result, error
 	burn := int(BurnInFraction * float64(sweeps))
 	rng := randx.New(opts.Seed)
 
-	g := newGibbsState(d, rng)
+	g := newGibbsState(d, rng, opts.Seed, engine.New(opts.Workers()))
 	ell := d.NumChoices
 
 	// Community state: representative matrices and worker memberships.
@@ -94,15 +94,16 @@ func (m *CBCC) Infer(d *dataset.Dataset, opts core.Options) (*core.Result, error
 
 	tally := make([]float64, d.NumTasks*ell)
 	diagSum := make([]float64, d.NumWorkers)
+	memTally := make([]int, d.NumWorkers*M)
 	samples := 0
 
 	communityPrior := func(w, j int) []float64 { return comm.row(membership[w], j) }
 
 	for sweep := 0; sweep < sweeps; sweep++ {
-		g.sampleConfusions(rng, communityPrior, CommunityStrength)
-		g.sampleClassPrior(rng)
-		g.sampleLabels(rng)
-		sampleMemberships(rng, g, comm, membership)
+		g.sampleConfusions(int64(sweep), communityPrior, CommunityStrength)
+		g.sampleClassPrior(int64(sweep))
+		g.sampleLabels(int64(sweep))
+		sampleMemberships(int64(sweep), g, comm, membership)
 		updateCommunities(g, comm, membership)
 		if sweep >= burn {
 			samples++
@@ -115,11 +116,25 @@ func (m *CBCC) Infer(d *dataset.Dataset, opts core.Options) (*core.Result, error
 					s += g.conf.row(w, j)[j]
 				}
 				diagSum[w] += s / float64(ell)
+				memTally[w*M+membership[w]]++
 			}
 		}
 	}
 	if samples == 0 {
 		samples = 1
+	}
+
+	// Modal community assignment over the post-burn-in samples (ties to
+	// the lowest community id).
+	community := make([]int, d.NumWorkers)
+	for w := 0; w < d.NumWorkers; w++ {
+		best := 0
+		for c := 1; c < M; c++ {
+			if memTally[w*M+c] > memTally[w*M+best] {
+				best = c
+			}
+		}
+		community[w] = best
 	}
 
 	post := make([][]float64, d.NumTasks)
@@ -138,6 +153,7 @@ func (m *CBCC) Infer(d *dataset.Dataset, opts core.Options) (*core.Result, error
 		Truth:         truth,
 		Posterior:     post,
 		WorkerQuality: quality,
+		Community:     community,
 		Iterations:    sweeps,
 		Converged:     true,
 	}, nil
@@ -145,28 +161,31 @@ func (m *CBCC) Infer(d *dataset.Dataset, opts core.Options) (*core.Result, error
 
 // sampleMemberships re-draws every worker's community from the categorical
 // likelihood of their current (label, answer) counts under each
-// community's representative matrix.
-func sampleMemberships(rng *rand.Rand, g *gibbsState, comm *confusion, membership []int) {
+// community's representative matrix, fanned out over workers — worker w
+// draws from the (seed, sweep, saltMembership, w) stream.
+func sampleMemberships(sweep int64, g *gibbsState, comm *confusion, membership []int) {
 	g.refreshCounts()
 	M := len(comm.flat) / (comm.ell * comm.ell)
-	logw := make([]float64, M)
-	for w := 0; w < g.d.NumWorkers; w++ {
-		for c := 0; c < M; c++ {
-			var ll float64
-			for j := 0; j < g.d.NumChoices; j++ {
-				cnt := g.counts.row(w, j)
-				rep := comm.row(c, j)
-				for k, n := range cnt {
-					if n > 0 {
-						ll += n * logOf(rep[k])
+	g.pool.For(g.d.NumWorkers, func(wlo, whi int) {
+		logw := make([]float64, M)
+		for w := wlo; w < whi; w++ {
+			for c := 0; c < M; c++ {
+				var ll float64
+				for j := 0; j < g.d.NumChoices; j++ {
+					cnt := g.counts.row(w, j)
+					rep := comm.row(c, j)
+					for k, n := range cnt {
+						if n > 0 {
+							ll += n * logOf(rep[k])
+						}
 					}
 				}
+				logw[c] = ll
 			}
-			logw[c] = ll
+			mathx.NormalizeLog(logw)
+			membership[w] = randx.Categorical(randx.Derived(g.seed, sweep, saltMembership, int64(w)), logw)
 		}
-		mathx.NormalizeLog(logw)
-		membership[w] = randx.Categorical(rng, logw)
-	}
+	})
 }
 
 // updateCommunities recomputes each community's representative matrix as

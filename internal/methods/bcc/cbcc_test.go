@@ -1,0 +1,142 @@
+package bcc
+
+// Dedicated CBCC suite: community assignment recovery on planted
+// two-community crowds, plus the standard determinism and accuracy
+// checks shared by the other method suites.
+
+import (
+	"reflect"
+	"testing"
+
+	"truthinference/internal/core"
+	"truthinference/internal/testutil"
+)
+
+// plantTwoCommunities describes exactly two sharply distinct worker
+// populations: experts (even ids, accuracy 0.95) and spammers (odd ids,
+// accuracy 0.5).
+func plantTwoCommunities(nw int) (accs []float64, expert func(w int) bool) {
+	accs = make([]float64, nw)
+	for w := range accs {
+		if w%2 == 0 {
+			accs[w] = 0.95
+		} else {
+			accs[w] = 0.5
+		}
+	}
+	return accs, func(w int) bool { return w%2 == 0 }
+}
+
+func TestCBCCRecoversEasyCrowd(t *testing.T) {
+	d := testutil.Categorical(testutil.CrowdSpec{NumTasks: 300, NumWorkers: 20, Redundancy: 5, Seed: 11})
+	res, err := NewCBCC().Infer(d, core.Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The community prior trades a little per-worker fidelity for
+	// robustness; 0.88 still certifies correct aggregation on this crowd.
+	if got := testutil.AccuracyOf(d.Truth, res.Truth); got < 0.88 {
+		t.Errorf("accuracy %.3f < 0.88", got)
+	}
+}
+
+// TestCBCCCommunityAssignmentRecovery plants two communities and demands
+// that the modal Gibbs membership reported in Result.Community puts the
+// experts and the spammers into two different communities, with at most
+// a small fraction of workers on the wrong side.
+func TestCBCCCommunityAssignmentRecovery(t *testing.T) {
+	const nw = 20
+	accs, expert := plantTwoCommunities(nw)
+	d := testutil.Categorical(testutil.CrowdSpec{NumTasks: 500, NumWorkers: nw, Redundancy: 6, Accuracies: accs, Seed: 13})
+	res, err := (&CBCC{Communities: 2}).Infer(d, core.Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Community) != nw {
+		t.Fatalf("Community has %d entries, want %d", len(res.Community), nw)
+	}
+	// Community ids are exchangeable, so score the best of the two
+	// labelings.
+	agree := 0
+	for w, c := range res.Community {
+		if (c == 0) == expert(w) {
+			agree++
+		}
+	}
+	if agree < nw/2 {
+		agree = nw - agree
+	}
+	if agree < nw-2 {
+		t.Errorf("community assignment recovers %d/%d workers, want >= %d", agree, nw, nw-2)
+	}
+}
+
+// TestCBCCCommunityStructure checks that the community prior does not
+// wash out individual quality differences between the planted
+// populations.
+func TestCBCCCommunityStructure(t *testing.T) {
+	const nw = 20
+	accs, expert := plantTwoCommunities(nw)
+	d := testutil.Categorical(testutil.CrowdSpec{NumTasks: 400, NumWorkers: nw, Redundancy: 6, Accuracies: accs, Seed: 13})
+	res, err := (&CBCC{Communities: 2}).Infer(d, core.Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var expertQ, spamQ float64
+	for w := 0; w < nw; w++ {
+		if expert(w) {
+			expertQ += res.WorkerQuality[w]
+		} else {
+			spamQ += res.WorkerQuality[w]
+		}
+	}
+	if expertQ/10 <= spamQ/10 {
+		t.Errorf("expert community quality %.3f not above spammer community %.3f", expertQ/10, spamQ/10)
+	}
+	if got := testutil.AccuracyOf(d.Truth, res.Truth); got < 0.9 {
+		t.Errorf("accuracy %.3f < 0.9", got)
+	}
+}
+
+// TestCBCCDeterminism: equal seeds must reproduce the identical chain —
+// truth, qualities and community assignments — at any parallelism.
+func TestCBCCDeterminism(t *testing.T) {
+	d := testutil.Categorical(testutil.CrowdSpec{NumTasks: 80, NumWorkers: 10, Redundancy: 4, Seed: 7})
+	for _, par := range []int{1, 4} {
+		a, err := NewCBCC().Infer(d, core.Options{Seed: 11, Parallelism: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewCBCC().Infer(d, core.Options{Seed: 11, Parallelism: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a.Truth, b.Truth) {
+			t.Errorf("parallelism %d: Gibbs chain truth not deterministic", par)
+		}
+		if !reflect.DeepEqual(a.WorkerQuality, b.WorkerQuality) {
+			t.Errorf("parallelism %d: worker quality not deterministic", par)
+		}
+		if !reflect.DeepEqual(a.Community, b.Community) {
+			t.Errorf("parallelism %d: community assignment not deterministic", par)
+		}
+	}
+}
+
+func TestCBCCSweepOverride(t *testing.T) {
+	d := testutil.Categorical(testutil.CrowdSpec{NumTasks: 30, NumWorkers: 5, Redundancy: 3, Seed: 9})
+	res, err := NewCBCC().Infer(d, core.Options{Seed: 2, MaxIterations: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 15 {
+		t.Errorf("sweeps = %d, want 15", res.Iterations)
+	}
+}
+
+func TestCBCCNoGoldenSupport(t *testing.T) {
+	d := testutil.Categorical(testutil.CrowdSpec{NumTasks: 20, NumWorkers: 5, Redundancy: 3, Seed: 15})
+	if _, err := NewCBCC().Infer(d, core.Options{Golden: map[int]float64{0: 1}}); err == nil {
+		t.Error("CBCC must reject golden tasks (§6.3.3 lists 9 golden-capable methods; CBCC is not among them)")
+	}
+}

@@ -20,6 +20,7 @@ import (
 
 	"truthinference/internal/core"
 	"truthinference/internal/dataset"
+	"truthinference/internal/engine"
 	"truthinference/internal/mathx"
 	"truthinference/internal/randx"
 )
@@ -54,7 +55,7 @@ func (m *CATD) Infer(d *dataset.Dataset, opts core.Options) (*core.Result, error
 	if err := core.CheckSupport(m, d, opts); err != nil {
 		return nil, err
 	}
-	rng := randx.New(opts.Seed)
+	pool := engine.New(opts.Workers())
 
 	// Precompute each worker's chi-square confidence coefficient; it
 	// depends only on |T^w|.
@@ -81,63 +82,73 @@ func (m *CATD) Infer(d *dataset.Dataset, opts core.Options) (*core.Result, error
 
 	truth := make([]float64, d.NumTasks)
 	prevTruth := make([]float64, d.NumTasks)
-	votes := make([]float64, d.NumChoices)
 
 	var iter int
 	converged := false
 	for iter = 1; iter <= opts.MaxIter(); iter++ {
 		copy(prevTruth, truth)
-		// Truth step.
-		for i := 0; i < d.NumTasks; i++ {
-			if gv, ok := opts.Golden[i]; ok {
-				truth[i] = gv
-				continue
-			}
-			idxs := d.TaskAnswers(i)
-			if len(idxs) == 0 {
-				continue
-			}
-			if d.Categorical() {
-				for k := range votes {
-					votes[k] = 0
+		// Truth step, fanned out over tasks. Vote ties break on a hash
+		// of (seed, iteration, task) so the pick is order-independent.
+		iter := iter
+		pool.For(d.NumTasks, func(ilo, ihi int) {
+			votes := make([]float64, d.NumChoices)
+			for i := ilo; i < ihi; i++ {
+				if gv, ok := opts.Golden[i]; ok {
+					truth[i] = gv
+					continue
 				}
-				for _, ai := range idxs {
-					a := d.Answers[ai]
-					votes[a.Label()] += q[a.Worker]
+				idxs := d.TaskAnswers(i)
+				if len(idxs) == 0 {
+					continue
 				}
-				truth[i] = float64(core.ArgmaxTieBreak(votes, rng.Intn))
-			} else {
-				var num, den float64
-				for _, ai := range idxs {
-					a := d.Answers[ai]
-					num += q[a.Worker] * a.Value
-					den += q[a.Worker]
-				}
-				if den > 0 {
-					truth[i] = num / den
-				}
-			}
-		}
-		// Quality step: χ² coefficient over accumulated loss.
-		for w := 0; w < d.NumWorkers; w++ {
-			idxs := d.WorkerAnswers(w)
-			if len(idxs) == 0 {
-				continue
-			}
-			var loss float64
-			for _, ai := range idxs {
-				a := d.Answers[ai]
 				if d.Categorical() {
-					if a.Label() != int(truth[a.Task]) {
-						loss++
+					for k := range votes {
+						votes[k] = 0
 					}
+					for _, ai := range idxs {
+						a := d.Answers[ai]
+						votes[a.Label()] += q[a.Worker]
+					}
+					i := i
+					truth[i] = float64(core.ArgmaxTieBreak(votes, func(n int) int {
+						return randx.HashPick(n, opts.Seed, int64(iter), int64(i))
+					}))
 				} else {
-					dv := (a.Value - truth[a.Task]) / scale[a.Task]
-					loss += dv * dv
+					var num, den float64
+					for _, ai := range idxs {
+						a := d.Answers[ai]
+						num += q[a.Worker] * a.Value
+						den += q[a.Worker]
+					}
+					if den > 0 {
+						truth[i] = num / den
+					}
 				}
 			}
-			q[w] = chi[w] / (loss + lossEpsilon)
-		}
+		})
+		// Quality step: χ² coefficient over accumulated loss, fanned out
+		// over workers; the mean-1 renormalization stays sequential.
+		pool.For(d.NumWorkers, func(wlo, whi int) {
+			for w := wlo; w < whi; w++ {
+				idxs := d.WorkerAnswers(w)
+				if len(idxs) == 0 {
+					continue
+				}
+				var loss float64
+				for _, ai := range idxs {
+					a := d.Answers[ai]
+					if d.Categorical() {
+						if a.Label() != int(truth[a.Task]) {
+							loss++
+						}
+					} else {
+						dv := (a.Value - truth[a.Task]) / scale[a.Task]
+						loss += dv * dv
+					}
+				}
+				q[w] = chi[w] / (loss + lossEpsilon)
+			}
+		})
 		normalizeWeights(q)
 
 		var done bool

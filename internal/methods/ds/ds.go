@@ -15,6 +15,7 @@ import (
 
 	"truthinference/internal/core"
 	"truthinference/internal/dataset"
+	"truthinference/internal/engine"
 	"truthinference/internal/mathx"
 	"truthinference/internal/randx"
 )
@@ -67,6 +68,7 @@ func RunWithPriors(d *dataset.Dataset, opts core.Options, priors func(worker, j,
 // ℓ×ℓ pseudo-counts added to the confusion M-step (the LFC extension).
 func run(d *dataset.Dataset, opts core.Options, priors func(worker, j, k int) float64) (*core.Result, error) {
 	rng := randx.New(opts.Seed)
+	pool := engine.New(opts.Workers())
 	ell := d.NumChoices
 
 	conf := newConfusion(d.NumWorkers, ell)
@@ -98,34 +100,38 @@ func run(d *dataset.Dataset, opts core.Options, priors func(worker, j, k int) fl
 	}
 	core.PinGolden(post, opts.Golden)
 
-	logw := make([]float64, ell)
 	flatPrev := make([]float64, d.NumWorkers*ell*ell)
 	var iter int
 	converged := false
 	for iter = 1; iter <= opts.MaxIter(); iter++ {
-		// M-step: confusion matrices and class prior from posteriors.
+		// M-step: confusion matrices from posteriors, fanned out over
+		// workers — each goroutine owns a disjoint band of conf.flat.
 		copy(flatPrev, conf.flat)
-		for w := 0; w < d.NumWorkers; w++ {
-			for j := 0; j < ell; j++ {
-				row := conf.row(w, j)
-				for k := range row {
-					row[k] = Smoothing
-					if priors != nil {
-						row[k] += priors(w, j, k)
+		pool.For(d.NumWorkers, func(wlo, whi int) {
+			for w := wlo; w < whi; w++ {
+				for j := 0; j < ell; j++ {
+					row := conf.row(w, j)
+					for k := range row {
+						row[k] = Smoothing
+						if priors != nil {
+							row[k] += priors(w, j, k)
+						}
 					}
 				}
-			}
-			for _, ai := range d.WorkerAnswers(w) {
-				a := d.Answers[ai]
-				p := post[a.Task]
+				for _, ai := range d.WorkerAnswers(w) {
+					a := d.Answers[ai]
+					p := post[a.Task]
+					for j := 0; j < ell; j++ {
+						conf.row(w, j)[a.Label()] += p[j]
+					}
+				}
 				for j := 0; j < ell; j++ {
-					conf.row(w, j)[a.Label()] += p[j]
+					mathx.Normalize(conf.row(w, j))
 				}
 			}
-			for j := 0; j < ell; j++ {
-				mathx.Normalize(conf.row(w, j))
-			}
-		}
+		})
+		// Class prior: an O(tasks·ℓ) reduction, kept sequential so its
+		// summation order never depends on the chunk layout.
 		for k := range classPrior {
 			classPrior[k] = Smoothing
 		}
@@ -136,20 +142,27 @@ func run(d *dataset.Dataset, opts core.Options, priors func(worker, j, k int) fl
 		}
 		mathx.Normalize(classPrior)
 
-		// E-step: task posteriors from confusion matrices.
-		for i := 0; i < d.NumTasks; i++ {
-			for k := 0; k < ell; k++ {
-				logw[k] = math.Log(classPrior[k])
-			}
-			for _, ai := range d.TaskAnswers(i) {
-				a := d.Answers[ai]
-				for j := 0; j < ell; j++ {
-					logw[j] += math.Log(conf.row(a.Worker, j)[a.Label()])
-				}
-			}
-			mathx.NormalizeLog(logw)
-			copy(post[i], logw)
+		logPrior := make([]float64, ell)
+		for k := 0; k < ell; k++ {
+			logPrior[k] = math.Log(classPrior[k])
 		}
+
+		// E-step: task posteriors from confusion matrices, fanned out
+		// over tasks — each goroutine owns a disjoint set of post rows.
+		pool.For(d.NumTasks, func(ilo, ihi int) {
+			logw := make([]float64, ell)
+			for i := ilo; i < ihi; i++ {
+				copy(logw, logPrior)
+				for _, ai := range d.TaskAnswers(i) {
+					a := d.Answers[ai]
+					for j := 0; j < ell; j++ {
+						logw[j] += math.Log(conf.row(a.Worker, j)[a.Label()])
+					}
+				}
+				mathx.NormalizeLog(logw)
+				copy(post[i], logw)
+			}
+		})
 		core.PinGolden(post, opts.Golden)
 
 		if core.MaxAbsDiff(conf.flat, flatPrev) < opts.Tol() {

@@ -20,6 +20,7 @@ import (
 
 	"truthinference/internal/core"
 	"truthinference/internal/dataset"
+	"truthinference/internal/engine"
 	"truthinference/internal/mathx"
 	"truthinference/internal/randx"
 )
@@ -75,8 +76,8 @@ func (m *GLAD) Infer(d *dataset.Dataset, opts core.Options) (*core.Result, error
 	}
 	logBeta := make([]float64, d.NumTasks) // log task easiness, β = e^{logBeta}
 
+	pool := engine.New(opts.Workers())
 	post := core.UniformPosterior(d.NumTasks, d.NumChoices)
-	logw := make([]float64, d.NumChoices)
 	prevAlpha := make([]float64, d.NumWorkers)
 	gradAlpha := make([]float64, d.NumWorkers)
 	gradLogBeta := make([]float64, d.NumTasks)
@@ -84,50 +85,70 @@ func (m *GLAD) Infer(d *dataset.Dataset, opts core.Options) (*core.Result, error
 	var iter int
 	converged := false
 	for iter = 1; iter <= opts.MaxIter(); iter++ {
-		// E-step: posterior over the true label of each task.
-		for i := 0; i < d.NumTasks; i++ {
-			for k := range logw {
-				logw[k] = 0
-			}
-			beta := math.Exp(logBeta[i])
-			for _, ai := range d.TaskAnswers(i) {
-				a := d.Answers[ai]
-				p := correctProb(alpha[a.Worker], beta)
-				logCorrect := math.Log(p)
-				logWrong := math.Log((1 - p) / (ell - 1))
-				for k := 0; k < d.NumChoices; k++ {
-					if a.Label() == k {
-						logw[k] += logCorrect
-					} else {
-						logw[k] += logWrong
+		// E-step: posterior over the true label of each task, fanned out
+		// over tasks (each goroutine owns disjoint post rows).
+		pool.For(d.NumTasks, func(ilo, ihi int) {
+			logw := make([]float64, d.NumChoices)
+			for i := ilo; i < ihi; i++ {
+				for k := range logw {
+					logw[k] = 0
+				}
+				beta := math.Exp(logBeta[i])
+				for _, ai := range d.TaskAnswers(i) {
+					a := d.Answers[ai]
+					p := correctProb(alpha[a.Worker], beta)
+					logCorrect := math.Log(p)
+					logWrong := math.Log((1 - p) / (ell - 1))
+					for k := 0; k < d.NumChoices; k++ {
+						if a.Label() == k {
+							logw[k] += logCorrect
+						} else {
+							logw[k] += logWrong
+						}
 					}
 				}
+				mathx.NormalizeLog(logw)
+				copy(post[i], logw)
 			}
-			mathx.NormalizeLog(logw)
-			copy(post[i], logw)
-		}
+		})
 		core.PinGolden(post, opts.Golden)
 
 		// M-step: gradient ascent on the expected complete
-		// log-likelihood Q(α, log β).
+		// log-likelihood Q(α, log β). The single answers pass of the
+		// textbook formulation is split into a per-worker pass (∂Q/∂α)
+		// and a per-task pass (∂Q/∂ log β): each gradient entry is then
+		// owned by exactly one loop index, which lets both passes fan
+		// out with no shared accumulators and a summation order (the
+		// ascending answer order of WorkerAnswers/TaskAnswers) that is
+		// independent of the chunk layout.
 		copy(prevAlpha, alpha)
 		for step := 0; step < gradSteps; step++ {
-			for w := range gradAlpha {
-				gradAlpha[w] = -priorWeight * (alpha[w] - 1) // N(1,1) prior on α
-			}
-			for i := range gradLogBeta {
-				gradLogBeta[i] = -priorWeight * logBeta[i] // N(0,1) prior on log β
-			}
-			for _, a := range d.Answers {
-				beta := math.Exp(logBeta[a.Task])
-				s := correctProb(alpha[a.Worker], beta)
-				// pCorrect = posterior probability the worker's answer
-				// equals the truth; ∂Q/∂(αβ) = pCorrect - σ(αβ).
-				pCorrect := post[a.Task][a.Label()]
-				g := pCorrect - s
-				gradAlpha[a.Worker] += g * beta
-				gradLogBeta[a.Task] += g * alpha[a.Worker] * beta
-			}
+			pool.For(d.NumWorkers, func(wlo, whi int) {
+				for w := wlo; w < whi; w++ {
+					g := -priorWeight * (alpha[w] - 1) // N(1,1) prior on α
+					for _, ai := range d.WorkerAnswers(w) {
+						a := d.Answers[ai]
+						beta := math.Exp(logBeta[a.Task])
+						s := correctProb(alpha[w], beta)
+						// pCorrect = posterior probability the worker's
+						// answer equals the truth; ∂Q/∂(αβ) = pCorrect - σ(αβ).
+						g += (post[a.Task][a.Label()] - s) * beta
+					}
+					gradAlpha[w] = g
+				}
+			})
+			pool.For(d.NumTasks, func(ilo, ihi int) {
+				for i := ilo; i < ihi; i++ {
+					g := -priorWeight * logBeta[i] // N(0,1) prior on log β
+					beta := math.Exp(logBeta[i])
+					for _, ai := range d.TaskAnswers(i) {
+						a := d.Answers[ai]
+						s := correctProb(alpha[a.Worker], beta)
+						g += (post[i][a.Label()] - s) * alpha[a.Worker] * beta
+					}
+					gradLogBeta[i] = g
+				}
+			})
 			for w := range alpha {
 				alpha[w] += learningRate * gradAlpha[w]
 			}

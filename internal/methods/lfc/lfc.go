@@ -18,6 +18,7 @@ import (
 
 	"truthinference/internal/core"
 	"truthinference/internal/dataset"
+	"truthinference/internal/engine"
 	"truthinference/internal/methods/ds"
 )
 
@@ -141,6 +142,7 @@ func (m *LFCN) Infer(d *dataset.Dataset, opts core.Options) (*core.Result, error
 		}
 	}
 
+	pool := engine.New(opts.Workers())
 	prevTruth := make([]float64, d.NumTasks)
 	prevVar := make([]float64, d.NumWorkers)
 	var iter int
@@ -148,38 +150,43 @@ func (m *LFCN) Infer(d *dataset.Dataset, opts core.Options) (*core.Result, error
 	for iter = 1; iter <= opts.MaxIter(); iter++ {
 		copy(prevTruth, truth)
 		copy(prevVar, variance)
-		// Truth step: precision-weighted mean.
-		for i := 0; i < d.NumTasks; i++ {
-			if _, ok := opts.Golden[i]; ok {
-				continue
+		// Truth step: precision-weighted mean, fanned out over tasks.
+		pool.For(d.NumTasks, func(ilo, ihi int) {
+			for i := ilo; i < ihi; i++ {
+				if _, ok := opts.Golden[i]; ok {
+					continue
+				}
+				idxs := d.TaskAnswers(i)
+				if len(idxs) == 0 {
+					continue
+				}
+				var num, den float64
+				for _, ai := range idxs {
+					a := d.Answers[ai]
+					prec := 1 / math.Max(variance[a.Worker], varFloor)
+					num += prec * a.Value
+					den += prec
+				}
+				truth[i] = num / den
 			}
-			idxs := d.TaskAnswers(i)
-			if len(idxs) == 0 {
-				continue
+		})
+		// Variance step: per-worker MSE with inverse-gamma smoothing,
+		// fanned out over workers.
+		pool.For(d.NumWorkers, func(wlo, whi int) {
+			for w := wlo; w < whi; w++ {
+				idxs := d.WorkerAnswers(w)
+				if len(idxs) == 0 {
+					continue
+				}
+				ss := varPriorScale
+				for _, ai := range idxs {
+					a := d.Answers[ai]
+					dv := a.Value - truth[a.Task]
+					ss += dv * dv
+				}
+				variance[w] = math.Max(ss/(float64(len(idxs))+varPriorShape), varFloor)
 			}
-			var num, den float64
-			for _, ai := range idxs {
-				a := d.Answers[ai]
-				prec := 1 / math.Max(variance[a.Worker], varFloor)
-				num += prec * a.Value
-				den += prec
-			}
-			truth[i] = num / den
-		}
-		// Variance step: per-worker MSE with inverse-gamma smoothing.
-		for w := 0; w < d.NumWorkers; w++ {
-			idxs := d.WorkerAnswers(w)
-			if len(idxs) == 0 {
-				continue
-			}
-			ss := varPriorScale
-			for _, ai := range idxs {
-				a := d.Answers[ai]
-				dv := a.Value - truth[a.Task]
-				ss += dv * dv
-			}
-			variance[w] = math.Max(ss/(float64(len(idxs))+varPriorShape), varFloor)
-		}
+		})
 		// Converge on both parameter families: on the first iteration the
 		// truth step reproduces the per-task means (all variances start
 		// equal), so the truth delta alone would spuriously trip.

@@ -28,6 +28,7 @@ import (
 
 	"truthinference/internal/core"
 	"truthinference/internal/dataset"
+	"truthinference/internal/engine"
 	"truthinference/internal/mathx"
 	"truthinference/internal/randx"
 )
@@ -140,8 +141,15 @@ func (m *Minimax) Infer(d *dataset.Dataset, opts core.Options) (*core.Result, er
 	}
 	sigmaRow := func(i int) []float64 { return sigma[i*ell : (i+1)*ell] }
 
+	pool := engine.New(opts.Workers())
 	gradSigma := make([]float64, len(sigma))
 	gradTau := make([]float64, len(tau))
+	// gbuf[e*ell+k] caches each answer's softmax residual (1[v=k] - π_k)
+	// for the current gradient step: it is computed once per answer in a
+	// parallel pass over answers, then consumed by the per-task σ pass
+	// and the per-worker τ pass — each gradient entry is owned by exactly
+	// one loop index, so the fan-out needs no shared accumulators.
+	gbuf := make([]float64, len(d.Answers)*ell)
 	// Per-degree normalizers: each answer's contribution is divided by
 	// its task's (for σ) or worker's (for τ) answer count, so the ascent
 	// step size is independent of crowd size and no parameter slams into
@@ -190,36 +198,66 @@ func (m *Minimax) Infer(d *dataset.Dataset, opts core.Options) (*core.Result, er
 		// the same coordinate descent) keep the worker constraints sharp.
 		hard := hardLabels(mu)
 		for step := 0; step < gradSteps; step++ {
-			for idx := range gradSigma {
-				// With degree-normalized data gradients (≤ 1 in
-				// magnitude) a unit penalty suffices to stop σ from
-				// absorbing each task's answer marginal (the degeneracy
-				// the regularized minimax-entropy formulation controls
-				// with its per-task slack term).
-				gradSigma[idx] = -l2Sigma * sigma[idx]
-			}
-			for idx := range gradTau {
-				anchor := 0.0
-				if (idx/ell)%ell == idx%ell { // diagonal of a τ^w row block
-					anchor = tauAnchor
-				}
-				gradTau[idx] = -l2Tau * (tau[idx] - anchor)
-			}
-			for _, a := range d.Answers {
-				sr := sigmaRow(a.Task)
-				j := hard[a.Task]
-				tr := tauRow(a.Worker, j)
-				softmax(sr, tr, pi)
-				for k := 0; k < ell; k++ {
-					ind := 0.0
-					if a.Label() == k {
-						ind = 1
+			// Pass 1: per-answer softmax residuals into gbuf (each
+			// answer owns its ℓ-wide slice).
+			pool.For(len(d.Answers), func(elo, ehi int) {
+				pi := make([]float64, ell)
+				for e := elo; e < ehi; e++ {
+					a := d.Answers[e]
+					sr := sigmaRow(a.Task)
+					tr := tauRow(a.Worker, hard[a.Task])
+					softmax(sr, tr, pi)
+					row := gbuf[e*ell : (e+1)*ell]
+					for k := 0; k < ell; k++ {
+						ind := 0.0
+						if a.Label() == k {
+							ind = 1
+						}
+						row[k] = ind - pi[k]
 					}
-					g := ind - pi[k]
-					gradSigma[a.Task*ell+k] += g / taskDeg[a.Task]
-					gradTau[(a.Worker*ell+j)*ell+k] += g / workerDeg[a.Worker]
 				}
-			}
+			})
+			// Pass 2: σ gradient per task. With degree-normalized data
+			// gradients (≤ 1 in magnitude) a unit penalty suffices to
+			// stop σ from absorbing each task's answer marginal (the
+			// degeneracy the regularized minimax-entropy formulation
+			// controls with its per-task slack term).
+			pool.For(d.NumTasks, func(ilo, ihi int) {
+				for i := ilo; i < ihi; i++ {
+					gs := gradSigma[i*ell : (i+1)*ell]
+					for k := range gs {
+						gs[k] = -l2Sigma * sigma[i*ell+k]
+					}
+					for _, e := range d.TaskAnswers(i) {
+						row := gbuf[e*ell : (e+1)*ell]
+						for k := 0; k < ell; k++ {
+							gs[k] += row[k] / taskDeg[i]
+						}
+					}
+				}
+			})
+			// Pass 3: τ gradient per worker (row j = the hard label of
+			// the answered task).
+			pool.For(d.NumWorkers, func(wlo, whi int) {
+				for w := wlo; w < whi; w++ {
+					gt := gradTau[w*ell*ell : (w+1)*ell*ell]
+					for jk := range gt {
+						anchor := 0.0
+						if jk/ell == jk%ell { // diagonal of a τ^w row block
+							anchor = tauAnchor
+						}
+						gt[jk] = -l2Tau * (tau[w*ell*ell+jk] - anchor)
+					}
+					for _, e := range d.WorkerAnswers(w) {
+						a := d.Answers[e]
+						j := hard[a.Task]
+						row := gbuf[e*ell : (e+1)*ell]
+						for k := 0; k < ell; k++ {
+							gt[j*ell+k] += row[k] / workerDeg[w]
+						}
+					}
+				}
+			})
 			for idx := range sigma {
 				sigma[idx] = mathx.Clamp(sigma[idx]+learningRate*gradSigma[idx], -paramClamp, paramClamp)
 			}
@@ -228,29 +266,33 @@ func (m *Minimax) Infer(d *dataset.Dataset, opts core.Options) (*core.Result, er
 			}
 		}
 
-		// Truth update: μ_i(j) ∝ exp Σ_w log π^w_{i,j,v^w_i}.
-		logw := make([]float64, ell)
-		for i := 0; i < d.NumTasks; i++ {
-			for j := range logw {
-				logw[j] = 0
-			}
-			sr := sigmaRow(i)
-			for _, ai := range d.TaskAnswers(i) {
-				a := d.Answers[ai]
-				for j := 0; j < ell; j++ {
-					tr := tauRow(a.Worker, j)
-					softmax(sr, tr, pi)
-					logw[j] += math.Log(math.Max(pi[a.Label()], 1e-12))
+		// Truth update: μ_i(j) ∝ exp Σ_w log π^w_{i,j,v^w_i}, fanned out
+		// over tasks (each goroutine owns disjoint μ rows).
+		pool.For(d.NumTasks, func(ilo, ihi int) {
+			logw := make([]float64, ell)
+			piLocal := make([]float64, ell)
+			for i := ilo; i < ihi; i++ {
+				for j := range logw {
+					logw[j] = 0
+				}
+				sr := sigmaRow(i)
+				for _, ai := range d.TaskAnswers(i) {
+					a := d.Answers[ai]
+					for j := 0; j < ell; j++ {
+						tr := tauRow(a.Worker, j)
+						softmax(sr, tr, piLocal)
+						logw[j] += math.Log(math.Max(piLocal[a.Label()], 1e-12))
+					}
+				}
+				for j := range logw {
+					logw[j] += voteTether * math.Log(muInit[i][j])
+				}
+				mathx.NormalizeLog(logw)
+				for j := range logw {
+					mu[i][j] = muDamping*mu[i][j] + (1-muDamping)*logw[j]
 				}
 			}
-			for j := range logw {
-				logw[j] += voteTether * math.Log(muInit[i][j])
-			}
-			mathx.NormalizeLog(logw)
-			for j := range logw {
-				mu[i][j] = muDamping*mu[i][j] + (1-muDamping)*logw[j]
-			}
-		}
+		})
 		core.PinGolden(mu, opts.Golden)
 
 		// Converge on the soft distribution or, since only the argmax

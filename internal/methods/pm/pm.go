@@ -22,6 +22,7 @@ import (
 
 	"truthinference/internal/core"
 	"truthinference/internal/dataset"
+	"truthinference/internal/engine"
 	"truthinference/internal/mathx"
 	"truthinference/internal/randx"
 )
@@ -66,7 +67,7 @@ func (m *PM) Infer(d *dataset.Dataset, opts core.Options) (*core.Result, error) 
 }
 
 func (m *PM) inferCategorical(d *dataset.Dataset, opts core.Options) (*core.Result, error) {
-	rng := randx.New(opts.Seed)
+	pool := engine.New(opts.Workers())
 	q := initialQuality(d, opts, func(acc float64) float64 {
 		// Map qualification accuracy onto the PM weight scale: a worker
 		// with error rate (1-acc) behaves like one whose normalized loss
@@ -76,43 +77,57 @@ func (m *PM) inferCategorical(d *dataset.Dataset, opts core.Options) (*core.Resu
 
 	truth := make([]float64, d.NumTasks)
 	prevTruth := make([]float64, d.NumTasks)
-	votes := make([]float64, d.NumChoices)
+	losses := make([]float64, d.NumWorkers)
 
 	var iter int
 	converged := false
 	for iter = 1; iter <= opts.MaxIter(); iter++ {
 		copy(prevTruth, truth)
-		// Step 1: quality-weighted vote.
-		for i := 0; i < d.NumTasks; i++ {
-			if gv, ok := opts.Golden[i]; ok {
-				truth[i] = gv
-				continue
-			}
-			for k := range votes {
-				votes[k] = 0
-			}
-			idxs := d.TaskAnswers(i)
-			if len(idxs) == 0 {
-				continue
-			}
-			for _, ai := range idxs {
-				a := d.Answers[ai]
-				votes[a.Label()] += q[a.Worker]
-			}
-			truth[i] = float64(core.ArgmaxTieBreak(votes, rng.Intn))
-		}
-		// Step 2: q_w = -log(loss_w / max loss).
-		maxLoss := lossEpsilon
-		losses := make([]float64, d.NumWorkers)
-		for w := 0; w < d.NumWorkers; w++ {
-			var loss float64
-			for _, ai := range d.WorkerAnswers(w) {
-				a := d.Answers[ai]
-				if a.Label() != int(truth[a.Task]) {
-					loss++
+		// Step 1: quality-weighted vote, fanned out over tasks. Vote
+		// ties are broken by a hash of (seed, iteration, task) instead
+		// of a shared RNG so the pick is the same at every parallelism
+		// level.
+		iter := iter
+		pool.For(d.NumTasks, func(ilo, ihi int) {
+			votes := make([]float64, d.NumChoices)
+			for i := ilo; i < ihi; i++ {
+				if gv, ok := opts.Golden[i]; ok {
+					truth[i] = gv
+					continue
 				}
+				for k := range votes {
+					votes[k] = 0
+				}
+				idxs := d.TaskAnswers(i)
+				if len(idxs) == 0 {
+					continue
+				}
+				for _, ai := range idxs {
+					a := d.Answers[ai]
+					votes[a.Label()] += q[a.Worker]
+				}
+				i := i
+				truth[i] = float64(core.ArgmaxTieBreak(votes, func(n int) int {
+					return randx.HashPick(n, opts.Seed, int64(iter), int64(i))
+				}))
 			}
-			losses[w] = loss
+		})
+		// Step 2: q_w = -log(loss_w / max loss). Per-worker losses fan
+		// out; the max reduction stays sequential (O(workers)).
+		pool.For(d.NumWorkers, func(wlo, whi int) {
+			for w := wlo; w < whi; w++ {
+				var loss float64
+				for _, ai := range d.WorkerAnswers(w) {
+					a := d.Answers[ai]
+					if a.Label() != int(truth[a.Task]) {
+						loss++
+					}
+				}
+				losses[w] = loss
+			}
+		})
+		maxLoss := lossEpsilon
+		for _, loss := range losses {
 			if loss > maxLoss {
 				maxLoss = loss
 			}
@@ -163,44 +178,53 @@ func (m *PM) inferNumeric(d *dataset.Dataset, opts core.Options) (*core.Result, 
 	// Per-task scale for the CRH loss normalization.
 	scale := taskScales(d)
 
+	pool := engine.New(opts.Workers())
 	truth := make([]float64, d.NumTasks)
 	prevTruth := make([]float64, d.NumTasks)
+	losses := make([]float64, d.NumWorkers)
 
 	var iter int
 	converged := false
 	for iter = 1; iter <= opts.MaxIter(); iter++ {
 		copy(prevTruth, truth)
-		// Step 1: weighted mean minimizes the weighted squared loss.
-		for i := 0; i < d.NumTasks; i++ {
-			if gv, ok := opts.Golden[i]; ok {
-				truth[i] = gv
-				continue
+		// Step 1: weighted mean minimizes the weighted squared loss;
+		// fanned out over tasks.
+		pool.For(d.NumTasks, func(ilo, ihi int) {
+			for i := ilo; i < ihi; i++ {
+				if gv, ok := opts.Golden[i]; ok {
+					truth[i] = gv
+					continue
+				}
+				idxs := d.TaskAnswers(i)
+				if len(idxs) == 0 {
+					continue
+				}
+				var num, den float64
+				for _, ai := range idxs {
+					a := d.Answers[ai]
+					num += q[a.Worker] * a.Value
+					den += q[a.Worker]
+				}
+				if den > 0 {
+					truth[i] = num / den
+				}
 			}
-			idxs := d.TaskAnswers(i)
-			if len(idxs) == 0 {
-				continue
+		})
+		// Step 2: normalized squared losses → -log weights; per-worker
+		// losses fan out, the max reduction stays sequential.
+		pool.For(d.NumWorkers, func(wlo, whi int) {
+			for w := wlo; w < whi; w++ {
+				var loss float64
+				for _, ai := range d.WorkerAnswers(w) {
+					a := d.Answers[ai]
+					dv := (a.Value - truth[a.Task]) / scale[a.Task]
+					loss += dv * dv
+				}
+				losses[w] = loss
 			}
-			var num, den float64
-			for _, ai := range idxs {
-				a := d.Answers[ai]
-				num += q[a.Worker] * a.Value
-				den += q[a.Worker]
-			}
-			if den > 0 {
-				truth[i] = num / den
-			}
-		}
-		// Step 2: normalized squared losses → -log weights.
-		losses := make([]float64, d.NumWorkers)
+		})
 		maxLoss := lossEpsilon
-		for w := 0; w < d.NumWorkers; w++ {
-			var loss float64
-			for _, ai := range d.WorkerAnswers(w) {
-				a := d.Answers[ai]
-				dv := (a.Value - truth[a.Task]) / scale[a.Task]
-				loss += dv * dv
-			}
-			losses[w] = loss
+		for _, loss := range losses {
 			if loss > maxLoss {
 				maxLoss = loss
 			}

@@ -23,6 +23,7 @@ import (
 
 	"truthinference/internal/core"
 	"truthinference/internal/dataset"
+	"truthinference/internal/engine"
 	"truthinference/internal/mathx"
 	"truthinference/internal/randx"
 )
@@ -111,41 +112,58 @@ func (m *VI) inferMF(d *dataset.Dataset, opts core.Options) (*core.Result, error
 		}
 	}
 
+	pool := engine.New(opts.Workers())
 	post := core.UniformPosterior(d.NumTasks, 2)
 	prevA := make([]float64, d.NumWorkers)
-	logw := make([]float64, 2)
+	// Per-worker digamma expectations, refreshed once per iteration: the
+	// task update reads E[ln q_w] once per answer, and digamma is far too
+	// expensive to recompute |W_i| times per task.
+	elnq := make([]float64, d.NumWorkers)
+	eln1q := make([]float64, d.NumWorkers)
 
 	var iter int
 	converged := false
 	for iter = 1; iter <= opts.MaxIter(); iter++ {
-		// Task update: μ_i(z) ∝ exp Σ_w [1{v=z}E ln q + 1{v≠z}E ln(1-q)].
-		for i := 0; i < d.NumTasks; i++ {
-			logw[0], logw[1] = 0, 0
-			for _, ai := range d.TaskAnswers(i) {
-				ans := d.Answers[ai]
-				elnq := mathx.Digamma(a[ans.Worker]) - mathx.Digamma(a[ans.Worker]+b[ans.Worker])
-				eln1q := mathx.Digamma(b[ans.Worker]) - mathx.Digamma(a[ans.Worker]+b[ans.Worker])
-				l := ans.Label()
-				logw[l] += elnq
-				logw[1-l] += eln1q
+		pool.For(d.NumWorkers, func(wlo, whi int) {
+			for w := wlo; w < whi; w++ {
+				dab := mathx.Digamma(a[w] + b[w])
+				elnq[w] = mathx.Digamma(a[w]) - dab
+				eln1q[w] = mathx.Digamma(b[w]) - dab
 			}
-			mathx.NormalizeLog(logw)
-			post[i][0], post[i][1] = logw[0], logw[1]
-		}
+		})
+		// Task update: μ_i(z) ∝ exp Σ_w [1{v=z}E ln q + 1{v≠z}E ln(1-q)],
+		// fanned out over tasks.
+		pool.For(d.NumTasks, func(ilo, ihi int) {
+			var logw [2]float64
+			for i := ilo; i < ihi; i++ {
+				logw[0], logw[1] = 0, 0
+				for _, ai := range d.TaskAnswers(i) {
+					ans := d.Answers[ai]
+					l := ans.Label()
+					logw[l] += elnq[ans.Worker]
+					logw[1-l] += eln1q[ans.Worker]
+				}
+				mathx.NormalizeLog(logw[:])
+				post[i][0], post[i][1] = logw[0], logw[1]
+			}
+		})
 		core.PinGolden(post, opts.Golden)
 
-		// Worker update: Beta(a,b) with expected correct/incorrect counts.
+		// Worker update: Beta(a,b) with expected correct/incorrect
+		// counts, fanned out over workers.
 		copy(prevA, a)
-		for w := 0; w < d.NumWorkers; w++ {
-			aw, bw := PriorA, PriorB
-			for _, ai := range d.WorkerAnswers(w) {
-				ans := d.Answers[ai]
-				pCorrect := post[ans.Task][ans.Label()]
-				aw += pCorrect
-				bw += 1 - pCorrect
+		pool.For(d.NumWorkers, func(wlo, whi int) {
+			for w := wlo; w < whi; w++ {
+				aw, bw := PriorA, PriorB
+				for _, ai := range d.WorkerAnswers(w) {
+					ans := d.Answers[ai]
+					pCorrect := post[ans.Task][ans.Label()]
+					aw += pCorrect
+					bw += 1 - pCorrect
+				}
+				a[w], b[w] = aw, bw
 			}
-			a[w], b[w] = aw, bw
-		}
+		})
 
 		if core.MaxAbsDiff(a, prevA) < opts.Tol() {
 			converged = true
@@ -184,68 +202,91 @@ func (m *VI) inferBP(d *dataset.Dataset, opts core.Options) (*core.Result, error
 		mu[e] = mathx.Clamp(mu[e], 0.05, 0.95)
 	}
 	// Worker sums of μ over their edges, to form cavity Beta posteriors.
+	pool := engine.New(opts.Workers())
 	wSum := make([]float64, d.NumWorkers)
 	wCount := make([]float64, d.NumWorkers)
 	prevMu := make([]float64, nEdges)
-	logw := make([]float64, 2)
 
 	post := core.UniformPosterior(d.NumTasks, 2)
+	taskLog0 := make([]float64, d.NumTasks)
+	taskLog1 := make([]float64, d.NumTasks)
+	edgeLog0 := make([]float64, nEdges)
+	edgeLog1 := make([]float64, nEdges)
 
 	var iter int
 	converged := false
 	for iter = 1; iter <= opts.MaxIter(); iter++ {
 		copy(prevMu, mu)
-		// Accumulate worker totals once per round.
-		for w := range wSum {
-			wSum[w], wCount[w] = 0, 0
-		}
-		for e, ans := range d.Answers {
-			wSum[ans.Worker] += mu[e]
-			wCount[ans.Worker]++
-		}
+		// Accumulate worker totals once per round, fanned out over
+		// workers (each sum spans only that worker's edges, in ascending
+		// edge order).
+		pool.For(d.NumWorkers, func(wlo, whi int) {
+			for w := wlo; w < whi; w++ {
+				idxs := d.WorkerAnswers(w)
+				var s float64
+				for _, e := range idxs {
+					s += mu[e]
+				}
+				wSum[w], wCount[w] = s, float64(len(idxs))
+			}
+		})
 		// Worker→task messages: digamma expectations of the cavity Beta
-		// posterior (excluding edge e itself), then task beliefs and new
-		// task→worker messages.
-		// First compute per-task log-odds with all workers included, then
-		// subtract each edge's own contribution to form the cavity.
-		taskLog0 := make([]float64, d.NumTasks)
-		taskLog1 := make([]float64, d.NumTasks)
-		edgeLog0 := make([]float64, nEdges)
-		edgeLog1 := make([]float64, nEdges)
-		for e, ans := range d.Answers {
-			aCav := PriorA + wSum[ans.Worker] - mu[e]
-			bCav := PriorB + (wCount[ans.Worker] - 1) - (wSum[ans.Worker] - mu[e])
-			if bCav < 1e-6 {
-				bCav = 1e-6
+		// posterior (excluding edge e itself), fanned out over edges —
+		// then per-task log-odds with all workers included, fanned out
+		// over tasks, so each edge's own contribution can be subtracted
+		// to form the cavity.
+		pool.For(nEdges, func(elo, ehi int) {
+			for e := elo; e < ehi; e++ {
+				ans := d.Answers[e]
+				aCav := PriorA + wSum[ans.Worker] - mu[e]
+				bCav := PriorB + (wCount[ans.Worker] - 1) - (wSum[ans.Worker] - mu[e])
+				if bCav < 1e-6 {
+					bCav = 1e-6
+				}
+				elnq := mathx.Digamma(aCav) - mathx.Digamma(aCav+bCav)
+				eln1q := mathx.Digamma(bCav) - mathx.Digamma(aCav+bCav)
+				if ans.Label() == 1 {
+					edgeLog1[e], edgeLog0[e] = elnq, eln1q
+				} else {
+					edgeLog0[e], edgeLog1[e] = elnq, eln1q
+				}
 			}
-			elnq := mathx.Digamma(aCav) - mathx.Digamma(aCav+bCav)
-			eln1q := mathx.Digamma(bCav) - mathx.Digamma(aCav+bCav)
-			if ans.Label() == 1 {
-				edgeLog1[e], edgeLog0[e] = elnq, eln1q
-			} else {
-				edgeLog0[e], edgeLog1[e] = elnq, eln1q
+		})
+		pool.For(d.NumTasks, func(ilo, ihi int) {
+			for i := ilo; i < ihi; i++ {
+				var l0, l1 float64
+				for _, e := range d.TaskAnswers(i) {
+					l0 += edgeLog0[e]
+					l1 += edgeLog1[e]
+				}
+				taskLog0[i], taskLog1[i] = l0, l1
 			}
-			taskLog0[ans.Task] += edgeLog0[e]
-			taskLog1[ans.Task] += edgeLog1[e]
-		}
-		// Update task→worker cavity messages and beliefs.
-		for e, ans := range d.Answers {
-			l0 := taskLog0[ans.Task] - edgeLog0[e]
-			l1 := taskLog1[ans.Task] - edgeLog1[e]
-			// Probability that the edge's answer equals the truth under
-			// the cavity belief.
-			p1 := mathx.Logistic(l1 - l0)
-			if ans.Label() == 1 {
-				mu[e] = mathx.Clamp(p1, 1e-6, 1-1e-6)
-			} else {
-				mu[e] = mathx.Clamp(1-p1, 1e-6, 1-1e-6)
+		})
+		// Update task→worker cavity messages and beliefs, fanned out
+		// over edges and tasks respectively.
+		pool.For(nEdges, func(elo, ehi int) {
+			for e := elo; e < ehi; e++ {
+				ans := d.Answers[e]
+				l0 := taskLog0[ans.Task] - edgeLog0[e]
+				l1 := taskLog1[ans.Task] - edgeLog1[e]
+				// Probability that the edge's answer equals the truth
+				// under the cavity belief.
+				p1 := mathx.Logistic(l1 - l0)
+				if ans.Label() == 1 {
+					mu[e] = mathx.Clamp(p1, 1e-6, 1-1e-6)
+				} else {
+					mu[e] = mathx.Clamp(1-p1, 1e-6, 1-1e-6)
+				}
 			}
-		}
-		for i := 0; i < d.NumTasks; i++ {
-			logw[0], logw[1] = taskLog0[i], taskLog1[i]
-			mathx.NormalizeLog(logw)
-			post[i][0], post[i][1] = logw[0], logw[1]
-		}
+		})
+		pool.For(d.NumTasks, func(ilo, ihi int) {
+			var logw [2]float64
+			for i := ilo; i < ihi; i++ {
+				logw[0], logw[1] = taskLog0[i], taskLog1[i]
+				mathx.NormalizeLog(logw[:])
+				post[i][0], post[i][1] = logw[0], logw[1]
+			}
+		})
 
 		if core.MaxAbsDiff(mu, prevMu) < opts.Tol() {
 			converged = true

@@ -20,6 +20,7 @@ import (
 
 	"truthinference/internal/core"
 	"truthinference/internal/dataset"
+	"truthinference/internal/engine"
 	"truthinference/internal/mathx"
 	"truthinference/internal/randx"
 )
@@ -71,50 +72,56 @@ func (m *ZC) Infer(d *dataset.Dataset, opts core.Options) (*core.Result, error) 
 		}
 	}
 
+	pool := engine.New(opts.Workers())
 	post := core.UniformPosterior(d.NumTasks, d.NumChoices)
 	prevQ := make([]float64, d.NumWorkers)
-	logw := make([]float64, d.NumChoices)
 
 	var iter int
 	converged := false
 	for iter = 1; iter <= opts.MaxIter(); iter++ {
-		// E-step: task posteriors from current worker qualities.
-		for i := 0; i < d.NumTasks; i++ {
-			for k := range logw {
-				logw[k] = 0
-			}
-			for _, ai := range d.TaskAnswers(i) {
-				a := d.Answers[ai]
-				qw := mathx.Clamp(q[a.Worker], qualityFloor, 1-qualityFloor)
-				logCorrect := math.Log(qw)
-				logWrong := math.Log((1 - qw) / (ell - 1))
-				for k := 0; k < d.NumChoices; k++ {
-					if a.Label() == k {
-						logw[k] += logCorrect
-					} else {
-						logw[k] += logWrong
+		// E-step: task posteriors from current worker qualities, fanned
+		// out over tasks (each goroutine owns disjoint post rows).
+		pool.For(d.NumTasks, func(ilo, ihi int) {
+			logw := make([]float64, d.NumChoices)
+			for i := ilo; i < ihi; i++ {
+				for k := range logw {
+					logw[k] = 0
+				}
+				for _, ai := range d.TaskAnswers(i) {
+					a := d.Answers[ai]
+					qw := mathx.Clamp(q[a.Worker], qualityFloor, 1-qualityFloor)
+					logCorrect := math.Log(qw)
+					logWrong := math.Log((1 - qw) / (ell - 1))
+					for k := 0; k < d.NumChoices; k++ {
+						if a.Label() == k {
+							logw[k] += logCorrect
+						} else {
+							logw[k] += logWrong
+						}
 					}
 				}
+				mathx.NormalizeLog(logw)
+				copy(post[i], logw)
 			}
-			mathx.NormalizeLog(logw)
-			copy(post[i], logw)
-		}
+		})
 		core.PinGolden(post, opts.Golden)
 
-		// M-step: expected accuracy per worker.
+		// M-step: expected accuracy per worker, fanned out over workers.
 		copy(prevQ, q)
-		for w := 0; w < d.NumWorkers; w++ {
-			idxs := d.WorkerAnswers(w)
-			if len(idxs) == 0 {
-				continue
+		pool.For(d.NumWorkers, func(wlo, whi int) {
+			for w := wlo; w < whi; w++ {
+				idxs := d.WorkerAnswers(w)
+				if len(idxs) == 0 {
+					continue
+				}
+				var s float64
+				for _, ai := range idxs {
+					a := d.Answers[ai]
+					s += post[a.Task][a.Label()]
+				}
+				q[w] = mathx.Clamp(s/float64(len(idxs)), qualityFloor, 1-qualityFloor)
 			}
-			var s float64
-			for _, ai := range idxs {
-				a := d.Answers[ai]
-				s += post[a.Task][a.Label()]
-			}
-			q[w] = mathx.Clamp(s/float64(len(idxs)), qualityFloor, 1-qualityFloor)
-		}
+		})
 
 		if core.MaxAbsDiff(q, prevQ) < opts.Tol() {
 			converged = true

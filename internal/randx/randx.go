@@ -170,6 +170,57 @@ func Bootstrap(rng *rand.Rand, n, k int) []int {
 	return out
 }
 
+// splitmix64 advances a SplitMix64 state and returns the next output.
+// SplitMix64 (Steele, Lea, Flood; OOPSLA 2014) passes BigCrush and is
+// cheap enough to seed per task or per worker inside a Gibbs sweep —
+// unlike math/rand's lagged-Fibonacci source, whose Seed runs a ~20µs
+// warm-up loop that would dominate per-entity derivation.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9E3779B97F4A7C15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Mix hashes the parts into one 64-bit value by chaining them through
+// SplitMix64. Equal part sequences always produce equal outputs.
+func Mix(parts ...int64) uint64 {
+	var state uint64 = 0x6A09E667F3BCC909 // golden-ratio-free arbitrary start
+	var out uint64
+	for _, p := range parts {
+		state ^= uint64(p)
+		out = splitmix64(&state)
+	}
+	return out
+}
+
+// HashPick deterministically picks an index in [0, n) from the hashed
+// parts. The parallel truth steps of PM and CATD use it to break vote
+// ties: unlike a shared *rand.Rand, the pick depends only on (seed,
+// iteration, task), so it is identical at every parallelism level.
+func HashPick(n int, parts ...int64) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(Mix(parts...) % uint64(n))
+}
+
+// splitmixSource adapts SplitMix64 to rand.Source64.
+type splitmixSource struct{ state uint64 }
+
+func (s *splitmixSource) Uint64() uint64  { return splitmix64(&s.state) }
+func (s *splitmixSource) Int63() int64    { return int64(s.Uint64() >> 1) }
+func (s *splitmixSource) Seed(seed int64) { s.state = uint64(seed) }
+
+// Derived returns a *rand.Rand seeded from Mix(parts...). It is the
+// per-entity RNG used by the parallel Gibbs sweeps: each (sweep, entity)
+// pair gets an independent deterministic stream, so entities can be
+// sampled concurrently without any draw-order dependence.
+func Derived(parts ...int64) *rand.Rand {
+	return rand.New(&splitmixSource{state: Mix(parts...)})
+}
+
 // Zipf draws from a bounded Zipf-like distribution over {0,...,n-1} with
 // exponent s, i.e. Pr(i) ∝ 1/(i+1)^s. It is used by the dataset
 // simulators to produce the long-tail worker redundancy of Figure 2.

@@ -1,0 +1,106 @@
+package truthinference
+
+// Sequential-vs-parallel engine benchmarks. Each Benchmark*Parallelism
+// target runs the same inference (or experiment batch) twice: the
+// /sequential sub-benchmark with one worker and the /parallel
+// sub-benchmark with one worker per CPU. On a multicore box the parallel
+// variants show the engine's wall-clock win (the outputs themselves are
+// bit-identical — see TestParallelMatchesSequential); on GOMAXPROCS=1
+// they double as an overhead regression check.
+
+import (
+	"runtime"
+	"testing"
+
+	"truthinference/internal/dataset"
+	"truthinference/internal/experiment"
+	"truthinference/internal/simulate"
+)
+
+// parallelBenchScale sizes the datasets large enough that the hot loops
+// dominate goroutine overhead.
+const parallelBenchScale = 0.3
+
+func benchInferParallelism(b *testing.B, method string, kind simulate.Kind) {
+	d := simulate.GenerateScaled(kind, 1, parallelBenchScale)
+	m, err := GetMethod(method)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, variant := range []struct {
+		name    string
+		workers int
+	}{
+		{"sequential", 1},
+		{"parallel", runtime.GOMAXPROCS(0)},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Infer(d, Options{Seed: 1, Parallelism: variant.workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDSParallelism(b *testing.B)      { benchInferParallelism(b, "D&S", simulate.DProduct) }
+func BenchmarkGLADParallelism(b *testing.B)    { benchInferParallelism(b, "GLAD", simulate.DProduct) }
+func BenchmarkZCParallelism(b *testing.B)      { benchInferParallelism(b, "ZC", simulate.DPosSent) }
+func BenchmarkLFCParallelism(b *testing.B)     { benchInferParallelism(b, "LFC", simulate.SRel) }
+func BenchmarkMinimaxParallelism(b *testing.B) { benchInferParallelism(b, "Minimax", simulate.SAdult) }
+func BenchmarkBCCParallelism(b *testing.B)     { benchInferParallelism(b, "BCC", simulate.DProduct) }
+func BenchmarkVIMFParallelism(b *testing.B)    { benchInferParallelism(b, "VI-MF", simulate.DPosSent) }
+func BenchmarkLFCNParallelism(b *testing.B)    { benchInferParallelism(b, "LFC_N", simulate.NEmotion) }
+
+// BenchmarkSchedulerParallelism measures the batched experiment
+// scheduler: a redundancy sweep over every decision-making method, run as
+// sequential cells vs one cell per CPU.
+func BenchmarkSchedulerParallelism(b *testing.B) {
+	d := simulate.GenerateScaled(simulate.DProduct, 1, 0.15)
+	methods := MethodsForType(Decision)
+	for _, variant := range []struct {
+		name    string
+		workers int
+	}{
+		{"sequential", 1},
+		{"parallel", runtime.GOMAXPROCS(0)},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			cfg := experiment.Config{Seed: 1, Repeats: 2, MaxIterations: 20, Parallelism: variant.workers}
+			for i := 0; i < b.N; i++ {
+				pts := experiment.RedundancySweep(methods, d, []int{1, 3}, cfg)
+				if len(pts) != 2 {
+					b.Fatal("bad sweep")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBenchallCells measures a Table-6 style full comparison — the
+// cmd/benchall inner loop — at both parallelism levels.
+func BenchmarkBenchallCells(b *testing.B) {
+	datasets := make([]*dataset.Dataset, len(simulate.Kinds))
+	for i, k := range simulate.Kinds {
+		datasets[i] = simulate.GenerateScaled(k, 1, 0.1)
+	}
+	for _, variant := range []struct {
+		name    string
+		workers int
+	}{
+		{"sequential", 1},
+		{"parallel", runtime.GOMAXPROCS(0)},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			cfg := experiment.Config{Seed: 1, Repeats: 1, MaxIterations: 20, Parallelism: variant.workers}
+			for i := 0; i < b.N; i++ {
+				for _, d := range datasets {
+					if len(experiment.FullComparison(NewRegistry(), d, cfg)) == 0 {
+						b.Fatal("no methods ran")
+					}
+				}
+			}
+		})
+	}
+}

@@ -12,7 +12,9 @@
 //   - calibrated synthetic versions of the paper's 5 benchmark datasets;
 //   - the full experiment harness (redundancy sweeps, qualification test,
 //     hidden test, crowd-data statistics) that regenerates every table
-//     and figure of the paper's evaluation section.
+//     and figure of the paper's evaluation section;
+//   - a deterministic parallel inference engine (internal/engine) behind
+//     both of the above.
 //
 // Quick start:
 //
@@ -20,6 +22,32 @@
 //	res, err := truthinference.Infer("D&S", ds, truthinference.Options{Seed: 7})
 //	if err != nil { ... }
 //	acc := truthinference.Accuracy(res.Truth, ds.Truth)
+//
+// # Parallelism
+//
+// Options.Parallelism fans the EM hot loops of the iterative methods
+// (D&S, GLAD, ZC, LFC, PM, CATD, BCC, CBCC, Minimax, VI-BP, VI-MF,
+// LFC_N) out over a chunked worker pool: E-steps over tasks, M-steps
+// over workers, message passing over answers. ExperimentConfig.Parallelism
+// does the same for whole experiment cells — the (method × dataset ×
+// repetition) triples of the Section-6 harness. Set either to
+// AutoParallelism to use every CPU:
+//
+//	res, err := truthinference.Infer("D&S", ds, truthinference.Options{
+//		Seed:        7,
+//		Parallelism: truthinference.AutoParallelism,
+//	})
+//
+// Parallel execution is bit-identical to sequential execution at every
+// worker count. The engine guarantees this by construction rather than
+// by tolerance: every parallel loop writes only to slots owned by its
+// loop index (a task's posterior row, a worker's confusion rows, an
+// answer's message), every floating-point accumulation happens inside a
+// single loop index in a fixed order, cross-cutting reductions stay
+// sequential, and stochastic steps (Gibbs draws, vote tie-breaks) use
+// per-(iteration, entity) RNG streams derived by hashing instead of a
+// shared generator. Chunk layout therefore decides only which goroutine
+// executes an iteration, never the arithmetic.
 //
 // The package re-exports the internal building blocks through type
 // aliases so downstream users only ever import this one path.
@@ -73,6 +101,11 @@ const (
 	SingleChoice = dataset.SingleChoice
 	Numeric      = dataset.Numeric
 )
+
+// AutoParallelism, assigned to Options.Parallelism or
+// ExperimentConfig.Parallelism, uses one worker goroutine per available
+// CPU. 0 or 1 run sequentially; results are identical either way.
+const AutoParallelism = core.AutoParallelism
 
 // Errors re-exported from the framework.
 var (
