@@ -5,6 +5,11 @@
 //
 //	benchall [-exp all|table5|fig2|fig3|consistency|fig4|fig5|fig6|table6|table7|fig7|fig8|fig9]
 //	         [-scale 0.15] [-repeats 3] [-seed 1] [-maxiter 0] [-parallelism 0]
+//	         [-methods "MV,D&S,GLAD"]
+//
+// -methods restricts the method-comparison experiments to a subset of the
+// registry (the per-figure task-type filters still apply on top). An
+// unknown name aborts with the full registered list.
 //
 // -scale scales dataset sizes (1 = the paper's full sizes; smaller values
 // keep the worker mixture and redundancy but bound runtime). The default
@@ -40,17 +45,24 @@ func main() {
 		seed        = flag.Int64("seed", 1, "base random seed")
 		maxIter     = flag.Int("maxiter", 0, "cap iterative methods (0 = method defaults)")
 		parallelism = flag.Int("parallelism", 0, "concurrent experiment cells (0 = all CPUs, 1 = sequential)")
+		methods     = flag.String("methods", "", "comma-separated method filter (empty = all 17; unknown names list the registry)")
 	)
 	flag.Parse()
 
+	selected, err := selectMethods(*methods)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchall: %v\n", err)
+		os.Exit(1)
+	}
 	par := *parallelism
 	if par == 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
 	r := runner{
-		cfg:   experiment.Config{Seed: *seed, Repeats: *repeats, MaxIterations: *maxIter, Parallelism: par},
-		scale: *scale,
-		seed:  *seed,
+		cfg:     experiment.Config{Seed: *seed, Repeats: *repeats, MaxIterations: *maxIter, Parallelism: par},
+		scale:   *scale,
+		seed:    *seed,
+		methods: selected,
 	}
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
@@ -65,10 +77,53 @@ func main() {
 }
 
 type runner struct {
-	cfg   experiment.Config
-	scale float64
-	seed  int64
-	cache map[simulate.Kind]*dataset.Dataset
+	cfg     experiment.Config
+	scale   float64
+	seed    int64
+	methods []ti.Method
+	cache   map[simulate.Kind]*dataset.Dataset
+}
+
+// selectMethods resolves a comma-separated method filter against the core
+// registry, preserving registry order. An empty spec selects all methods;
+// an unknown name fails with the full registered list so the caller can
+// see every valid spelling ("D&S", "VI-BP", "LFC_N", …).
+func selectMethods(spec string) ([]ti.Method, error) {
+	registry := ti.NewRegistry()
+	if strings.TrimSpace(spec) == "" {
+		return registry, nil
+	}
+	want := map[string]bool{}
+	for _, name := range strings.Split(spec, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			want[name] = false
+		}
+	}
+	var out []ti.Method
+	for _, m := range registry {
+		if _, ok := want[m.Name()]; ok {
+			want[m.Name()] = true
+			out = append(out, m)
+		}
+	}
+	for name, found := range want {
+		if !found {
+			return nil, fmt.Errorf("unknown method %q (registered: %s)", name, strings.Join(ti.MethodNames(), ", "))
+		}
+	}
+	return out, nil
+}
+
+// methodsForType filters the selected methods down to those applicable to
+// datasets of type t (the per-figure subsets of the paper).
+func (r *runner) methodsForType(t ti.TaskType) []ti.Method {
+	var out []ti.Method
+	for _, m := range r.methods {
+		if m.Capabilities().SupportsType(t) {
+			out = append(out, m)
+		}
+	}
+	return out
 }
 
 func (r *runner) data(k simulate.Kind) *dataset.Dataset {
@@ -128,13 +183,13 @@ func (r *runner) run(id string) error {
 	case "fig4":
 		fmt.Println("=== Figure 4: redundancy sweep, decision-making ===")
 		d := r.data(simulate.DProduct)
-		pts := experiment.RedundancySweep(ti.MethodsForType(ti.Decision), d, []int{1, 2, 3}, r.cfg)
+		pts := experiment.RedundancySweep(r.methodsForType(ti.Decision), d, []int{1, 2, 3}, r.cfg)
 		fmt.Print(experiment.RenderSweep("D_Product", pts, experiment.MetricAccuracy))
 		fmt.Println()
 		fmt.Print(experiment.RenderSweep("D_Product", pts, experiment.MetricF1))
 		fmt.Println()
 		d = r.data(simulate.DPosSent)
-		pts = experiment.RedundancySweep(ti.MethodsForType(ti.Decision), d, []int{1, 5, 10, 15, 20}, r.cfg)
+		pts = experiment.RedundancySweep(r.methodsForType(ti.Decision), d, []int{1, 5, 10, 15, 20}, r.cfg)
 		fmt.Print(experiment.RenderSweep("D_PosSent", pts, experiment.MetricAccuracy))
 		fmt.Println()
 		fmt.Print(experiment.RenderSweep("D_PosSent", pts, experiment.MetricF1))
@@ -142,17 +197,17 @@ func (r *runner) run(id string) error {
 	case "fig5":
 		fmt.Println("=== Figure 5: redundancy sweep, single-label ===")
 		d := r.data(simulate.SRel)
-		pts := experiment.RedundancySweep(ti.MethodsForType(ti.SingleChoice), d, []int{1, 2, 3, 4, 5}, r.cfg)
+		pts := experiment.RedundancySweep(r.methodsForType(ti.SingleChoice), d, []int{1, 2, 3, 4, 5}, r.cfg)
 		fmt.Print(experiment.RenderSweep("S_Rel", pts, experiment.MetricAccuracy))
 		fmt.Println()
 		d = r.data(simulate.SAdult)
-		pts = experiment.RedundancySweep(ti.MethodsForType(ti.SingleChoice), d, []int{1, 3, 5, 7, 9}, r.cfg)
+		pts = experiment.RedundancySweep(r.methodsForType(ti.SingleChoice), d, []int{1, 3, 5, 7, 9}, r.cfg)
 		fmt.Print(experiment.RenderSweep("S_Adult", pts, experiment.MetricAccuracy))
 		fmt.Println()
 	case "fig6":
 		fmt.Println("=== Figure 6: redundancy sweep, numeric ===")
 		d := r.data(simulate.NEmotion)
-		pts := experiment.RedundancySweep(ti.MethodsForType(ti.Numeric), d, []int{1, 2, 4, 6, 8, 10}, r.cfg)
+		pts := experiment.RedundancySweep(r.methodsForType(ti.Numeric), d, []int{1, 2, 4, 6, 8, 10}, r.cfg)
 		fmt.Print(experiment.RenderSweep("N_Emotion", pts, experiment.MetricMAE))
 		fmt.Println()
 		fmt.Print(experiment.RenderSweep("N_Emotion", pts, experiment.MetricRMSE))
@@ -161,7 +216,7 @@ func (r *runner) run(id string) error {
 		fmt.Println("=== Table 6: quality and running time, complete data ===")
 		for _, k := range simulate.Kinds {
 			d := r.data(k)
-			scores := experiment.FullComparison(ti.NewRegistry(), d, r.cfg)
+			scores := experiment.FullComparison(r.methods, d, r.cfg)
 			fmt.Print(experiment.RenderScores(d.Name, d.Categorical(), scores))
 			fmt.Println()
 		}
@@ -169,7 +224,7 @@ func (r *runner) run(id string) error {
 		fmt.Println("=== Table 7: effect of qualification test ===")
 		for _, k := range simulate.Kinds {
 			d := r.data(k)
-			res := experiment.QualificationTest(ti.NewRegistry(), d, r.cfg)
+			res := experiment.QualificationTest(r.methods, d, r.cfg)
 			fmt.Print(experiment.RenderQualification(d.Name, d.Categorical(), res))
 			fmt.Println()
 		}
@@ -177,7 +232,7 @@ func (r *runner) run(id string) error {
 		fmt.Println("=== Figure 7: hidden test, decision-making ===")
 		for _, k := range []simulate.Kind{simulate.DProduct, simulate.DPosSent} {
 			d := r.data(k)
-			pts := experiment.HiddenTest(ti.NewRegistry(), d, []int{0, 10, 20, 30, 40, 50}, r.cfg)
+			pts := experiment.HiddenTest(r.methods, d, []int{0, 10, 20, 30, 40, 50}, r.cfg)
 			fmt.Print(experiment.RenderHidden(d.Name, pts, experiment.MetricAccuracy))
 			fmt.Println()
 			fmt.Print(experiment.RenderHidden(d.Name, pts, experiment.MetricF1))
@@ -187,14 +242,14 @@ func (r *runner) run(id string) error {
 		fmt.Println("=== Figure 8: hidden test, single-label ===")
 		for _, k := range []simulate.Kind{simulate.SRel, simulate.SAdult} {
 			d := r.data(k)
-			pts := experiment.HiddenTest(ti.NewRegistry(), d, []int{0, 10, 20, 30, 40, 50}, r.cfg)
+			pts := experiment.HiddenTest(r.methods, d, []int{0, 10, 20, 30, 40, 50}, r.cfg)
 			fmt.Print(experiment.RenderHidden(d.Name, pts, experiment.MetricAccuracy))
 			fmt.Println()
 		}
 	case "fig9":
 		fmt.Println("=== Figure 9: hidden test, numeric ===")
 		d := r.data(simulate.NEmotion)
-		pts := experiment.HiddenTest(ti.NewRegistry(), d, []int{0, 10, 20, 30, 40, 50}, r.cfg)
+		pts := experiment.HiddenTest(r.methods, d, []int{0, 10, 20, 30, 40, 50}, r.cfg)
 		fmt.Print(experiment.RenderHidden(d.Name, pts, experiment.MetricMAE))
 		fmt.Println()
 		fmt.Print(experiment.RenderHidden(d.Name, pts, experiment.MetricRMSE))

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	ti "truthinference"
+)
+
+func TestSelectMethodsAll(t *testing.T) {
+	ms, err := selectMethods("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != len(ti.MethodNames()) {
+		t.Fatalf("empty spec selected %d methods, want %d", len(ms), len(ti.MethodNames()))
+	}
+}
+
+func TestSelectMethodsSubsetKeepsRegistryOrder(t *testing.T) {
+	ms, err := selectMethods(" D&S , MV ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 || ms[0].Name() != "MV" || ms[1].Name() != "D&S" {
+		names := make([]string, len(ms))
+		for i, m := range ms {
+			names[i] = m.Name()
+		}
+		t.Fatalf("selected %v, want [MV D&S] in registry order", names)
+	}
+}
+
+func TestSelectMethodsUnknownListsRegistry(t *testing.T) {
+	_, err := selectMethods("MV,Bogus")
+	if err == nil {
+		t.Fatal("unknown method accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"Bogus"`) {
+		t.Errorf("error does not name the offender: %s", msg)
+	}
+	for _, name := range ti.MethodNames() {
+		if !strings.Contains(msg, name) {
+			t.Errorf("error does not list registered method %q: %s", name, msg)
+		}
+	}
+}
+
+func TestMethodsForTypeFilters(t *testing.T) {
+	all, err := selectMethods("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := runner{methods: all}
+	for _, m := range r.methodsForType(ti.Numeric) {
+		if !m.Capabilities().SupportsType(ti.Numeric) {
+			t.Errorf("%s selected for numeric tasks it does not support", m.Name())
+		}
+	}
+	if len(r.methodsForType(ti.Decision)) == 0 || len(r.methodsForType(ti.Numeric)) == 0 {
+		t.Error("task-type filters returned empty sets")
+	}
+}

@@ -52,6 +52,13 @@ func main() {
 		}
 		return
 	}
+	// Resolve the method before any dataset work, so a typo fails fast
+	// with the full registered-method list instead of a bare error after
+	// an expensive load.
+	m, err := ti.GetMethod(*method)
+	if err != nil {
+		fatal("%v", err)
+	}
 	if *data == "" {
 		fatal("missing -data (base path of <base>.answers.tsv)")
 	}
@@ -77,7 +84,7 @@ func main() {
 		opts.QualificationError = mse
 	}
 
-	res, err := ti.Infer(*method, d, opts)
+	res, err := m.Infer(d, opts)
 	if err != nil {
 		fatal("%v", err)
 	}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	ti "truthinference"
+)
+
+func TestGetMethodKnown(t *testing.T) {
+	for _, name := range ti.MethodNames() {
+		m, err := ti.GetMethod(name)
+		if err != nil {
+			t.Fatalf("GetMethod(%q): %v", name, err)
+		}
+		if m.Name() != name {
+			t.Errorf("GetMethod(%q).Name() = %q", name, m.Name())
+		}
+	}
+}
+
+func TestGetMethodUnknownListsRegistry(t *testing.T) {
+	_, err := ti.GetMethod("NotAMethod")
+	if err == nil {
+		t.Fatal("unknown method accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"NotAMethod"`) {
+		t.Errorf("error does not name the offender: %s", msg)
+	}
+	// The error must enumerate the full registry so the fix for a typo is
+	// in the message itself.
+	for _, name := range ti.MethodNames() {
+		if !strings.Contains(msg, name) {
+			t.Errorf("error does not list registered method %q: %s", name, msg)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+// Command truthserve is the online truth-inference daemon: it keeps a
+// mutable answer store, re-runs the configured method warm-started from
+// the previous posterior as batches arrive, and serves truths, worker
+// qualities and statistics over an HTTP JSON API while inference runs in
+// the background.
+//
+// Usage:
+//
+//	truthserve -method D&S [-addr :8080] [-type decision] [-choices 2]
+//	           [-seed 1] [-maxiter 0] [-parallelism 0] [-cold]
+//	           [-auto-refresh=true] [-data path/to/base]
+//
+// -type declares the task family of the live store (decision,
+// single-choice with -choices ℓ, or numeric); -data instead preloads a
+// <base>.answers.tsv / <base>.truth.tsv pair and keeps ingesting on top
+// of it. -cold disables warm starts (every epoch re-runs from cold
+// initialization). MV, Mean and Median skip re-inference entirely: their
+// truths are maintained exactly, in O(delta) per ingested batch.
+//
+// The API (see internal/stream for the wire formats):
+//
+//	POST /v1/ingest        append answers/tasks/workers/truths
+//	POST /v1/refresh       run one inference epoch now
+//	GET  /v1/truth/{task}  one task's truth + confidence
+//	GET  /v1/truths        all truths + the store version they reflect
+//	GET  /v1/worker/{id}   a worker's estimated quality
+//	GET  /v1/stats         store + serving statistics
+//	GET  /v1/healthz       liveness probe
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	ti "truthinference"
+	"truthinference/internal/dataset"
+	"truthinference/internal/stream"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		method      = flag.String("method", "D&S", "method to serve (see truthinfer -list)")
+		taskType    = flag.String("type", "decision", "task type of the live store: decision, single-choice, numeric")
+		choices     = flag.Int("choices", 2, "number of choices for single-choice stores")
+		seed        = flag.Int64("seed", 1, "random seed (fixed per daemon so epochs are reproducible)")
+		maxIter     = flag.Int("maxiter", 0, "iteration cap per epoch (0 = method default)")
+		parallelism = flag.Int("parallelism", 0, "worker goroutines for the EM hot loops (0 = all CPUs, 1 = sequential)")
+		cold        = flag.Bool("cold", false, "disable warm starts; re-run every epoch from cold initialization")
+		autoRefresh = flag.Bool("auto-refresh", true, "re-infer in the background after every ingested batch")
+		data        = flag.String("data", "", "optional dataset base path to preload (expects <base>.answers.tsv)")
+	)
+	flag.Parse()
+
+	m, err := ti.GetMethod(*method)
+	if err != nil {
+		// The error lists every registered method, so a typo on the
+		// command line is immediately actionable.
+		fatal("%v", err)
+	}
+
+	var store *stream.Store
+	if *data != "" {
+		d, err := ti.LoadDataset(*data)
+		if err != nil {
+			fatal("load dataset: %v", err)
+		}
+		store = stream.NewStoreFrom(d)
+		log.Printf("preloaded %s: %d tasks, %d workers, %d answers", d.Name, d.NumTasks, d.NumWorkers, len(d.Answers))
+	} else {
+		typ, err := parseTaskType(*taskType)
+		if err != nil {
+			fatal("%v", err)
+		}
+		store, err = stream.NewStore("live", typ, *choices)
+		if err != nil {
+			fatal("%v", err)
+		}
+	}
+
+	par := *parallelism
+	if par == 0 {
+		par = ti.AutoParallelism
+	}
+	svc, err := stream.NewService(store, stream.Config{
+		Method:      m,
+		Options:     ti.Options{Seed: *seed, MaxIterations: *maxIter, Parallelism: par},
+		ColdStart:   *cold,
+		AutoRefresh: *autoRefresh,
+	})
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer svc.Close()
+	if *data != "" {
+		if err := svc.Refresh(); err != nil {
+			fatal("initial inference: %v", err)
+		}
+		st := svc.Stats()
+		log.Printf("initial %s epoch: %d iterations, converged=%v", st.Method, st.Iterations, st.Converged)
+	}
+
+	log.Printf("truthserve: serving %s on %s (warm_start=%v auto_refresh=%v)", m.Name(), *addr, !*cold, *autoRefresh)
+	if err := http.ListenAndServe(*addr, svc.Handler()); err != nil {
+		fatal("%v", err)
+	}
+}
+
+// parseTaskType maps the -type flag onto the dataset task families.
+func parseTaskType(s string) (dataset.TaskType, error) {
+	switch s {
+	case "decision":
+		return dataset.Decision, nil
+	case "single-choice":
+		return dataset.SingleChoice, nil
+	case "numeric":
+		return dataset.Numeric, nil
+	default:
+		return 0, fmt.Errorf("unknown task type %q (valid: decision, single-choice, numeric)", s)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "truthserve: "+format+"\n", args...)
+	os.Exit(1)
+}

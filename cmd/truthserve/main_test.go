@@ -1,0 +1,38 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	ti "truthinference"
+	"truthinference/internal/dataset"
+)
+
+func TestParseTaskType(t *testing.T) {
+	cases := map[string]dataset.TaskType{
+		"decision":      dataset.Decision,
+		"single-choice": dataset.SingleChoice,
+		"numeric":       dataset.Numeric,
+	}
+	for s, want := range cases {
+		got, err := parseTaskType(s)
+		if err != nil || got != want {
+			t.Errorf("parseTaskType(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := parseTaskType("tabular"); err == nil || !strings.Contains(err.Error(), "decision") {
+		t.Errorf("invalid type error should list the valid ones: %v", err)
+	}
+}
+
+func TestUnknownMethodErrorListsRegistry(t *testing.T) {
+	_, err := ti.GetMethod("Oops")
+	if err == nil {
+		t.Fatal("unknown method accepted")
+	}
+	for _, name := range ti.MethodNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error does not list %q: %s", name, err)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+// Streaming: run the online inference subsystem in-process — ingest a
+// simulated benchmark dataset in batches, refresh a warm-started D&S
+// service after each one, and watch the posterior stay fresh while the
+// answer set grows. The same Service powers the cmd/truthserve HTTP
+// daemon; here it is driven directly through the Go API.
+//
+//	go run ./examples/streaming
+package main
+
+import (
+	"fmt"
+	"log"
+
+	ti "truthinference"
+	"truthinference/internal/methods/ds"
+	"truthinference/internal/simulate"
+	"truthinference/internal/stream"
+)
+
+func main() {
+	// A small calibrated copy of the paper's D_Product dataset plays the
+	// role of the live answer feed.
+	full := simulate.GenerateScaled(simulate.DProduct, 7, 0.05)
+	fmt.Printf("simulated feed: %d tasks, %d workers, %d answers\n\n",
+		full.NumTasks, full.NumWorkers, len(full.Answers))
+
+	store, err := stream.NewStore(full.Name, full.Type, full.NumChoices)
+	if err != nil {
+		log.Fatal(err)
+	}
+	svc, err := stream.NewService(store, stream.Config{
+		Method:  ds.New(),
+		Options: ti.Options{Seed: 1, Tolerance: 1e-3, Parallelism: ti.AutoParallelism},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer svc.Close()
+
+	// Publish the task/worker ranges up front (as a platform would when
+	// posting tasks), then stream the answers in five batches. Each
+	// refresh re-runs D&S warm-started from the previous epoch's
+	// posterior; the per-epoch iteration counts track how far each new
+	// batch actually moved the posterior.
+	const batches = 5
+	per := (len(full.Answers) + batches - 1) / batches
+	for k := 0; k < batches; k++ {
+		lo, hi := k*per, (k+1)*per
+		if hi > len(full.Answers) {
+			hi = len(full.Answers)
+		}
+		b := stream.Batch{Answers: full.Answers[lo:hi]}
+		if k == 0 {
+			b.NumTasks, b.NumWorkers = full.NumTasks, full.NumWorkers
+		}
+		if k == batches-1 {
+			b.Truth = full.Truth
+		}
+		if _, err := svc.Ingest(b); err != nil {
+			log.Fatal(err)
+		}
+		if err := svc.Refresh(); err != nil {
+			log.Fatal(err)
+		}
+		st := svc.Stats()
+		truths, _, err := svc.Truths()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("batch %d: %5d answers ingested | epoch %d: %2d iterations (%.1f ms) | accuracy so far %.2f%%\n",
+			k+1, st.Answers, st.Epochs, st.Iterations, st.LastInferMS,
+			100*ti.Accuracy(truths, full.Truth))
+	}
+
+	// The equivalence contract: a cold one-shot run over the final data
+	// agrees with the stream's final warm-started epoch.
+	oneShot, err := ds.New().Infer(full, ti.Options{Seed: 1, Tolerance: 1e-3, Parallelism: ti.AutoParallelism})
+	if err != nil {
+		log.Fatal(err)
+	}
+	streamed, _, err := svc.Truths()
+	if err != nil {
+		log.Fatal(err)
+	}
+	agree := 0
+	for i := range streamed {
+		if streamed[i] == oneShot.Truth[i] {
+			agree++
+		}
+	}
+	fmt.Printf("\nstreamed vs one-shot batch labels: %d/%d identical (%.2f%%)\n",
+		agree, len(streamed), 100*float64(agree)/float64(len(streamed)))
+
+	// Single-task serving, as the HTTP API would answer GET /v1/truth/0.
+	info, err := svc.Truth(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("task 0: truth=%v confidence=%.3f (store version %d)\n", info.Truth, info.Confidence, info.Version)
+}

@@ -13,6 +13,7 @@ import (
 	"runtime"
 
 	"truthinference/internal/dataset"
+	"truthinference/internal/engine"
 )
 
 // Defaults for iterative methods; individual methods may override via
@@ -62,6 +63,25 @@ type Options struct {
 	// bit-identical at every parallelism level — see internal/engine for
 	// the determinism contract.
 	Parallelism int
+
+	// Pool optionally supplies a pre-built worker pool for the EM hot
+	// loops instead of a per-run transient one. The online inference
+	// driver (internal/stream) sets it so every re-inference epoch reuses
+	// one persistent pool's resident goroutines. When nil, methods build
+	// a transient pool from Parallelism. The pool only decides which
+	// goroutine executes an iteration, never the arithmetic, so results
+	// stay bit-identical either way.
+	Pool *engine.Pool
+
+	// WarmStart optionally seeds the iterative methods from a previous
+	// run's state (typically Result.Warm of the preceding epoch on a
+	// smaller prefix of the same growing dataset) instead of cold
+	// initialization. Methods without resumable parameters ignore it;
+	// tasks and workers beyond the warm state get cold initialization.
+	// Warm starts change only the EM starting point — on a converged
+	// run the fixed point, and hence the inferred labels, match a cold
+	// run within convergence tolerance.
+	WarmStart *WarmState
 }
 
 // AutoParallelism requests one worker goroutine per available CPU
@@ -107,6 +127,16 @@ func (o Options) Workers() int {
 		return 1
 	}
 	return o.Parallelism
+}
+
+// EnginePool returns the pool the method's hot loops should fan out on:
+// the shared Pool when one was supplied, otherwise a transient pool with
+// Workers goroutines.
+func (o Options) EnginePool() *engine.Pool {
+	if o.Pool != nil {
+		return o.Pool
+	}
+	return engine.New(o.Workers())
 }
 
 // WantQualification reports whether any qualification initialization was

@@ -1,0 +1,124 @@
+// Warm-start state for online (streaming) inference: a finished run's
+// posteriors and worker-quality estimates, packaged so the next epoch's
+// run can resume from them instead of cold initialization. The online
+// subsystem (internal/stream) carries a WarmState from one re-inference
+// epoch to the next as answers keep arriving.
+package core
+
+// WarmState is resumable inference state extracted from a previous run's
+// Result. Every field is optional; methods read only the parts that map
+// onto their own parameterization (ZC its worker probabilities, D&S its
+// confusion matrices, LFC_N its variances, …) and fall back to cold
+// initialization for anything missing — including tasks and workers that
+// joined the dataset after the state was captured, whose indices lie
+// beyond the stored slices.
+//
+// All accessors are nil-receiver safe, so method implementations can
+// consult opts.WarmStart unconditionally.
+type WarmState struct {
+	// Posterior holds tasks × choices posterior probabilities from the
+	// previous epoch (categorical methods).
+	Posterior [][]float64
+	// WorkerQuality holds the previous per-worker scalar qualities, on
+	// the owning method's scale.
+	WorkerQuality []float64
+	// Confusion holds the previous per-worker ℓ×ℓ confusion matrices
+	// (confusion-matrix methods).
+	Confusion [][][]float64
+	// Truth holds the previous inferred truths (numeric methods resume
+	// their truth estimates directly).
+	Truth []float64
+}
+
+// Warm packages the result into a deep-copied WarmState suitable for
+// seeding the next epoch's run on a grown dataset.
+func (r *Result) Warm() *WarmState {
+	if r == nil {
+		return nil
+	}
+	w := &WarmState{
+		WorkerQuality: append([]float64(nil), r.WorkerQuality...),
+		Truth:         append([]float64(nil), r.Truth...),
+	}
+	if r.Posterior != nil {
+		w.Posterior = make([][]float64, len(r.Posterior))
+		for i, row := range r.Posterior {
+			w.Posterior[i] = append([]float64(nil), row...)
+		}
+	}
+	if r.Confusion != nil {
+		w.Confusion = make([][][]float64, len(r.Confusion))
+		for i, mat := range r.Confusion {
+			cp := make([][]float64, len(mat))
+			for j, row := range mat {
+				cp[j] = append([]float64(nil), row...)
+			}
+			w.Confusion[i] = cp
+		}
+	}
+	return w
+}
+
+// SeedPosterior copies warm posterior rows into post for every task the
+// state covers, skipping rows whose choice count differs (the dataset's ℓ
+// changed between epochs). Rows beyond the warm state keep their cold
+// initialization.
+func (w *WarmState) SeedPosterior(post [][]float64) {
+	if w == nil {
+		return
+	}
+	n := len(w.Posterior)
+	if n > len(post) {
+		n = len(post)
+	}
+	for i := 0; i < n; i++ {
+		if len(w.Posterior[i]) == len(post[i]) {
+			copy(post[i], w.Posterior[i])
+		}
+	}
+}
+
+// QualityOr returns the warm quality of the given worker, or def when the
+// state is nil or does not cover the worker.
+func (w *WarmState) QualityOr(worker int, def float64) float64 {
+	if w == nil || worker < 0 || worker >= len(w.WorkerQuality) {
+		return def
+	}
+	return w.WorkerQuality[worker]
+}
+
+// TruthOr returns the warm truth of the given task, or def when the state
+// is nil or does not cover the task.
+func (w *WarmState) TruthOr(task int, def float64) float64 {
+	if w == nil || task < 0 || task >= len(w.Truth) {
+		return def
+	}
+	return w.Truth[task]
+}
+
+// PosteriorRow returns the warm posterior row of the given task when the
+// state covers it with exactly ell choices, and nil otherwise.
+func (w *WarmState) PosteriorRow(task, ell int) []float64 {
+	if w == nil || task < 0 || task >= len(w.Posterior) || len(w.Posterior[task]) != ell {
+		return nil
+	}
+	return w.Posterior[task]
+}
+
+// ConfusionFor returns the warm ℓ×ℓ confusion matrix of the given worker
+// when the state covers it with matching dimensions, and nil otherwise.
+func (w *WarmState) ConfusionFor(worker, ell int) [][]float64 {
+	if w == nil || worker < 0 || worker >= len(w.Confusion) {
+		return nil
+	}
+	mat := w.Confusion[worker]
+	if len(mat) != ell {
+		return nil
+	}
+	for _, row := range mat {
+		if len(row) != ell {
+			return nil
+		}
+	}
+	return mat
+}

@@ -1,0 +1,88 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file is the mutation API behind the online ingestion path
+// (internal/stream): answers arrive in batches while inference keeps
+// serving, so the dataset must grow in O(delta) — appending answers and
+// extending the id ranges without rebuilding the per-task and per-worker
+// indices from scratch. All methods require a built dataset (New, or
+// Build after direct mutation) and keep it built on success; on error the
+// dataset is unchanged.
+
+// Grow extends the declared task and worker ranges to at least numTasks
+// and numWorkers, allocating empty index slots for the new ids. Shrinking
+// is not supported; values at or below the current counts are no-ops.
+func (d *Dataset) Grow(numTasks, numWorkers int) {
+	if numTasks > d.NumTasks {
+		d.byTask = append(d.byTask, make([][]int, numTasks-d.NumTasks)...)
+		d.NumTasks = numTasks
+	}
+	if numWorkers > d.NumWorkers {
+		d.byWorker = append(d.byWorker, make([][]int, numWorkers-d.NumWorkers)...)
+		d.NumWorkers = numWorkers
+	}
+}
+
+// CheckAnswer validates one answer against the dataset's current ranges
+// and task type, with the same rules Build enforces.
+func (d *Dataset) CheckAnswer(a Answer) error {
+	if a.Task < 0 || a.Task >= d.NumTasks {
+		return fmt.Errorf("dataset %q: answer references task %d outside [0,%d)", d.Name, a.Task, d.NumTasks)
+	}
+	if a.Worker < 0 || a.Worker >= d.NumWorkers {
+		return fmt.Errorf("dataset %q: answer references worker %d outside [0,%d)", d.Name, a.Worker, d.NumWorkers)
+	}
+	if d.Type != Numeric {
+		l := a.Label()
+		if float64(l) != a.Value || l < 0 || l >= d.NumChoices {
+			return fmt.Errorf("dataset %q: answer has invalid label %v for %d choices", d.Name, a.Value, d.NumChoices)
+		}
+	} else if math.IsNaN(a.Value) || math.IsInf(a.Value, 0) {
+		return fmt.Errorf("dataset %q: answer has non-finite numeric value", d.Name)
+	}
+	return nil
+}
+
+// AppendAnswers validates every answer and then appends them, updating
+// the per-task and per-worker indices incrementally — O(len(answers))
+// regardless of the dataset's size. Tasks or workers outside the current
+// ranges are an error; call Grow first to admit new ids. On error nothing
+// is appended.
+func (d *Dataset) AppendAnswers(answers ...Answer) error {
+	for i, a := range answers {
+		if err := d.CheckAnswer(a); err != nil {
+			return fmt.Errorf("append %d: %w", i, err)
+		}
+	}
+	base := len(d.Answers)
+	d.Answers = append(d.Answers, answers...)
+	for k, a := range answers {
+		idx := base + k
+		d.byTask[a.Task] = append(d.byTask[a.Task], idx)
+		d.byWorker[a.Worker] = append(d.byWorker[a.Worker], idx)
+	}
+	return nil
+}
+
+// SetTruth records (or overwrites) the ground truth of one task, with the
+// same validation Build applies to the Truth map.
+func (d *Dataset) SetTruth(task int, v float64) error {
+	if task < 0 || task >= d.NumTasks {
+		return fmt.Errorf("dataset %q: truth references task %d outside [0,%d)", d.Name, task, d.NumTasks)
+	}
+	if d.Type != Numeric {
+		l := int(v)
+		if float64(l) != v || l < 0 || l >= d.NumChoices {
+			return fmt.Errorf("dataset %q: truth for task %d has invalid label %v", d.Name, task, v)
+		}
+	}
+	if d.Truth == nil {
+		d.Truth = make(map[int]float64)
+	}
+	d.Truth[task] = v
+	return nil
+}

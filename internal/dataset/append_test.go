@@ -1,0 +1,95 @@
+package dataset
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestGrowAndAppendMatchesBuild(t *testing.T) {
+	d, err := New("inc", SingleChoice, 3, 2, 2, []Answer{
+		{Task: 0, Worker: 0, Value: 2},
+		{Task: 1, Worker: 1, Value: 0},
+	}, map[int]float64{0: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d.Grow(4, 3)
+	if d.NumTasks != 4 || d.NumWorkers != 3 {
+		t.Fatalf("Grow → %d tasks, %d workers", d.NumTasks, d.NumWorkers)
+	}
+	delta := []Answer{
+		{Task: 2, Worker: 2, Value: 1},
+		{Task: 0, Worker: 2, Value: 2},
+		{Task: 3, Worker: 0, Value: 1},
+	}
+	if err := d.AppendAnswers(delta...); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetTruth(3, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// The incrementally maintained dataset must be indistinguishable from
+	// one built in a single shot over the final answer set.
+	want, err := New("inc", SingleChoice, 3, 4, 3, append([]Answer{
+		{Task: 0, Worker: 0, Value: 2},
+		{Task: 1, Worker: 1, Value: 0},
+	}, delta...), map[int]float64{0: 2, 3: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if !reflect.DeepEqual(d.TaskAnswers(i), want.TaskAnswers(i)) {
+			t.Errorf("task %d indices = %v, want %v", i, d.TaskAnswers(i), want.TaskAnswers(i))
+		}
+	}
+	for w := 0; w < 3; w++ {
+		if !reflect.DeepEqual(d.WorkerAnswers(w), want.WorkerAnswers(w)) {
+			t.Errorf("worker %d indices = %v, want %v", w, d.WorkerAnswers(w), want.WorkerAnswers(w))
+		}
+	}
+	if !reflect.DeepEqual(d.Truth, want.Truth) {
+		t.Errorf("truth = %v, want %v", d.Truth, want.Truth)
+	}
+}
+
+func TestAppendAnswersRejectsWithoutMutating(t *testing.T) {
+	d, err := New("guard", Decision, 2, 2, 2, []Answer{{Task: 0, Worker: 0, Value: 1}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := [][]Answer{
+		{{Task: 5, Worker: 0, Value: 1}},                                 // task out of range
+		{{Task: 0, Worker: 9, Value: 0}},                                 // worker out of range
+		{{Task: 0, Worker: 0, Value: 3}},                                 // invalid label
+		{{Task: 1, Worker: 1, Value: 0}, {Task: 1, Worker: 1, Value: 7}}, // valid then invalid
+	}
+	for i, bad := range cases {
+		if err := d.AppendAnswers(bad...); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	if len(d.Answers) != 1 || len(d.TaskAnswers(0)) != 1 || len(d.TaskAnswers(1)) != 0 {
+		t.Errorf("failed appends mutated the dataset: %+v", d.Answers)
+	}
+}
+
+func TestSetTruthValidates(t *testing.T) {
+	d, err := New("truth", Decision, 2, 1, 1, []Answer{{Task: 0, Worker: 0, Value: 1}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetTruth(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetTruth(2, 0); err == nil {
+		t.Error("out-of-range task accepted")
+	}
+	if err := d.SetTruth(0, 0.5); err == nil {
+		t.Error("fractional label accepted for categorical task")
+	}
+	if d.Truth[0] != 1 {
+		t.Errorf("truth = %v", d.Truth)
+	}
+}

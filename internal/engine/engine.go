@@ -39,18 +39,60 @@ const chunksPerWorker = 4
 
 // Pool executes chunked parallel loops with a fixed worker count. The
 // zero value and a nil pool both run everything inline on the caller.
-// Pools are stateless and safe for concurrent use.
+// Transient pools (New) are stateless and safe for concurrent use;
+// persistent pools (NewPersistent) keep resident goroutines between For
+// calls and must be Closed when no more loops will run.
 type Pool struct {
 	workers int
+	// jobs, when non-nil, feeds loop bodies to the resident goroutines of
+	// a persistent pool instead of spawning one goroutine per For call.
+	jobs chan func()
 }
 
-// New returns a pool with the given number of workers. Values below 1
-// mean "one worker per available CPU" (runtime.GOMAXPROCS).
+// New returns a transient pool with the given number of workers. Values
+// below 1 mean "one worker per available CPU" (runtime.GOMAXPROCS). Each
+// For call spawns and joins its own goroutines.
 func New(workers int) *Pool {
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	return &Pool{workers: workers}
+}
+
+// NewPersistent returns a pool whose workers-1 helper goroutines are
+// spawned once and reused by every subsequent For call (the calling
+// goroutine is always worker 0). The online inference driver keeps one
+// persistent pool alive across re-inference epochs so the per-epoch
+// goroutine start-up cost is paid once. Results are bit-identical to a
+// transient pool of the same size. Close releases the helpers; Close must
+// not be called concurrently with For.
+func NewPersistent(workers int) *Pool {
+	p := New(workers)
+	if p.workers > 1 {
+		// The helpers capture the channel value rather than reading the
+		// struct field, so Close can nil the field without racing them.
+		jobs := make(chan func())
+		p.jobs = jobs
+		for i := 1; i < p.workers; i++ {
+			go func() {
+				for f := range jobs {
+					f()
+				}
+			}()
+		}
+	}
+	return p
+}
+
+// Close stops a persistent pool's resident goroutines. It is a no-op for
+// transient, nil, or already-closed pools. After Close the pool falls
+// back to transient spawning, so a stray For still completes correctly.
+func (p *Pool) Close() {
+	if p == nil || p.jobs == nil {
+		return
+	}
+	close(p.jobs)
+	p.jobs = nil
 }
 
 // Workers reports the pool's worker count (1 for a nil or zero pool).
@@ -115,7 +157,11 @@ func (p *Pool) For(n int, fn func(lo, hi int)) {
 	}
 	wg.Add(workers)
 	for i := 1; i < workers; i++ {
-		go body()
+		if p.jobs != nil {
+			p.jobs <- body
+		} else {
+			go body()
+		}
 	}
 	body() // the caller is worker 0
 	wg.Wait()

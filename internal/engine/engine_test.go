@@ -114,3 +114,66 @@ func TestForPropagatesPanic(t *testing.T) {
 		}
 	})
 }
+
+func TestPersistentPoolMatchesTransient(t *testing.T) {
+	const n = 10000
+	want := make([]float64, n)
+	New(4).For(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			want[i] = float64(i) * 1.5
+		}
+	})
+
+	p := NewPersistent(4)
+	defer p.Close()
+	if p.Workers() != 4 {
+		t.Fatalf("Workers() = %d, want 4", p.Workers())
+	}
+	// Several For calls reuse the same resident goroutines; every call
+	// must cover every index exactly once with identical results.
+	for round := 0; round < 5; round++ {
+		got := make([]float64, n)
+		p.For(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				got[i] = float64(i) * 1.5
+			}
+		})
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("round %d: index %d = %v, want %v", round, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestPersistentPoolCloseThenFor(t *testing.T) {
+	p := NewPersistent(3)
+	p.Close()
+	p.Close() // idempotent
+	// After Close the pool falls back to transient spawning.
+	var covered [100]bool
+	p.For(len(covered), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			covered[i] = true
+		}
+	})
+	for i, ok := range covered {
+		if !ok {
+			t.Fatalf("index %d not covered after Close", i)
+		}
+	}
+}
+
+func TestPersistentSingleWorkerNeverSpawns(t *testing.T) {
+	p := NewPersistent(1)
+	defer p.Close()
+	sum := 0
+	p.For(10, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sum += i
+		}
+	})
+	if sum != 45 {
+		t.Fatalf("sum = %d, want 45", sum)
+	}
+}

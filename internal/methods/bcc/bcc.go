@@ -88,7 +88,7 @@ func (m *BCC) Infer(d *dataset.Dataset, opts core.Options) (*core.Result, error)
 	burn := int(BurnInFraction * float64(sweeps))
 	rng := randx.New(opts.Seed)
 
-	g := newGibbsState(d, rng, opts.Seed, engine.New(opts.Workers()))
+	g := newGibbsState(d, rng, opts.Seed, opts.EnginePool())
 	tally := make([]float64, d.NumTasks*d.NumChoices)
 	diagSum := make([]float64, d.NumWorkers)
 	samples := 0

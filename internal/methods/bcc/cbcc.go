@@ -13,7 +13,6 @@ import (
 
 	"truthinference/internal/core"
 	"truthinference/internal/dataset"
-	"truthinference/internal/engine"
 	"truthinference/internal/mathx"
 	"truthinference/internal/randx"
 )
@@ -66,7 +65,7 @@ func (m *CBCC) Infer(d *dataset.Dataset, opts core.Options) (*core.Result, error
 	burn := int(BurnInFraction * float64(sweeps))
 	rng := randx.New(opts.Seed)
 
-	g := newGibbsState(d, rng, opts.Seed, engine.New(opts.Workers()))
+	g := newGibbsState(d, rng, opts.Seed, opts.EnginePool())
 	ell := d.NumChoices
 
 	// Community state: representative matrices and worker memberships.

@@ -20,7 +20,6 @@ import (
 
 	"truthinference/internal/core"
 	"truthinference/internal/dataset"
-	"truthinference/internal/engine"
 	"truthinference/internal/mathx"
 	"truthinference/internal/randx"
 )
@@ -55,7 +54,7 @@ func (m *CATD) Infer(d *dataset.Dataset, opts core.Options) (*core.Result, error
 	if err := core.CheckSupport(m, d, opts); err != nil {
 		return nil, err
 	}
-	pool := engine.New(opts.Workers())
+	pool := opts.EnginePool()
 
 	// Precompute each worker's chi-square confidence coefficient; it
 	// depends only on |T^w|.
@@ -74,6 +73,14 @@ func (m *CATD) Infer(d *dataset.Dataset, opts core.Options) (*core.Result, error
 		q[w] = 1
 	}
 	applyQualification(d, opts, chi, q)
+	if opts.WarmStart != nil {
+		// Resume the previous epoch's confidence-scaled weights, then
+		// restore the mean-1 scale over the mix of warm and cold entries.
+		for w := range q {
+			q[w] = opts.WarmStart.QualityOr(w, q[w])
+		}
+		normalizeWeights(q)
+	}
 
 	var scale []float64
 	if !d.Categorical() {

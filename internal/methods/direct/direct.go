@@ -39,7 +39,6 @@ func (m *MV) Infer(d *dataset.Dataset, opts core.Options) (*core.Result, error) 
 	if err := core.CheckSupport(m, d, opts); err != nil {
 		return nil, err
 	}
-	rng := randx.New(opts.Seed)
 	post := make([][]float64, d.NumTasks)
 	counts := make([]float64, d.NumTasks*d.NumChoices)
 	for i := range post {
@@ -50,7 +49,13 @@ func (m *MV) Infer(d *dataset.Dataset, opts core.Options) (*core.Result, error) 
 	}
 	truth := make([]float64, d.NumTasks)
 	for i, row := range post {
-		truth[i] = float64(core.ArgmaxTieBreak(row, rng.Intn))
+		// The tie-break depends only on (seed, task), never on other
+		// tasks' draws, so the streaming path (internal/stream) can
+		// relabel just the tasks a delta touched and stay bit-identical
+		// with a full batch run.
+		truth[i] = float64(core.ArgmaxTieBreak(row, func(n int) int {
+			return randx.HashPick(n, opts.Seed, int64(i))
+		}))
 		mathx.Normalize(row)
 	}
 	return &core.Result{

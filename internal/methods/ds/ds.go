@@ -15,7 +15,6 @@ import (
 
 	"truthinference/internal/core"
 	"truthinference/internal/dataset"
-	"truthinference/internal/engine"
 	"truthinference/internal/mathx"
 	"truthinference/internal/randx"
 )
@@ -68,11 +67,21 @@ func RunWithPriors(d *dataset.Dataset, opts core.Options, priors func(worker, j,
 // ℓ×ℓ pseudo-counts added to the confusion M-step (the LFC extension).
 func run(d *dataset.Dataset, opts core.Options, priors func(worker, j, k int) float64) (*core.Result, error) {
 	rng := randx.New(opts.Seed)
-	pool := engine.New(opts.Workers())
+	pool := opts.EnginePool()
 	ell := d.NumChoices
 
 	conf := newConfusion(d.NumWorkers, ell)
 	initConfusion(conf, d, opts)
+	// Resume confusion matrices from the previous epoch where available;
+	// workers that joined after the warm state was captured keep the
+	// diagonally dominant cold initialization.
+	for w := 0; w < d.NumWorkers; w++ {
+		if mat := opts.WarmStart.ConfusionFor(w, ell); mat != nil {
+			for j := 0; j < ell; j++ {
+				copy(conf.row(w, j), mat[j])
+			}
+		}
+	}
 
 	classPrior := make([]float64, ell)
 	for k := range classPrior {
@@ -80,9 +89,14 @@ func run(d *dataset.Dataset, opts core.Options, priors func(worker, j, k int) fl
 	}
 
 	// Initialize posteriors from majority voting so the first M-step has
-	// signal (standard D&S initialization).
+	// signal (standard D&S initialization); tasks covered by a warm state
+	// resume from the previous epoch's posterior instead.
 	post := core.UniformPosterior(d.NumTasks, ell)
 	for i := 0; i < d.NumTasks; i++ {
+		if warm := opts.WarmStart.PosteriorRow(i, ell); warm != nil {
+			copy(post[i], warm)
+			continue
+		}
 		row := post[i]
 		for k := range row {
 			row[k] = 0

@@ -20,7 +20,6 @@ import (
 
 	"truthinference/internal/core"
 	"truthinference/internal/dataset"
-	"truthinference/internal/engine"
 	"truthinference/internal/mathx"
 	"truthinference/internal/randx"
 )
@@ -73,10 +72,15 @@ func (m *GLAD) Infer(d *dataset.Dataset, opts core.Options) (*core.Result, error
 			// σ(α·1) = accuracy at unit easiness → α = logit(acc).
 			alpha[w] = mathx.Logit(mathx.Clamp(opts.QualificationAccuracy[w], 0.05, 0.95))
 		}
+		// A warm start resumes the previous epoch's abilities (GLAD's
+		// WorkerQuality is α itself); task easiness is re-learned, since
+		// the E-step and the β gradient recover it from α in a few
+		// iterations.
+		alpha[w] = opts.WarmStart.QualityOr(w, alpha[w])
 	}
 	logBeta := make([]float64, d.NumTasks) // log task easiness, β = e^{logBeta}
 
-	pool := engine.New(opts.Workers())
+	pool := opts.EnginePool()
 	post := core.UniformPosterior(d.NumTasks, d.NumChoices)
 	prevAlpha := make([]float64, d.NumWorkers)
 	gradAlpha := make([]float64, d.NumWorkers)

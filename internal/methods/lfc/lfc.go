@@ -18,7 +18,6 @@ import (
 
 	"truthinference/internal/core"
 	"truthinference/internal/dataset"
-	"truthinference/internal/engine"
 	"truthinference/internal/methods/ds"
 )
 
@@ -116,6 +115,7 @@ func (m *LFCN) Infer(d *dataset.Dataset, opts core.Options) (*core.Result, error
 	}
 	// Initialize truth with per-task means and variances at the global
 	// answer variance (or the qualification-test error when provided).
+	// A warm start resumes the previous epoch's truth estimates instead.
 	truth := make([]float64, d.NumTasks)
 	for i := 0; i < d.NumTasks; i++ {
 		idxs := d.TaskAnswers(i)
@@ -126,7 +126,7 @@ func (m *LFCN) Infer(d *dataset.Dataset, opts core.Options) (*core.Result, error
 		for _, ai := range idxs {
 			s += d.Answers[ai].Value
 		}
-		truth[i] = s / float64(len(idxs))
+		truth[i] = opts.WarmStart.TruthOr(i, s/float64(len(idxs)))
 	}
 	pinGoldenNumeric(truth, opts.Golden)
 
@@ -134,6 +134,13 @@ func (m *LFCN) Infer(d *dataset.Dataset, opts core.Options) (*core.Result, error
 	if globalVar < varFloor {
 		globalVar = 1
 	}
+	// Variances always restart from the global prior, even under a warm
+	// start: precision weights are basin-sensitive, and variances learned
+	// on a low-redundancy prefix of the stream can lock the EM into a
+	// degenerate fixed point that the full data would never reach. The
+	// truth estimates above carry the useful warm state; the variance
+	// step re-derives consistent precisions from them within the first
+	// iterations.
 	variance := make([]float64, d.NumWorkers)
 	for w := range variance {
 		variance[w] = globalVar
@@ -142,7 +149,7 @@ func (m *LFCN) Infer(d *dataset.Dataset, opts core.Options) (*core.Result, error
 		}
 	}
 
-	pool := engine.New(opts.Workers())
+	pool := opts.EnginePool()
 	prevTruth := make([]float64, d.NumTasks)
 	prevVar := make([]float64, d.NumWorkers)
 	var iter int

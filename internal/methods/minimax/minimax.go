@@ -28,7 +28,6 @@ import (
 
 	"truthinference/internal/core"
 	"truthinference/internal/dataset"
-	"truthinference/internal/engine"
 	"truthinference/internal/mathx"
 	"truthinference/internal/randx"
 )
@@ -141,7 +140,7 @@ func (m *Minimax) Infer(d *dataset.Dataset, opts core.Options) (*core.Result, er
 	}
 	sigmaRow := func(i int) []float64 { return sigma[i*ell : (i+1)*ell] }
 
-	pool := engine.New(opts.Workers())
+	pool := opts.EnginePool()
 	gradSigma := make([]float64, len(sigma))
 	gradTau := make([]float64, len(tau))
 	// gbuf[e*ell+k] caches each answer's softmax residual (1[v=k] - π_k)

@@ -22,7 +22,6 @@ import (
 
 	"truthinference/internal/core"
 	"truthinference/internal/dataset"
-	"truthinference/internal/engine"
 	"truthinference/internal/mathx"
 	"truthinference/internal/randx"
 )
@@ -67,13 +66,14 @@ func (m *PM) Infer(d *dataset.Dataset, opts core.Options) (*core.Result, error) 
 }
 
 func (m *PM) inferCategorical(d *dataset.Dataset, opts core.Options) (*core.Result, error) {
-	pool := engine.New(opts.Workers())
+	pool := opts.EnginePool()
 	q := initialQuality(d, opts, func(acc float64) float64 {
 		// Map qualification accuracy onto the PM weight scale: a worker
 		// with error rate (1-acc) behaves like one whose normalized loss
 		// is (1-acc), so seed with -log(1-acc).
 		return -math.Log(math.Max(1-acc, lossEpsilon))
 	})
+	warmQuality(opts, q)
 
 	truth := make([]float64, d.NumTasks)
 	prevTruth := make([]float64, d.NumTasks)
@@ -175,10 +175,11 @@ func (m *PM) inferNumeric(d *dataset.Dataset, opts core.Options) (*core.Result, 
 			}
 		}
 	}
+	warmQuality(opts, q)
 	// Per-task scale for the CRH loss normalization.
 	scale := taskScales(d)
 
-	pool := engine.New(opts.Workers())
+	pool := opts.EnginePool()
 	truth := make([]float64, d.NumTasks)
 	prevTruth := make([]float64, d.NumTasks)
 	losses := make([]float64, d.NumWorkers)
@@ -253,6 +254,14 @@ func (m *PM) inferNumeric(d *dataset.Dataset, opts core.Options) (*core.Result, 
 		Iterations:    iter,
 		Converged:     converged,
 	}, nil
+}
+
+// warmQuality resumes the previous epoch's -log-scale weights for every
+// worker a warm start covers; later arrivals keep their cold weights.
+func warmQuality(opts core.Options, q []float64) {
+	for w := range q {
+		q[w] = opts.WarmStart.QualityOr(w, q[w])
+	}
 }
 
 // initialQuality starts every worker at weight 1 (the paper's §3

@@ -23,7 +23,6 @@ import (
 
 	"truthinference/internal/core"
 	"truthinference/internal/dataset"
-	"truthinference/internal/engine"
 	"truthinference/internal/mathx"
 	"truthinference/internal/randx"
 )
@@ -110,9 +109,19 @@ func (m *VI) inferMF(d *dataset.Dataset, opts core.Options) (*core.Result, error
 			a[w] += g * acc
 			b[w] += g * (1 - acc)
 		}
+		// A warm start rebuilds the converged Beta posterior from the
+		// reported posterior-mean reliability: at a fixed point
+		// a ≈ PriorA + n·q̄ with one pseudo-observation per answer the
+		// worker holds in the current dataset.
+		if qw := opts.WarmStart.QualityOr(w, math.NaN()); !math.IsNaN(qw) {
+			n := float64(len(d.WorkerAnswers(w)))
+			acc := mathx.Clamp(qw, 0.01, 0.99)
+			a[w] = PriorA + n*acc
+			b[w] = PriorB + n*(1-acc)
+		}
 	}
 
-	pool := engine.New(opts.Workers())
+	pool := opts.EnginePool()
 	post := core.UniformPosterior(d.NumTasks, 2)
 	prevA := make([]float64, d.NumWorkers)
 	// Per-worker digamma expectations, refreshed once per iteration: the
@@ -198,11 +207,19 @@ func (m *VI) inferBP(d *dataset.Dataset, opts core.Options) (*core.Result, error
 
 	mu := make([]float64, nEdges) // task→worker cavity: Pr(edge answer correct)
 	for e := range mu {
+		// Always consume the random draw so edges on tasks outside the
+		// warm state initialize identically with or without one.
 		mu[e] = 0.5 + 0.1*rng.NormFloat64()
 		mu[e] = mathx.Clamp(mu[e], 0.05, 0.95)
+		// A warm start replaces the random message with the previous
+		// epoch's belief that this edge's answer is correct.
+		a := d.Answers[e]
+		if row := opts.WarmStart.PosteriorRow(a.Task, 2); row != nil {
+			mu[e] = mathx.Clamp(row[a.Label()], 0.05, 0.95)
+		}
 	}
 	// Worker sums of μ over their edges, to form cavity Beta posteriors.
-	pool := engine.New(opts.Workers())
+	pool := opts.EnginePool()
 	wSum := make([]float64, d.NumWorkers)
 	wCount := make([]float64, d.NumWorkers)
 	prevMu := make([]float64, nEdges)

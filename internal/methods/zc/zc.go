@@ -20,7 +20,6 @@ import (
 
 	"truthinference/internal/core"
 	"truthinference/internal/dataset"
-	"truthinference/internal/engine"
 	"truthinference/internal/mathx"
 	"truthinference/internal/randx"
 )
@@ -70,9 +69,11 @@ func (m *ZC) Infer(d *dataset.Dataset, opts core.Options) (*core.Result, error) 
 		if opts.QualificationAccuracy != nil && !math.IsNaN(opts.QualificationAccuracy[w]) {
 			q[w] = mathx.Clamp(opts.QualificationAccuracy[w], qualityFloor, 1-qualityFloor)
 		}
+		// A warm start resumes the previous epoch's worker probabilities.
+		q[w] = mathx.Clamp(opts.WarmStart.QualityOr(w, q[w]), qualityFloor, 1-qualityFloor)
 	}
 
-	pool := engine.New(opts.Workers())
+	pool := opts.EnginePool()
 	post := core.UniformPosterior(d.NumTasks, d.NumChoices)
 	prevQ := make([]float64, d.NumWorkers)
 

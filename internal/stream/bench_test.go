@@ -1,0 +1,76 @@
+package stream
+
+import (
+	"testing"
+
+	"truthinference/internal/core"
+	"truthinference/internal/dataset"
+	"truthinference/internal/methods/direct"
+	"truthinference/internal/methods/ds"
+	"truthinference/internal/methods/zc"
+	"truthinference/internal/simulate"
+)
+
+// benchEpoch measures one re-inference epoch after a 20% answer delta:
+// cold from scratch versus warm-started from the previous posterior —
+// the steady-state cost profile of the serving daemon.
+func benchEpoch(b *testing.B, m core.Method) {
+	full := simulate.GenerateScaled(simulate.DProduct, 7, 0.15)
+	prefix, err := dataset.New(full.Name, full.Type, full.NumChoices,
+		full.NumTasks, full.NumWorkers,
+		full.Answers[:len(full.Answers)*4/5], full.Truth)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := core.Options{Seed: 11}
+	prev, err := m.Infer(prefix, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Infer(full, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		warm := opts
+		warm.WarmStart = prev.Warm()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Infer(full, warm); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkStreamEpochDS(b *testing.B) { benchEpoch(b, ds.New()) }
+func BenchmarkStreamEpochZC(b *testing.B) { benchEpoch(b, zc.New()) }
+
+// BenchmarkIncrementalIngest measures the O(delta) path: folding one
+// 100-answer batch into a live MV service.
+func BenchmarkIncrementalIngest(b *testing.B) {
+	full := simulate.GenerateScaled(simulate.DProduct, 7, 0.15)
+	const batch = 100
+	store, err := NewStore(full.Name, full.Type, full.NumChoices)
+	if err != nil {
+		b.Fatal(err)
+	}
+	svc, err := NewService(store, Config{Method: direct.NewMV(), Options: core.Options{Seed: 11}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer svc.Close()
+	if _, err := svc.Ingest(Batch{NumTasks: full.NumTasks, NumWorkers: full.NumWorkers}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := (i * batch) % (len(full.Answers) - batch)
+		if _, err := svc.Ingest(Batch{Answers: full.Answers[lo : lo+batch]}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

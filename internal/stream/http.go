@@ -1,0 +1,179 @@
+package stream
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+
+	"truthinference/internal/dataset"
+)
+
+// The HTTP JSON API over a Service, mounted by cmd/truthserve and
+// exercised end-to-end by the httptest suite:
+//
+//	POST /v1/ingest        {"answers":[{"task":0,"worker":1,"value":1}],
+//	                        "truth":{"0":1}, "num_tasks":10, "num_workers":5}
+//	POST /v1/refresh       run one inference epoch now (no-op when fresh)
+//	GET  /v1/truth/{task}  one task's truth + confidence
+//	GET  /v1/truths        the full truth vector + the version it reflects
+//	GET  /v1/worker/{id}   one worker's estimated quality
+//	GET  /v1/stats         store + serving statistics
+//	GET  /v1/healthz       liveness probe
+//
+// Reads are served from the last published result and never block behind
+// a running inference epoch; the reported version says how fresh they are.
+
+// wireAnswer is the JSON shape of one answer.
+type wireAnswer struct {
+	Task   int     `json:"task"`
+	Worker int     `json:"worker"`
+	Value  float64 `json:"value"`
+}
+
+// ingestRequest is the JSON shape of POST /v1/ingest. Truth keys are
+// strings because JSON objects cannot have integer keys.
+type ingestRequest struct {
+	Answers    []wireAnswer       `json:"answers"`
+	Truth      map[string]float64 `json:"truth,omitempty"`
+	NumTasks   int                `json:"num_tasks,omitempty"`
+	NumWorkers int                `json:"num_workers,omitempty"`
+}
+
+func (r ingestRequest) batch() (Batch, error) {
+	b := Batch{NumTasks: r.NumTasks, NumWorkers: r.NumWorkers}
+	if len(r.Answers) > 0 {
+		b.Answers = make([]dataset.Answer, len(r.Answers))
+		for i, a := range r.Answers {
+			b.Answers[i] = dataset.Answer{Task: a.Task, Worker: a.Worker, Value: a.Value}
+		}
+	}
+	if len(r.Truth) > 0 {
+		b.Truth = make(map[int]float64, len(r.Truth))
+		for k, v := range r.Truth {
+			t, err := strconv.Atoi(k)
+			if err != nil {
+				return Batch{}, fmt.Errorf("truth key %q is not a task id", k)
+			}
+			b.Truth[t] = v
+		}
+	}
+	return b, nil
+}
+
+// Handler returns the HTTP API over the service.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	mux.HandleFunc("POST /v1/refresh", s.handleRefresh)
+	mux.HandleFunc("GET /v1/truth/{task}", s.handleTruth)
+	mux.HandleFunc("GET /v1/truths", s.handleTruths)
+	mux.HandleFunc("GET /v1/worker/{worker}", s.handleWorker)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req ingestRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode ingest body: %w", err))
+		return
+	}
+	b, err := req.batch()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	version, err := s.Ingest(b)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	tasks, workers, answers := s.store.Dims()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"version":  version,
+		"ingested": len(b.Answers),
+		"tasks":    tasks,
+		"workers":  workers,
+		"answers":  answers,
+	})
+}
+
+func (s *Service) handleRefresh(w http.ResponseWriter, _ *http.Request) {
+	if err := s.Refresh(); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Service) handleTruth(w http.ResponseWriter, r *http.Request) {
+	task, err := strconv.Atoi(r.PathValue("task"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("task id %q is not an integer", r.PathValue("task")))
+		return
+	}
+	info, err := s.Truth(task)
+	if err != nil {
+		writeError(w, queryStatus(err), err)
+		return
+	}
+	resp := map[string]any{"task": info.Task, "truth": info.Truth, "version": info.Version}
+	if !math.IsNaN(info.Confidence) {
+		resp["confidence"] = info.Confidence
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleTruths(w http.ResponseWriter, _ *http.Request) {
+	truths, version, err := s.Truths()
+	if err != nil {
+		writeError(w, queryStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"version": version, "truths": truths})
+}
+
+func (s *Service) handleWorker(w http.ResponseWriter, r *http.Request) {
+	worker, err := strconv.Atoi(r.PathValue("worker"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("worker id %q is not an integer", r.PathValue("worker")))
+		return
+	}
+	quality, err := s.WorkerQuality(worker)
+	if err != nil {
+		writeError(w, queryStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"worker": worker, "quality": quality})
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// queryStatus maps service query errors onto HTTP statuses: asking before
+// the first epoch is a conflict the client resolves by refreshing, an
+// unknown id is a plain 404.
+func queryStatus(err error) int {
+	if err == ErrNotInferred {
+		return http.StatusConflict
+	}
+	return http.StatusNotFound
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,185 @@
+package stream
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+
+	"truthinference/internal/core"
+	"truthinference/internal/dataset"
+	"truthinference/internal/methods/direct"
+	"truthinference/internal/methods/ds"
+	"truthinference/internal/simulate"
+)
+
+func postJSON(t *testing.T, client *http.Client, url string, body any) map[string]any {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s → %d: %v", url, resp.StatusCode, out)
+	}
+	return out
+}
+
+func getJSON(t *testing.T, client *http.Client, url string, wantStatus int) map[string]any {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s → %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// wireBatch converts a Batch into the JSON ingest shape.
+func wireBatch(b Batch) ingestRequest {
+	req := ingestRequest{NumTasks: b.NumTasks, NumWorkers: b.NumWorkers}
+	for _, a := range b.Answers {
+		req.Answers = append(req.Answers, wireAnswer{Task: a.Task, Worker: a.Worker, Value: a.Value})
+	}
+	if len(b.Truth) > 0 {
+		req.Truth = make(map[string]float64, len(b.Truth))
+		for task, v := range b.Truth {
+			req.Truth[strconv.Itoa(task)] = v
+		}
+	}
+	return req
+}
+
+// TestHTTPStreamingEquivalence drives the full API over an httptest
+// server: ingest in batches, refresh, and check the served truths match
+// one-shot batch inference — bit-identical for MV, within the warm-start
+// gate for D&S.
+func TestHTTPStreamingEquivalence(t *testing.T) {
+	data := simulate.GenerateScaled(simulate.DProduct, 7, 0.04)
+	cases := []struct {
+		method   core.Method
+		minAgree float64 // 1 = bit-identical
+	}{
+		{direct.NewMV(), 1},
+		{ds.New(), 0.98},
+	}
+	for _, tc := range cases {
+		opts := core.Options{Seed: 11, Parallelism: 2}
+		want, err := tc.method.Infer(data, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc := newServiceOver(t, data, tc.method, opts)
+		srv := httptest.NewServer(svc.Handler())
+		client := srv.Client()
+
+		for _, b := range splitBatches(data, 3) {
+			out := postJSON(t, client, srv.URL+"/v1/ingest", wireBatch(b))
+			if out["version"] == nil {
+				t.Fatalf("%s ingest response missing version: %v", tc.method.Name(), out)
+			}
+			postJSON(t, client, srv.URL+"/v1/refresh", struct{}{})
+		}
+
+		truths := getJSON(t, client, srv.URL+"/v1/truths", http.StatusOK)["truths"].([]any)
+		if len(truths) != len(want.Truth) {
+			t.Fatalf("%s: served %d truths, want %d", tc.method.Name(), len(truths), len(want.Truth))
+		}
+		agree := 0
+		for i, v := range truths {
+			if v.(float64) == want.Truth[i] {
+				agree++
+			}
+		}
+		if frac := float64(agree) / float64(len(truths)); frac < tc.minAgree {
+			t.Errorf("%s over HTTP: agreement %.4f < %.2f vs one-shot batch", tc.method.Name(), frac, tc.minAgree)
+		}
+
+		// Single-task and worker lookups round-trip.
+		one := getJSON(t, client, srv.URL+"/v1/truth/0", http.StatusOK)
+		if one["truth"].(float64) != truths[0].(float64) {
+			t.Errorf("%s: /v1/truth/0 = %v disagrees with /v1/truths[0] = %v", tc.method.Name(), one["truth"], truths[0])
+		}
+		wq := getJSON(t, client, srv.URL+"/v1/worker/0", http.StatusOK)
+		if _, ok := wq["quality"].(float64); !ok {
+			t.Errorf("%s: /v1/worker/0 missing quality: %v", tc.method.Name(), wq)
+		}
+		stats := getJSON(t, client, srv.URL+"/v1/stats", http.StatusOK)
+		if stats["fresh"] != true {
+			t.Errorf("%s: stats not fresh after refresh: %v", tc.method.Name(), stats)
+		}
+		if int(stats["answers"].(float64)) != len(data.Answers) {
+			t.Errorf("%s: stats answers = %v, want %d", tc.method.Name(), stats["answers"], len(data.Answers))
+		}
+		srv.Close()
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	store, err := NewStore("t", dataset.Decision, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := NewService(store, Config{Method: ds.New(), Options: core.Options{Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	client := srv.Client()
+
+	// Queries before the first epoch are a 409; the body says why.
+	out := getJSON(t, client, srv.URL+"/v1/truths", http.StatusConflict)
+	if out["error"] == nil {
+		t.Errorf("conflict body missing error: %v", out)
+	}
+	// Malformed JSON and invalid batches are 4xx, not 500s.
+	resp, err := client.Post(srv.URL+"/v1/ingest", "application/json", bytes.NewReader([]byte("{nope")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON → %d, want 400", resp.StatusCode)
+	}
+	buf, _ := json.Marshal(wireBatch(Batch{Answers: []dataset.Answer{{Task: 0, Worker: 0, Value: 7}}}))
+	resp, err = client.Post(srv.URL+"/v1/ingest", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("invalid label → %d, want 422", resp.StatusCode)
+	}
+	// Unknown ids are 404s.
+	if _, err := client.Get(srv.URL + "/v1/worker/99"); err != nil {
+		t.Fatal(err)
+	}
+	got := getJSON(t, client, fmt.Sprintf("%s/v1/truth/%d", srv.URL, 5), http.StatusConflict)
+	if got["error"] == nil {
+		t.Errorf("expected error body, got %v", got)
+	}
+	if h := getJSON(t, client, srv.URL+"/v1/healthz", http.StatusOK); h["status"] != "ok" {
+		t.Errorf("healthz = %v", h)
+	}
+}

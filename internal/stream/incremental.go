@@ -1,0 +1,147 @@
+package stream
+
+import (
+	"math"
+
+	"truthinference/internal/core"
+	"truthinference/internal/dataset"
+	"truthinference/internal/mathx"
+	"truthinference/internal/randx"
+)
+
+// incremental maintains the exact state of a direct-computation method
+// (MV, Mean or Median) under streaming appends: each ingested answer
+// updates per-task sufficient statistics (vote counts, running sums, or
+// nothing for Median, which re-reads the touched task) and relabels only
+// the touched tasks — O(delta · redundancy) per batch, independent of the
+// dataset's size.
+//
+// The maintained truths are bit-identical to a one-shot batch run of the
+// same method on the final dataset:
+//
+//   - MV's vote counts are small integers (exact in float64) and its
+//     tie-break depends only on (seed, task);
+//   - Mean accumulates each task's answers in append order — exactly the
+//     ascending answer-index order the batch method sums in;
+//   - Median sorts the task's answer multiset, which is order-free.
+type incremental struct {
+	method string // "MV", "Mean" or "Median"
+	seed   int64
+	ell    int // choices (MV)
+
+	truth  []float64
+	counts []float64 // MV: task-major tasks×ℓ vote counts
+	sums   []float64 // Mean: per-task running sums
+	ns     []int     // Mean: per-task answer counts
+}
+
+// incrementalMethods lists the methods with an exact O(delta) streaming
+// path.
+var incrementalMethods = map[string]bool{"MV": true, "Mean": true, "Median": true}
+
+func newIncremental(method string, seed int64, ell int) *incremental {
+	return &incremental{method: method, seed: seed, ell: ell}
+}
+
+// grow extends the per-task state to numTasks, labeling the new
+// answer-less tasks exactly as the batch method would (the MV tie-break
+// over an all-zero count row, or 0 for Mean and Median).
+func (inc *incremental) grow(numTasks int) {
+	for i := len(inc.truth); i < numTasks; i++ {
+		inc.truth = append(inc.truth, 0)
+		switch inc.method {
+		case "MV":
+			inc.counts = append(inc.counts, make([]float64, inc.ell)...)
+			inc.relabelMV(i)
+		case "Mean":
+			inc.sums = append(inc.sums, 0)
+			inc.ns = append(inc.ns, 0)
+		}
+	}
+}
+
+// apply folds the answers appended at indices [firstNew, len(d.Answers))
+// into the state. It must run under the store lock (View) so no append
+// interleaves, with batches applied in ingestion order.
+func (inc *incremental) apply(d *dataset.Dataset, firstNew int) {
+	inc.grow(d.NumTasks)
+	touched := map[int]bool{}
+	for _, a := range d.Answers[firstNew:] {
+		switch inc.method {
+		case "MV":
+			inc.counts[a.Task*inc.ell+a.Label()]++
+		case "Mean":
+			inc.sums[a.Task] += a.Value
+			inc.ns[a.Task]++
+		}
+		touched[a.Task] = true
+	}
+	for i := range touched {
+		switch inc.method {
+		case "MV":
+			inc.relabelMV(i)
+		case "Mean":
+			inc.truth[i] = inc.sums[i] / float64(inc.ns[i])
+		case "Median":
+			inc.relabelMedian(d, i)
+		}
+	}
+}
+
+// relabelMV recomputes task i's plurality label with the same
+// (seed, task)-hashed tie-break as the batch MV implementation.
+func (inc *incremental) relabelMV(i int) {
+	row := inc.counts[i*inc.ell : (i+1)*inc.ell]
+	inc.truth[i] = float64(core.ArgmaxTieBreak(row, func(n int) int {
+		return randx.HashPick(n, inc.seed, int64(i))
+	}))
+}
+
+// relabelMedian recomputes task i's median from its full answer list —
+// the one statistic without a constant-size update, still O(redundancy)
+// per touched task.
+func (inc *incremental) relabelMedian(d *dataset.Dataset, i int) {
+	idxs := d.TaskAnswers(i)
+	vals := make([]float64, len(idxs))
+	for k, ai := range idxs {
+		vals[k] = d.Answers[ai].Value
+	}
+	med := mathx.Median(vals)
+	if math.IsNaN(med) {
+		med = 0
+	}
+	inc.truth[i] = med
+}
+
+// confidence returns MV's posterior confidence in task i's label (its
+// vote share), or NaN for the numeric methods.
+func (inc *incremental) confidence(i int) float64 {
+	if inc.method != "MV" || i >= len(inc.truth) {
+		return math.NaN()
+	}
+	row := inc.counts[i*inc.ell : (i+1)*inc.ell]
+	var total float64
+	for _, c := range row {
+		total += c
+	}
+	if total == 0 {
+		return 1 / float64(inc.ell)
+	}
+	return row[int(inc.truth[i])] / total
+}
+
+// result packages the maintained state as a core.Result equivalent to a
+// batch run on the current dataset (uniform worker qualities, like the
+// direct methods report).
+func (inc *incremental) result(numWorkers int) *core.Result {
+	quality := make([]float64, numWorkers)
+	for i := range quality {
+		quality[i] = 1
+	}
+	return &core.Result{
+		Truth:         append([]float64(nil), inc.truth...),
+		WorkerQuality: quality,
+		Iterations:    1,
+		Converged:     true,
+	}
+}

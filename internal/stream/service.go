@@ -1,0 +1,364 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"truthinference/internal/core"
+	"truthinference/internal/dataset"
+	"truthinference/internal/engine"
+)
+
+// ErrNotInferred is returned by query methods before the first inference
+// epoch has published a result.
+var ErrNotInferred = errors.New("stream: no inference result published yet — ingest answers and refresh")
+
+// Config parameterizes a Service.
+type Config struct {
+	// Method is the truth-inference method to serve.
+	Method core.Method
+	// Options is the base inference configuration applied every epoch
+	// (seed, iteration cap, tolerance, parallelism). Pool and WarmStart
+	// are managed by the service and must be left unset.
+	Options core.Options
+	// ColdStart disables warm-start seeding, re-running every epoch from
+	// cold initialization. It exists for baselines and debugging; the
+	// default (warm) is strictly faster on converged streams.
+	ColdStart bool
+	// AutoRefresh triggers a background re-inference after every ingested
+	// batch (coalesced: at most one inference runs at a time, and a batch
+	// arriving mid-run schedules exactly one follow-up). When false the
+	// caller drives refreshes explicitly.
+	AutoRefresh bool
+}
+
+// Service multiplexes concurrent readers against streaming ingestion and
+// background re-inference for one method over one Store. Reads always
+// serve the last published result — possibly a few versions stale while
+// an EM run is in flight — and report the exact store version they
+// reflect. Methods with an exact incremental path (MV, Mean, Median)
+// bypass re-inference entirely: ingestion folds each delta into the
+// maintained statistics in O(delta) and reads are always fresh.
+type Service struct {
+	store  *Store
+	method core.Method
+	cfg    Config
+	pool   *engine.Pool // persistent; reused by every epoch's hot loops
+	inc    *incremental // non-nil for MV/Mean/Median
+
+	ingestMu sync.Mutex // serializes Ingest (store append + incremental fold)
+	inferMu  sync.Mutex // serializes Refresh epochs
+	queued   atomic.Bool
+
+	mu         sync.RWMutex // guards the published state below
+	res        *core.Result
+	resVersion uint64
+	incVersion uint64 // store version the incremental state reflects
+	epochs     int
+	lastInfer  time.Duration
+	lastErr    error // most recent epoch failure; nil after a success
+	closed     bool
+}
+
+// NewService builds a service for the given method over the store. The
+// service owns a persistent worker pool sized from cfg.Options and keeps
+// it across epochs; Close releases it.
+func NewService(store *Store, cfg Config) (*Service, error) {
+	if cfg.Method == nil {
+		return nil, errors.New("stream: Config.Method is required")
+	}
+	if cfg.Options.Pool != nil || cfg.Options.WarmStart != nil {
+		return nil, errors.New("stream: Config.Options.Pool and WarmStart are service-managed")
+	}
+	// Reject method/store type mismatches up front. The batch path would
+	// surface this through core.CheckSupport on the first epoch, but the
+	// incremental path never calls Infer — MV over a numeric store would
+	// otherwise blow up mid-ingest instead of failing at construction.
+	if typ := store.TaskType(); !cfg.Method.Capabilities().SupportsType(typ) {
+		return nil, fmt.Errorf("stream: %s does not support %s stores", cfg.Method.Name(), typ)
+	}
+	s := &Service{
+		store:  store,
+		method: cfg.Method,
+		cfg:    cfg,
+		pool:   engine.NewPersistent(cfg.Options.Workers()),
+	}
+	if incrementalMethods[cfg.Method.Name()] {
+		// Fold whatever the store already holds (e.g. a preloaded
+		// benchmark file) into the incremental statistics, so the state
+		// always reflects answers [0, len(d.Answers)).
+		store.View(func(d *dataset.Dataset) {
+			s.inc = newIncremental(cfg.Method.Name(), cfg.Options.Seed, d.NumChoices)
+			s.inc.apply(d, 0)
+		})
+		s.incVersion = store.Version()
+	}
+	return s, nil
+}
+
+// Ingest applies one batch to the store and, for incremental methods,
+// folds it into the maintained statistics in O(delta). With AutoRefresh
+// set, iterative methods schedule a coalesced background re-inference.
+func (s *Service) Ingest(b Batch) (uint64, error) {
+	s.ingestMu.Lock()
+	version, firstNew, err := s.store.Ingest(b)
+	if err != nil {
+		s.ingestMu.Unlock()
+		return 0, err
+	}
+	if s.inc != nil {
+		// Fold the delta under the published-state lock so readers never
+		// observe counts and labels from different points in the stream;
+		// incVersion advances in the same critical section, so a served
+		// version always has its delta folded in.
+		s.store.View(func(d *dataset.Dataset) {
+			s.mu.Lock()
+			s.inc.apply(d, firstNew)
+			s.incVersion = version
+			s.mu.Unlock()
+		})
+	}
+	s.ingestMu.Unlock()
+
+	if s.inc == nil && s.cfg.AutoRefresh {
+		s.refreshAsync()
+	}
+	return version, nil
+}
+
+// refreshAsync schedules a coalesced background refresh: at most one
+// epoch runs at a time, and any number of batches arriving during a
+// running epoch collapse into exactly one follow-up (the queued flag is
+// held until the follow-up owns inferMu, so its snapshot covers them
+// all). Epoch errors are retained in Stats.LastError.
+func (s *Service) refreshAsync() {
+	if !s.queued.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		s.inferMu.Lock()
+		s.queued.Store(false)
+		err := s.refreshLocked()
+		s.inferMu.Unlock()
+		s.mu.Lock()
+		s.lastErr = err
+		s.mu.Unlock()
+	}()
+}
+
+// Refresh runs one inference epoch over a snapshot of the store and
+// publishes the result. Iterative methods resume from the previous
+// epoch's posterior (unless ColdStart); MV/Mean/Median are always fresh
+// and return immediately. Refresh is a no-op when the published result
+// already reflects the latest store version.
+func (s *Service) Refresh() error {
+	if s.inc != nil {
+		return nil
+	}
+	s.inferMu.Lock()
+	defer s.inferMu.Unlock()
+	err := s.refreshLocked()
+	s.mu.Lock()
+	s.lastErr = err
+	s.mu.Unlock()
+	return err
+}
+
+// refreshLocked runs one epoch; the caller holds inferMu.
+func (s *Service) refreshLocked() error {
+	s.mu.RLock()
+	prev, prevVersion := s.res, s.resVersion
+	s.mu.RUnlock()
+	// Freshness is checked before the O(answers) snapshot clone so no-op
+	// refreshes cost nothing. A version bump between this check and the
+	// snapshot only makes the epoch serve newer data, never older.
+	if prev != nil && prevVersion == s.store.Version() {
+		return nil
+	}
+	snap, version := s.store.Snapshot()
+
+	opts := s.cfg.Options
+	opts.Pool = s.pool
+	if !s.cfg.ColdStart && prev != nil {
+		opts.WarmStart = prev.Warm()
+	}
+	start := time.Now()
+	res, err := s.method.Infer(snap, opts)
+	if err != nil {
+		return fmt.Errorf("stream: %s epoch failed: %w", s.method.Name(), err)
+	}
+	elapsed := time.Since(start)
+
+	s.mu.Lock()
+	s.res = res
+	s.resVersion = version
+	s.epochs++
+	s.lastInfer = elapsed
+	s.mu.Unlock()
+	return nil
+}
+
+// TruthInfo is one task's served inference output.
+type TruthInfo struct {
+	Task       int
+	Truth      float64
+	Confidence float64 // posterior mass on the served label; NaN if unavailable
+	Version    uint64  // store version the value reflects
+}
+
+// Truth returns the inferred truth of one task from the last published
+// result.
+func (s *Service) Truth(task int) (TruthInfo, error) {
+	if s.inc != nil {
+		return s.incTruth(task)
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.res == nil {
+		return TruthInfo{}, ErrNotInferred
+	}
+	if task < 0 || task >= len(s.res.Truth) {
+		return TruthInfo{}, fmt.Errorf("stream: task %d outside the inferred range [0,%d)", task, len(s.res.Truth))
+	}
+	info := TruthInfo{Task: task, Truth: s.res.Truth[task], Confidence: math.NaN(), Version: s.resVersion}
+	if s.res.Posterior != nil && task < len(s.res.Posterior) {
+		label := int(s.res.Truth[task])
+		row := s.res.Posterior[task]
+		if label >= 0 && label < len(row) {
+			info.Confidence = row[label]
+		}
+	}
+	return info, nil
+}
+
+// incTruth serves a task from the always-fresh incremental state.
+// incVersion (not the live store version) is reported, so the version a
+// response carries always has its delta folded into the served truth.
+func (s *Service) incTruth(task int) (TruthInfo, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if task < 0 || task >= len(s.inc.truth) {
+		return TruthInfo{}, fmt.Errorf("stream: task %d outside the ingested range [0,%d)", task, len(s.inc.truth))
+	}
+	return TruthInfo{
+		Task:       task,
+		Truth:      s.inc.truth[task],
+		Confidence: s.inc.confidence(task),
+		Version:    s.incVersion,
+	}, nil
+}
+
+// Truths returns a copy of every inferred truth and the store version the
+// vector reflects.
+func (s *Service) Truths() ([]float64, uint64, error) {
+	if s.inc != nil {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		return append([]float64(nil), s.inc.truth...), s.incVersion, nil
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.res == nil {
+		return nil, 0, ErrNotInferred
+	}
+	return append([]float64(nil), s.res.Truth...), s.resVersion, nil
+}
+
+// WorkerQuality returns the estimated quality of one worker (on the
+// serving method's scale).
+func (s *Service) WorkerQuality(worker int) (float64, error) {
+	if s.inc != nil {
+		_, workers, _ := s.store.Dims()
+		if worker < 0 || worker >= workers {
+			return 0, fmt.Errorf("stream: worker %d outside [0,%d)", worker, workers)
+		}
+		return 1, nil // direct methods report uniform quality
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.res == nil {
+		return 0, ErrNotInferred
+	}
+	if worker < 0 || worker >= len(s.res.WorkerQuality) {
+		return 0, fmt.Errorf("stream: worker %d outside the inferred range [0,%d)", worker, len(s.res.WorkerQuality))
+	}
+	return s.res.WorkerQuality[worker], nil
+}
+
+// Stats summarizes the store and the serving state (also the JSON shape
+// of GET /v1/stats).
+type Stats struct {
+	Method       string `json:"method"`
+	Tasks        int    `json:"tasks"`
+	Workers      int    `json:"workers"`
+	Answers      int    `json:"answers"`
+	StoreVersion uint64 `json:"store_version"`
+	// ResultVersion is the store version the served truths reflect;
+	// equal to StoreVersion when fresh.
+	ResultVersion uint64  `json:"result_version"`
+	Fresh         bool    `json:"fresh"`
+	Epochs        int     `json:"epochs"`
+	Iterations    int     `json:"iterations"`
+	Converged     bool    `json:"converged"`
+	WarmStart     bool    `json:"warm_start"`
+	Incremental   bool    `json:"incremental"`
+	LastInferMS   float64 `json:"last_infer_ms"`
+	// LastError reports the most recent failed epoch (empty after a
+	// success) — the only place a background auto-refresh failure
+	// surfaces.
+	LastError string `json:"last_error,omitempty"`
+}
+
+// Stats returns a consistent snapshot of the serving state.
+func (s *Service) Stats() Stats {
+	tasks, workers, answers := s.store.Dims()
+	storeVersion := s.store.Version()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := Stats{
+		Method:       s.method.Name(),
+		Tasks:        tasks,
+		Workers:      workers,
+		Answers:      answers,
+		StoreVersion: storeVersion,
+		WarmStart:    !s.cfg.ColdStart,
+		Incremental:  s.inc != nil,
+	}
+	if s.inc != nil {
+		st.ResultVersion = s.incVersion
+		st.Fresh = s.incVersion == storeVersion
+		st.Epochs = s.epochs
+		st.Iterations = 1
+		st.Converged = true
+		return st
+	}
+	st.ResultVersion = s.resVersion
+	st.Fresh = s.res != nil && s.resVersion == storeVersion
+	st.Epochs = s.epochs
+	if s.res != nil {
+		st.Iterations = s.res.Iterations
+		st.Converged = s.res.Converged
+	}
+	st.LastInferMS = float64(s.lastInfer.Microseconds()) / 1000
+	if s.lastErr != nil {
+		st.LastError = s.lastErr.Error()
+	}
+	return st
+}
+
+// Close releases the service's persistent worker pool. The service must
+// not be used after Close.
+func (s *Service) Close() {
+	s.inferMu.Lock()
+	defer s.inferMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.closed {
+		s.pool.Close()
+		s.closed = true
+	}
+}

@@ -1,0 +1,189 @@
+// Package stream is the online truth-inference subsystem: a mutable,
+// concurrency-safe answer store that accepts batched answer/task/worker
+// deltas while inference keeps serving (Store), a warm-start incremental
+// driver that re-runs the iterative methods seeded from the previous
+// epoch's posterior — with exact O(delta) incremental updates for the
+// direct-computation methods MV, Mean and Median (Service) — and an HTTP
+// JSON API over both (Service.Handler, served by cmd/truthserve).
+//
+// # Equivalence contract
+//
+// Streaming a dataset in any number of batches and then inferring yields
+// the same answer as one-shot batch inference over the final dataset:
+// bit-identical truths for MV, Mean and Median (their incremental updates
+// are exact), and label-identical truths within convergence tolerance for
+// the warm-started iterative methods (a warm start changes only the EM
+// starting point, not the fixed point a converged run reaches). The
+// end-to-end tests in this package and the repository root enforce the
+// contract at 1 and 8 workers.
+package stream
+
+import (
+	"fmt"
+	"sync"
+
+	"truthinference/internal/dataset"
+)
+
+// Batch is one ingestion delta: new answers, optionally new ground
+// truths, and optionally explicit lower bounds on the task/worker id
+// ranges (for declaring tasks or workers before any answer mentions
+// them). Ids beyond the store's current ranges grow the dataset
+// automatically.
+type Batch struct {
+	Answers []dataset.Answer
+	// Truth maps task id → ground truth to record (used for evaluation
+	// and golden-task experiments; inference does not require it).
+	Truth map[int]float64
+	// NumTasks and NumWorkers, when positive, grow the store's id ranges
+	// to at least these sizes even if no answer mentions the new ids.
+	NumTasks   int
+	NumWorkers int
+}
+
+// targetDims returns the task/worker ranges the store must grow to before
+// this batch can be applied on top of the current dims.
+func (b Batch) targetDims(tasks, workers int) (int, int) {
+	if b.NumTasks > tasks {
+		tasks = b.NumTasks
+	}
+	if b.NumWorkers > workers {
+		workers = b.NumWorkers
+	}
+	for _, a := range b.Answers {
+		if a.Task >= tasks {
+			tasks = a.Task + 1
+		}
+		if a.Worker >= workers {
+			workers = a.Worker + 1
+		}
+	}
+	for t := range b.Truth {
+		if t >= tasks {
+			tasks = t + 1
+		}
+	}
+	return tasks, workers
+}
+
+// Store is a mutable, concurrency-safe crowdsourced answer set. Writers
+// ingest batched deltas; readers take consistent snapshots for
+// re-inference or run short read-only views. Every successful ingest
+// bumps a monotonic version, which the serving layer uses to report how
+// fresh a published inference result is.
+type Store struct {
+	mu      sync.RWMutex
+	d       *dataset.Dataset
+	version uint64
+}
+
+// NewStore returns an empty store for the given task type. numChoices is
+// ℓ for single-choice tasks (decision tasks force 2, numeric tasks 0).
+func NewStore(name string, typ dataset.TaskType, numChoices int) (*Store, error) {
+	d, err := dataset.New(name, typ, numChoices, 0, 0, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{d: d}, nil
+}
+
+// NewStoreFrom wraps an existing dataset (e.g. a preloaded benchmark
+// file) as the store's initial state. The dataset must not be mutated by
+// the caller afterwards.
+func NewStoreFrom(d *dataset.Dataset) *Store {
+	return &Store{d: d, version: 1}
+}
+
+// Ingest applies one batch atomically: the id ranges grow to cover every
+// referenced task and worker, the answers are appended, and the truths
+// recorded. It returns the new store version and the index of the first
+// appended answer. On error the store is unchanged (rejecting a batch
+// does not tear a partial delta into the dataset).
+func (s *Store) Ingest(b Batch) (version uint64, firstNew int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	tgtTasks, tgtWorkers := b.targetDims(s.d.NumTasks, s.d.NumWorkers)
+	// Validate against the grown ranges before mutating anything.
+	probe := dataset.Dataset{Name: s.d.Name, Type: s.d.Type, NumChoices: s.d.NumChoices,
+		NumTasks: tgtTasks, NumWorkers: tgtWorkers}
+	for i, a := range b.Answers {
+		if err := probe.CheckAnswer(a); err != nil {
+			return 0, 0, fmt.Errorf("stream: batch answer %d: %w", i, err)
+		}
+	}
+	for t, v := range b.Truth {
+		if err := checkTruth(&probe, t, v); err != nil {
+			return 0, 0, fmt.Errorf("stream: %w", err)
+		}
+	}
+
+	s.d.Grow(tgtTasks, tgtWorkers)
+	firstNew = len(s.d.Answers)
+	if err := s.d.AppendAnswers(b.Answers...); err != nil {
+		// Unreachable after the validation pass above, but never leave a
+		// grown-yet-unappended store silently inconsistent.
+		return 0, 0, err
+	}
+	for t, v := range b.Truth {
+		if err := s.d.SetTruth(t, v); err != nil {
+			return 0, 0, err
+		}
+	}
+	s.version++
+	return s.version, firstNew, nil
+}
+
+// checkTruth mirrors dataset.SetTruth validation without mutating.
+func checkTruth(d *dataset.Dataset, task int, v float64) error {
+	if task < 0 || task >= d.NumTasks {
+		return fmt.Errorf("truth references task %d outside [0,%d)", task, d.NumTasks)
+	}
+	if d.Type != dataset.Numeric {
+		l := int(v)
+		if float64(l) != v || l < 0 || l >= d.NumChoices {
+			return fmt.Errorf("truth for task %d has invalid label %v", task, v)
+		}
+	}
+	return nil
+}
+
+// Snapshot returns a deep copy of the current dataset together with the
+// store version it reflects. Re-inference runs on snapshots so ingestion
+// never blocks behind a long EM run.
+func (s *Store) Snapshot() (*dataset.Dataset, uint64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.d.Clone(), s.version
+}
+
+// View runs f with read access to the live dataset. f must not retain or
+// mutate the dataset; it is the O(delta) path the incremental methods use
+// to read a touched task's answers without paying for a snapshot.
+func (s *Store) View(f func(d *dataset.Dataset)) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	f(s.d)
+}
+
+// TaskType returns the store's task family.
+func (s *Store) TaskType() dataset.TaskType {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.d.Type
+}
+
+// Version returns the current store version (0 for a never-ingested
+// empty store).
+func (s *Store) Version() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.version
+}
+
+// Dims returns the current task, worker and answer counts.
+func (s *Store) Dims() (tasks, workers, answers int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.d.NumTasks, s.d.NumWorkers, len(s.d.Answers)
+}

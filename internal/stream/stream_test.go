@@ -1,0 +1,364 @@
+package stream
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"truthinference/internal/core"
+	"truthinference/internal/dataset"
+	"truthinference/internal/methods/catd"
+	"truthinference/internal/methods/direct"
+	"truthinference/internal/methods/ds"
+	"truthinference/internal/methods/glad"
+	"truthinference/internal/methods/lfc"
+	"truthinference/internal/methods/pm"
+	"truthinference/internal/methods/vi"
+	"truthinference/internal/methods/zc"
+	"truthinference/internal/simulate"
+)
+
+// splitBatches cuts the dataset's answer stream into k contiguous batches.
+// The first batch declares the final id ranges (so answer-less tasks
+// exist from the start, as on a real platform where tasks are published
+// before workers answer) and the last carries the ground truths.
+func splitBatches(d *dataset.Dataset, k int) []Batch {
+	batches := make([]Batch, k)
+	per := (len(d.Answers) + k - 1) / k
+	for i := range batches {
+		lo := i * per
+		hi := lo + per
+		if hi > len(d.Answers) {
+			hi = len(d.Answers)
+		}
+		if lo > hi {
+			lo = hi
+		}
+		batches[i].Answers = append([]dataset.Answer(nil), d.Answers[lo:hi]...)
+	}
+	batches[0].NumTasks = d.NumTasks
+	batches[0].NumWorkers = d.NumWorkers
+	batches[k-1].Truth = d.Truth
+	return batches
+}
+
+func newServiceOver(t *testing.T, d *dataset.Dataset, m core.Method, opts core.Options) *Service {
+	t.Helper()
+	store, err := NewStore(d.Name, d.Type, d.NumChoices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := NewService(store, Config{Method: m, Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	return svc
+}
+
+// TestIncrementalExactEquivalence is the streaming equivalence gate for
+// the exact O(delta) methods: ingesting in batches must reproduce
+// one-shot batch inference bit-for-bit, at 1 and 8 workers.
+func TestIncrementalExactEquivalence(t *testing.T) {
+	decision := simulate.GenerateScaled(simulate.DProduct, 7, 0.04)
+	numeric := simulate.GenerateScaled(simulate.NEmotion, 7, 0.1)
+	cases := []struct {
+		method core.Method
+		data   *dataset.Dataset
+	}{
+		{direct.NewMV(), decision},
+		{direct.NewMean(), numeric},
+		{direct.NewMedian(), numeric},
+	}
+	for _, tc := range cases {
+		for _, par := range []int{1, 8} {
+			opts := core.Options{Seed: 11, Parallelism: par}
+			want, err := tc.method.Infer(tc.data, opts)
+			if err != nil {
+				t.Fatalf("%s batch: %v", tc.method.Name(), err)
+			}
+			svc := newServiceOver(t, tc.data, tc.method, opts)
+			for _, b := range splitBatches(tc.data, 5) {
+				if _, err := svc.Ingest(b); err != nil {
+					t.Fatalf("%s ingest: %v", tc.method.Name(), err)
+				}
+			}
+			got, _, err := svc.Truths()
+			if err != nil {
+				t.Fatalf("%s truths: %v", tc.method.Name(), err)
+			}
+			if len(got) != len(want.Truth) {
+				t.Fatalf("%s: %d truths streamed vs %d batch", tc.method.Name(), len(got), len(want.Truth))
+			}
+			for i := range got {
+				if got[i] != want.Truth[i] {
+					t.Fatalf("%s par=%d: task %d streamed %v, batch %v (must be bit-identical)",
+						tc.method.Name(), par, i, got[i], want.Truth[i])
+				}
+			}
+		}
+	}
+}
+
+// TestWarmStartLabelEquivalence is the streaming equivalence gate for the
+// warm-started iterative methods: streaming N batches with a refresh
+// after each must serve (nearly) the same labels as a cold one-shot run
+// on the final dataset, at 1 and 8 workers.
+func TestWarmStartLabelEquivalence(t *testing.T) {
+	decision := simulate.GenerateScaled(simulate.DProduct, 7, 0.04)
+	single := simulate.GenerateScaled(simulate.SRel, 7, 0.04)
+	numeric := simulate.GenerateScaled(simulate.NEmotion, 7, 0.1)
+	cases := []struct {
+		method core.Method
+		data   *dataset.Dataset
+		// minAgree is the minimum fraction of identical labels
+		// (categorical); numeric methods instead bound the truth RMSE
+		// between the warm and cold runs by maxRMSE. GLAD's gate is
+		// looser because its gradient-ascent M-step does not converge
+		// within the iteration cap even cold, so residual label churn is
+		// cap noise rather than warm-start drift; PM's hard-label
+		// coordinate descent admits several fixed points of equal
+		// accuracy.
+		minAgree float64
+		maxRMSE  float64
+	}{
+		{ds.New(), decision, 0.98, 0},
+		{glad.New(), decision, 0.93, 0},
+		{zc.New(), decision, 0.98, 0},
+		{lfc.New(), single, 0.98, 0},
+		{pm.New(), single, 0.95, 0},
+		{catd.New(), decision, 0.98, 0},
+		{vi.NewMF(), decision, 0.98, 0},
+		{vi.NewBP(), decision, 0.98, 0},
+		{lfc.NewNumeric(), numeric, 0, 1e-9},
+	}
+	for _, tc := range cases {
+		for _, par := range []int{1, 8} {
+			opts := core.Options{Seed: 11, Parallelism: par}
+			cold, err := tc.method.Infer(tc.data, opts)
+			if err != nil {
+				t.Fatalf("%s cold: %v", tc.method.Name(), err)
+			}
+			svc := newServiceOver(t, tc.data, tc.method, opts)
+			for _, b := range splitBatches(tc.data, 4) {
+				if _, err := svc.Ingest(b); err != nil {
+					t.Fatalf("%s ingest: %v", tc.method.Name(), err)
+				}
+				if err := svc.Refresh(); err != nil {
+					t.Fatalf("%s refresh: %v", tc.method.Name(), err)
+				}
+			}
+			got, version, err := svc.Truths()
+			if err != nil {
+				t.Fatalf("%s truths: %v", tc.method.Name(), err)
+			}
+			if version != svc.Stats().StoreVersion {
+				t.Fatalf("%s: served version %d is stale after explicit refresh", tc.method.Name(), version)
+			}
+			if len(got) != len(cold.Truth) {
+				t.Fatalf("%s: %d truths streamed vs %d batch", tc.method.Name(), len(got), len(cold.Truth))
+			}
+			if tc.data.Categorical() {
+				agree := 0
+				for i := range got {
+					if got[i] == cold.Truth[i] {
+						agree++
+					}
+				}
+				frac := float64(agree) / float64(len(got))
+				if frac < tc.minAgree {
+					t.Errorf("%s par=%d: warm-started labels agree with cold one-shot on %.4f < %.2f of tasks",
+						tc.method.Name(), par, frac, tc.minAgree)
+				}
+			} else {
+				var ss float64
+				for i := range got {
+					dv := got[i] - cold.Truth[i]
+					ss += dv * dv
+				}
+				rmse := math.Sqrt(ss / float64(len(got)))
+				if rmse > tc.maxRMSE {
+					t.Errorf("%s par=%d: warm vs cold truth RMSE %.4f > %.2f", tc.method.Name(), par, rmse, tc.maxRMSE)
+				}
+			}
+		}
+	}
+}
+
+// TestWarmStartConvergesFaster checks the point of warm starts: the final
+// epoch (a small delta on top of a converged posterior) takes no more
+// iterations than the cold one-shot run on the same data.
+func TestWarmStartConvergesFaster(t *testing.T) {
+	data := simulate.GenerateScaled(simulate.DProduct, 7, 0.04)
+	opts := core.Options{Seed: 11}
+	for _, m := range []core.Method{ds.New(), zc.New()} {
+		cold, err := m.Infer(data, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc := newServiceOver(t, data, m, opts)
+		for _, b := range splitBatches(data, 4) {
+			if _, err := svc.Ingest(b); err != nil {
+				t.Fatal(err)
+			}
+			if err := svc.Refresh(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st := svc.Stats()
+		if !st.Converged {
+			t.Errorf("%s: warm-started final epoch did not converge", m.Name())
+		}
+		if st.Iterations > cold.Iterations {
+			t.Errorf("%s: warm-started final epoch took %d iterations, cold one-shot %d",
+				m.Name(), st.Iterations, cold.Iterations)
+		}
+	}
+}
+
+func TestServiceQueryBeforeFirstEpoch(t *testing.T) {
+	store, err := NewStore("empty", dataset.Decision, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := NewService(store, Config{Method: ds.New(), Options: core.Options{Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if _, err := svc.Truth(0); !errors.Is(err, ErrNotInferred) {
+		t.Errorf("Truth before refresh: %v, want ErrNotInferred", err)
+	}
+	if _, _, err := svc.Truths(); !errors.Is(err, ErrNotInferred) {
+		t.Errorf("Truths before refresh: %v, want ErrNotInferred", err)
+	}
+	if _, err := svc.WorkerQuality(0); !errors.Is(err, ErrNotInferred) {
+		t.Errorf("WorkerQuality before refresh: %v, want ErrNotInferred", err)
+	}
+}
+
+func TestNewServiceRejectsTypeMismatch(t *testing.T) {
+	// MV over a numeric store must fail at construction, not mid-ingest:
+	// the incremental path never reaches core.CheckSupport.
+	numeric, err := NewStore("n", dataset.Numeric, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewService(numeric, Config{Method: direct.NewMV(), Options: core.Options{Seed: 1}}); err == nil {
+		t.Error("MV over a numeric store accepted")
+	}
+	if _, err := NewService(numeric, Config{Method: ds.New(), Options: core.Options{Seed: 1}}); err == nil {
+		t.Error("D&S over a numeric store accepted")
+	}
+	decision, err := NewStore("d", dataset.Decision, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewService(decision, Config{Method: direct.NewMean(), Options: core.Options{Seed: 1}}); err == nil {
+		t.Error("Mean over a decision store accepted")
+	}
+}
+
+func TestStoreRejectsBadBatchAtomically(t *testing.T) {
+	store, err := NewStore("guard", dataset.SingleChoice, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := store.Ingest(Batch{Answers: []dataset.Answer{
+		{Task: 0, Worker: 0, Value: 1},
+		{Task: 1, Worker: 0, Value: 9}, // invalid label
+	}}); err == nil {
+		t.Fatal("invalid batch accepted")
+	}
+	if tasks, workers, answers := store.Dims(); tasks != 0 || workers != 0 || answers != 0 {
+		t.Errorf("rejected batch mutated the store: %d/%d/%d", tasks, workers, answers)
+	}
+	if store.Version() != 0 {
+		t.Errorf("rejected batch bumped the version to %d", store.Version())
+	}
+	if _, _, err := store.Ingest(Batch{Truth: map[int]float64{5: 0.5}}); err == nil {
+		t.Fatal("fractional categorical truth accepted")
+	}
+}
+
+// TestConcurrentReadersDuringIngest hammers the service with parallel
+// readers while batches stream in and epochs run — the race detector in
+// CI turns any unsynchronized access into a failure.
+func TestConcurrentReadersDuringIngest(t *testing.T) {
+	data := simulate.GenerateScaled(simulate.DProduct, 7, 0.02)
+	svc := newServiceOver(t, data, zc.New(), core.Options{Seed: 3, Parallelism: 4})
+	batches := splitBatches(data, 8)
+	if _, err := svc.Ingest(batches[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, _, err := svc.Truths(); err != nil {
+					t.Errorf("reader: %v", err)
+					return
+				}
+				if _, err := svc.Truth(0); err != nil {
+					t.Errorf("reader: %v", err)
+					return
+				}
+				_ = svc.Stats()
+			}
+		}()
+	}
+	for _, b := range batches[1:] {
+		if _, err := svc.Ingest(b); err != nil {
+			t.Fatal(err)
+		}
+		if err := svc.Refresh(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestAutoRefreshEventuallyFresh checks the coalesced background path:
+// after the stream quiesces, the published result catches up with the
+// store version without explicit refreshes.
+func TestAutoRefreshEventuallyFresh(t *testing.T) {
+	data := simulate.GenerateScaled(simulate.DProduct, 7, 0.02)
+	store, err := NewStore(data.Name, data.Type, data.NumChoices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := NewService(store, Config{Method: zc.New(), Options: core.Options{Seed: 3}, AutoRefresh: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	for _, b := range splitBatches(data, 3) {
+		if _, err := svc.Ingest(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The last background epoch may still be in flight; a final
+	// synchronous Refresh joins it and is a no-op if already fresh.
+	if err := svc.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	for !svc.Stats().Fresh {
+		if err := svc.Refresh(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -14,7 +14,11 @@
 //     hidden test, crowd-data statistics) that regenerates every table
 //     and figure of the paper's evaluation section;
 //   - a deterministic parallel inference engine (internal/engine) behind
-//     both of the above.
+//     both of the above;
+//   - an online inference subsystem (internal/stream) and serving daemon
+//     (cmd/truthserve): streaming answer ingestion, warm-start
+//     incremental re-inference seeded from the previous posterior
+//     (Options.WarmStart), and an HTTP JSON API over live posteriors.
 //
 // Quick start:
 //
