@@ -1,14 +1,18 @@
 // Command truthserve is the online truth-inference daemon: it keeps a
-// mutable answer store, re-runs the configured method warm-started from
-// the previous posterior as batches arrive, and serves truths, worker
-// qualities and statistics over an HTTP JSON API while inference runs in
-// the background.
+// mutable sharded answer store, re-runs the configured method
+// warm-started from the previous posterior as batches arrive, and serves
+// truths, worker qualities and statistics over an HTTP JSON API while
+// inference runs in the background. With -wal-dir set the daemon is
+// durable: every ingested batch is appended to a write-ahead log,
+// compacted into snapshots every -snapshot-every batches, and replayed
+// on the next start to a bit-identical store.
 //
 // Usage:
 //
 //	truthserve -method D&S [-addr :8080] [-type decision] [-choices 2]
-//	           [-seed 1] [-maxiter 0] [-parallelism 0] [-cold]
-//	           [-auto-refresh=true] [-data path/to/base]
+//	           [-seed 1] [-maxiter 0] [-parallelism 0] [-shards 8]
+//	           [-cold] [-auto-refresh=true] [-data path/to/base]
+//	           [-wal-dir dir] [-snapshot-every 256]
 //
 // -type declares the task family of the live store (decision,
 // single-choice with -choices ℓ, or numeric); -data instead preloads a
@@ -16,6 +20,11 @@
 // of it. -cold disables warm starts (every epoch re-runs from cold
 // initialization). MV, Mean and Median skip re-inference entirely: their
 // truths are maintained exactly, in O(delta) per ingested batch.
+//
+// On SIGINT/SIGTERM the daemon drains gracefully: the HTTP listener
+// stops accepting, in-flight requests and the in-flight inference epoch
+// finish, the WAL is fsynced (and compacted into a final snapshot when
+// durable), and the process exits 0.
 //
 // The API (see internal/stream for the wire formats):
 //
@@ -29,84 +38,193 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
 
 	ti "truthinference"
 	"truthinference/internal/dataset"
 	"truthinference/internal/stream"
+	"truthinference/internal/stream/wal"
 )
 
+// config is the parsed flag set; run is driven by it so tests can start
+// the daemon without a process boundary.
+type config struct {
+	method        string
+	taskType      string
+	choices       int
+	seed          int64
+	maxIter       int
+	parallelism   int
+	shards        int
+	cold          bool
+	autoRefresh   bool
+	data          string
+	walDir        string
+	snapshotEvery int
+}
+
 func main() {
-	var (
-		addr        = flag.String("addr", ":8080", "listen address")
-		method      = flag.String("method", "D&S", "method to serve (see truthinfer -list)")
-		taskType    = flag.String("type", "decision", "task type of the live store: decision, single-choice, numeric")
-		choices     = flag.Int("choices", 2, "number of choices for single-choice stores")
-		seed        = flag.Int64("seed", 1, "random seed (fixed per daemon so epochs are reproducible)")
-		maxIter     = flag.Int("maxiter", 0, "iteration cap per epoch (0 = method default)")
-		parallelism = flag.Int("parallelism", 0, "worker goroutines for the EM hot loops (0 = all CPUs, 1 = sequential)")
-		cold        = flag.Bool("cold", false, "disable warm starts; re-run every epoch from cold initialization")
-		autoRefresh = flag.Bool("auto-refresh", true, "re-infer in the background after every ingested batch")
-		data        = flag.String("data", "", "optional dataset base path to preload (expects <base>.answers.tsv)")
-	)
+	var cfg config
+	var addr string
+	flag.StringVar(&addr, "addr", ":8080", "listen address")
+	flag.StringVar(&cfg.method, "method", "D&S", "method to serve (see truthinfer -list)")
+	flag.StringVar(&cfg.taskType, "type", "decision", "task type of the live store: decision, single-choice, numeric")
+	flag.IntVar(&cfg.choices, "choices", 2, "number of choices for single-choice stores")
+	flag.Int64Var(&cfg.seed, "seed", 1, "random seed (fixed per daemon so epochs are reproducible)")
+	flag.IntVar(&cfg.maxIter, "maxiter", 0, "iteration cap per epoch (0 = method default)")
+	flag.IntVar(&cfg.parallelism, "parallelism", 0, "worker goroutines for the EM hot loops (0 = all CPUs, 1 = sequential)")
+	flag.IntVar(&cfg.shards, "shards", stream.DefaultShards, "store shard count (contention only; state is shard-count independent)")
+	flag.BoolVar(&cfg.cold, "cold", false, "disable warm starts; re-run every epoch from cold initialization")
+	flag.BoolVar(&cfg.autoRefresh, "auto-refresh", true, "re-infer in the background after every ingested batch")
+	flag.StringVar(&cfg.data, "data", "", "optional dataset base path to preload (expects <base>.answers.tsv)")
+	flag.StringVar(&cfg.walDir, "wal-dir", "", "directory for the write-ahead log + snapshots (empty = not durable)")
+	flag.IntVar(&cfg.snapshotEvery, "snapshot-every", 256, "batches between compacted snapshots when -wal-dir is set (0 = only on shutdown)")
 	flag.Parse()
 
-	m, err := ti.GetMethod(*method)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if err := run(ctx, cfg, ln, log.Printf); err != nil {
+		fatal("%v", err)
+	}
+}
+
+// run starts the daemon on ln and blocks until ctx is cancelled (a
+// signal in production, test cancellation in the regression suite) or
+// the server fails. On cancellation it drains: HTTP shutdown, in-flight
+// epoch, WAL fsync + final snapshot — and returns nil.
+func run(ctx context.Context, cfg config, ln net.Listener, logf func(string, ...any)) error {
+	m, err := ti.GetMethod(cfg.method)
 	if err != nil {
 		// The error lists every registered method, so a typo on the
 		// command line is immediately actionable.
-		fatal("%v", err)
+		return err
+	}
+
+	// fresh builds the store the daemon starts from when there is no
+	// durable state to recover. It must be deterministic across restarts
+	// (the WAL replays on top of it).
+	fresh := func() (*stream.Store, error) {
+		if cfg.data != "" {
+			d, err := ti.LoadDataset(cfg.data)
+			if err != nil {
+				return nil, fmt.Errorf("load dataset: %w", err)
+			}
+			logf("preloaded %s: %d tasks, %d workers, %d answers", d.Name, d.NumTasks, d.NumWorkers, len(d.Answers))
+			return stream.NewStoreAt(d, 1, cfg.shards), nil
+		}
+		typ, err := parseTaskType(cfg.taskType)
+		if err != nil {
+			return nil, err
+		}
+		return stream.NewStoreN("live", typ, cfg.choices, cfg.shards)
 	}
 
 	var store *stream.Store
-	if *data != "" {
-		d, err := ti.LoadDataset(*data)
-		if err != nil {
-			fatal("load dataset: %v", err)
+	var persist *wal.Persister
+	if cfg.walDir != "" {
+		if err := os.MkdirAll(cfg.walDir, 0o755); err != nil {
+			return err
 		}
-		store = stream.NewStoreFrom(d)
-		log.Printf("preloaded %s: %d tasks, %d workers, %d answers", d.Name, d.NumTasks, d.NumWorkers, len(d.Answers))
+		base := filepath.Join(cfg.walDir, "truthserve")
+		p, rec, err := wal.Open(base, fresh, wal.Options{SnapshotEvery: cfg.snapshotEvery, Shards: cfg.shards})
+		if err != nil {
+			return fmt.Errorf("recover %s: %w", base, err)
+		}
+		defer p.Close()
+		if rec.TailErr != nil {
+			logf("WARNING: WAL tail damaged, recovered the consistent prefix: %v", rec.TailErr)
+		}
+		tasks, workers, answers := rec.Store.Dims()
+		logf("recovered store at version %d (snapshot@%d + %d WAL records): %d tasks, %d workers, %d answers",
+			rec.Store.Version(), rec.SnapshotVersion, rec.Replayed, tasks, workers, answers)
+		store, persist = rec.Store, p
 	} else {
-		typ, err := parseTaskType(*taskType)
-		if err != nil {
-			fatal("%v", err)
-		}
-		store, err = stream.NewStore("live", typ, *choices)
-		if err != nil {
-			fatal("%v", err)
+		if store, err = fresh(); err != nil {
+			return err
 		}
 	}
 
-	par := *parallelism
+	par := cfg.parallelism
 	if par == 0 {
 		par = ti.AutoParallelism
 	}
-	svc, err := stream.NewService(store, stream.Config{
+	svcCfg := stream.Config{
 		Method:      m,
-		Options:     ti.Options{Seed: *seed, MaxIterations: *maxIter, Parallelism: par},
-		ColdStart:   *cold,
-		AutoRefresh: *autoRefresh,
-	})
+		Options:     ti.Options{Seed: cfg.seed, MaxIterations: cfg.maxIter, Parallelism: par},
+		ColdStart:   cfg.cold,
+		AutoRefresh: cfg.autoRefresh,
+	}
+	if persist != nil {
+		svcCfg.Persist = persist
+	}
+	svc, err := stream.NewService(store, svcCfg)
 	if err != nil {
-		fatal("%v", err)
+		return err
 	}
 	defer svc.Close()
-	if *data != "" {
+	if store.Version() > 0 {
+		// Preloaded or recovered state: publish an initial result so the
+		// API serves immediately instead of 409ing until the first batch.
 		if err := svc.Refresh(); err != nil {
-			fatal("initial inference: %v", err)
+			return fmt.Errorf("initial inference: %w", err)
 		}
 		st := svc.Stats()
-		log.Printf("initial %s epoch: %d iterations, converged=%v", st.Method, st.Iterations, st.Converged)
+		logf("initial %s epoch: %d iterations, converged=%v", st.Method, st.Iterations, st.Converged)
 	}
 
-	log.Printf("truthserve: serving %s on %s (warm_start=%v auto_refresh=%v)", m.Name(), *addr, !*cold, *autoRefresh)
-	if err := http.ListenAndServe(*addr, svc.Handler()); err != nil {
-		fatal("%v", err)
+	srv := &http.Server{Handler: svc.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	logf("truthserve: serving %s on %s (warm_start=%v auto_refresh=%v shards=%d durable=%v)",
+		m.Name(), ln.Addr(), !cfg.cold, cfg.autoRefresh, store.Shards(), persist != nil)
+
+	select {
+	case err := <-serveErr:
+		return fmt.Errorf("serve: %w", err)
+	case <-ctx.Done():
 	}
+
+	// Graceful drain: stop accepting, let in-flight requests finish.
+	logf("truthserve: signal received, draining")
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		logf("truthserve: HTTP shutdown: %v", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logf("truthserve: listener: %v", err)
+	}
+	// Finish the in-flight inference epoch and fsync the WAL.
+	if err := svc.Close(); err != nil {
+		logf("truthserve: %v", err)
+	}
+	if persist != nil {
+		// Compact on clean shutdown so the next boot recovers from the
+		// snapshot alone.
+		if err := persist.Snapshot(); err != nil {
+			logf("truthserve: final snapshot: %v", err)
+		}
+		if err := persist.Close(); err != nil {
+			return fmt.Errorf("close WAL: %w", err)
+		}
+	}
+	logf("truthserve: drained, exiting")
+	return nil
 }
 
 // parseTaskType maps the -type flag onto the dataset task families.

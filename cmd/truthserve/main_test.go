@@ -1,8 +1,16 @@
 package main
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	ti "truthinference"
 	"truthinference/internal/dataset"
@@ -34,5 +42,197 @@ func TestUnknownMethodErrorListsRegistry(t *testing.T) {
 		if !strings.Contains(err.Error(), name) {
 			t.Errorf("error does not list %q: %s", name, err)
 		}
+	}
+}
+
+// startDaemon runs the daemon on an ephemeral port and returns its base
+// URL, the cancel that plays the role of SIGTERM, and the channel run's
+// result arrives on.
+func startDaemon(t *testing.T, cfg config) (baseURL string, sigterm context.CancelFunc, done chan error) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done = make(chan error, 1)
+	go func() { done <- run(ctx, cfg, ln, t.Logf) }()
+	baseURL = "http://" + ln.Addr().String()
+	waitHealthy(t, baseURL)
+	return baseURL, cancel, done
+}
+
+func waitHealthy(t *testing.T, baseURL string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(baseURL + "/v1/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("daemon never became healthy")
+}
+
+func postIngest(t *testing.T, baseURL, body string) {
+	t.Helper()
+	resp, err := http.Post(baseURL+"/v1/ingest", "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var msg bytes.Buffer
+		msg.ReadFrom(resp.Body)
+		t.Fatalf("ingest: HTTP %d: %s", resp.StatusCode, msg.String())
+	}
+}
+
+func getStats(t *testing.T, baseURL string) map[string]any {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestGracefulShutdown is the regression test for the SIGTERM path:
+// cancelling the daemon's context (what the signal handler does) must
+// stop the HTTP server, finish in-flight work, and return nil — not
+// kill the process mid-epoch.
+func TestGracefulShutdown(t *testing.T) {
+	baseURL, sigterm, done := startDaemon(t, config{
+		method: "MV", taskType: "decision", choices: 2, seed: 1,
+		shards: 4, autoRefresh: true,
+	})
+	postIngest(t, baseURL, `{"answers":[{"task":0,"worker":0,"value":1},{"task":0,"worker":1,"value":1},{"task":1,"worker":0,"value":0}]}`)
+
+	sigterm()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v, want nil", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not drain within 15s of the signal")
+	}
+	// The listener really is closed.
+	if _, err := http.Get(baseURL + "/v1/healthz"); err == nil {
+		t.Fatal("healthz still reachable after shutdown")
+	}
+}
+
+// TestShutdownPersistsAndRecovers restarts the daemon against the same
+// -wal-dir and checks the second boot serves exactly the state the
+// first one ingested: the kill-and-recover contract end to end over
+// HTTP.
+func TestShutdownPersistsAndRecovers(t *testing.T) {
+	walDir := t.TempDir()
+	cfg := config{
+		method: "MV", taskType: "decision", choices: 2, seed: 1,
+		shards: 4, autoRefresh: true, walDir: walDir, snapshotEvery: 2,
+	}
+
+	baseURL, sigterm, done := startDaemon(t, cfg)
+	postIngest(t, baseURL, `{"num_tasks":3,"num_workers":3}`)
+	postIngest(t, baseURL, `{"answers":[{"task":0,"worker":0,"value":1},{"task":0,"worker":1,"value":1},{"task":1,"worker":2,"value":0}]}`)
+	postIngest(t, baseURL, `{"answers":[{"task":2,"worker":1,"value":1}],"truth":{"2":1}}`)
+	want := getStats(t, baseURL)
+	sigterm()
+	if err := <-done; err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(walDir, "truthserve.snap")); err != nil {
+		t.Fatalf("clean shutdown left no snapshot: %v", err)
+	}
+
+	baseURL2, sigterm2, done2 := startDaemon(t, cfg)
+	got := getStats(t, baseURL2)
+	for _, k := range []string{"tasks", "workers", "answers", "store_version"} {
+		if got[k] != want[k] {
+			t.Errorf("recovered %s = %v, want %v", k, got[k], want[k])
+		}
+	}
+	// Truths survive too: task 0 had two votes for 1.
+	resp, err := http.Get(baseURL2 + "/v1/truth/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var truth struct {
+		Truth float64 `json:"truth"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&truth); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if truth.Truth != 1 {
+		t.Errorf("recovered truth for task 0 = %v, want 1", truth.Truth)
+	}
+	// Ingestion continues on the recovered store.
+	postIngest(t, baseURL2, `{"answers":[{"task":1,"worker":1,"value":0}]}`)
+	sigterm2()
+	if err := <-done2; err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+}
+
+// TestRunFailsFastOnBadConfig keeps config errors fatal (and readable)
+// rather than silently serving a misconfigured daemon.
+func TestRunFailsFastOnBadConfig(t *testing.T) {
+	for _, cfg := range []config{
+		{method: "Oops", taskType: "decision", choices: 2},
+		{method: "MV", taskType: "tabular", choices: 2},
+		{method: "Mean", taskType: "decision", choices: 2}, // type mismatch
+	} {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		err = run(ctx, cfg, ln, func(string, ...any) {})
+		cancel()
+		ln.Close()
+		if err == nil {
+			t.Errorf("run with %+v succeeded, want config error", cfg)
+		}
+	}
+}
+
+// TestServeErrorIsReturned pins the pre-fix failure mode: if the
+// listener dies (rather than a signal arriving), run reports it instead
+// of hanging.
+func TestServeErrorIsReturned(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, config{method: "MV", taskType: "decision", choices: 2, shards: 2}, ln, func(string, ...any) {})
+	}()
+	waitHealthy(t, "http://"+ln.Addr().String())
+	ln.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("run returned nil after the listener died")
+		}
+		if !strings.Contains(err.Error(), "serve") {
+			t.Fatalf("unexpected error: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not notice the dead listener")
 	}
 }

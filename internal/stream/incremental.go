@@ -12,9 +12,9 @@ import (
 // incremental maintains the exact state of a direct-computation method
 // (MV, Mean or Median) under streaming appends: each ingested answer
 // updates per-task sufficient statistics (vote counts, running sums, or
-// nothing for Median, which re-reads the touched task) and relabels only
-// the touched tasks — O(delta · redundancy) per batch, independent of the
-// dataset's size.
+// nothing for Median, which re-reads the touched task through the
+// owning shard) and relabels only the touched tasks —
+// O(delta · redundancy) per batch, independent of the dataset's size.
 //
 // The maintained truths are bit-identical to a one-shot batch run of the
 // same method on the final dataset:
@@ -60,13 +60,16 @@ func (inc *incremental) grow(numTasks int) {
 	}
 }
 
-// apply folds the answers appended at indices [firstNew, len(d.Answers))
-// into the state. It must run under the store lock (View) so no append
-// interleaves, with batches applied in ingestion order.
-func (inc *incremental) apply(d *dataset.Dataset, firstNew int) {
-	inc.grow(d.NumTasks)
+// apply folds a delta of appended answers into the state and relabels
+// the touched tasks. numTasks is the store's task range after the delta;
+// taskValues returns one task's full answer multiset in append order
+// (used only by Median, which has no constant-size update). Batches must
+// be applied in ingestion order; the service serializes ingest, so the
+// delta of each call is exactly the batch it just committed.
+func (inc *incremental) apply(answers []dataset.Answer, numTasks int, taskValues func(task int) []float64) {
+	inc.grow(numTasks)
 	touched := map[int]bool{}
-	for _, a := range d.Answers[firstNew:] {
+	for _, a := range answers {
 		switch inc.method {
 		case "MV":
 			inc.counts[a.Task*inc.ell+a.Label()]++
@@ -83,9 +86,22 @@ func (inc *incremental) apply(d *dataset.Dataset, firstNew int) {
 		case "Mean":
 			inc.truth[i] = inc.sums[i] / float64(inc.ns[i])
 		case "Median":
-			inc.relabelMedian(d, i)
+			inc.relabelMedian(i, taskValues(i))
 		}
 	}
+}
+
+// applyDataset folds a whole existing dataset (e.g. a preloaded store
+// or a recovered snapshot) into freshly initialized state.
+func (inc *incremental) applyDataset(d *dataset.Dataset) {
+	inc.apply(d.Answers, d.NumTasks, func(task int) []float64 {
+		idxs := d.TaskAnswers(task)
+		vals := make([]float64, len(idxs))
+		for k, ai := range idxs {
+			vals[k] = d.Answers[ai].Value
+		}
+		return vals
+	})
 }
 
 // relabelMV recomputes task i's plurality label with the same
@@ -97,15 +113,11 @@ func (inc *incremental) relabelMV(i int) {
 	}))
 }
 
-// relabelMedian recomputes task i's median from its full answer list —
-// the one statistic without a constant-size update, still O(redundancy)
-// per touched task.
-func (inc *incremental) relabelMedian(d *dataset.Dataset, i int) {
-	idxs := d.TaskAnswers(i)
-	vals := make([]float64, len(idxs))
-	for k, ai := range idxs {
-		vals[k] = d.Answers[ai].Value
-	}
+// relabelMedian recomputes task i's median from its full answer
+// multiset — the one statistic without a constant-size update, still
+// O(redundancy) per touched task. vals is a caller-provided copy, so
+// sorting it in place is safe.
+func (inc *incremental) relabelMedian(i int, vals []float64) {
 	med := mathx.Median(vals)
 	if math.IsNaN(med) {
 		med = 0
@@ -128,20 +140,4 @@ func (inc *incremental) confidence(i int) float64 {
 		return 1 / float64(inc.ell)
 	}
 	return row[int(inc.truth[i])] / total
-}
-
-// result packages the maintained state as a core.Result equivalent to a
-// batch run on the current dataset (uniform worker qualities, like the
-// direct methods report).
-func (inc *incremental) result(numWorkers int) *core.Result {
-	quality := make([]float64, numWorkers)
-	for i := range quality {
-		quality[i] = 1
-	}
-	return &core.Result{
-		Truth:         append([]float64(nil), inc.truth...),
-		WorkerQuality: quality,
-		Iterations:    1,
-		Converged:     true,
-	}
 }

@@ -9,7 +9,6 @@ import (
 	"time"
 
 	"truthinference/internal/core"
-	"truthinference/internal/dataset"
 	"truthinference/internal/engine"
 )
 
@@ -34,6 +33,25 @@ type Config struct {
 	// arriving mid-run schedules exactly one follow-up). When false the
 	// caller drives refreshes explicitly.
 	AutoRefresh bool
+	// Persist, when non-nil, receives every committed batch in ingestion
+	// order (a write-ahead log — see internal/stream/wal) and is flushed
+	// on epoch boundaries and on Close. A Record failure is fail-stop:
+	// the failing Ingest returns the error (the batch is applied in
+	// memory but not durably logged) and every later Ingest is rejected,
+	// because recording any further batch would leave a version gap in
+	// the log that recovery must treat as corruption.
+	Persist Persister
+}
+
+// Persister is the durability hook a Service drives: Record appends one
+// committed batch (tagged with the store version it produced) to a
+// write-ahead log, Sync makes everything recorded so far durable.
+// internal/stream/wal provides the file-backed implementation; the
+// version tags let recovery replay a WAL on top of a compacted snapshot
+// idempotently.
+type Persister interface {
+	Record(version uint64, b Batch) error
+	Sync() error
 }
 
 // Service multiplexes concurrent readers against streaming ingestion and
@@ -50,9 +68,13 @@ type Service struct {
 	pool   *engine.Pool // persistent; reused by every epoch's hot loops
 	inc    *incremental // non-nil for MV/Mean/Median
 
-	ingestMu sync.Mutex // serializes Ingest (store append + incremental fold)
+	ingestMu   sync.Mutex // serializes Ingest (store append + incremental fold + WAL record)
+	persistErr error      // first Record failure; halts ingestion (guarded by ingestMu)
+
 	inferMu  sync.Mutex // serializes Refresh epochs
+	needSync bool       // an epoch-boundary WAL flush is outstanding (guarded by inferMu)
 	queued   atomic.Bool
+	bg       sync.WaitGroup // tracks in-flight background refreshes so Close can drain them
 
 	mu         sync.RWMutex // guards the published state below
 	res        *core.Result
@@ -88,24 +110,34 @@ func NewService(store *Store, cfg Config) (*Service, error) {
 		pool:   engine.NewPersistent(cfg.Options.Workers()),
 	}
 	if incrementalMethods[cfg.Method.Name()] {
-		// Fold whatever the store already holds (e.g. a preloaded
-		// benchmark file) into the incremental statistics, so the state
-		// always reflects answers [0, len(d.Answers)).
-		store.View(func(d *dataset.Dataset) {
-			s.inc = newIncremental(cfg.Method.Name(), cfg.Options.Seed, d.NumChoices)
-			s.inc.apply(d, 0)
-		})
-		s.incVersion = store.Version()
+		// Fold whatever the store already holds (a preloaded benchmark
+		// file, or a recovered snapshot+WAL replay) into the incremental
+		// statistics, so the state always reflects answers
+		// [0, len(d.Answers)). One snapshot at construction, O(delta)
+		// forever after.
+		snap, version := store.Snapshot()
+		s.inc = newIncremental(cfg.Method.Name(), cfg.Options.Seed, snap.NumChoices)
+		s.inc.applyDataset(snap)
+		s.incVersion = version
 	}
 	return s, nil
 }
 
-// Ingest applies one batch to the store and, for incremental methods,
-// folds it into the maintained statistics in O(delta). With AutoRefresh
-// set, iterative methods schedule a coalesced background re-inference.
+// Ingest applies one batch to the store, records it in the write-ahead
+// log when one is configured, and, for incremental methods, folds it
+// into the maintained statistics in O(delta). With AutoRefresh set,
+// iterative methods schedule a coalesced background re-inference.
 func (s *Service) Ingest(b Batch) (uint64, error) {
 	s.ingestMu.Lock()
-	version, firstNew, err := s.store.Ingest(b)
+	if s.persistErr != nil {
+		// A batch is in memory but missing from the WAL; logging any
+		// further batch would leave a version gap recovery reads as
+		// corruption, so the stream is halted.
+		err := fmt.Errorf("stream: ingestion halted, write-ahead log has a gap: %w", s.persistErr)
+		s.ingestMu.Unlock()
+		return 0, err
+	}
+	version, _, err := s.store.Ingest(b)
 	if err != nil {
 		s.ingestMu.Unlock()
 		return 0, err
@@ -114,13 +146,23 @@ func (s *Service) Ingest(b Batch) (uint64, error) {
 		// Fold the delta under the published-state lock so readers never
 		// observe counts and labels from different points in the stream;
 		// incVersion advances in the same critical section, so a served
-		// version always has its delta folded in.
-		s.store.View(func(d *dataset.Dataset) {
-			s.mu.Lock()
-			s.inc.apply(d, firstNew)
-			s.incVersion = version
-			s.mu.Unlock()
-		})
+		// version always has its delta folded in. The delta is exactly
+		// this batch's answers (ingestMu serializes service writes), and
+		// Median re-reads touched tasks through the owning shard only.
+		tasks, _, _ := s.store.Dims()
+		s.mu.Lock()
+		s.inc.apply(b.Answers, tasks, s.store.TaskValues)
+		s.incVersion = version
+		s.mu.Unlock()
+	}
+	if s.cfg.Persist != nil {
+		// Recorded under ingestMu so WAL order always matches version
+		// order — recovery replays records sequentially.
+		if err := s.cfg.Persist.Record(version, b); err != nil {
+			s.persistErr = err
+			s.ingestMu.Unlock()
+			return version, fmt.Errorf("stream: batch at version %d applied in memory but not durably logged: %w", version, err)
+		}
 	}
 	s.ingestMu.Unlock()
 
@@ -139,7 +181,9 @@ func (s *Service) refreshAsync() {
 	if !s.queued.CompareAndSwap(false, true) {
 		return
 	}
+	s.bg.Add(1)
 	go func() {
+		defer s.bg.Done()
 		s.inferMu.Lock()
 		s.queued.Store(false)
 		err := s.refreshLocked()
@@ -157,6 +201,11 @@ func (s *Service) refreshAsync() {
 // already reflects the latest store version.
 func (s *Service) Refresh() error {
 	if s.inc != nil {
+		// No epochs to run, but an explicit refresh is still a durability
+		// boundary: flush the WAL so everything served is also on disk.
+		if s.cfg.Persist != nil {
+			return s.cfg.Persist.Sync()
+		}
 		return nil
 	}
 	s.inferMu.Lock()
@@ -175,9 +224,12 @@ func (s *Service) refreshLocked() error {
 	s.mu.RUnlock()
 	// Freshness is checked before the O(answers) snapshot clone so no-op
 	// refreshes cost nothing. A version bump between this check and the
-	// snapshot only makes the epoch serve newer data, never older.
+	// snapshot only makes the epoch serve newer data, never older. A
+	// fresh result still retries a failed epoch-boundary flush — Refresh
+	// is a documented durability boundary, so it must not report success
+	// while a Sync is outstanding.
 	if prev != nil && prevVersion == s.store.Version() {
-		return nil
+		return s.flushLocked()
 	}
 	snap, version := s.store.Snapshot()
 
@@ -199,6 +251,26 @@ func (s *Service) refreshLocked() error {
 	s.epochs++
 	s.lastInfer = elapsed
 	s.mu.Unlock()
+
+	// Epoch boundary: everything the published result reflects is now
+	// flushed to the write-ahead log, so a crash after this point
+	// recovers at least as much data as the result served.
+	s.needSync = true
+	return s.flushLocked()
+}
+
+// flushLocked performs the pending epoch-boundary WAL flush (the caller
+// holds inferMu, which also guards needSync). The flag stays set until a
+// Sync succeeds, so a transient fsync failure is retried by the next
+// Refresh instead of being reported once and then silently dropped.
+func (s *Service) flushLocked() error {
+	if s.cfg.Persist == nil || !s.needSync {
+		return nil
+	}
+	if err := s.cfg.Persist.Sync(); err != nil {
+		return fmt.Errorf("stream: WAL flush at epoch boundary: %w", err)
+	}
+	s.needSync = false
 	return nil
 }
 
@@ -350,15 +422,28 @@ func (s *Service) Stats() Stats {
 	return st
 }
 
-// Close releases the service's persistent worker pool. The service must
-// not be used after Close.
-func (s *Service) Close() {
+// Close drains any in-flight background refresh (the epoch finishes and
+// publishes), flushes the write-ahead log, and releases the service's
+// persistent worker pool. A non-nil error means the final WAL flush
+// failed — batches acknowledged since the last successful Sync may not
+// be on disk. The service must not be used after Close; the caller
+// should stop ingesting (e.g. shut down the HTTP server) first.
+func (s *Service) Close() error {
+	s.bg.Wait()
 	s.inferMu.Lock()
 	defer s.inferMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if !s.closed {
-		s.pool.Close()
-		s.closed = true
+	if s.closed {
+		return nil
 	}
+	s.closed = true
+	var err error
+	if s.cfg.Persist != nil {
+		if serr := s.cfg.Persist.Sync(); serr != nil {
+			err = fmt.Errorf("stream: final WAL flush on Close: %w", serr)
+		}
+	}
+	s.pool.Close()
+	return err
 }

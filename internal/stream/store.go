@@ -1,10 +1,13 @@
 // Package stream is the online truth-inference subsystem: a mutable,
-// concurrency-safe answer store that accepts batched answer/task/worker
-// deltas while inference keeps serving (Store), a warm-start incremental
-// driver that re-runs the iterative methods seeded from the previous
-// epoch's posterior — with exact O(delta) incremental updates for the
-// direct-computation methods MV, Mean and Median (Service) — and an HTTP
-// JSON API over both (Service.Handler, served by cmd/truthserve).
+// sharded, concurrency-safe answer store that accepts batched
+// answer/task/worker deltas while inference keeps serving (Store), a
+// warm-start incremental driver that re-runs the iterative methods
+// seeded from the previous epoch's posterior — with exact O(delta)
+// incremental updates for the direct-computation methods MV, Mean and
+// Median (Service) — and an HTTP JSON API over both (Service.Handler,
+// served by cmd/truthserve). Durability (write-ahead logging and
+// compacted snapshots) is layered on through the Persister hook,
+// implemented by internal/stream/wal.
 //
 // # Equivalence contract
 //
@@ -20,7 +23,9 @@ package stream
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"truthinference/internal/dataset"
 )
@@ -66,46 +71,173 @@ func (b Batch) targetDims(tasks, workers int) (int, int) {
 	return tasks, workers
 }
 
-// Store is a mutable, concurrency-safe crowdsourced answer set. Writers
-// ingest batched deltas; readers take consistent snapshots for
-// re-inference or run short read-only views. Every successful ingest
-// bumps a monotonic version, which the serving layer uses to report how
-// fresh a published inference result is.
-type Store struct {
-	mu      sync.RWMutex
-	d       *dataset.Dataset
-	version uint64
+// Sharding constants. Tasks map onto shards in contiguous chunks —
+// shardOf(task) = (task / ShardChunk) % shards — so a writer ingesting a
+// contiguous task range touches one (or few) shards and concurrent
+// ingests of disjoint ranges never contend on a shard lock.
+const (
+	// ShardChunk is the number of consecutive task ids per shard chunk.
+	ShardChunk = 64
+	// DefaultShards is the shard count of the convenience constructors.
+	DefaultShards = 8
+	// MaxDim bounds the task and worker id ranges a batch may grow the
+	// store to. Ids are dense, so admitting one absurd id commits every
+	// downstream consumer (incremental state, snapshot index build) to
+	// allocations proportional to it — and with a WAL attached the
+	// poison batch would replay on every restart. Matches the binary
+	// codec's decode guard.
+	MaxDim = 1 << 26
+	// MaxBatch bounds one batch's answer and truth counts. The cap
+	// guarantees an accepted batch always encodes within the WAL's
+	// per-record limit (worst case ~16 bytes per answer at MaxDim-sized
+	// varint ids), so a batch acknowledged as durable can never be
+	// rejected as oversized by replay. Split larger deltas into several
+	// batches.
+	MaxBatch = 1 << 21
+)
+
+// entry is one answer in a shard's log, tagged with its global append
+// index so snapshots can reassemble the exact global ingestion order.
+type entry struct {
+	idx int
+	ans dataset.Answer
 }
 
-// NewStore returns an empty store for the given task type. numChoices is
-// ℓ for single-choice tasks (decision tasks force 2, numeric tasks 0).
+// shard is one partition of the store: the answers and truths of the
+// tasks it owns, behind its own lock. Within a shard the log is ascending
+// in global index (batches sharing a shard serialize on its lock before
+// global indices are assigned).
+type shard struct {
+	mu    sync.RWMutex
+	log   []entry
+	vals  map[int][]float64 // task → answer values in append order (O(redundancy) reads)
+	truth map[int]float64
+}
+
+// Store is a mutable, concurrency-safe crowdsourced answer set,
+// partitioned across shards keyed by task id. Writers ingest batched
+// deltas under the touched shards' locks only — plus one short global
+// critical section that assigns the batch's version and global answer
+// indices — so concurrent ingests of disjoint task ranges scale across
+// cores. Readers take consistent snapshots (all shard read locks,
+// reassembled in parallel) or run short per-task reads. Every successful
+// ingest bumps a monotonic version, which the serving and durability
+// layers use to report how fresh a published result is and which WAL
+// records a recovery must still replay.
+type Store struct {
+	name       string
+	typ        dataset.TaskType
+	numChoices int
+	shards     []shard
+
+	// seq orders batch commits: it assigns the version and the global
+	// answer-index range, and grows the dims. It is held for O(1) work
+	// per batch, never while copying answers.
+	seq        sync.Mutex
+	version    atomic.Uint64
+	numTasks   atomic.Int64
+	numWorkers atomic.Int64
+	numAnswers atomic.Int64
+}
+
+// NewStore returns an empty store with DefaultShards partitions for the
+// given task type. numChoices is ℓ for single-choice tasks (decision
+// tasks force 2, numeric tasks 0).
 func NewStore(name string, typ dataset.TaskType, numChoices int) (*Store, error) {
+	return NewStoreN(name, typ, numChoices, DefaultShards)
+}
+
+// NewStoreN is NewStore with an explicit shard count. The shard count
+// affects only contention, never observable state: snapshots, versions
+// and recovery are bit-identical at any shard count.
+func NewStoreN(name string, typ dataset.TaskType, numChoices, shards int) (*Store, error) {
+	// Validate and normalize the type/choices combination exactly as the
+	// dataset package would.
 	d, err := dataset.New(name, typ, numChoices, 0, 0, nil, nil)
 	if err != nil {
 		return nil, err
 	}
-	return &Store{d: d}, nil
+	return newStore(d.Name, d.Type, d.NumChoices, shards), nil
+}
+
+// maxShards caps the partition count: beyond it more shards only add
+// per-shard fixed costs (snapshot fan-out, lock array) with no
+// contention benefit.
+const maxShards = 4096
+
+func newStore(name string, typ dataset.TaskType, numChoices, shards int) *Store {
+	if shards < 1 {
+		shards = DefaultShards
+	}
+	if shards > maxShards {
+		shards = maxShards
+	}
+	s := &Store{name: name, typ: typ, numChoices: numChoices, shards: make([]shard, shards)}
+	for i := range s.shards {
+		s.shards[i].vals = map[int][]float64{}
+		s.shards[i].truth = map[int]float64{}
+	}
+	return s
 }
 
 // NewStoreFrom wraps an existing dataset (e.g. a preloaded benchmark
-// file) as the store's initial state. The dataset must not be mutated by
-// the caller afterwards.
+// file) as the store's initial state, at version 1. The dataset is
+// copied into the shards; the caller keeps ownership of d.
 func NewStoreFrom(d *dataset.Dataset) *Store {
-	return &Store{d: d, version: 1}
+	return NewStoreAt(d, 1, DefaultShards)
 }
+
+// NewStoreAt builds a store whose state is exactly d at the given
+// version — the recovery constructor internal/stream/wal uses to resume
+// from a snapshot before replaying newer WAL records on top.
+func NewStoreAt(d *dataset.Dataset, version uint64, shards int) *Store {
+	s := newStore(d.Name, d.Type, d.NumChoices, shards)
+	s.numTasks.Store(int64(d.NumTasks))
+	s.numWorkers.Store(int64(d.NumWorkers))
+	s.numAnswers.Store(int64(len(d.Answers)))
+	s.version.Store(version)
+	for i, a := range d.Answers {
+		sh := &s.shards[s.shardOf(a.Task)]
+		sh.log = append(sh.log, entry{idx: i, ans: a})
+		sh.vals[a.Task] = append(sh.vals[a.Task], a.Value)
+	}
+	for t, v := range d.Truth {
+		s.shards[s.shardOf(t)].truth[t] = v
+	}
+	return s
+}
+
+// shardOf maps a task id onto its owning shard (chunked modulo).
+func (s *Store) shardOf(task int) int {
+	return (task / ShardChunk) % len(s.shards)
+}
+
+// Shards returns the store's shard count.
+func (s *Store) Shards() int { return len(s.shards) }
 
 // Ingest applies one batch atomically: the id ranges grow to cover every
 // referenced task and worker, the answers are appended, and the truths
-// recorded. It returns the new store version and the index of the first
-// appended answer. On error the store is unchanged (rejecting a batch
-// does not tear a partial delta into the dataset).
+// recorded. It returns the new store version and the global index of the
+// first appended answer. On error the store is unchanged (rejecting a
+// batch never tears a partial delta into the shards). Only the shards
+// owning the batch's tasks are write-locked, so concurrent ingests of
+// disjoint task ranges proceed in parallel.
 func (s *Store) Ingest(b Batch) (version uint64, firstNew int, err error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-
-	tgtTasks, tgtWorkers := b.targetDims(s.d.NumTasks, s.d.NumWorkers)
-	// Validate against the grown ranges before mutating anything.
-	probe := dataset.Dataset{Name: s.d.Name, Type: s.d.Type, NumChoices: s.d.NumChoices,
+	if len(b.Answers) > MaxBatch || len(b.Truth) > MaxBatch {
+		return 0, 0, fmt.Errorf("stream: batch holds %d answers / %d truths, beyond the %d per-batch cap (split the delta)",
+			len(b.Answers), len(b.Truth), MaxBatch)
+	}
+	curTasks := int(s.numTasks.Load())
+	curWorkers := int(s.numWorkers.Load())
+	tgtTasks, tgtWorkers := b.targetDims(curTasks, curWorkers)
+	if tgtTasks > MaxDim || tgtWorkers > MaxDim {
+		return 0, 0, fmt.Errorf("stream: batch grows the store to %d tasks / %d workers, beyond the %d id cap",
+			tgtTasks, tgtWorkers, MaxDim)
+	}
+	// Validate against the grown ranges before touching any lock. Dims
+	// only ever grow, so a batch valid against this target stays valid
+	// even if a concurrent ingest grows them further.
+	probe := dataset.Dataset{Name: s.name, Type: s.typ, NumChoices: s.numChoices,
 		NumTasks: tgtTasks, NumWorkers: tgtWorkers}
 	for i, a := range b.Answers {
 		if err := probe.CheckAnswer(a); err != nil {
@@ -118,20 +250,58 @@ func (s *Store) Ingest(b Batch) (version uint64, firstNew int, err error) {
 		}
 	}
 
-	s.d.Grow(tgtTasks, tgtWorkers)
-	firstNew = len(s.d.Answers)
-	if err := s.d.AppendAnswers(b.Answers...); err != nil {
-		// Unreachable after the validation pass above, but never leave a
-		// grown-yet-unappended store silently inconsistent.
-		return 0, 0, err
+	// Write-lock the touched shards in ascending order (the same order
+	// Snapshot read-locks all shards, so lock acquisition never cycles).
+	// The locks are held across the commit — including the version bump
+	// below — so a snapshot that observes version v sees every batch up
+	// to v fully applied.
+	touched := s.touchedShards(b)
+	for _, si := range touched {
+		s.shards[si].mu.Lock()
+	}
+	defer func() {
+		for _, si := range touched {
+			s.shards[si].mu.Unlock()
+		}
+	}()
+
+	// Short global critical section: commit order, dims, index range.
+	s.seq.Lock()
+	tgtTasks, tgtWorkers = b.targetDims(int(s.numTasks.Load()), int(s.numWorkers.Load()))
+	s.numTasks.Store(int64(tgtTasks))
+	s.numWorkers.Store(int64(tgtWorkers))
+	firstNew = int(s.numAnswers.Load())
+	s.numAnswers.Add(int64(len(b.Answers)))
+	version = s.version.Add(1)
+	s.seq.Unlock()
+
+	for i, a := range b.Answers {
+		sh := &s.shards[s.shardOf(a.Task)]
+		sh.log = append(sh.log, entry{idx: firstNew + i, ans: a})
+		sh.vals[a.Task] = append(sh.vals[a.Task], a.Value)
 	}
 	for t, v := range b.Truth {
-		if err := s.d.SetTruth(t, v); err != nil {
-			return 0, 0, err
+		s.shards[s.shardOf(t)].truth[t] = v
+	}
+	return version, firstNew, nil
+}
+
+// touchedShards returns the sorted shard indices the batch writes to.
+func (s *Store) touchedShards(b Batch) []int {
+	hit := make([]bool, len(s.shards))
+	for _, a := range b.Answers {
+		hit[s.shardOf(a.Task)] = true
+	}
+	for t := range b.Truth {
+		hit[s.shardOf(t)] = true
+	}
+	touched := make([]int, 0, len(s.shards))
+	for si, h := range hit {
+		if h {
+			touched = append(touched, si)
 		}
 	}
-	s.version++
-	return s.version, firstNew, nil
+	return touched
 }
 
 // checkTruth mirrors dataset.SetTruth validation without mutating.
@@ -148,42 +318,129 @@ func checkTruth(d *dataset.Dataset, task int, v float64) error {
 	return nil
 }
 
-// Snapshot returns a deep copy of the current dataset together with the
-// store version it reflects. Re-inference runs on snapshots so ingestion
-// never blocks behind a long EM run.
+// parallelCopyThreshold is the answer count below which Snapshot
+// reassembles the shards serially (goroutine fan-out costs more than it
+// saves on tiny stores).
+const parallelCopyThreshold = 1 << 14
+
+// Snapshot returns a consistent deep copy of the store as a dataset,
+// together with the store version it reflects. All shard read locks are
+// held while the shards copy their partitions in parallel into the
+// global answer order; re-inference runs on snapshots so ingestion never
+// blocks behind a long EM run.
 func (s *Store) Snapshot() (*dataset.Dataset, uint64) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.d.Clone(), s.version
+	for i := range s.shards {
+		s.shards[i].mu.RLock()
+	}
+	// seq is taken so answer-less batches (pure dims growth), which hold
+	// no shard locks, can never leave version and dims torn here.
+	s.seq.Lock()
+	version := s.version.Load()
+	tasks := int(s.numTasks.Load())
+	workers := int(s.numWorkers.Load())
+	total := int(s.numAnswers.Load())
+	s.seq.Unlock()
+
+	answers := make([]dataset.Answer, total)
+	truths := make([]map[int]float64, len(s.shards))
+	copyShard := func(i int) {
+		sh := &s.shards[i]
+		for _, e := range sh.log {
+			answers[e.idx] = e.ans
+		}
+		if len(sh.truth) > 0 {
+			cp := make(map[int]float64, len(sh.truth))
+			for t, v := range sh.truth {
+				cp[t] = v
+			}
+			truths[i] = cp
+		}
+	}
+	if total >= parallelCopyThreshold && len(s.shards) > 1 {
+		// Fan out at most one goroutine per CPU; each claims shards off a
+		// shared counter, so a high -shards value costs nothing extra.
+		workers := runtime.GOMAXPROCS(0)
+		if workers > len(s.shards) {
+			workers = len(s.shards)
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(s.shards) {
+						return
+					}
+					copyShard(i)
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for i := range s.shards {
+			copyShard(i)
+		}
+	}
+	for i := range s.shards {
+		s.shards[i].mu.RUnlock()
+	}
+
+	truth := map[int]float64{}
+	for _, m := range truths {
+		for t, v := range m {
+			truth[t] = v
+		}
+	}
+	d, err := dataset.New(s.name, s.typ, s.numChoices, tasks, workers, answers, truth)
+	if err != nil {
+		// Every committed batch was validated against its target dims, so
+		// a consistent store always snapshots to a valid dataset.
+		panic("stream: snapshot of consistent store failed: " + err.Error())
+	}
+	return d, version
 }
 
-// View runs f with read access to the live dataset. f must not retain or
-// mutate the dataset; it is the O(delta) path the incremental methods use
-// to read a touched task's answers without paying for a snapshot.
+// View runs f over a consistent materialized copy of the store. f must
+// not retain the dataset beyond the call. It costs a full Snapshot; the
+// per-task O(redundancy) read path is TaskValues.
 func (s *Store) View(f func(d *dataset.Dataset)) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	f(s.d)
+	d, _ := s.Snapshot()
+	f(d)
+}
+
+// TaskValues returns a copy of one task's answer values in global append
+// order, read-locking only the owning shard — the O(redundancy) path the
+// incremental Median uses. It returns nil for tasks outside the current
+// range.
+func (s *Store) TaskValues(task int) []float64 {
+	if task < 0 || task >= int(s.numTasks.Load()) {
+		return nil
+	}
+	sh := &s.shards[s.shardOf(task)]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return append([]float64(nil), sh.vals[task]...)
 }
 
 // TaskType returns the store's task family.
-func (s *Store) TaskType() dataset.TaskType {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.d.Type
-}
+func (s *Store) TaskType() dataset.TaskType { return s.typ }
+
+// NumChoices returns the store's normalized choice count (2 for
+// decision, ℓ for single-choice, 0 for numeric).
+func (s *Store) NumChoices() int { return s.numChoices }
 
 // Version returns the current store version (0 for a never-ingested
-// empty store).
+// empty store). The read is lock-free: a version may be visible a moment
+// before its batch's answers are (Snapshot is the consistent read).
 func (s *Store) Version() uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.version
+	return s.version.Load()
 }
 
-// Dims returns the current task, worker and answer counts.
+// Dims returns the current task, worker and answer counts. Like Version,
+// the counts are monotonic lock-free reads.
 func (s *Store) Dims() (tasks, workers, answers int) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.d.NumTasks, s.d.NumWorkers, len(s.d.Answers)
+	return int(s.numTasks.Load()), int(s.numWorkers.Load()), int(s.numAnswers.Load())
 }

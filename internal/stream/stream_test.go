@@ -53,7 +53,7 @@ func newServiceOver(t *testing.T, d *dataset.Dataset, m core.Method, opts core.O
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(svc.Close)
+	t.Cleanup(func() { svc.Close() })
 	return svc
 }
 
@@ -279,6 +279,160 @@ func TestStoreRejectsBadBatchAtomically(t *testing.T) {
 	}
 	if _, _, err := store.Ingest(Batch{Truth: map[int]float64{5: 0.5}}); err == nil {
 		t.Fatal("fractional categorical truth accepted")
+	}
+}
+
+// TestStoreRejectsAbsurdDims pins the id cap: ids are dense, so one
+// absurd task or worker id would commit the incremental state, the
+// snapshot index build — and, with a WAL attached, every future restart
+// — to allocations proportional to it. Such batches must be rejected
+// atomically, not accepted into the version history.
+func TestStoreRejectsAbsurdDims(t *testing.T) {
+	store, err := NewStore("cap", dataset.Decision, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []Batch{
+		{NumTasks: MaxDim + 1},
+		{NumWorkers: MaxDim + 1},
+		{Answers: []dataset.Answer{{Task: MaxDim, Worker: 0, Value: 1}}},
+		{Answers: []dataset.Answer{{Task: 0, Worker: MaxDim, Value: 1}}},
+		{Truth: map[int]float64{MaxDim: 1}},
+	} {
+		if _, _, err := store.Ingest(b); err == nil {
+			t.Errorf("batch growing dims beyond MaxDim accepted: %+v", b)
+		}
+	}
+	if v := store.Version(); v != 0 {
+		t.Errorf("rejected batches bumped the version to %d", v)
+	}
+	if tasks, workers, answers := store.Dims(); tasks != 0 || workers != 0 || answers != 0 {
+		t.Errorf("rejected batches grew the store: %d/%d/%d", tasks, workers, answers)
+	}
+	// The cap itself is admissible.
+	if _, _, err := store.Ingest(Batch{NumTasks: MaxDim, NumWorkers: 8}); err != nil {
+		t.Errorf("dims at the cap rejected: %v", err)
+	}
+}
+
+// TestStoreRejectsOversizedBatch pins the per-batch cap that keeps
+// every admissible batch within the WAL's per-record limit: a batch the
+// store acknowledges must never be one that replay rejects as corrupt.
+func TestStoreRejectsOversizedBatch(t *testing.T) {
+	store, err := NewStore("batchcap", dataset.Decision, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cap check is O(1) and runs before validation, so the huge
+	// zero-valued slice is never even inspected.
+	if _, _, err := store.Ingest(Batch{Answers: make([]dataset.Answer, MaxBatch+1)}); err == nil {
+		t.Error("batch beyond the answer cap accepted")
+	}
+	if v := store.Version(); v != 0 {
+		t.Errorf("rejected oversized batch bumped the version to %d", v)
+	}
+}
+
+// flakyPersister fails Record or Sync on demand, simulating a full or
+// failing disk under the write-ahead log.
+type flakyPersister struct {
+	fail     bool
+	records  int
+	syncFail bool
+	syncs    int
+}
+
+func (f *flakyPersister) Record(uint64, Batch) error {
+	if f.fail {
+		return errors.New("disk full")
+	}
+	f.records++
+	return nil
+}
+
+func (f *flakyPersister) Sync() error {
+	if f.syncFail {
+		return errors.New("fsync failed")
+	}
+	f.syncs++
+	return nil
+}
+
+// TestIngestHaltsAfterPersistFailure pins the fail-stop contract: after
+// one batch is applied in memory but not logged, recording any later
+// batch would leave a version gap recovery reads as corruption — so the
+// service must reject all further ingestion, not keep streaming.
+func TestIngestHaltsAfterPersistFailure(t *testing.T) {
+	store, err := NewStore("halt", dataset.Decision, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &flakyPersister{}
+	svc, err := NewService(store, Config{Method: direct.NewMV(), Options: core.Options{Seed: 1}, Persist: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	ok := Batch{Answers: []dataset.Answer{{Task: 0, Worker: 0, Value: 1}}}
+	if _, err := svc.Ingest(ok); err != nil {
+		t.Fatal(err)
+	}
+	p.fail = true
+	if _, err := svc.Ingest(ok); err == nil {
+		t.Fatal("ingest with failing WAL succeeded")
+	}
+	p.fail = false
+	if _, err := svc.Ingest(ok); err == nil {
+		t.Fatal("ingestion continued after a WAL gap formed")
+	}
+	if p.records != 1 {
+		t.Fatalf("%d batches recorded after the gap, want the 1 pre-failure record", p.records)
+	}
+}
+
+// TestRefreshRetriesFailedEpochFlush pins the durability-boundary
+// contract: when the epoch-boundary fsync fails after the result was
+// published, the result is fresh — but Refresh must keep failing (and
+// retrying the flush) until a Sync succeeds, never report success while
+// acknowledged data might not be on disk.
+func TestRefreshRetriesFailedEpochFlush(t *testing.T) {
+	store, err := NewStore("flush", dataset.Decision, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &flakyPersister{}
+	svc, err := NewService(store, Config{Method: zc.New(), Options: core.Options{Seed: 1}, Persist: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if _, err := svc.Ingest(Batch{Answers: []dataset.Answer{
+		{Task: 0, Worker: 0, Value: 1}, {Task: 0, Worker: 1, Value: 1}, {Task: 1, Worker: 0, Value: 0},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+
+	p.syncFail = true
+	if err := svc.Refresh(); err == nil {
+		t.Fatal("Refresh with a failing fsync reported success")
+	}
+	if !svc.Stats().Fresh {
+		t.Fatal("epoch result was not published despite the flush failure")
+	}
+	// Still failing: the store is fresh, but the flush is outstanding.
+	if err := svc.Refresh(); err == nil {
+		t.Fatal("fresh Refresh dropped the outstanding flush failure")
+	}
+	p.syncFail = false
+	if err := svc.Refresh(); err != nil {
+		t.Fatalf("Refresh after the disk healed: %v", err)
+	}
+	if p.syncs == 0 {
+		t.Fatal("healed Refresh never retried the fsync")
+	}
+	if err := svc.Refresh(); err != nil {
+		t.Fatalf("steady-state fresh Refresh: %v", err)
 	}
 }
 

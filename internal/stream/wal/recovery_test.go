@@ -1,0 +1,252 @@
+package wal
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"truthinference/internal/core"
+	"truthinference/internal/dataset"
+	"truthinference/internal/methods/direct"
+	"truthinference/internal/methods/ds"
+	"truthinference/internal/simulate"
+	"truthinference/internal/stream"
+)
+
+// splitBatches cuts a dataset's answer stream into k contiguous batches;
+// the first declares the final id ranges, the last carries the truths
+// (mirroring the streaming test harness in internal/stream).
+func splitBatches(d *dataset.Dataset, k int) []stream.Batch {
+	batches := make([]stream.Batch, k)
+	per := (len(d.Answers) + k - 1) / k
+	for i := range batches {
+		lo, hi := i*per, (i+1)*per
+		if hi > len(d.Answers) {
+			hi = len(d.Answers)
+		}
+		if lo > hi {
+			lo = hi
+		}
+		batches[i].Answers = append([]dataset.Answer(nil), d.Answers[lo:hi]...)
+	}
+	batches[0].NumTasks = d.NumTasks
+	batches[0].NumWorkers = d.NumWorkers
+	batches[k-1].Truth = d.Truth
+	return batches
+}
+
+// runPersisted streams batches through a persisted service for the given
+// method and returns the served truths. refresh runs an epoch after each
+// batch (required for the iterative methods; a no-op durability flush
+// for the incremental ones).
+func runPersisted(t *testing.T, base string, method core.Method, batches []stream.Batch, snapshotEvery int) []float64 {
+	t.Helper()
+	p, rec, err := Open(base, freshFor(batches), Options{SnapshotEvery: snapshotEvery})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := stream.NewService(rec.Store, stream.Config{
+		Method:  method,
+		Options: core.Options{Seed: 11},
+		Persist: p,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	for _, b := range batches {
+		if _, err := svc.Ingest(b); err != nil {
+			t.Fatal(err)
+		}
+		if err := svc.Refresh(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	truths, _, err := svc.Truths()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulated crash: the persister is abandoned, not closed — no final
+	// snapshot, no explicit fsync beyond the epoch-boundary ones.
+	return truths
+}
+
+// freshFor builds a deterministic empty-store factory matching the task
+// type the batch schedule implies.
+func freshFor(batches []stream.Batch) func() (*stream.Store, error) {
+	numeric := false
+	for _, b := range batches {
+		for _, a := range b.Answers {
+			if a.Value != float64(int(a.Value)) || a.Value > 1 {
+				numeric = true
+			}
+		}
+	}
+	return func() (*stream.Store, error) {
+		if numeric {
+			return stream.NewStore("recovery", dataset.Numeric, 0)
+		}
+		return stream.NewStore("recovery", dataset.Decision, 2)
+	}
+}
+
+// TestRecoveryEquivalenceAtEveryBoundary is the crash-recovery golden
+// gate: a stream of K batches is killed after every batch boundary j,
+// recovered from <base>.snap + <base>.wal, and the recovered store must
+// be bit-identical to an in-memory store that ingested the same j
+// batches (version, dims, answers in global order, truths). The
+// recovered stream then continues to the end, and its final served
+// truths must be bit-identical to the uninterrupted run for the exact
+// incremental methods (MV on decision data, Mean and Median on numeric
+// data). SnapshotEvery=2 makes alternate boundaries recover from a
+// snapshot+WAL mix rather than the WAL alone.
+func TestRecoveryEquivalenceAtEveryBoundary(t *testing.T) {
+	const k = 5
+	cases := []struct {
+		name   string
+		data   *dataset.Dataset
+		method func() core.Method
+	}{
+		{"MV", simulate.GenerateScaled(simulate.DProduct, 7, 0.03), func() core.Method { return direct.NewMV() }},
+		{"Mean", simulate.GenerateScaled(simulate.NEmotion, 7, 0.08), func() core.Method { return direct.NewMean() }},
+		{"Median", simulate.GenerateScaled(simulate.NEmotion, 7, 0.08), func() core.Method { return direct.NewMedian() }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			batches := splitBatches(tc.data, k)
+			fresh := freshFor(batches)
+
+			// Uninterrupted persisted run = the golden truths.
+			golden := runPersisted(t, filepath.Join(t.TempDir(), "golden"), tc.method(), batches, 2)
+
+			for j := 1; j <= k; j++ {
+				base := filepath.Join(t.TempDir(), fmt.Sprintf("boundary-%d", j))
+				// Phase 1: stream j batches, then crash.
+				runPersisted(t, base, tc.method(), batches[:j], 2)
+
+				// Phase 2: recover and compare against an in-memory
+				// reference that ingested the same prefix.
+				p, rec, err := Open(base, fresh, Options{})
+				if err != nil {
+					t.Fatalf("boundary %d: recover: %v", j, err)
+				}
+				if rec.TailErr != nil {
+					t.Fatalf("boundary %d: clean crash produced corrupt tail: %v", j, rec.TailErr)
+				}
+				want, err := fresh()
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, b := range batches[:j] {
+					if _, _, err := want.Ingest(b); err != nil {
+						t.Fatal(err)
+					}
+				}
+				requireIdentical(t, rec.Store, want)
+
+				// Phase 3: continue the stream on the recovered store and
+				// compare the final truths bit-for-bit.
+				svc, err := stream.NewService(rec.Store, stream.Config{
+					Method:  tc.method(),
+					Options: core.Options{Seed: 11},
+					Persist: p,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, b := range batches[j:] {
+					if _, err := svc.Ingest(b); err != nil {
+						t.Fatal(err)
+					}
+					if err := svc.Refresh(); err != nil {
+						t.Fatal(err)
+					}
+				}
+				got, _, err := svc.Truths()
+				if err != nil {
+					t.Fatal(err)
+				}
+				svc.Close()
+				if len(got) != len(golden) {
+					t.Fatalf("boundary %d: %d truths, golden has %d", j, len(got), len(golden))
+				}
+				for i := range got {
+					if got[i] != golden[i] {
+						t.Fatalf("boundary %d: task %d recovered truth %v, uninterrupted %v (must be bit-identical)",
+							j, i, got[i], golden[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRecoveryWarmStartLabelEquivalence extends the gate to the
+// warm-started iterative path: D&S killed and recovered at every batch
+// boundary must serve (nearly) the same labels as the uninterrupted
+// warm-started stream. Recovery restarts the EM chain cold at the
+// boundary, so the guarantee is label agreement within convergence
+// tolerance — the same contract the streaming equivalence gates pin —
+// rather than bit equality.
+func TestRecoveryWarmStartLabelEquivalence(t *testing.T) {
+	const k = 4
+	data := simulate.GenerateScaled(simulate.DProduct, 7, 0.03)
+	batches := splitBatches(data, k)
+	fresh := freshFor(batches)
+
+	golden := runPersisted(t, filepath.Join(t.TempDir(), "golden"), ds.New(), batches, 2)
+
+	for j := 1; j <= k; j++ {
+		base := filepath.Join(t.TempDir(), fmt.Sprintf("boundary-%d", j))
+		runPersisted(t, base, ds.New(), batches[:j], 2)
+
+		p, rec, err := Open(base, fresh, Options{})
+		if err != nil {
+			t.Fatalf("boundary %d: recover: %v", j, err)
+		}
+		want, err := fresh()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range batches[:j] {
+			if _, _, err := want.Ingest(b); err != nil {
+				t.Fatal(err)
+			}
+		}
+		requireIdentical(t, rec.Store, want)
+
+		svc, err := stream.NewService(rec.Store, stream.Config{
+			Method:  ds.New(),
+			Options: core.Options{Seed: 11},
+			Persist: p,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := svc.Refresh(); err != nil { // first epoch over the recovered prefix
+			t.Fatal(err)
+		}
+		for _, b := range batches[j:] {
+			if _, err := svc.Ingest(b); err != nil {
+				t.Fatal(err)
+			}
+			if err := svc.Refresh(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, _, err := svc.Truths()
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc.Close()
+		agree := 0
+		for i := range got {
+			if got[i] == golden[i] {
+				agree++
+			}
+		}
+		if frac := float64(agree) / float64(len(got)); frac < 0.98 {
+			t.Errorf("boundary %d: recovered D&S labels agree with uninterrupted run on %.4f < 0.98 of tasks", j, frac)
+		}
+	}
+}
