@@ -32,6 +32,7 @@ import (
 	"strings"
 
 	ti "truthinference"
+	"truthinference/internal/buildinfo"
 	"truthinference/internal/dataset"
 	"truthinference/internal/experiment"
 	"truthinference/internal/simulate"
@@ -47,7 +48,13 @@ func main() {
 		parallelism = flag.Int("parallelism", 0, "concurrent experiment cells (0 = all CPUs, 1 = sequential)")
 		methods     = flag.String("methods", "", "comma-separated method filter (empty = all 17; unknown names list the registry)")
 	)
+	version := flag.Bool("version", false, "print build info and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("benchall"))
+		return
+	}
+	fmt.Fprintln(os.Stderr, buildinfo.String("benchall"))
 
 	selected, err := selectMethods(*methods)
 	if err != nil {

@@ -13,6 +13,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"truthinference/internal/buildinfo"
 	"truthinference/internal/dataset"
 	"truthinference/internal/simulate"
 )
@@ -24,7 +25,13 @@ func main() {
 		scale = flag.Float64("scale", 1, "dataset size scale in (0,1]")
 		only  = flag.String("only", "", "generate only this dataset (paper name, e.g. D_Product)")
 	)
+	version := flag.Bool("version", false, "print build info and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("datagen"))
+		return
+	}
+	fmt.Fprintln(os.Stderr, buildinfo.String("datagen"))
 
 	kinds := simulate.Kinds
 	if *only != "" {

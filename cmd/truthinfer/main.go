@@ -26,6 +26,7 @@ import (
 	"sort"
 
 	ti "truthinference"
+	"truthinference/internal/buildinfo"
 	"truthinference/internal/experiment"
 	"truthinference/internal/randx"
 )
@@ -42,7 +43,13 @@ func main() {
 		parallelism   = flag.Int("parallelism", 0, "worker goroutines for the EM hot loops (0 = all CPUs, 1 = sequential)")
 		list          = flag.Bool("list", false, "list available methods and exit")
 	)
+	version := flag.Bool("version", false, "print build info and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("truthinfer"))
+		return
+	}
+	fmt.Fprintln(os.Stderr, buildinfo.String("truthinfer"))
 
 	if *list {
 		for _, m := range ti.NewRegistry() {

@@ -13,6 +13,8 @@
 //	           [-seed 1] [-maxiter 0] [-parallelism 0] [-shards 8]
 //	           [-cold] [-auto-refresh=true] [-data path/to/base]
 //	           [-wal-dir dir] [-snapshot-every 256]
+//	           [-assign-policy uncertainty] [-budget 0] [-redundancy 3]
+//	           [-lease-ttl 1m] [-version]
 //
 // -type declares the task family of the live store (decision,
 // single-choice with -choices ℓ, or numeric); -data instead preloads a
@@ -20,6 +22,16 @@
 // of it. -cold disables warm starts (every epoch re-runs from cold
 // initialization). MV, Mean and Median skip re-inference entirely: their
 // truths are maintained exactly, in O(delta) per ingested batch.
+//
+// -assign-policy enables the task-assignment control plane (see
+// internal/assign): workers GET /v1/assign to lease the best task under
+// the chosen policy (random, least-answered, or uncertainty — the
+// QASCA-style expected-accuracy router driven by the live posterior),
+// POST /v1/complete to deliver the answer and retire the lease, and
+// GET /v1/assignstats to watch the ledger. -budget caps total routed
+// answers (0 = unlimited), -redundancy caps answers per task, and
+// -lease-ttl bounds how long a worker may sit on an assignment before it
+// is reclaimed and re-issued.
 //
 // On SIGINT/SIGTERM the daemon drains gracefully: the HTTP listener
 // stops accepting, in-flight requests and the in-flight inference epoch
@@ -35,6 +47,9 @@
 //	GET  /v1/worker/{id}   a worker's estimated quality
 //	GET  /v1/stats         store + serving statistics
 //	GET  /v1/healthz       liveness probe
+//	GET  /v1/assign        lease a task for ?worker=N   (with -assign-policy)
+//	POST /v1/complete      deliver an answer, retire the lease
+//	GET  /v1/assignstats   assignment ledger statistics
 package main
 
 import (
@@ -52,6 +67,8 @@ import (
 	"time"
 
 	ti "truthinference"
+	"truthinference/internal/assign"
+	"truthinference/internal/buildinfo"
 	"truthinference/internal/dataset"
 	"truthinference/internal/stream"
 	"truthinference/internal/stream/wal"
@@ -72,6 +89,10 @@ type config struct {
 	data          string
 	walDir        string
 	snapshotEvery int
+	assignPolicy  string
+	budget        int
+	redundancy    int
+	leaseTTL      time.Duration
 }
 
 func main() {
@@ -90,7 +111,16 @@ func main() {
 	flag.StringVar(&cfg.data, "data", "", "optional dataset base path to preload (expects <base>.answers.tsv)")
 	flag.StringVar(&cfg.walDir, "wal-dir", "", "directory for the write-ahead log + snapshots (empty = not durable)")
 	flag.IntVar(&cfg.snapshotEvery, "snapshot-every", 256, "batches between compacted snapshots when -wal-dir is set (0 = only on shutdown)")
+	flag.StringVar(&cfg.assignPolicy, "assign-policy", "", "enable task-assignment endpoints with this policy: random, least-answered, uncertainty (empty = disabled)")
+	flag.IntVar(&cfg.budget, "budget", 0, "global answer budget for assignment, counted per daemon run (0 = unlimited; on restart pass the remaining budget)")
+	flag.IntVar(&cfg.redundancy, "redundancy", assign.DefaultRedundancy, "per-task answer cap for assignment")
+	flag.DurationVar(&cfg.leaseTTL, "lease-ttl", assign.DefaultLeaseTTL, "how long a worker holds an assignment before it is reclaimed")
+	version := flag.Bool("version", false, "print build info and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("truthserve"))
+		return
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -108,11 +138,20 @@ func main() {
 // the server fails. On cancellation it drains: HTTP shutdown, in-flight
 // epoch, WAL fsync + final snapshot — and returns nil.
 func run(ctx context.Context, cfg config, ln net.Listener, logf func(string, ...any)) error {
+	logf("%s starting", buildinfo.String("truthserve"))
 	m, err := ti.GetMethod(cfg.method)
 	if err != nil {
 		// The error lists every registered method, so a typo on the
 		// command line is immediately actionable.
 		return err
+	}
+	// Resolve the assignment policy before any store work, for the same
+	// fail-fast reason.
+	var policy assign.Policy
+	if cfg.assignPolicy != "" {
+		if policy, err = assign.ParsePolicy(cfg.assignPolicy); err != nil {
+			return err
+		}
 	}
 
 	// fresh builds the store the daemon starts from when there is no
@@ -187,7 +226,37 @@ func run(ctx context.Context, cfg config, ln net.Listener, logf func(string, ...
 		logf("initial %s epoch: %d iterations, converged=%v", st.Method, st.Iterations, st.Converged)
 	}
 
-	srv := &http.Server{Handler: svc.Handler()}
+	handler := svc.Handler()
+	if policy != nil {
+		ledger, err := assign.NewLedger(svc, assign.Config{
+			Policy:     policy,
+			Redundancy: cfg.redundancy,
+			Budget:     cfg.budget,
+			LeaseTTL:   cfg.leaseTTL,
+			Seed:       cfg.seed,
+		})
+		if err != nil {
+			return err
+		}
+		// Completed assignments land in the store as one-answer batches;
+		// Complete holds the ledger lock across the ingest so a lease is
+		// consumed exactly when its answer is committed.
+		assignAPI := assign.Handler(ledger, func(task, worker int, value float64) (uint64, error) {
+			return svc.Ingest(stream.Batch{Answers: []dataset.Answer{
+				{Task: task, Worker: worker, Value: value},
+			}})
+		})
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		for _, pattern := range []string{"GET /v1/assign", "POST /v1/complete", "GET /v1/assignstats"} {
+			mux.Handle(pattern, assignAPI)
+		}
+		handler = mux
+		logf("truthserve: assignment enabled (policy=%s redundancy=%d budget=%d lease_ttl=%s)",
+			policy.Name(), cfg.redundancy, cfg.budget, cfg.leaseTTL)
+	}
+
+	srv := &http.Server{Handler: handler}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 	logf("truthserve: serving %s on %s (warm_start=%v auto_refresh=%v shards=%d durable=%v)",

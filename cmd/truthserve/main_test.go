@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"net"
 	"net/http"
 	"os"
@@ -186,13 +187,156 @@ func TestShutdownPersistsAndRecovers(t *testing.T) {
 	}
 }
 
+// TestAssignmentEndpoints drives the assignment control plane end to
+// end over HTTP: lease → answer → complete → stats, with the budget and
+// self-exclusion rails enforced by the daemon.
+func TestAssignmentEndpoints(t *testing.T) {
+	baseURL, sigterm, done := startDaemon(t, config{
+		method: "MV", taskType: "decision", choices: 2, seed: 1,
+		shards: 4, autoRefresh: true,
+		assignPolicy: "uncertainty", budget: 4, redundancy: 2, leaseTTL: time.Minute,
+	})
+	defer func() {
+		sigterm()
+		if err := <-done; err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	}()
+	postIngest(t, baseURL, `{"num_tasks":3,"num_workers":5}`)
+
+	// Worker 0 leases a task and answers it.
+	resp, err := http.Get(baseURL + "/v1/assign?worker=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lease struct {
+		LeaseID uint64 `json:"lease_id"`
+		Task    int    `json:"task"`
+		Worker  int    `json:"worker"`
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("assign: HTTP %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&lease); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if lease.Worker != 0 || lease.Task < 0 || lease.Task >= 3 {
+		t.Fatalf("implausible lease: %+v", lease)
+	}
+
+	body := fmt.Sprintf(`{"lease_id":%d,"worker":0,"value":1}`, lease.LeaseID)
+	cresp, err := http.Post(baseURL+"/v1/complete", "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cresp.StatusCode != http.StatusOK {
+		var msg bytes.Buffer
+		msg.ReadFrom(cresp.Body)
+		t.Fatalf("complete: HTTP %d: %s", cresp.StatusCode, msg.String())
+	}
+	cresp.Body.Close()
+
+	// The completed answer landed in the serving store.
+	if st := getStats(t, baseURL); st["answers"].(float64) != 1 {
+		t.Fatalf("store holds %v answers after completion, want 1", st["answers"])
+	}
+	// The ledger accounts for it.
+	aresp, err := http.Get(baseURL + "/v1/assignstats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ast map[string]any
+	if err := json.NewDecoder(aresp.Body).Decode(&ast); err != nil {
+		t.Fatal(err)
+	}
+	aresp.Body.Close()
+	if ast["policy"] != "uncertainty" || ast["completed"].(float64) != 1 {
+		t.Fatalf("assignstats = %v", ast)
+	}
+	if ast["budget_remaining"].(float64) != 3 {
+		t.Fatalf("budget_remaining = %v, want 3", ast["budget_remaining"])
+	}
+
+	// Self-exclusion over HTTP: worker 0 drains its remaining eligible
+	// tasks (2 more), then gets 404.
+	for i := 0; i < 2; i++ {
+		r, err := http.Get(baseURL + "/v1/assign?worker=0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("assign %d: HTTP %d", i+2, r.StatusCode)
+		}
+	}
+	r, err := http.Get(baseURL + "/v1/assign?worker=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Fatalf("assign after seeing every task: HTTP %d, want 404", r.StatusCode)
+	}
+	// Worker 0 holds 3 of the budget's 4 slots (1 completed + 2 leased);
+	// worker 1 takes the last one, then a fresh worker gets 409.
+	r, err = http.Get(baseURL + "/v1/assign?worker=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("assign of the last budget slot: HTTP %d, want 200", r.StatusCode)
+	}
+	r, err = http.Get(baseURL + "/v1/assign?worker=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusConflict {
+		t.Fatalf("assign beyond budget: HTTP %d, want 409", r.StatusCode)
+	}
+}
+
+// TestStatsReportsShardsAndWALOverHTTP pins the operator-facing /v1/stats
+// additions end to end: shard count always, WAL status when durable.
+func TestStatsReportsShardsAndWALOverHTTP(t *testing.T) {
+	baseURL, sigterm, done := startDaemon(t, config{
+		method: "MV", taskType: "decision", choices: 2, seed: 1,
+		shards: 4, autoRefresh: true, walDir: t.TempDir(), snapshotEvery: 100,
+	})
+	defer func() {
+		sigterm()
+		if err := <-done; err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	}()
+	postIngest(t, baseURL, `{"answers":[{"task":0,"worker":0,"value":1}]}`)
+	st := getStats(t, baseURL)
+	if st["shards"].(float64) != 4 {
+		t.Errorf("stats shards = %v, want 4", st["shards"])
+	}
+	if st["durable"] != true {
+		t.Errorf("stats durable = %v, want true", st["durable"])
+	}
+	wal, ok := st["wal"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats wal missing: %v", st)
+	}
+	if wal["records_since_snapshot"].(float64) != 1 {
+		t.Errorf("records_since_snapshot = %v, want 1", wal["records_since_snapshot"])
+	}
+}
+
 // TestRunFailsFastOnBadConfig keeps config errors fatal (and readable)
 // rather than silently serving a misconfigured daemon.
 func TestRunFailsFastOnBadConfig(t *testing.T) {
 	for _, cfg := range []config{
 		{method: "Oops", taskType: "decision", choices: 2},
 		{method: "MV", taskType: "tabular", choices: 2},
-		{method: "Mean", taskType: "decision", choices: 2}, // type mismatch
+		{method: "Mean", taskType: "decision", choices: 2},                                   // type mismatch
+		{method: "MV", taskType: "decision", choices: 2, assignPolicy: "qasca"},              // unknown policy
+		{method: "MV", taskType: "decision", choices: 2, assignPolicy: "random", budget: -1}, // invalid ledger config
 	} {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {

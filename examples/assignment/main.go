@@ -1,0 +1,66 @@
+// Assignment: close the loop between task assignment and truth
+// inference. A simulated crowd of noisy workers repeatedly asks the
+// assignment ledger which task to answer next; every answer streams into
+// a live inference service whose refreshed posterior steers the next
+// assignment. The three policies are compared at the same answer
+// budgets over the same hidden crowd — uncertainty routing (QASCA-style
+// expected-accuracy gain) squeezes more accuracy out of every budget
+// than random assignment.
+//
+// The same ledger powers the cmd/truthserve HTTP endpoints
+// (GET /v1/assign, POST /v1/complete, GET /v1/assignstats); here it is
+// driven directly through the Go API.
+//
+//	go run ./examples/assignment
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"truthinference/internal/simulate/closedloop"
+)
+
+func main() {
+	cfg := closedloop.LoopConfig{
+		Tasks:      300,
+		Workers:    40,
+		Choices:    2,
+		Seed:       5,
+		Redundancy: 9,
+		// One in ten workers walks away from an assignment: those leases
+		// expire and the ledger re-issues the task to someone else.
+		AbandonProb: 0.1,
+	}
+	policies := []string{"random", "least-answered", "uncertainty"}
+	budgets := []int{300, 600, 900, 1500}
+
+	fmt.Printf("closed-loop accuracy vs budget (%d tasks, %d workers, crowd accuracy 0.55–0.8)\n\n",
+		cfg.Tasks, cfg.Workers)
+	fmt.Printf("%-8s", "budget")
+	for _, p := range policies {
+		fmt.Printf("  %-14s", p)
+	}
+	fmt.Println()
+
+	rows, err := closedloop.AccuracyVsBudget(cfg, policies, budgets)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, row := range rows {
+		fmt.Printf("%-8d", budgets[i])
+		for _, r := range row {
+			fmt.Printf("  %-14s", fmt.Sprintf("%.4f", r.Accuracy))
+		}
+		fmt.Println()
+	}
+
+	// Show the lease machinery at work: the last (biggest-budget) runs
+	// all had abandoning workers, so leases expired and were re-issued.
+	last := rows[len(rows)-1]
+	fmt.Println()
+	for _, r := range last {
+		fmt.Printf("%-14s issued=%-5d collected=%-5d expired=%-4d rounds=%d\n",
+			r.Policy, r.Issued, r.Collected, r.Expired, r.Rounds)
+	}
+}

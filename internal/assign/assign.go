@@ -1,0 +1,442 @@
+// Package assign is the online task-assignment subsystem: the control
+// plane that decides which task a requesting worker should answer next,
+// closing the loop the paper (Zheng et al., PVLDB'17) frames alongside
+// truth inference. A Ledger hands out time-limited task leases scored by
+// a pluggable Policy — random, least-answered redundancy balancing, or
+// QASCA-style uncertainty routing driven by the serving method's
+// posterior — under three safety rails:
+//
+//   - a per-task redundancy cap (collected answers + outstanding leases
+//     never exceed it),
+//   - a global answer budget (completed + outstanding never exceed it,
+//     so the crowd's spend is bounded even with leases in flight), and
+//   - self-exclusion (a worker is never assigned the same task twice —
+//     even after its earlier lease expired, and even when its earlier
+//     answer arrived out of band: the ledger seeds its exclusion sets
+//     from the store's existing answers at construction, so preloaded
+//     datasets and daemon restarts are covered).
+//
+// The budget is per ledger instance — routed spend is not recovered
+// across restarts; reboot a budgeted deployment with the remaining
+// budget (see Config.Budget).
+//
+// Leases expire after the configured TTL and are reclaimed lazily on the
+// next ledger operation, so abandoned assignments flow back into the
+// eligible pool instead of starving the task.
+//
+// The ledger reads the serving state through the Source interface, which
+// *stream.Service satisfies structurally: posteriors and entropies are
+// cached per result version and re-fetched only when a new inference
+// epoch publishes (the epoch boundary), per-task answer counts re-sync
+// whenever the store version moves, and worker qualities are read per
+// request. cmd/truthserve mounts the HTTP face (GET /v1/assign,
+// POST /v1/complete, GET /v1/assignstats) next to the inference API, and
+// internal/simulate drives the whole loop end-to-end for policy
+// comparison.
+package assign
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Source is the serving-state surface the ledger scores from.
+// *stream.Service implements it; tests use lightweight fakes.
+type Source interface {
+	// Dims returns the store's current task/worker/answer counts.
+	Dims() (tasks, workers, answers int)
+	// StoreVersion bumps on every ingested batch; the ledger re-syncs its
+	// answer-count cache when it moves.
+	StoreVersion() uint64
+	// ResultVersion bumps when a new inference result publishes; the
+	// ledger invalidates its cached posterior scores when it moves.
+	ResultVersion() uint64
+	// TaskAnswerCounts returns the per-task collected answer counts.
+	TaskAnswerCounts() []int
+	// Posteriors returns per-task posterior rows and the result version
+	// they reflect; an error means no posterior is available (yet).
+	Posteriors() ([][]float64, uint64, error)
+	// Entropies returns the per-task posterior Shannon entropies.
+	Entropies() ([]float64, uint64, error)
+	// WorkerQuality returns the method's quality estimate for one worker.
+	// Methods that model workers uniformly (MV/Mean/Median) report 1 for
+	// every worker; routing then reduces to pure posterior uncertainty,
+	// which matches those methods' equal-weight worker model. An error
+	// (no estimate yet — e.g. an iterative method before its first
+	// epoch, or an unseen worker) falls back to Config.PriorQuality.
+	WorkerQuality(worker int) (float64, error)
+	// NumChoices returns ℓ for categorical stores, 0 for numeric.
+	NumChoices() int
+	// ForEachAnswer streams every (task, worker) pair already in the
+	// store. NewLedger seeds the self-exclusion sets from it, so workers
+	// are never assigned tasks they answered out of band — in a
+	// preloaded dataset, or before a daemon restart recovered the store.
+	ForEachAnswer(f func(task, worker int))
+}
+
+// Defaults for Config zero values.
+const (
+	DefaultRedundancy   = 3
+	DefaultLeaseTTL     = time.Minute
+	DefaultPriorQuality = 0.7
+)
+
+// Config parameterizes a Ledger.
+type Config struct {
+	// Policy scores candidate tasks; required (see ParsePolicy).
+	Policy Policy
+	// Redundancy caps each task's collected answers + outstanding leases.
+	// 0 means DefaultRedundancy; negative is rejected.
+	Redundancy int
+	// Budget caps the total answers the ledger will route (completed +
+	// outstanding leases). 0 means unlimited. The count is per ledger
+	// instance: a restarted daemon recovers its store but not its routed
+	// spend, so pass the *remaining* budget (total minus the recovered
+	// store's answer count, visible in /v1/stats) when rebooting a
+	// budgeted deployment.
+	Budget int
+	// LeaseTTL is how long a worker holds an assignment before it is
+	// reclaimed and re-issuable. 0 means DefaultLeaseTTL.
+	LeaseTTL time.Duration
+	// Seed drives the random policy's hashing; ledgers with equal seeds
+	// and request sequences issue identical leases.
+	Seed int64
+	// PriorQuality is the probability-correct assumed for workers the
+	// serving method has no estimate for (new workers, or any worker
+	// before the first epoch). 0 means DefaultPriorQuality.
+	PriorQuality float64
+	// Now is the ledger's clock; nil means time.Now. Tests and the
+	// closed-loop simulator inject a fake clock for deterministic expiry.
+	Now func() time.Time
+}
+
+// Sentinel errors of the assignment API.
+var (
+	// ErrBudgetExhausted: the global answer budget is fully committed.
+	ErrBudgetExhausted = errors.New("assign: answer budget exhausted")
+	// ErrNoTask: no task is currently eligible for this worker (all are
+	// at their redundancy cap or already seen by the worker).
+	ErrNoTask = errors.New("assign: no eligible task for this worker")
+	// ErrLeaseNotFound: the lease id is unknown — never issued, already
+	// completed, or expired and reclaimed.
+	ErrLeaseNotFound = errors.New("assign: lease unknown, completed, or expired")
+	// ErrLeaseWorker: the lease exists but belongs to another worker.
+	ErrLeaseWorker = errors.New("assign: lease is held by a different worker")
+)
+
+// Ledger is the concurrency-safe assignment state: outstanding leases,
+// per-task redundancy accounting, per-worker exclusion sets, and the
+// cached scoring view of the serving state. All methods are safe for
+// concurrent use; a single mutex guards the state (assignment is a
+// control-plane operation — the data-plane hot path, answer ingestion,
+// never takes this lock).
+type Ledger struct {
+	cfg Config
+	src Source
+	now func() time.Time
+
+	mu sync.Mutex
+	// Per-task state, grown on demand to the store's task range.
+	outstanding []int              // leases in flight per task
+	seen        []map[int]struct{} // workers ever assigned each task (self-exclusion)
+
+	// Cached serving state. counts re-syncs when the store version moves;
+	// posterior/entropy re-sync when the result version moves (the epoch
+	// boundary).
+	counts    []int
+	countsVer uint64
+	countsOK  bool
+	post      [][]float64
+	entropy   []float64
+	postVer   uint64
+	postOK    bool
+	uniform   []float64
+
+	leases map[uint64]Lease
+	expiry expiryHeap
+	// issued counts successful assignments; it doubles as the lease-id
+	// counter (ids are 1-based, so id == issued after the increment) and
+	// as the random policy's stream position (0-based, before it).
+	issued   uint64
+	redeemed uint64
+	expired  uint64
+}
+
+// NewLedger validates the config and builds an empty ledger over the
+// source.
+func NewLedger(src Source, cfg Config) (*Ledger, error) {
+	if src == nil {
+		return nil, errors.New("assign: Source is required")
+	}
+	if cfg.Policy == nil {
+		return nil, errors.New("assign: Config.Policy is required (see ParsePolicy)")
+	}
+	if cfg.Redundancy < 0 {
+		return nil, fmt.Errorf("assign: negative redundancy %d", cfg.Redundancy)
+	}
+	if cfg.Budget < 0 {
+		return nil, fmt.Errorf("assign: negative budget %d", cfg.Budget)
+	}
+	if cfg.LeaseTTL < 0 {
+		return nil, fmt.Errorf("assign: negative lease TTL %v", cfg.LeaseTTL)
+	}
+	if cfg.Redundancy == 0 {
+		cfg.Redundancy = DefaultRedundancy
+	}
+	if cfg.LeaseTTL == 0 {
+		cfg.LeaseTTL = DefaultLeaseTTL
+	}
+	if cfg.PriorQuality == 0 {
+		cfg.PriorQuality = DefaultPriorQuality
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	ell := src.NumChoices()
+	l := &Ledger{
+		cfg:    cfg,
+		src:    src,
+		now:    now,
+		leases: map[uint64]Lease{},
+	}
+	if ell >= 2 {
+		l.uniform = make([]float64, ell)
+		for i := range l.uniform {
+			l.uniform[i] = 1 / float64(ell)
+		}
+	}
+	// Seed the self-exclusion sets from whatever the store already holds
+	// (a preloaded dataset, or a recovered snapshot+WAL after a restart):
+	// "a worker never sees a task twice" covers answers the ledger did
+	// not route, too.
+	tasks, _, _ := src.Dims()
+	l.outstanding = make([]int, tasks)
+	l.seen = make([]map[int]struct{}, tasks)
+	src.ForEachAnswer(func(task, worker int) {
+		if task < 0 || task >= len(l.seen) || worker < 0 {
+			return
+		}
+		if l.seen[task] == nil {
+			l.seen[task] = map[int]struct{}{}
+		}
+		l.seen[task][worker] = struct{}{}
+	})
+	return l, nil
+}
+
+// Policy returns the ledger's scoring policy.
+func (l *Ledger) Policy() Policy { return l.cfg.Policy }
+
+// Assign picks the best eligible task for the worker and issues a lease
+// on it. It returns ErrBudgetExhausted when the global budget is fully
+// committed and ErrNoTask when every task is at its redundancy cap or
+// already seen by this worker (a later reclaim or ingest can make tasks
+// eligible again — except for seen ones, which are excluded forever).
+func (l *Ledger) Assign(worker int) (Lease, error) {
+	if worker < 0 {
+		return Lease{}, fmt.Errorf("assign: negative worker id %d", worker)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	l.reclaimLocked(now)
+	if l.cfg.Budget > 0 && int(l.redeemed)+len(l.leases) >= l.cfg.Budget {
+		return Lease{}, ErrBudgetExhausted
+	}
+	l.syncLocked()
+
+	req := &Request{
+		Worker:    worker,
+		Quality:   l.workerProbLocked(worker),
+		Seq:       l.issued,
+		Seed:      l.cfg.Seed,
+		Choices:   l.src.NumChoices(),
+		Load:      l.loadLocked(),
+		Posterior: l.post,
+		Entropy:   l.entropy,
+		uniform:   l.uniform,
+	}
+	best, bestScore := -1, 0.0
+	for t := range req.Load {
+		if req.Load[t] >= l.cfg.Redundancy {
+			continue
+		}
+		if _, taken := l.seen[t][worker]; taken {
+			continue
+		}
+		if s := l.cfg.Policy.Score(req, t); best == -1 || s > bestScore {
+			best, bestScore = t, s
+		}
+	}
+	if best == -1 {
+		return Lease{}, ErrNoTask
+	}
+
+	l.issued++
+	lease := Lease{ID: l.issued, Task: best, Worker: worker, Expires: now.Add(l.cfg.LeaseTTL)}
+	l.leases[lease.ID] = lease
+	l.expiry.push(expiryEntry{id: lease.ID, expires: lease.Expires})
+	l.outstanding[best]++
+	if l.seen[best] == nil {
+		l.seen[best] = map[int]struct{}{}
+	}
+	l.seen[best][worker] = struct{}{}
+	return lease, nil
+}
+
+// Complete redeems a lease: deliver (when non-nil) is invoked with the
+// leased task while the ledger lock is held, and the lease is consumed
+// only if it returns nil — so delivering the answer into the serving
+// store and retiring the lease are atomic with respect to every other
+// ledger operation. An expired lease fails with ErrLeaseNotFound even if
+// the deadline passed only just now: its task may already be re-leased,
+// and the budget must not admit both answers.
+func (l *Ledger) Complete(id uint64, worker int, deliver func(task int) error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.reclaimLocked(l.now())
+	lease, ok := l.leases[id]
+	if !ok {
+		return ErrLeaseNotFound
+	}
+	if lease.Worker != worker {
+		return fmt.Errorf("%w (lease %d)", ErrLeaseWorker, id)
+	}
+	if deliver != nil {
+		if err := deliver(lease.Task); err != nil {
+			return err
+		}
+	}
+	delete(l.leases, id)
+	l.outstanding[lease.Task]--
+	l.redeemed++
+	return nil
+}
+
+// reclaimLocked expires every lease whose deadline passed: the task's
+// outstanding count drops (so it becomes re-issuable to other workers)
+// while the original worker stays in the task's seen set — a worker
+// never sees a task twice, even one it abandoned.
+func (l *Ledger) reclaimLocked(now time.Time) {
+	for len(l.expiry) > 0 && !l.expiry[0].expires.After(now) {
+		e := l.expiry.pop()
+		lease, ok := l.leases[e.id]
+		if !ok {
+			continue // completed before its deadline; stale heap entry
+		}
+		delete(l.leases, e.id)
+		l.outstanding[lease.Task]--
+		l.expired++
+	}
+}
+
+// syncLocked refreshes the cached serving state: answer counts when the
+// store version moved, posterior + entropy when the result version moved
+// (the epoch boundary), and the per-task slices when the store grew.
+func (l *Ledger) syncLocked() {
+	if sv := l.src.StoreVersion(); !l.countsOK || sv != l.countsVer {
+		l.counts = l.src.TaskAnswerCounts()
+		l.countsVer = sv
+		l.countsOK = true
+	}
+	if rv := l.src.ResultVersion(); !l.postOK || rv != l.postVer {
+		if post, v, err := l.src.Posteriors(); err == nil {
+			ent, _, _ := l.src.Entropies()
+			l.post, l.entropy, l.postVer = post, ent, v
+		} else {
+			l.post, l.entropy, l.postVer = nil, nil, rv
+		}
+		l.postOK = true
+	}
+	for len(l.outstanding) < len(l.counts) {
+		l.outstanding = append(l.outstanding, 0)
+		l.seen = append(l.seen, nil)
+	}
+}
+
+// loadLocked returns per-task collected + outstanding counts (the
+// redundancy accounting policies see). The slice is rebuilt per request;
+// its length always matches l.counts after syncLocked.
+func (l *Ledger) loadLocked() []int {
+	load := make([]int, len(l.counts))
+	for t := range load {
+		load[t] = l.counts[t] + l.outstanding[t]
+	}
+	return load
+}
+
+// workerProbLocked maps the serving method's quality estimate for worker
+// onto a probability-correct, falling back to the configured prior for
+// workers without an estimate.
+func (l *Ledger) workerProbLocked(worker int) float64 {
+	ell := l.src.NumChoices()
+	if q, err := l.src.WorkerQuality(worker); err == nil {
+		return QualityToProb(q, ell)
+	}
+	return QualityToProb(l.cfg.PriorQuality, ell)
+}
+
+// Stats is a consistent snapshot of the ledger (the JSON shape of
+// GET /v1/assignstats).
+type Stats struct {
+	Policy     string  `json:"policy"`
+	Redundancy int     `json:"redundancy"`
+	Budget     int     `json:"budget"` // 0 = unlimited
+	LeaseTTLMS float64 `json:"lease_ttl_ms"`
+	// Outstanding is the number of live leases.
+	Outstanding int `json:"outstanding"`
+	// Issued / Completed / Expired partition every lease ever created:
+	// live ones are issued − completed − expired.
+	Issued    uint64 `json:"issued"`
+	Completed uint64 `json:"completed"`
+	Expired   uint64 `json:"expired"`
+	// BudgetRemaining is the uncommitted budget (−1 when unlimited).
+	BudgetRemaining int `json:"budget_remaining"`
+	// EligibleTasks counts tasks still under their redundancy cap.
+	EligibleTasks int `json:"eligible_tasks"`
+	// MeanEntropy is the mean posterior entropy (nats) over all tasks at
+	// the last epoch boundary; 0 when no posterior is available.
+	MeanEntropy float64 `json:"mean_entropy"`
+	// ResultVersion is the epoch the cached scores reflect.
+	ResultVersion uint64 `json:"result_version"`
+}
+
+// Stats reclaims due leases, re-syncs the caches, and reports the
+// ledger's state.
+func (l *Ledger) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.reclaimLocked(l.now())
+	l.syncLocked()
+	st := Stats{
+		Policy:          l.cfg.Policy.Name(),
+		Redundancy:      l.cfg.Redundancy,
+		Budget:          l.cfg.Budget,
+		LeaseTTLMS:      float64(l.cfg.LeaseTTL.Microseconds()) / 1000,
+		Outstanding:     len(l.leases),
+		Issued:          l.issued,
+		Completed:       l.redeemed,
+		Expired:         l.expired,
+		BudgetRemaining: -1,
+		ResultVersion:   l.postVer,
+	}
+	if l.cfg.Budget > 0 {
+		st.BudgetRemaining = l.cfg.Budget - int(l.redeemed) - len(l.leases)
+	}
+	for t := range l.counts {
+		if l.counts[t]+l.outstanding[t] < l.cfg.Redundancy {
+			st.EligibleTasks++
+		}
+	}
+	if len(l.entropy) > 0 {
+		var sum float64
+		for _, h := range l.entropy {
+			sum += h
+		}
+		st.MeanEntropy = sum / float64(len(l.entropy))
+	}
+	return st
+}

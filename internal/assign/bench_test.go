@@ -1,0 +1,56 @@
+package assign
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// BenchmarkAssignPolicies measures one full assign+complete round trip
+// per policy over a mid-sized task board with a live posterior — the
+// control-plane hot path a serving daemon pays per worker request. The
+// CI bench job tracks it in the benchmark artifact.
+func BenchmarkAssignPolicies(b *testing.B) {
+	const tasks = 2048
+	for _, name := range PolicyNames() {
+		b.Run(name, func(b *testing.B) {
+			src := newFakeSource(tasks, 4)
+			src.post = make([][]float64, tasks)
+			for i := range src.post {
+				p := 0.25 + 0.7*float64(i%13)/13
+				rest := (1 - p) / 3
+				src.post[i] = []float64{p, rest, rest, rest}
+			}
+			pol, err := ParsePolicy(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			l, err := NewLedger(src, Config{
+				Policy:     pol,
+				Redundancy: 1 << 30, // never cap: steady-state scoring cost
+				LeaseTTL:   time.Hour,
+				Seed:       1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// A fresh worker id each round keeps self-exclusion from
+				// draining the board while measuring the full scan.
+				w := i
+				lease, err := l.Assign(w)
+				if errors.Is(err, ErrNoTask) {
+					b.Fatal("board drained — raise redundancy")
+				} else if err != nil {
+					b.Fatal(err)
+				}
+				if err := l.Complete(lease.ID, w, nil); err != nil {
+					b.Fatal(fmt.Errorf("complete: %w", err))
+				}
+			}
+		})
+	}
+}

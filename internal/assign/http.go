@@ -1,0 +1,108 @@
+package assign
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// The HTTP face of the assignment ledger, mounted by cmd/truthserve next
+// to the inference API:
+//
+//	GET  /v1/assign?worker=3   lease the best task for worker 3
+//	POST /v1/complete          {"lease_id":1,"worker":3,"value":1}
+//	GET  /v1/assignstats       ledger statistics
+//
+// Completing a lease delivers the answer into the serving store (through
+// the IngestFunc the daemon wires in) and retires the lease atomically:
+// either both happen or neither.
+//
+// Status mapping: no eligible task → 404, budget exhausted → 409,
+// unknown/expired lease → 410, wrong worker → 403, malformed request
+// or rejected answer → 400/422.
+
+// IngestFunc delivers one completed answer into the serving store;
+// cmd/truthserve adapts stream.Service.Ingest to it.
+type IngestFunc func(task, worker int, value float64) (version uint64, err error)
+
+// completeRequest is the JSON shape of POST /v1/complete.
+type completeRequest struct {
+	LeaseID uint64  `json:"lease_id"`
+	Worker  int     `json:"worker"`
+	Value   float64 `json:"value"`
+}
+
+// Handler returns the assignment API over the ledger. ingest must be
+// non-nil; it runs under the ledger lock when a lease is redeemed.
+func Handler(l *Ledger, ingest IngestFunc) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/assign", func(w http.ResponseWriter, r *http.Request) {
+		worker, err := strconv.Atoi(r.URL.Query().Get("worker"))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("worker id %q is not an integer", r.URL.Query().Get("worker")))
+			return
+		}
+		lease, err := l.Assign(worker)
+		if err != nil {
+			writeError(w, assignStatus(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, lease)
+	})
+	mux.HandleFunc("POST /v1/complete", func(w http.ResponseWriter, r *http.Request) {
+		var req completeRequest
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decode complete body: %w", err))
+			return
+		}
+		var version uint64
+		err := l.Complete(req.LeaseID, req.Worker, func(task int) error {
+			v, ierr := ingest(task, req.Worker, req.Value)
+			version = v
+			return ierr
+		})
+		if err != nil {
+			writeError(w, assignStatus(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"lease_id": req.LeaseID,
+			"version":  version,
+		})
+	})
+	mux.HandleFunc("GET /v1/assignstats", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, l.Stats())
+	})
+	return mux
+}
+
+// assignStatus maps ledger errors onto HTTP statuses.
+func assignStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrNoTask):
+		return http.StatusNotFound
+	case errors.Is(err, ErrBudgetExhausted):
+		return http.StatusConflict
+	case errors.Is(err, ErrLeaseNotFound):
+		return http.StatusGone
+	case errors.Is(err, ErrLeaseWorker):
+		return http.StatusForbidden
+	default:
+		// A rejected answer (delivery failure) or an invalid worker id.
+		return http.StatusUnprocessableEntity
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,37 @@
+package assign
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Lease is one outstanding assignment: the named worker holds task until
+// Expires, after which the ledger reclaims it and may re-issue the task
+// to a different worker. Lease ids are unique for the ledger's lifetime
+// (an expired id is never reused), so a late Complete on a reclaimed
+// lease fails instead of redeeming someone else's work.
+type Lease struct {
+	ID      uint64    `json:"lease_id"`
+	Task    int       `json:"task"`
+	Worker  int       `json:"worker"`
+	Expires time.Time `json:"expires_at"`
+}
+
+// expiryEntry is one heap slot. Entries are never removed eagerly on
+// Complete — the heap pops them lazily when their deadline passes and
+// skips ids no longer in the live lease map — so Complete stays O(1).
+type expiryEntry struct {
+	id      uint64
+	expires time.Time
+}
+
+// expiryHeap is a min-heap of lease deadlines (earliest first).
+type expiryHeap []expiryEntry
+
+func (h expiryHeap) Len() int            { return len(h) }
+func (h expiryHeap) Less(i, j int) bool  { return h[i].expires.Before(h[j].expires) }
+func (h expiryHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *expiryHeap) Push(x any)         { *h = append(*h, x.(expiryEntry)) }
+func (h *expiryHeap) Pop() any           { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h *expiryHeap) push(e expiryEntry) { heap.Push(h, e) }
+func (h *expiryHeap) pop() expiryEntry   { return heap.Pop(h).(expiryEntry) }

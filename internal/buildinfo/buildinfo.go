@@ -1,0 +1,52 @@
+// Package buildinfo is the shared build-identity helper behind the
+// -version flag and the startup banner of every binary under cmd/. It
+// combines the link-time release string with whatever the Go toolchain
+// embedded (go version, VCS revision, dirty bit), so operators can read
+// exactly which build is serving from a log line or `truthserve -version`.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"strings"
+)
+
+// Version is the release identifier, overridable at link time:
+//
+//	go build -ldflags "-X truthinference/internal/buildinfo.Version=v1.2.0"
+//
+// The default "dev" marks local, untagged builds.
+var Version = "dev"
+
+// String renders the one-line build banner for the named binary, e.g.
+//
+//	truthserve dev (go1.24.0, rev 8d078d7, dirty)
+//
+// Fields the toolchain did not embed (no VCS metadata in a module-cache
+// build, tests) are omitted rather than faked.
+func String(binary string) string {
+	details := []string{runtime.Version()}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		var rev string
+		var dirty bool
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+		if rev != "" {
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			details = append(details, "rev "+rev)
+			if dirty {
+				details = append(details, "dirty")
+			}
+		}
+	}
+	return fmt.Sprintf("%s %s (%s)", binary, Version, strings.Join(details, ", "))
+}

@@ -1,0 +1,25 @@
+package buildinfo
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestStringCarriesBinaryVersionAndGo(t *testing.T) {
+	s := String("truthserve")
+	for _, want := range []string{"truthserve", Version, runtime.Version()} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestStringRespectsLinkTimeVersion(t *testing.T) {
+	old := Version
+	defer func() { Version = old }()
+	Version = "v9.9.9-test"
+	if s := String("datagen"); !strings.Contains(s, "v9.9.9-test") {
+		t.Errorf("String() = %q, missing overridden version", s)
+	}
+}

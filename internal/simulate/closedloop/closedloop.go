@@ -1,0 +1,278 @@
+// Package closedloop is the closed-loop assignment driver: a simulated worker
+// pool (per-worker confusion matrices, like the Table-5 generators)
+// repeatedly asks an assign.Ledger which task to answer next, answers it
+// from its confusion row, and feeds the answer back into a live
+// stream.Service — whose refreshed posterior then steers the next
+// assignment. It is the end-to-end harness the policy comparison runs
+// on: same crowd, same seed, same budget, different policy, different
+// final accuracy. It lives one level under internal/simulate (which
+// generates the paper's static benchmark datasets) because the driver
+// sits on top of the serving stack — stream + assign — that the static
+// generators feed.
+package closedloop
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"truthinference/internal/assign"
+	"truthinference/internal/core"
+	"truthinference/internal/dataset"
+	"truthinference/internal/methods/direct"
+	"truthinference/internal/randx"
+	"truthinference/internal/stream"
+)
+
+// confusionWorker is one simulated crowd member: an ℓ×ℓ confusion matrix
+// (row = true label, column = answered label), the same worker model the
+// Table-5 dataset generators use.
+type confusionWorker struct {
+	conf [][]float64
+}
+
+func (w confusionWorker) answer(rng *rand.Rand, truth int) int {
+	return randx.Categorical(rng, w.conf[truth])
+}
+
+// LoopConfig parameterizes one closed-loop simulation.
+type LoopConfig struct {
+	// Tasks and Workers size the simulated crowd; Choices is ℓ (2 runs a
+	// decision store, >2 single-choice).
+	Tasks, Workers, Choices int
+	// Seed drives every random draw (ground truth, worker confusions,
+	// answer noise, request order) — equal configs replay bit-identically.
+	Seed int64
+	// Budget is the total answers the ledger may route (required).
+	Budget int
+	// Redundancy caps answers per task (0 = assign.DefaultRedundancy).
+	Redundancy int
+	// Method serves truth inference inside the loop; nil = MV (exact
+	// incremental posterior, always fresh).
+	Method core.Method
+	// RefreshEvery runs an inference epoch every N completed answers
+	// (iterative methods only; incremental methods are always fresh).
+	// 0 refreshes only once at the end.
+	RefreshEvery int
+	// AbandonProb is the per-assignment probability that the worker
+	// walks away without answering, exercising lease expiry/reclaim.
+	AbandonProb float64
+	// AccuracyLo/Hi bound the uniform per-worker accuracy draw
+	// (defaults 0.55..0.8 — a noisy crowd where routing matters).
+	AccuracyLo, AccuracyHi float64
+	// GoldenTasks anchors the first N tasks: their ground truth is given
+	// to the method as golden tasks (platforms do this to anchor
+	// label-symmetric methods like D&S, whose EM can otherwise converge
+	// to the permuted labeling on sparse early epochs). Golden tasks are
+	// excluded from the reported accuracy.
+	GoldenTasks int
+}
+
+// LoopResult summarizes one closed-loop run.
+type LoopResult struct {
+	Policy   string
+	Budget   int
+	Accuracy float64 // fraction of tasks whose final truth matches ground truth
+	// Collected/Issued/Expired are the ledger's final lease accounting.
+	Collected uint64
+	Issued    uint64
+	Expired   uint64
+	Rounds    int
+}
+
+func (r LoopResult) String() string {
+	return fmt.Sprintf("%-14s budget=%-5d accuracy=%.4f collected=%d expired=%d",
+		r.Policy, r.Budget, r.Accuracy, r.Collected, r.Expired)
+}
+
+// ClosedLoop runs one full simulation with the named assignment policy
+// and returns the final accuracy against the hidden ground truth.
+func ClosedLoop(cfg LoopConfig, policyName string) (LoopResult, error) {
+	policy, err := assign.ParsePolicy(policyName)
+	if err != nil {
+		return LoopResult{}, err
+	}
+	if cfg.Tasks <= 0 || cfg.Workers <= 0 || cfg.Choices < 2 {
+		return LoopResult{}, fmt.Errorf("closedloop: closed loop needs tasks, workers and ≥2 choices (got %d/%d/%d)",
+			cfg.Tasks, cfg.Workers, cfg.Choices)
+	}
+	if cfg.Budget <= 0 {
+		return LoopResult{}, errors.New("closedloop: closed loop needs a positive answer budget")
+	}
+	lo, hi := cfg.AccuracyLo, cfg.AccuracyHi
+	if lo == 0 && hi == 0 {
+		lo, hi = 0.55, 0.8
+	}
+	method := cfg.Method
+	if method == nil {
+		method = direct.NewMV()
+	}
+
+	// The hidden world: ground truth and the worker pool's confusion
+	// matrices (symmetric accuracy, errors uniform over other labels).
+	rng := randx.New(cfg.Seed)
+	truth := make([]int, cfg.Tasks)
+	for i := range truth {
+		truth[i] = rng.Intn(cfg.Choices)
+	}
+	crowd := make([]confusionWorker, cfg.Workers)
+	for w := range crowd {
+		acc := lo + rng.Float64()*(hi-lo)
+		conf := make([][]float64, cfg.Choices)
+		for z := 0; z < cfg.Choices; z++ {
+			row := make([]float64, cfg.Choices)
+			for k := range row {
+				row[k] = (1 - acc) / float64(cfg.Choices-1)
+			}
+			row[z] = acc
+			conf[z] = row
+		}
+		crowd[w] = confusionWorker{conf: conf}
+	}
+
+	typ := dataset.SingleChoice
+	if cfg.Choices == 2 {
+		typ = dataset.Decision
+	}
+	store, err := stream.NewStore("closedloop", typ, cfg.Choices)
+	if err != nil {
+		return LoopResult{}, err
+	}
+	opts := core.Options{Seed: cfg.Seed}
+	if cfg.GoldenTasks > cfg.Tasks {
+		cfg.GoldenTasks = cfg.Tasks
+	}
+	if cfg.GoldenTasks > 0 {
+		opts.Golden = make(map[int]float64, cfg.GoldenTasks)
+		for i := 0; i < cfg.GoldenTasks; i++ {
+			opts.Golden[i] = float64(truth[i])
+		}
+	}
+	svc, err := stream.NewService(store, stream.Config{
+		Method:  method,
+		Options: opts,
+	})
+	if err != nil {
+		return LoopResult{}, err
+	}
+	defer svc.Close()
+	// Post the task board and worker roster up front, as a platform does.
+	if _, err := svc.Ingest(stream.Batch{NumTasks: cfg.Tasks, NumWorkers: cfg.Workers}); err != nil {
+		return LoopResult{}, err
+	}
+
+	// A fake clock keeps lease expiry deterministic: one second per
+	// assignment request, 30-second TTL — an abandoned lease is reclaimed
+	// roughly one round of the whole crowd later.
+	now := time.Unix(1_000_000, 0)
+	ledger, err := assign.NewLedger(svc, assign.Config{
+		Policy:     policy,
+		Redundancy: cfg.Redundancy,
+		Budget:     cfg.Budget,
+		LeaseTTL:   30 * time.Second,
+		Seed:       cfg.Seed,
+		Now:        func() time.Time { return now },
+	})
+	if err != nil {
+		return LoopResult{}, err
+	}
+
+	res := LoopResult{Policy: policyName, Budget: cfg.Budget}
+	completedSinceRefresh := 0
+	order := make([]int, cfg.Workers)
+	for i := range order {
+		order[i] = i
+	}
+	for rounds := 0; rounds < 100000; rounds++ {
+		res.Rounds = rounds + 1
+		randx.Shuffle(rng, order)
+		progress := false
+		for _, w := range order {
+			now = now.Add(time.Second)
+			lease, err := ledger.Assign(w)
+			switch {
+			case errors.Is(err, assign.ErrNoTask), errors.Is(err, assign.ErrBudgetExhausted):
+				continue
+			case err != nil:
+				return LoopResult{}, err
+			}
+			progress = true
+			if cfg.AbandonProb > 0 && rng.Float64() < cfg.AbandonProb {
+				continue // walks away; the lease expires and is reclaimed
+			}
+			label := crowd[w].answer(rng, truth[lease.Task])
+			err = ledger.Complete(lease.ID, w, func(task int) error {
+				_, ierr := svc.Ingest(stream.Batch{Answers: []dataset.Answer{
+					{Task: task, Worker: w, Value: float64(label)},
+				}})
+				return ierr
+			})
+			if err != nil {
+				return LoopResult{}, fmt.Errorf("closedloop: complete lease %d: %w", lease.ID, err)
+			}
+			completedSinceRefresh++
+			if cfg.RefreshEvery > 0 && completedSinceRefresh >= cfg.RefreshEvery {
+				if err := svc.Refresh(); err != nil {
+					return LoopResult{}, err
+				}
+				completedSinceRefresh = 0
+			}
+		}
+		if !progress && ledger.Stats().Outstanding == 0 {
+			break // budget spent or board drained, nothing left to reclaim
+		}
+	}
+	if err := svc.Refresh(); err != nil {
+		return LoopResult{}, err
+	}
+
+	truths, _, err := svc.Truths()
+	if err != nil {
+		return LoopResult{}, err
+	}
+	correct, scored := 0, 0
+	for i := cfg.GoldenTasks; i < cfg.Tasks; i++ {
+		scored++
+		if int(truths[i]) == truth[i] {
+			correct++
+		}
+	}
+	res.Accuracy = float64(correct) / float64(scored)
+	st := ledger.Stats()
+	res.Collected, res.Issued, res.Expired = st.Completed, st.Issued, st.Expired
+	return res, nil
+}
+
+// ComparePolicies runs the identical closed loop (same seed, same
+// hidden crowd) once per policy and returns the results in input order —
+// the accuracy-at-fixed-budget comparison of the paper's assignment
+// discussion.
+func ComparePolicies(cfg LoopConfig, policyNames []string) ([]LoopResult, error) {
+	out := make([]LoopResult, 0, len(policyNames))
+	for _, name := range policyNames {
+		r, err := ClosedLoop(cfg, name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// AccuracyVsBudget sweeps the closed loop over answer budgets for each
+// policy (budget-major result order): the quality-per-dollar curve that
+// shows where uncertainty routing pulls ahead of random at equal spend.
+func AccuracyVsBudget(cfg LoopConfig, policyNames []string, budgets []int) ([][]LoopResult, error) {
+	out := make([][]LoopResult, 0, len(budgets))
+	for _, b := range budgets {
+		c := cfg
+		c.Budget = b
+		row, err := ComparePolicies(c, policyNames)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}

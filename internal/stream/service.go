@@ -84,6 +84,12 @@ type Service struct {
 	lastInfer  time.Duration
 	lastErr    error // most recent epoch failure; nil after a success
 	closed     bool
+
+	// entropies caches per-task posterior entropies for the result at
+	// entVersion; Entropies recomputes it lazily when a newer result
+	// publishes (the epoch-boundary invalidation — see source.go).
+	entropies  []float64
+	entVersion uint64
 }
 
 // NewService builds a service for the given method over the store. The
@@ -361,24 +367,52 @@ func (s *Service) WorkerQuality(worker int) (float64, error) {
 	return s.res.WorkerQuality[worker], nil
 }
 
+// PersistStats describes the durability layer's live state, for
+// operators verifying at runtime that the WAL and snapshot compaction
+// are configured and healthy. The wal.Persister implements PersistStatter
+// to supply it.
+type PersistStats struct {
+	// SinceSnapshot is the number of WAL records appended since the last
+	// successful snapshot compaction (what a crash right now would replay).
+	SinceSnapshot int `json:"records_since_snapshot"`
+	// Compacting reports an in-flight background snapshot compaction.
+	Compacting bool `json:"compacting"`
+	// CompactError is the last failed compaction still pending retry.
+	CompactError string `json:"compact_error,omitempty"`
+}
+
+// PersistStatter is the optional introspection side of a Persister; when
+// the configured Persister implements it, Stats reports the durability
+// state under the "wal" key.
+type PersistStatter interface {
+	PersistStats() PersistStats
+}
+
 // Stats summarizes the store and the serving state (also the JSON shape
 // of GET /v1/stats).
 type Stats struct {
-	Method       string `json:"method"`
-	Tasks        int    `json:"tasks"`
-	Workers      int    `json:"workers"`
-	Answers      int    `json:"answers"`
+	Method  string `json:"method"`
+	Tasks   int    `json:"tasks"`
+	Workers int    `json:"workers"`
+	Answers int    `json:"answers"`
+	// Shards is the store's partition count (contention tuning only;
+	// state is shard-count independent).
+	Shards       int    `json:"shards"`
 	StoreVersion uint64 `json:"store_version"`
 	// ResultVersion is the store version the served truths reflect;
 	// equal to StoreVersion when fresh.
-	ResultVersion uint64  `json:"result_version"`
-	Fresh         bool    `json:"fresh"`
-	Epochs        int     `json:"epochs"`
-	Iterations    int     `json:"iterations"`
-	Converged     bool    `json:"converged"`
-	WarmStart     bool    `json:"warm_start"`
-	Incremental   bool    `json:"incremental"`
-	LastInferMS   float64 `json:"last_infer_ms"`
+	ResultVersion uint64 `json:"result_version"`
+	Fresh         bool   `json:"fresh"`
+	Epochs        int    `json:"epochs"`
+	Iterations    int    `json:"iterations"`
+	Converged     bool   `json:"converged"`
+	WarmStart     bool   `json:"warm_start"`
+	Incremental   bool   `json:"incremental"`
+	// Durable reports whether a write-ahead log is attached; WAL carries
+	// its live status when the Persister exposes one.
+	Durable     bool          `json:"durable"`
+	WAL         *PersistStats `json:"wal,omitempty"`
+	LastInferMS float64       `json:"last_infer_ms"`
 	// LastError reports the most recent failed epoch (empty after a
 	// success) — the only place a background auto-refresh failure
 	// surfaces.
@@ -396,9 +430,15 @@ func (s *Service) Stats() Stats {
 		Tasks:        tasks,
 		Workers:      workers,
 		Answers:      answers,
+		Shards:       s.store.Shards(),
 		StoreVersion: storeVersion,
 		WarmStart:    !s.cfg.ColdStart,
 		Incremental:  s.inc != nil,
+		Durable:      s.cfg.Persist != nil,
+	}
+	if ps, ok := s.cfg.Persist.(PersistStatter); ok {
+		w := ps.PersistStats()
+		st.WAL = &w
 	}
 	if s.inc != nil {
 		st.ResultVersion = s.incVersion

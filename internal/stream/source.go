@@ -1,0 +1,152 @@
+package stream
+
+import (
+	"errors"
+	"math"
+)
+
+// This file is the serving-state surface the assignment subsystem
+// (internal/assign) scores tasks from: per-task posterior distributions
+// and their entropies, worker qualities, and the store/result versions
+// that say how fresh they are. The Service satisfies assign.Source
+// structurally — neither package imports the other.
+
+// ErrNoPosterior is returned by Posteriors and Entropies when the serving
+// method publishes no per-task posterior (the numeric methods Mean and
+// Median, and iterative methods without a categorical posterior).
+var ErrNoPosterior = errors.New("stream: serving method publishes no task posterior")
+
+// StoreVersion returns the current version of the underlying store (every
+// ingested batch bumps it).
+func (s *Service) StoreVersion() uint64 { return s.store.Version() }
+
+// Dims returns the store's current task, worker and answer counts.
+func (s *Service) Dims() (tasks, workers, answers int) { return s.store.Dims() }
+
+// TaskAnswerCounts returns the per-task answer counts of the underlying
+// store (the redundancy each task has already collected).
+func (s *Service) TaskAnswerCounts() []int { return s.store.AnswerCounts() }
+
+// NumChoices returns the store's normalized choice count (ℓ for
+// categorical stores, 0 for numeric).
+func (s *Service) NumChoices() int { return s.store.NumChoices() }
+
+// ForEachAnswer streams every (task, worker) pair currently in the
+// store; see Store.ForEachAnswer for the locking contract.
+func (s *Service) ForEachAnswer(f func(task, worker int)) { s.store.ForEachAnswer(f) }
+
+// ResultVersion returns the store version the published inference state
+// reflects: the last epoch's snapshot version for iterative methods, the
+// always-fresh incremental version for MV/Mean/Median, and 0 before any
+// result exists. Consumers caching derived scores (the assignment
+// ledger) re-derive when this changes — that is the epoch boundary.
+func (s *Service) ResultVersion() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.inc != nil {
+		return s.incVersion
+	}
+	return s.resVersion
+}
+
+// Posteriors returns a copy of every task's posterior distribution over
+// the choice labels, plus the result version the rows reflect. For the
+// incremental MV the posterior is each task's vote-share vector (uniform
+// for answer-less tasks); iterative methods serve their last published
+// Result.Posterior. Numeric methods return ErrNoPosterior, and iterative
+// methods return ErrNotInferred before their first epoch.
+func (s *Service) Posteriors() ([][]float64, uint64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.inc != nil {
+		if s.inc.method != "MV" {
+			return nil, 0, ErrNoPosterior
+		}
+		ell := s.inc.ell
+		out := make([][]float64, len(s.inc.truth))
+		for i := range out {
+			row := s.inc.counts[i*ell : (i+1)*ell]
+			cp := make([]float64, ell)
+			var total float64
+			for _, c := range row {
+				total += c
+			}
+			if total == 0 {
+				u := 1 / float64(ell)
+				for k := range cp {
+					cp[k] = u
+				}
+			} else {
+				for k, c := range row {
+					cp[k] = c / total
+				}
+			}
+			out[i] = cp
+		}
+		return out, s.incVersion, nil
+	}
+	if s.res == nil {
+		return nil, 0, ErrNotInferred
+	}
+	if s.res.Posterior == nil {
+		return nil, 0, ErrNoPosterior
+	}
+	out := make([][]float64, len(s.res.Posterior))
+	for i, row := range s.res.Posterior {
+		out[i] = append([]float64(nil), row...)
+	}
+	return out, s.resVersion, nil
+}
+
+// Entropies returns every task's posterior Shannon entropy (nats) and the
+// result version the vector reflects. The vector is cached on the
+// service and recomputed only when a new result publishes — the
+// epoch-boundary invalidation the assignment ledger relies on — so
+// repeated calls between epochs are O(1) copies.
+func (s *Service) Entropies() ([]float64, uint64, error) {
+	s.mu.RLock()
+	if s.entropies != nil && s.entVersion == s.resultVersionLocked() {
+		out, v := append([]float64(nil), s.entropies...), s.entVersion
+		s.mu.RUnlock()
+		return out, v, nil
+	}
+	s.mu.RUnlock()
+
+	post, version, err := s.Posteriors()
+	if err != nil {
+		return nil, 0, err
+	}
+	ent := make([]float64, len(post))
+	for i, row := range post {
+		ent[i] = Entropy(row)
+	}
+	s.mu.Lock()
+	// Another goroutine may have cached a newer epoch meanwhile; only
+	// install if this computation is at least as fresh.
+	if s.entropies == nil || version >= s.entVersion {
+		s.entropies = ent
+		s.entVersion = version
+	}
+	s.mu.Unlock()
+	return append([]float64(nil), ent...), version, nil
+}
+
+// resultVersionLocked is ResultVersion with s.mu already held.
+func (s *Service) resultVersionLocked() uint64 {
+	if s.inc != nil {
+		return s.incVersion
+	}
+	return s.resVersion
+}
+
+// Entropy returns the Shannon entropy (nats) of a probability vector.
+// Zero-mass entries contribute nothing; a nil or empty row is 0.
+func Entropy(p []float64) float64 {
+	var h float64
+	for _, x := range p {
+		if x > 0 {
+			h -= x * math.Log(x)
+		}
+	}
+	return h
+}

@@ -425,6 +425,43 @@ func (s *Store) TaskValues(task int) []float64 {
 	return append([]float64(nil), sh.vals[task]...)
 }
 
+// AnswerCounts returns the per-task answer counts for every task in the
+// current range, read-locking one shard at a time. Counts only ever
+// grow; the vector may straddle a concurrent ingest (task A's count from
+// before it, task B's from after), which is fine for the monotone uses
+// (assignment redundancy accounting) it serves.
+func (s *Store) AnswerCounts() []int {
+	counts := make([]int, int(s.numTasks.Load()))
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for task, vals := range sh.vals {
+			if task < len(counts) {
+				counts[task] = len(vals)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return counts
+}
+
+// ForEachAnswer streams every (task, worker) pair currently in the
+// store, one shard at a time under that shard's read lock (so f must be
+// quick and must not call back into the store). The assignment ledger
+// seeds its self-exclusion sets from it at construction, so a worker is
+// never assigned a task it already answered — in a preloaded dataset or
+// before a daemon restart.
+func (s *Store) ForEachAnswer(f func(task, worker int)) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, e := range sh.log {
+			f(e.ans.Task, e.ans.Worker)
+		}
+		sh.mu.RUnlock()
+	}
+}
+
 // TaskType returns the store's task family.
 func (s *Store) TaskType() dataset.TaskType { return s.typ }
 

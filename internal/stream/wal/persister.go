@@ -212,6 +212,19 @@ func (p *Persister) Sync() error {
 	return nil
 }
 
+// PersistStats implements stream.PersistStatter: the live durability
+// state GET /v1/stats reports so operators can verify the WAL/snapshot
+// config at runtime.
+func (p *Persister) PersistStats() stream.PersistStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := stream.PersistStats{SinceSnapshot: p.since, Compacting: p.compacting}
+	if p.compactErr != nil {
+		st.CompactError = p.compactErr.Error()
+	}
+	return st
+}
+
 // Snapshot compacts now, synchronously: any in-flight background
 // compaction is waited out, then the store is snapshotted to
 // <base>.snap and the log reset. Recovery cost drops to the snapshot
