@@ -1,11 +1,9 @@
-// Command truthserve is the online truth-inference daemon: it keeps a
-// mutable sharded answer store, re-runs the configured method
-// warm-started from the previous posterior as batches arrive, and serves
-// truths, worker qualities and statistics over an HTTP JSON API while
-// inference runs in the background. With -wal-dir set the daemon is
-// durable: every ingested batch is appended to a write-ahead log,
-// compacted into snapshots every -snapshot-every batches, and replayed
-// on the next start to a bit-identical store.
+// Command truthserve is the online truth-inference daemon: a
+// multi-tenant registry of crowdsourcing projects, each with its own
+// mutable sharded answer store, its own method/seed/epoch configuration
+// re-run warm-started as batches arrive, its own optional task-assignment
+// ledger, and — with -wal-dir set — its own write-ahead-log namespace,
+// recovered to a bit-identical store on the next start.
 //
 // Usage:
 //
@@ -14,42 +12,37 @@
 //	           [-cold] [-auto-refresh=true] [-data path/to/base]
 //	           [-wal-dir dir] [-snapshot-every 256]
 //	           [-assign-policy uncertainty] [-budget 0] [-redundancy 3]
-//	           [-lease-ttl 1m] [-version]
+//	           [-lease-ttl 1m] [-projects projects.json] [-version]
 //
-// -type declares the task family of the live store (decision,
-// single-choice with -choices ℓ, or numeric); -data instead preloads a
-// <base>.answers.tsv / <base>.truth.tsv pair and keeps ingesting on top
-// of it. -cold disables warm starts (every epoch re-runs from cold
-// initialization). MV, Mean and Median skip re-inference entirely: their
-// truths are maintained exactly, in O(delta) per ingested batch.
+// The per-project flags above configure the reserved *default* project,
+// which serves the legacy unprefixed routes — a single-project
+// deployment upgrades in place with no flag changes. Additional projects
+// come from -projects (a JSON object mapping project id → config, the
+// same shape the admin API accepts) and from the admin API at runtime;
+// when durable they are recorded in <wal-dir>/projects.json and
+// recovered on the next boot. Each project's config carries what the
+// flags carry: method, task_type, choices, seed, max_iter, parallelism,
+// shards, cold_start, no_auto_refresh, data, snapshot_every, and an
+// optional assign block {policy, redundancy, budget, lease_ttl}.
 //
-// -assign-policy enables the task-assignment control plane (see
-// internal/assign): workers GET /v1/assign to lease the best task under
-// the chosen policy (random, least-answered, or uncertainty — the
-// QASCA-style expected-accuracy router driven by the live posterior),
-// POST /v1/complete to deliver the answer and retire the lease, and
-// GET /v1/assignstats to watch the ledger. -budget caps total routed
-// answers (0 = unlimited), -redundancy caps answers per task, and
-// -lease-ttl bounds how long a worker may sit on an assignment before it
-// is reclaimed and re-issued.
+// The API (see internal/stream, internal/assign and internal/tenant for
+// the wire formats):
+//
+//	POST   /v1/admin/projects        create a project {"id":..,"config":{..}}
+//	GET    /v1/admin/projects        list projects + per-tenant stats
+//	GET    /v1/admin/projects/{id}   one project's stats
+//	DELETE /v1/admin/projects/{id}   close + delete a project
+//	*      /v1/projects/{id}/...     that project's API:
+//	  POST ../ingest      append answers/tasks/workers/truths
+//	  POST ../refresh     run one inference epoch now
+//	  GET  ../truth/{task}, ../truths, ../worker/{id}, ../stats, ../healthz
+//	  GET  ../assign, POST ../complete, GET ../assignstats  (with assign config)
+//	*      /v1/...                   legacy routes → the default project
 //
 // On SIGINT/SIGTERM the daemon drains gracefully: the HTTP listener
-// stops accepting, in-flight requests and the in-flight inference epoch
-// finish, the WAL is fsynced (and compacted into a final snapshot when
-// durable), and the process exits 0.
-//
-// The API (see internal/stream for the wire formats):
-//
-//	POST /v1/ingest        append answers/tasks/workers/truths
-//	POST /v1/refresh       run one inference epoch now
-//	GET  /v1/truth/{task}  one task's truth + confidence
-//	GET  /v1/truths        all truths + the store version they reflect
-//	GET  /v1/worker/{id}   a worker's estimated quality
-//	GET  /v1/stats         store + serving statistics
-//	GET  /v1/healthz       liveness probe
-//	GET  /v1/assign        lease a task for ?worker=N   (with -assign-policy)
-//	POST /v1/complete      deliver an answer, retire the lease
-//	GET  /v1/assignstats   assignment ledger statistics
+// stops accepting, in-flight requests finish, and every project drains
+// concurrently — in-flight inference epochs finish, WALs are fsynced and
+// compacted into final snapshots — before the process exits 0.
 package main
 
 import (
@@ -62,16 +55,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"path/filepath"
 	"syscall"
 	"time"
 
-	ti "truthinference"
 	"truthinference/internal/assign"
 	"truthinference/internal/buildinfo"
-	"truthinference/internal/dataset"
-	"truthinference/internal/stream"
-	"truthinference/internal/stream/wal"
+	"truthinference/internal/tenant"
 )
 
 // config is the parsed flag set; run is driven by it so tests can start
@@ -93,28 +82,67 @@ type config struct {
 	budget        int
 	redundancy    int
 	leaseTTL      time.Duration
+	projectsFile  string
+}
+
+// defaultProject maps the legacy per-daemon flags onto the default
+// project's config — the backward-compatibility bridge: old flag sets
+// keep meaning exactly what they meant.
+func (c config) defaultProject() tenant.Config {
+	pc := tenant.Config{
+		Method:        c.method,
+		TaskType:      c.taskType,
+		Choices:       c.choices,
+		Seed:          c.seed,
+		MaxIter:       c.maxIter,
+		Parallelism:   c.parallelism,
+		Shards:        c.shards,
+		ColdStart:     c.cold,
+		NoAutoRefresh: !c.autoRefresh,
+		Data:          c.data,
+		SnapshotEvery: c.snapshotEvery,
+	}
+	if pc.SnapshotEvery == 0 {
+		pc.SnapshotEvery = -1 // flag 0 meant "only on shutdown"
+	}
+	if c.assignPolicy != "" {
+		pc.Assign = &assign.Spec{
+			Policy:     c.assignPolicy,
+			Redundancy: c.redundancy,
+			Budget:     c.budget,
+			LeaseTTL:   assign.Duration(c.leaseTTL),
+			// The -budget flag has always counted per daemon run
+			// (operators pass the remaining budget on restart); only
+			// config-defined projects get the charge-existing semantics,
+			// because their manifest recovery leaves no place to pass a
+			// remainder.
+			NoChargeExisting: true,
+		}
+	}
+	return pc
 }
 
 func main() {
 	var cfg config
 	var addr string
 	flag.StringVar(&addr, "addr", ":8080", "listen address")
-	flag.StringVar(&cfg.method, "method", "D&S", "method to serve (see truthinfer -list)")
-	flag.StringVar(&cfg.taskType, "type", "decision", "task type of the live store: decision, single-choice, numeric")
+	flag.StringVar(&cfg.method, "method", "D&S", "default project's method (see truthinfer -list)")
+	flag.StringVar(&cfg.taskType, "type", "decision", "default project's task type: decision, single-choice, numeric")
 	flag.IntVar(&cfg.choices, "choices", 2, "number of choices for single-choice stores")
-	flag.Int64Var(&cfg.seed, "seed", 1, "random seed (fixed per daemon so epochs are reproducible)")
+	flag.Int64Var(&cfg.seed, "seed", 1, "random seed (fixed per project so epochs are reproducible)")
 	flag.IntVar(&cfg.maxIter, "maxiter", 0, "iteration cap per epoch (0 = method default)")
 	flag.IntVar(&cfg.parallelism, "parallelism", 0, "worker goroutines for the EM hot loops (0 = all CPUs, 1 = sequential)")
-	flag.IntVar(&cfg.shards, "shards", stream.DefaultShards, "store shard count (contention only; state is shard-count independent)")
+	flag.IntVar(&cfg.shards, "shards", 0, "store shard count (0 = default; contention only, state is shard-count independent)")
 	flag.BoolVar(&cfg.cold, "cold", false, "disable warm starts; re-run every epoch from cold initialization")
 	flag.BoolVar(&cfg.autoRefresh, "auto-refresh", true, "re-infer in the background after every ingested batch")
 	flag.StringVar(&cfg.data, "data", "", "optional dataset base path to preload (expects <base>.answers.tsv)")
-	flag.StringVar(&cfg.walDir, "wal-dir", "", "directory for the write-ahead log + snapshots (empty = not durable)")
+	flag.StringVar(&cfg.walDir, "wal-dir", "", "root directory for per-project write-ahead logs + snapshots (empty = not durable)")
 	flag.IntVar(&cfg.snapshotEvery, "snapshot-every", 256, "batches between compacted snapshots when -wal-dir is set (0 = only on shutdown)")
-	flag.StringVar(&cfg.assignPolicy, "assign-policy", "", "enable task-assignment endpoints with this policy: random, least-answered, uncertainty (empty = disabled)")
+	flag.StringVar(&cfg.assignPolicy, "assign-policy", "", "enable the default project's assignment endpoints with this policy: random, least-answered, uncertainty (empty = disabled)")
 	flag.IntVar(&cfg.budget, "budget", 0, "global answer budget for assignment, counted per daemon run (0 = unlimited; on restart pass the remaining budget)")
 	flag.IntVar(&cfg.redundancy, "redundancy", assign.DefaultRedundancy, "per-task answer cap for assignment")
 	flag.DurationVar(&cfg.leaseTTL, "lease-ttl", assign.DefaultLeaseTTL, "how long a worker holds an assignment before it is reclaimed")
+	flag.StringVar(&cfg.projectsFile, "projects", "", "optional JSON file of additional projects to create at boot (id -> config)")
 	version := flag.Bool("version", false, "print build info and exit")
 	flag.Parse()
 	if *version {
@@ -135,132 +163,60 @@ func main() {
 
 // run starts the daemon on ln and blocks until ctx is cancelled (a
 // signal in production, test cancellation in the regression suite) or
-// the server fails. On cancellation it drains: HTTP shutdown, in-flight
-// epoch, WAL fsync + final snapshot — and returns nil.
+// the server fails. On cancellation it drains: HTTP shutdown, then every
+// project concurrently (in-flight epoch, WAL fsync + final snapshot) —
+// and returns nil.
 func run(ctx context.Context, cfg config, ln net.Listener, logf func(string, ...any)) error {
 	logf("%s starting", buildinfo.String("truthserve"))
-	m, err := ti.GetMethod(cfg.method)
-	if err != nil {
-		// The error lists every registered method, so a typo on the
-		// command line is immediately actionable.
+
+	// The default project's config is validated before anything else so a
+	// typoed flag is immediately actionable.
+	defCfg := cfg.defaultProject()
+	if err := defCfg.Validate(); err != nil {
 		return err
 	}
-	// Resolve the assignment policy before any store work, for the same
-	// fail-fast reason.
-	var policy assign.Policy
-	if cfg.assignPolicy != "" {
-		if policy, err = assign.ParsePolicy(cfg.assignPolicy); err != nil {
-			return err
-		}
-	}
-
-	// fresh builds the store the daemon starts from when there is no
-	// durable state to recover. It must be deterministic across restarts
-	// (the WAL replays on top of it).
-	fresh := func() (*stream.Store, error) {
-		if cfg.data != "" {
-			d, err := ti.LoadDataset(cfg.data)
-			if err != nil {
-				return nil, fmt.Errorf("load dataset: %w", err)
-			}
-			logf("preloaded %s: %d tasks, %d workers, %d answers", d.Name, d.NumTasks, d.NumWorkers, len(d.Answers))
-			return stream.NewStoreAt(d, 1, cfg.shards), nil
-		}
-		typ, err := parseTaskType(cfg.taskType)
+	// Boot-file projects are parsed and validated before the registry
+	// opens any durable state, for the same fail-fast reason.
+	var boot map[string]tenant.Config
+	if cfg.projectsFile != "" {
+		data, err := os.ReadFile(cfg.projectsFile)
 		if err != nil {
-			return nil, err
-		}
-		return stream.NewStoreN("live", typ, cfg.choices, cfg.shards)
-	}
-
-	var store *stream.Store
-	var persist *wal.Persister
-	if cfg.walDir != "" {
-		if err := os.MkdirAll(cfg.walDir, 0o755); err != nil {
 			return err
 		}
-		base := filepath.Join(cfg.walDir, "truthserve")
-		p, rec, err := wal.Open(base, fresh, wal.Options{SnapshotEvery: cfg.snapshotEvery, Shards: cfg.shards})
-		if err != nil {
-			return fmt.Errorf("recover %s: %w", base, err)
-		}
-		defer p.Close()
-		if rec.TailErr != nil {
-			logf("WARNING: WAL tail damaged, recovered the consistent prefix: %v", rec.TailErr)
-		}
-		tasks, workers, answers := rec.Store.Dims()
-		logf("recovered store at version %d (snapshot@%d + %d WAL records): %d tasks, %d workers, %d answers",
-			rec.Store.Version(), rec.SnapshotVersion, rec.Replayed, tasks, workers, answers)
-		store, persist = rec.Store, p
-	} else {
-		if store, err = fresh(); err != nil {
+		if boot, err = tenant.DecodeProjects(data); err != nil {
 			return err
 		}
 	}
 
-	par := cfg.parallelism
-	if par == 0 {
-		par = ti.AutoParallelism
-	}
-	svcCfg := stream.Config{
-		Method:      m,
-		Options:     ti.Options{Seed: cfg.seed, MaxIterations: cfg.maxIter, Parallelism: par},
-		ColdStart:   cfg.cold,
-		AutoRefresh: cfg.autoRefresh,
-	}
-	if persist != nil {
-		svcCfg.Persist = persist
-	}
-	svc, err := stream.NewService(store, svcCfg)
-	if err != nil {
+	reg := tenant.NewRegistry(cfg.walDir, logf)
+	drained := false
+	defer func() {
+		if !drained {
+			reg.Close()
+		}
+	}()
+	if err := reg.Bootstrap(defCfg); err != nil {
 		return err
 	}
-	defer svc.Close()
-	if store.Version() > 0 {
-		// Preloaded or recovered state: publish an initial result so the
-		// API serves immediately instead of 409ing until the first batch.
-		if err := svc.Refresh(); err != nil {
-			return fmt.Errorf("initial inference: %w", err)
+	// Manifest projects recover first (they carry the config a previous
+	// run persisted), then the boot file fills in any that are new.
+	if err := reg.Recover(); err != nil {
+		return err
+	}
+	for id, pc := range boot {
+		if _, ok := reg.Get(id); ok {
+			logf("truthserve: project %q already recovered from the manifest; boot-file entry ignored", id)
+			continue
 		}
-		st := svc.Stats()
-		logf("initial %s epoch: %d iterations, converged=%v", st.Method, st.Iterations, st.Converged)
+		if _, err := reg.Create(id, pc); err != nil {
+			return fmt.Errorf("create project %q: %w", id, err)
+		}
 	}
 
-	handler := svc.Handler()
-	if policy != nil {
-		ledger, err := assign.NewLedger(svc, assign.Config{
-			Policy:     policy,
-			Redundancy: cfg.redundancy,
-			Budget:     cfg.budget,
-			LeaseTTL:   cfg.leaseTTL,
-			Seed:       cfg.seed,
-		})
-		if err != nil {
-			return err
-		}
-		// Completed assignments land in the store as one-answer batches;
-		// Complete holds the ledger lock across the ingest so a lease is
-		// consumed exactly when its answer is committed.
-		assignAPI := assign.Handler(ledger, func(task, worker int, value float64) (uint64, error) {
-			return svc.Ingest(stream.Batch{Answers: []dataset.Answer{
-				{Task: task, Worker: worker, Value: value},
-			}})
-		})
-		mux := http.NewServeMux()
-		mux.Handle("/", handler)
-		for _, pattern := range []string{"GET /v1/assign", "POST /v1/complete", "GET /v1/assignstats"} {
-			mux.Handle(pattern, assignAPI)
-		}
-		handler = mux
-		logf("truthserve: assignment enabled (policy=%s redundancy=%d budget=%d lease_ttl=%s)",
-			policy.Name(), cfg.redundancy, cfg.budget, cfg.leaseTTL)
-	}
-
-	srv := &http.Server{Handler: handler}
+	srv := &http.Server{Handler: reg.Handler()}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
-	logf("truthserve: serving %s on %s (warm_start=%v auto_refresh=%v shards=%d durable=%v)",
-		m.Name(), ln.Addr(), !cfg.cold, cfg.autoRefresh, store.Shards(), persist != nil)
+	logf("truthserve: serving %d project(s) on %s (durable=%v)", len(reg.List()), ln.Addr(), reg.Durable())
 
 	select {
 	case err := <-serveErr:
@@ -278,36 +234,14 @@ func run(ctx context.Context, cfg config, ln net.Listener, logf func(string, ...
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		logf("truthserve: listener: %v", err)
 	}
-	// Finish the in-flight inference epoch and fsync the WAL.
-	if err := svc.Close(); err != nil {
-		logf("truthserve: %v", err)
-	}
-	if persist != nil {
-		// Compact on clean shutdown so the next boot recovers from the
-		// snapshot alone.
-		if err := persist.Snapshot(); err != nil {
-			logf("truthserve: final snapshot: %v", err)
-		}
-		if err := persist.Close(); err != nil {
-			return fmt.Errorf("close WAL: %w", err)
-		}
+	// Fan the drain out across every tenant: each finishes its in-flight
+	// epoch, fsyncs its WAL and compacts a final snapshot.
+	drained = true
+	if err := reg.Close(); err != nil {
+		return fmt.Errorf("drain projects: %w", err)
 	}
 	logf("truthserve: drained, exiting")
 	return nil
-}
-
-// parseTaskType maps the -type flag onto the dataset task families.
-func parseTaskType(s string) (dataset.TaskType, error) {
-	switch s {
-	case "decision":
-		return dataset.Decision, nil
-	case "single-choice":
-		return dataset.SingleChoice, nil
-	case "numeric":
-		return dataset.Numeric, nil
-	default:
-		return 0, fmt.Errorf("unknown task type %q (valid: decision, single-choice, numeric)", s)
-	}
 }
 
 func fatal(format string, args ...any) {

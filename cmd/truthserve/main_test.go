@@ -15,6 +15,7 @@ import (
 
 	ti "truthinference"
 	"truthinference/internal/dataset"
+	"truthinference/internal/tenant"
 )
 
 func TestParseTaskType(t *testing.T) {
@@ -24,12 +25,12 @@ func TestParseTaskType(t *testing.T) {
 		"numeric":       dataset.Numeric,
 	}
 	for s, want := range cases {
-		got, err := parseTaskType(s)
+		got, err := tenant.ParseTaskType(s)
 		if err != nil || got != want {
-			t.Errorf("parseTaskType(%q) = %v, %v; want %v", s, got, err, want)
+			t.Errorf("ParseTaskType(%q) = %v, %v; want %v", s, got, err, want)
 		}
 	}
-	if _, err := parseTaskType("tabular"); err == nil || !strings.Contains(err.Error(), "decision") {
+	if _, err := tenant.ParseTaskType("tabular"); err == nil || !strings.Contains(err.Error(), "decision") {
 		t.Errorf("invalid type error should list the valid ones: %v", err)
 	}
 }
@@ -350,6 +351,147 @@ func TestRunFailsFastOnBadConfig(t *testing.T) {
 			t.Errorf("run with %+v succeeded, want config error", cfg)
 		}
 	}
+}
+
+// TestProjectsFileBootsTenants boots the daemon with a -projects file,
+// drives the tenant through its /v1/projects/{id}/... routes, and checks
+// the legacy unprefixed routes still address the default project — the
+// in-place upgrade contract for single-project deployments.
+func TestProjectsFileBootsTenants(t *testing.T) {
+	projects := filepath.Join(t.TempDir(), "projects.json")
+	if err := os.WriteFile(projects, []byte(`{
+		"imgs": {"method": "MV", "task_type": "single-choice", "choices": 4,
+		         "assign": {"policy": "least-answered", "redundancy": 2, "lease_ttl": "1m"}}
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	baseURL, sigterm, done := startDaemon(t, config{
+		method: "MV", taskType: "decision", choices: 2, seed: 1,
+		autoRefresh: true, projectsFile: projects,
+	})
+	defer func() {
+		sigterm()
+		if err := <-done; err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	}()
+
+	// Legacy route → default project; prefixed route → tenant.
+	postIngest(t, baseURL, `{"answers":[{"task":0,"worker":0,"value":1}]}`)
+	resp, err := http.Post(baseURL+"/v1/projects/imgs/ingest", "application/json",
+		bytes.NewBufferString(`{"answers":[{"task":0,"worker":0,"value":3},{"task":1,"worker":1,"value":2}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("tenant ingest: HTTP %d", resp.StatusCode)
+	}
+
+	// No cross-talk: each project's stats count only its own answers.
+	if st := getStats(t, baseURL); st["answers"].(float64) != 1 || st["name"] != "default" {
+		t.Fatalf("default project stats = %v", st)
+	}
+	tresp, err := http.Get(baseURL + "/v1/projects/imgs/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tst map[string]any
+	if err := json.NewDecoder(tresp.Body).Decode(&tst); err != nil {
+		t.Fatal(err)
+	}
+	tresp.Body.Close()
+	if tst["answers"].(float64) != 2 || tst["name"] != "imgs" {
+		t.Fatalf("tenant stats = %v", tst)
+	}
+
+	// The tenant has assignment endpoints; the default project does not.
+	aresp, err := http.Get(baseURL + "/v1/projects/imgs/assign?worker=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	aresp.Body.Close()
+	if aresp.StatusCode != http.StatusOK {
+		t.Errorf("tenant assign: HTTP %d, want 200", aresp.StatusCode)
+	}
+	dresp, err := http.Get(baseURL + "/v1/assign?worker=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNotFound {
+		t.Errorf("default assign: HTTP %d, want 404 (no assignment configured)", dresp.StatusCode)
+	}
+
+	// The admin listing shows both, default first.
+	lresp, err := http.Get(baseURL + "/v1/admin/projects")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listing struct {
+		Projects []struct {
+			ID string `json:"id"`
+		} `json:"projects"`
+	}
+	if err := json.NewDecoder(lresp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	lresp.Body.Close()
+	if len(listing.Projects) != 2 || listing.Projects[0].ID != "default" || listing.Projects[1].ID != "imgs" {
+		t.Fatalf("admin listing = %+v", listing)
+	}
+}
+
+// TestRunFailsFastOnBadProjectsFile is the table-driven error-path suite
+// for daemon config parsing: every malformed -projects file must abort
+// the boot with a readable error, never serve a half-configured daemon.
+func TestRunFailsFastOnBadProjectsFile(t *testing.T) {
+	cases := map[string]string{
+		"not json":       `{`,
+		"unknown field":  `{"p1": {"method": "MV", "typo_knob": 3}}`,
+		"unknown method": `{"p1": {"method": "Oops"}}`,
+		"bad task type":  `{"p1": {"method": "MV", "task_type": "tabular"}}`,
+		"type mismatch":  `{"p1": {"method": "Mean"}}`,
+		"bad policy":     `{"p1": {"method": "MV", "assign": {"policy": "qasca"}}}`,
+		"bad lease ttl":  `{"p1": {"method": "MV", "assign": {"policy": "random", "lease_ttl": "soon"}}}`,
+		"bad id":         `{"p 1": {"method": "MV"}}`,
+		"reserved id":    `{"default": {"method": "MV"}}`,
+		"negative budget": `{"p1": {"method": "MV",
+			"assign": {"policy": "random", "budget": -1}}}`,
+	}
+	for name, body := range cases {
+		t.Run(name, func(t *testing.T) {
+			file := filepath.Join(t.TempDir(), "projects.json")
+			if err := os.WriteFile(file, []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ln.Close()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			err = run(ctx, config{method: "MV", taskType: "decision", choices: 2, projectsFile: file}, ln, func(string, ...any) {})
+			if err == nil {
+				t.Fatalf("run accepted projects file %q", body)
+			}
+		})
+	}
+	t.Run("missing file", func(t *testing.T) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ln.Close()
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		err = run(ctx, config{method: "MV", taskType: "decision", choices: 2,
+			projectsFile: filepath.Join(t.TempDir(), "absent.json")}, ln, func(string, ...any) {})
+		if err == nil {
+			t.Fatal("run accepted a missing projects file")
+		}
+	})
 }
 
 // TestServeErrorIsReturned pins the pre-fix failure mode: if the

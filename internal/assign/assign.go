@@ -16,9 +16,11 @@
 //     from the store's existing answers at construction, so preloaded
 //     datasets and daemon restarts are covered).
 //
-// The budget is per ledger instance — routed spend is not recovered
-// across restarts; reboot a budgeted deployment with the remaining
-// budget (see Config.Budget).
+// The budget is accounted per ledger instance by default; with
+// Config.ChargeExisting (the Spec config layer's default) it instead
+// caps the store's live answer total, so the accounting is continuous
+// across restarts and a durable deployment rebooted with the same
+// config resumes with exactly the remaining budget.
 //
 // Leases expire after the configured TTL and are reclaimed lazily on the
 // next ledger operation, so abandoned assignments flow back into the
@@ -91,12 +93,19 @@ type Config struct {
 	// 0 means DefaultRedundancy; negative is rejected.
 	Redundancy int
 	// Budget caps the total answers the ledger will route (completed +
-	// outstanding leases). 0 means unlimited. The count is per ledger
-	// instance: a restarted daemon recovers its store but not its routed
-	// spend, so pass the *remaining* budget (total minus the recovered
-	// store's answer count, visible in /v1/stats) when rebooting a
-	// budgeted deployment.
+	// outstanding leases, plus — with ChargeExisting — answers already
+	// in the store at construction). 0 means unlimited.
 	Budget int
+	// ChargeExisting makes Budget a cap on the store's *total* answers
+	// (the live answer count plus outstanding leases) instead of on this
+	// instance's routed spend. The accounting is continuous across
+	// restarts: recovered, preloaded and directly-ingested answers all
+	// count, so a durable deployment rebooted with the same config
+	// resumes with exactly the remaining budget — no manual
+	// remaining-budget arithmetic. The multi-tenant config layer
+	// (assign.Spec) sets it unless Spec.NoChargeExisting opts back into
+	// per-instance accounting.
+	ChargeExisting bool
 	// LeaseTTL is how long a worker holds an assignment before it is
 	// reclaimed and re-issuable. 0 means DefaultLeaseTTL.
 	LeaseTTL time.Duration
@@ -162,6 +171,18 @@ type Ledger struct {
 	issued   uint64
 	redeemed uint64
 	expired  uint64
+}
+
+// budgetCommittedLocked returns the spend counted against the budget:
+// with ChargeExisting, the store's live answer total (recovered,
+// preloaded, direct and routed alike) plus outstanding leases; without
+// it, the legacy per-instance count of routed answers.
+func (l *Ledger) budgetCommittedLocked() int {
+	if l.cfg.ChargeExisting {
+		_, _, answers := l.src.Dims()
+		return answers + len(l.leases)
+	}
+	return int(l.redeemed) + len(l.leases)
 }
 
 // NewLedger validates the config and builds an empty ledger over the
@@ -243,7 +264,7 @@ func (l *Ledger) Assign(worker int) (Lease, error) {
 	defer l.mu.Unlock()
 	now := l.now()
 	l.reclaimLocked(now)
-	if l.cfg.Budget > 0 && int(l.redeemed)+len(l.leases) >= l.cfg.Budget {
+	if l.cfg.Budget > 0 && l.budgetCommittedLocked() >= l.cfg.Budget {
 		return Lease{}, ErrBudgetExhausted
 	}
 	l.syncLocked()
@@ -394,6 +415,8 @@ type Stats struct {
 	Completed uint64 `json:"completed"`
 	Expired   uint64 `json:"expired"`
 	// BudgetRemaining is the uncommitted budget (−1 when unlimited).
+	// With Config.ChargeExisting the committed side is the store's live
+	// answer total plus outstanding leases.
 	BudgetRemaining int `json:"budget_remaining"`
 	// EligibleTasks counts tasks still under their redundancy cap.
 	EligibleTasks int `json:"eligible_tasks"`
@@ -424,7 +447,9 @@ func (l *Ledger) Stats() Stats {
 		ResultVersion:   l.postVer,
 	}
 	if l.cfg.Budget > 0 {
-		st.BudgetRemaining = l.cfg.Budget - int(l.redeemed) - len(l.leases)
+		if st.BudgetRemaining = l.cfg.Budget - l.budgetCommittedLocked(); st.BudgetRemaining < 0 {
+			st.BudgetRemaining = 0
+		}
 	}
 	for t := range l.counts {
 		if l.counts[t]+l.outstanding[t] < l.cfg.Redundancy {

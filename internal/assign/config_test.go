@@ -1,0 +1,63 @@
+package assign
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestSpecValidateAndBuild(t *testing.T) {
+	bad := []Spec{
+		{},                // no policy
+		{Policy: "qasca"}, // unknown policy
+		{Policy: "random", Redundancy: -1},
+		{Policy: "random", Budget: -1},
+		{Policy: "random", LeaseTTL: Duration(-time.Second)},
+		{Policy: "random", PriorQuality: -0.1},
+		{Policy: "random", PriorQuality: 1},
+	}
+	for _, sp := range bad {
+		if err := sp.Validate(); err == nil {
+			t.Errorf("Spec %+v validated", sp)
+		}
+		if _, err := sp.Ledger(newFakeSource(0, 2), 1); err == nil {
+			t.Errorf("Spec %+v built a ledger", sp)
+		}
+	}
+
+	sp := Spec{Policy: "least-answered", Redundancy: 2, Budget: 9, LeaseTTL: Duration(45 * time.Second)}
+	l, err := sp.Ledger(newFakeSource(3, 2), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	if st.Policy != "least-answered" || st.Redundancy != 2 || st.Budget != 9 || st.LeaseTTLMS != 45000 {
+		t.Fatalf("built ledger stats = %+v", st)
+	}
+}
+
+func TestDurationJSON(t *testing.T) {
+	// String form round-trips through the canonical representation.
+	var d Duration
+	for raw, want := range map[string]time.Duration{
+		`"90s"`:   90 * time.Second,
+		`"2m30s"`: 150 * time.Second,
+		`1000000`: time.Millisecond, // bare nanoseconds
+	} {
+		if err := json.Unmarshal([]byte(raw), &d); err != nil {
+			t.Fatalf("unmarshal %s: %v", raw, err)
+		}
+		if time.Duration(d) != want {
+			t.Errorf("unmarshal %s = %v, want %v", raw, time.Duration(d), want)
+		}
+	}
+	out, err := json.Marshal(Duration(90 * time.Second))
+	if err != nil || string(out) != `"1m30s"` {
+		t.Errorf("marshal = %s, %v", out, err)
+	}
+	for _, raw := range []string{`"soonish"`, `true`, `{}`, `"12"`} {
+		if err := json.Unmarshal([]byte(raw), &d); err == nil {
+			t.Errorf("unmarshal %s accepted", raw)
+		}
+	}
+}

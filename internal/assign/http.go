@@ -23,9 +23,17 @@ import (
 // unknown/expired lease → 410, wrong worker → 403, malformed request
 // or rejected answer → 400/422.
 
-// IngestFunc delivers one completed answer into the serving store;
-// cmd/truthserve adapts stream.Service.Ingest to it.
+// IngestFunc delivers one completed answer into the serving store; the
+// daemon adapts stream.Service.Ingest to it. A delivery that fails
+// because the store has been closed (its project was deleted) should
+// return an error wrapping ErrStoreClosed so the completion maps to
+// HTTP 410 rather than a misleading rejected-answer 422.
 type IngestFunc func(task, worker int, value float64) (version uint64, err error)
+
+// ErrStoreClosed marks a completion whose answer could not be delivered
+// because the serving store is closed (the project was deleted while
+// the worker held the lease).
+var ErrStoreClosed = errors.New("assign: serving store is closed")
 
 // completeRequest is the JSON shape of POST /v1/complete.
 type completeRequest struct {
@@ -88,6 +96,8 @@ func assignStatus(err error) int {
 	case errors.Is(err, ErrBudgetExhausted):
 		return http.StatusConflict
 	case errors.Is(err, ErrLeaseNotFound):
+		return http.StatusGone
+	case errors.Is(err, ErrStoreClosed):
 		return http.StatusGone
 	case errors.Is(err, ErrLeaseWorker):
 		return http.StatusForbidden

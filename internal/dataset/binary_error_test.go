@@ -1,0 +1,100 @@
+package dataset
+
+import (
+	"encoding/binary"
+	"math"
+	"strings"
+	"testing"
+)
+
+// Hand-crafted hostile encodings for UnmarshalDataset. The round-trip
+// and flipped-byte cases live in binary_test.go; this table drives the
+// decoder through every guard with payloads built field by field, so a
+// future layout change that silently drops a check fails here by name.
+
+// enc builds a binary encoding from parts.
+type enc []byte
+
+func newEnc() enc                  { return enc(binaryMagic) }
+func (e enc) uvarint(v uint64) enc { return binary.AppendUvarint(e, v) }
+func (e enc) raw(b ...byte) enc    { return append(e, b...) }
+func (e enc) str(s string) enc     { return append(e.uvarint(uint64(len(s))), s...) }
+func (e enc) f64(v float64) enc    { return binary.LittleEndian.AppendUint64(e, math.Float64bits(v)) }
+
+// header emits name through numWorkers for a 2-task 2-worker decision
+// dataset — the valid prefix the hostile suffixes build on.
+func header() enc {
+	return newEnc().str("d").uvarint(uint64(Decision)).uvarint(2).uvarint(2).uvarint(2)
+}
+
+func TestUnmarshalDatasetErrorPaths(t *testing.T) {
+	valid := header().uvarint(1).uvarint(0).uvarint(0).f64(1).uvarint(0)
+	if _, err := UnmarshalDataset(valid); err != nil {
+		t.Fatalf("fixture encoding rejected: %v", err)
+	}
+
+	cases := []struct {
+		name    string
+		data    []byte
+		wantSub string // substring the error must carry (empty = any error)
+	}{
+		{"empty", nil, "magic"},
+		{"short magic", []byte(binaryMagic[:3]), "magic"},
+		{"wrong magic", append([]byte("TIDX\x01"), header()[5:]...), "magic"},
+		{"name length overruns payload", newEnc().uvarint(1 << 20).raw('d'), "name length"},
+		{"truncated after name", newEnc().str("d"), "truncated"},
+		{"truncated mid header", newEnc().str("d").uvarint(uint64(Decision)).uvarint(2), "truncated"},
+		{"oversized tasks", newEnc().str("d").uvarint(uint64(Decision)).uvarint(2).uvarint(1 << 27).uvarint(2), "implausible dims"},
+		{"oversized workers", newEnc().str("d").uvarint(uint64(Decision)).uvarint(2).uvarint(2).uvarint(1 << 27), "implausible dims"},
+		{"oversized choices", newEnc().str("d").uvarint(uint64(SingleChoice)).uvarint(1 << 25).uvarint(2).uvarint(2), "implausible dims"},
+		{"answer count overruns payload", header().uvarint(1 << 30), "answer count"},
+		{"answer shorter than declared", header().uvarint(1).raw(1, 2, 3), "answer count"},
+		// Exactly minAnswerEnc bytes follow, so the count guard passes, but
+		// they are all varint continuation bytes — the record truncates.
+		{"truncated answer", header().uvarint(1).raw(0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80), "truncated"},
+		{"truth count overruns payload", header().uvarint(0).uvarint(1 << 30), "truth count"},
+		{"truncated truth", header().uvarint(0).uvarint(1).raw(0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80), "truncated"},
+		{"missing truth section", header().uvarint(0), "truncated"},
+		{"trailing bytes", append(append(enc(nil), valid...), 0xEE), "trailing"},
+		// Structurally sound but semantically invalid: Build must reject.
+		{"answer beyond task range", header().uvarint(1).uvarint(7).uvarint(0).f64(1).uvarint(0), ""},
+		{"label beyond choices", header().uvarint(1).uvarint(0).uvarint(0).f64(9).uvarint(0), ""},
+		{"truth beyond task range", header().uvarint(0).uvarint(1).uvarint(7).f64(1), ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := UnmarshalDataset(c.data)
+			if err == nil {
+				t.Fatalf("hostile encoding accepted")
+			}
+			if c.wantSub != "" && !strings.Contains(err.Error(), c.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+// TestUnmarshalDatasetTruncationSweep cuts a valid encoding at every
+// byte boundary: no prefix may decode successfully (or panic).
+func TestUnmarshalDatasetTruncationSweep(t *testing.T) {
+	d, err := New("sweep", SingleChoice, 3, 3, 2, []Answer{
+		{Task: 0, Worker: 0, Value: 1},
+		{Task: 1, Worker: 1, Value: 2},
+		{Task: 2, Worker: 0, Value: 0},
+	}, map[int]float64{0: 1, 2: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := d.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(full); n++ {
+		if _, err := UnmarshalDataset(full[:n]); err == nil {
+			t.Fatalf("truncation at byte %d of %d decoded successfully", n, len(full))
+		}
+	}
+	if _, err := UnmarshalDataset(full); err != nil {
+		t.Fatalf("full encoding rejected: %v", err)
+	}
+}

@@ -2,6 +2,7 @@ package stream
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"net/http"
@@ -92,7 +93,12 @@ func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	version, err := s.Ingest(b)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		status := http.StatusUnprocessableEntity
+		if errors.Is(err, ErrClosed) {
+			// The project was deleted while this request was in flight.
+			status = http.StatusGone
+		}
+		writeError(w, status, err)
 		return
 	}
 	tasks, workers, answers := s.store.Dims()
@@ -107,7 +113,11 @@ func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleRefresh(w http.ResponseWriter, _ *http.Request) {
 	if err := s.Refresh(); err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrClosed) {
+			status = http.StatusGone
+		}
+		writeError(w, status, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, s.Stats())

@@ -16,6 +16,12 @@ import (
 // epoch has published a result.
 var ErrNotInferred = errors.New("stream: no inference result published yet — ingest answers and refresh")
 
+// ErrClosed is returned by Ingest and Refresh on a service that has been
+// (or is being) closed — e.g. a multi-tenant project deleted while a
+// request for it was in flight. Reads keep serving the last published
+// result; only mutation and epoch work is rejected.
+var ErrClosed = errors.New("stream: service is closed")
+
 // Config parameterizes a Service.
 type Config struct {
 	// Method is the truth-inference method to serve.
@@ -76,6 +82,11 @@ type Service struct {
 	queued   atomic.Bool
 	bg       sync.WaitGroup // tracks in-flight background refreshes so Close can drain them
 
+	// closing flips before Close drains: Ingest and Refresh reject with
+	// ErrClosed from that point on, so no new epoch can be scheduled onto
+	// the worker pool Close is about to release.
+	closing atomic.Bool
+
 	mu         sync.RWMutex // guards the published state below
 	res        *core.Result
 	resVersion uint64
@@ -135,6 +146,10 @@ func NewService(store *Store, cfg Config) (*Service, error) {
 // iterative methods schedule a coalesced background re-inference.
 func (s *Service) Ingest(b Batch) (uint64, error) {
 	s.ingestMu.Lock()
+	if s.closing.Load() {
+		s.ingestMu.Unlock()
+		return 0, ErrClosed
+	}
 	if s.persistErr != nil {
 		// A batch is in memory but missing from the WAL; logging any
 		// further batch would leave a version gap recovery reads as
@@ -170,11 +185,14 @@ func (s *Service) Ingest(b Batch) (uint64, error) {
 			return version, fmt.Errorf("stream: batch at version %d applied in memory but not durably logged: %w", version, err)
 		}
 	}
-	s.ingestMu.Unlock()
-
 	if s.inc == nil && s.cfg.AutoRefresh {
+		// Scheduled while ingestMu is still held: Close flips closing
+		// under the same lock, so every bg.Add here is strictly ordered
+		// before Close's bg.Wait — the Add-concurrent-with-Wait panic
+		// cannot happen.
 		s.refreshAsync()
 	}
+	s.ingestMu.Unlock()
 	return version, nil
 }
 
@@ -192,6 +210,12 @@ func (s *Service) refreshAsync() {
 		defer s.bg.Done()
 		s.inferMu.Lock()
 		s.queued.Store(false)
+		if s.closing.Load() {
+			// Close won the inferMu race; the pool is (about to be)
+			// released, so this late refresh must not run an epoch.
+			s.inferMu.Unlock()
+			return
+		}
 		err := s.refreshLocked()
 		s.inferMu.Unlock()
 		s.mu.Lock()
@@ -206,16 +230,33 @@ func (s *Service) refreshAsync() {
 // and return immediately. Refresh is a no-op when the published result
 // already reflects the latest store version.
 func (s *Service) Refresh() error {
+	if s.closing.Load() {
+		return ErrClosed
+	}
 	if s.inc != nil {
 		// No epochs to run, but an explicit refresh is still a durability
 		// boundary: flush the WAL so everything served is also on disk.
+		// The flush deliberately runs without ingestMu (an fsync must not
+		// stall the O(delta) ingest hot path); if it fails because Close
+		// won the race and closed the persister, report ErrClosed rather
+		// than the persister's own error.
 		if s.cfg.Persist != nil {
-			return s.cfg.Persist.Sync()
+			if err := s.cfg.Persist.Sync(); err != nil {
+				if s.closing.Load() {
+					return ErrClosed
+				}
+				return err
+			}
 		}
 		return nil
 	}
 	s.inferMu.Lock()
 	defer s.inferMu.Unlock()
+	if s.closing.Load() {
+		// Checked under inferMu: once Close holds this lock and releases
+		// it, no later Refresh may touch the released worker pool.
+		return ErrClosed
+	}
 	err := s.refreshLocked()
 	s.mu.Lock()
 	s.lastErr = err
@@ -391,6 +432,10 @@ type PersistStatter interface {
 // Stats summarizes the store and the serving state (also the JSON shape
 // of GET /v1/stats).
 type Stats struct {
+	// Name identifies the store being served — the project id in a
+	// multi-tenant daemon — so aggregated per-tenant stats are
+	// self-describing.
+	Name    string `json:"name"`
 	Method  string `json:"method"`
 	Tasks   int    `json:"tasks"`
 	Workers int    `json:"workers"`
@@ -426,6 +471,7 @@ func (s *Service) Stats() Stats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	st := Stats{
+		Name:         s.store.Name(),
 		Method:       s.method.Name(),
 		Tasks:        tasks,
 		Workers:      workers,
@@ -466,9 +512,18 @@ func (s *Service) Stats() Stats {
 // publishes), flushes the write-ahead log, and releases the service's
 // persistent worker pool. A non-nil error means the final WAL flush
 // failed — batches acknowledged since the last successful Sync may not
-// be on disk. The service must not be used after Close; the caller
-// should stop ingesting (e.g. shut down the HTTP server) first.
+// be on disk. Close is idempotent, and from the moment it is called
+// Ingest and Refresh reject with ErrClosed while reads keep serving the
+// last published result — so a multi-tenant registry can delete a
+// project out from under in-flight requests without tearing anything.
 func (s *Service) Close() error {
+	// closing flips under ingestMu: an Ingest that already passed its
+	// closing check has also already done its bg.Add (both happen inside
+	// the same critical section), so bg.Wait below can never race a
+	// concurrent bg.Add from zero.
+	s.ingestMu.Lock()
+	s.closing.Store(true)
+	s.ingestMu.Unlock()
 	s.bg.Wait()
 	s.inferMu.Lock()
 	defer s.inferMu.Unlock()

@@ -462,6 +462,17 @@ func (s *Store) ForEachAnswer(f func(task, worker int)) {
 	}
 }
 
+// Name returns the store's name (the project id in a multi-tenant
+// deployment, or the preloaded dataset's name).
+func (s *Store) Name() string { return s.name }
+
+// SetName renames the store. It must be called before the store is
+// shared (no lock is taken); the tenant layer uses it so stores
+// recovered from pre-multi-tenant snapshots — which persisted the old
+// hardcoded name — report their project id in stats and in every later
+// snapshot.
+func (s *Store) SetName(name string) { s.name = name }
+
 // TaskType returns the store's task family.
 func (s *Store) TaskType() dataset.TaskType { return s.typ }
 

@@ -1,0 +1,82 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Namespaced durable state: a multi-tenant daemon keeps one WAL +
+// snapshot pair per project under <root>/<id>/, so tenants never share a
+// log and a project delete is one directory removal. Namespace ids flow
+// in from an admin API, so they are validated as single, safe path
+// components before ever touching the filesystem — "../../etc" is a
+// config error, not a traversal.
+
+// MaxNamespaceLen bounds a namespace id's length (filesystem name limits
+// minus room for the ".wal"/".snap" suffixes).
+const MaxNamespaceLen = 128
+
+// ValidNamespace reports whether id is acceptable as a namespace: 1 to
+// MaxNamespaceLen characters drawn from [a-z0-9._-], starting with a
+// letter or digit. That rules out path separators, "..", hidden-file
+// prefixes and case-collision surprises in one rule.
+func ValidNamespace(id string) error {
+	if id == "" {
+		return fmt.Errorf("wal: empty namespace id")
+	}
+	if len(id) > MaxNamespaceLen {
+		return fmt.Errorf("wal: namespace id longer than %d characters", MaxNamespaceLen)
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		lowerOrDigit := (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')
+		if i == 0 && !lowerOrDigit {
+			return fmt.Errorf("wal: namespace id %q must start with a lowercase letter or digit", id)
+		}
+		if !lowerOrDigit && c != '.' && c != '_' && c != '-' {
+			return fmt.Errorf("wal: namespace id %q contains %q (valid: lowercase letters, digits, '.', '_', '-')", id, string(c))
+		}
+	}
+	return nil
+}
+
+// NamespaceDir validates id and returns its directory under root. It
+// does not create the directory.
+func NamespaceDir(root, id string) (string, error) {
+	if err := ValidNamespace(id); err != nil {
+		return "", err
+	}
+	return filepath.Join(root, id), nil
+}
+
+// Namespaces lists the namespace ids present under root: subdirectories
+// whose names validate and which hold at least one durable artifact
+// (<dir>/*.wal or <dir>/*.snap). A missing root is an empty listing, not
+// an error — a fresh daemon has recovered nothing yet. The multi-tenant
+// registry uses the listing at boot to recover every tenant and to warn
+// about orphaned state no manifest entry claims.
+func Namespaces(root string) ([]string, error) {
+	entries, err := os.ReadDir(root)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var ids []string
+	for _, e := range entries {
+		if !e.IsDir() || ValidNamespace(e.Name()) != nil {
+			continue
+		}
+		dir := filepath.Join(root, e.Name())
+		wals, _ := filepath.Glob(filepath.Join(dir, "*.wal"))
+		snaps, _ := filepath.Glob(filepath.Join(dir, "*.snap"))
+		if len(wals) > 0 || len(snaps) > 0 {
+			ids = append(ids, e.Name())
+		}
+	}
+	sort.Strings(ids)
+	return ids, nil
+}

@@ -1,0 +1,68 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestValidNamespace(t *testing.T) {
+	for _, ok := range []string{"a", "p1", "my-project", "img_labels.v2", "0day"} {
+		if err := ValidNamespace(ok); err != nil {
+			t.Errorf("ValidNamespace(%q) = %v, want nil", ok, err)
+		}
+	}
+	bad := []string{
+		"", "..", ".hidden", "-lead", "_lead", "UPPER", "has space",
+		"slash/inside", "back\\slash", "../traverse", "nul\x00byte",
+		strings.Repeat("x", MaxNamespaceLen+1),
+	}
+	for _, id := range bad {
+		if err := ValidNamespace(id); err == nil {
+			t.Errorf("ValidNamespace(%q) accepted", id)
+		}
+	}
+}
+
+func TestNamespaceDirRejectsTraversal(t *testing.T) {
+	if _, err := NamespaceDir("/tmp/root", "../../etc"); err == nil {
+		t.Fatal("traversal id accepted")
+	}
+	dir, err := NamespaceDir("/tmp/root", "ok")
+	if err != nil || dir != filepath.Join("/tmp/root", "ok") {
+		t.Fatalf("NamespaceDir = %q, %v", dir, err)
+	}
+}
+
+func TestNamespacesListing(t *testing.T) {
+	root := t.TempDir()
+	// Missing root: empty, no error.
+	if ids, err := Namespaces(filepath.Join(root, "absent")); err != nil || ids != nil {
+		t.Fatalf("missing root: %v, %v", ids, err)
+	}
+	mk := func(id, file string) {
+		dir := filepath.Join(root, id)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if file != "" {
+			if err := os.WriteFile(filepath.Join(dir, file), []byte("x"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	mk("beta", "store.wal")
+	mk("alpha", "store.snap")
+	mk("empty", "")         // no durable artifacts → skipped
+	mk("notes", "todo.txt") // unrelated file → skipped
+	mk("BadName", "a.wal")  // invalid id → skipped
+	ids, err := Namespaces(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"alpha", "beta"}; !reflect.DeepEqual(ids, want) {
+		t.Fatalf("Namespaces = %v, want %v", ids, want)
+	}
+}

@@ -45,6 +45,12 @@ func runPersisted(t *testing.T, base string, method core.Method, batches []strea
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The persister is abandoned below to simulate a crash, but a
+	// background compaction it kicked may still be writing snapshot
+	// files; wait it out before the TempDir is destroyed (a completed
+	// compaction is itself a legal crash boundary, so this changes
+	// nothing the assertions care about).
+	t.Cleanup(p.waitIdle)
 	svc, err := stream.NewService(rec.Store, stream.Config{
 		Method:  method,
 		Options: core.Options{Seed: 11},
@@ -167,6 +173,7 @@ func TestRecoveryEquivalenceAtEveryBoundary(t *testing.T) {
 					t.Fatal(err)
 				}
 				svc.Close()
+				p.Close()
 				if len(got) != len(golden) {
 					t.Fatalf("boundary %d: %d truths, golden has %d", j, len(got), len(golden))
 				}

@@ -1,0 +1,138 @@
+package tenant
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// The multi-tenant HTTP surface, mounted by cmd/truthserve:
+//
+//	POST   /v1/admin/projects        {"id":"p1","config":{...}}  create
+//	GET    /v1/admin/projects        list every project + stats
+//	GET    /v1/admin/projects/{id}   one project's stats
+//	DELETE /v1/admin/projects/{id}   close + delete a project
+//	*      /v1/projects/{id}/...     that project's full API (the same
+//	                                 /v1/... routes the single-tenant
+//	                                 daemon served)
+//	*      /v1/...                   legacy unprefixed routes → the
+//	                                 default project
+//
+// Project APIs are exactly the stream + assign handlers; the registry
+// only rewrites /v1/projects/{id}/ingest to /v1/ingest and dispatches to
+// the addressed project, so per-tenant behavior stays byte-identical to
+// the single-tenant daemon.
+
+// createRequest is the JSON shape of POST /v1/admin/projects.
+type createRequest struct {
+	ID     string          `json:"id"`
+	Config json.RawMessage `json:"config"`
+}
+
+// Handler returns the registry's full HTTP surface.
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/admin/projects", r.handleCreate)
+	mux.HandleFunc("GET /v1/admin/projects", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"projects": r.List()})
+	})
+	mux.HandleFunc("GET /v1/admin/projects/{id}", func(w http.ResponseWriter, req *http.Request) {
+		p, ok := r.Get(req.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("%w: %q", ErrNotFound, req.PathValue("id")))
+			return
+		}
+		writeJSON(w, http.StatusOK, p.Info())
+	})
+	mux.HandleFunc("DELETE /v1/admin/projects/{id}", r.handleDelete)
+	mux.HandleFunc("/v1/projects/{id}/{rest...}", r.route)
+	// Daemon-level liveness: answered by the registry itself (same shape
+	// as the per-project probes), so /v1/healthz stays live even if the
+	// default project is somehow absent.
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	// Everything else is a legacy unprefixed route against the default
+	// project.
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		p, ok := r.Get(DefaultProjectID)
+		if !ok {
+			writeError(w, http.StatusNotFound, errors.New("tenant: no default project"))
+			return
+		}
+		p.Handler().ServeHTTP(w, req)
+	})
+	return mux
+}
+
+// route dispatches /v1/projects/{id}/<rest> to project id's own handler
+// as /v1/<rest>.
+func (r *Registry) route(w http.ResponseWriter, req *http.Request) {
+	p, ok := r.Get(req.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("%w: %q", ErrNotFound, req.PathValue("id")))
+		return
+	}
+	// Shallow-clone the request with the project prefix stripped, the
+	// same way http.StripPrefix re-addresses a request.
+	u := *req.URL
+	u.Path = "/v1/" + req.PathValue("rest")
+	u.RawPath = ""
+	r2 := new(http.Request)
+	*r2 = *req
+	r2.URL = &u
+	p.Handler().ServeHTTP(w, r2)
+}
+
+func (r *Registry) handleCreate(w http.ResponseWriter, req *http.Request) {
+	var body createRequest
+	dec := json.NewDecoder(req.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode create body: %w", err))
+		return
+	}
+	if len(body.Config) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("tenant: create request has no config"))
+		return
+	}
+	cfg, err := DecodeConfig(body.Config)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	p, err := r.Create(body.ID, cfg)
+	if err != nil {
+		status := http.StatusUnprocessableEntity
+		if errors.Is(err, ErrExists) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, p.Info())
+}
+
+func (r *Registry) handleDelete(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	if err := r.Delete(id); err != nil {
+		status := http.StatusUnprocessableEntity
+		if errors.Is(err, ErrNotFound) {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

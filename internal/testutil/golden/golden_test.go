@@ -1,0 +1,141 @@
+// Package golden is the end-to-end regression corpus: three tiny
+// checked-in datasets (testdata/*.answers.tsv + *.truth.tsv) and, for
+// every method applicable to each, the exact truth vector it inferred
+// when the corpus was last blessed (testdata/truths.json). The
+// table-driven test diffs current output against the goldens, so any
+// change to any method's numerical behavior — intended or not — shows up
+// as a reviewable diff of this directory.
+//
+// Regenerate after an intended behavior change with:
+//
+//	go test ./internal/testutil/golden -update
+package golden
+
+import (
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	ti "truthinference"
+	"truthinference/internal/testutil"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden datasets and expected truths")
+
+// goldenOptions is the fixed inference configuration of the corpus.
+var goldenOptions = ti.Options{Seed: 7, MaxIterations: 50}
+
+// corpus describes the three checked-in datasets. The generator specs
+// stay here so -update rebuilds the TSVs and the expected truths from
+// the same source of randomness.
+var corpus = []struct {
+	name     string
+	generate func() *ti.Dataset
+}{
+	{"decision", func() *ti.Dataset {
+		return testutil.Categorical(testutil.CrowdSpec{
+			NumTasks: 12, NumWorkers: 5, NumChoices: 2, Redundancy: 4, Seed: 2,
+		})
+	}},
+	{"choice4", func() *ti.Dataset {
+		return testutil.Categorical(testutil.CrowdSpec{
+			NumTasks: 10, NumWorkers: 6, NumChoices: 4, Redundancy: 4, Seed: 3,
+		})
+	}},
+	{"numeric", func() *ti.Dataset {
+		return testutil.Numeric(testutil.NumericSpec{
+			NumTasks: 8, NumWorkers: 5, Redundancy: 3, Seed: 4,
+		})
+	}},
+}
+
+func truthsPath() string { return filepath.Join("testdata", "truths.json") }
+
+// TestGoldenTruths infers every applicable method over every corpus
+// dataset and diffs the truth vector against the blessed golden. Exact
+// for categorical labels; numeric estimates tolerate 1e-9 relative
+// (cross-platform float scheduling), which is far below any behavioral
+// change worth catching.
+func TestGoldenTruths(t *testing.T) {
+	goldens := map[string]map[string][]float64{}
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		data, err := os.ReadFile(truthsPath())
+		if err != nil {
+			t.Fatalf("golden truths missing (run with -update to bless): %v", err)
+		}
+		if err := json.Unmarshal(data, &goldens); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for _, c := range corpus {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			base := filepath.Join("testdata", c.name)
+			if *update {
+				if err := ti.SaveDataset(base, c.generate()); err != nil {
+					t.Fatal(err)
+				}
+			}
+			d, err := ti.LoadDataset(base)
+			if err != nil {
+				t.Fatalf("load corpus dataset (run with -update to bless): %v", err)
+			}
+			if *update {
+				goldens[c.name] = map[string][]float64{}
+			}
+			for _, m := range ti.MethodsForType(d.Type) {
+				res, err := m.Infer(d, goldenOptions)
+				if err != nil {
+					t.Errorf("%s: %v", m.Name(), err)
+					continue
+				}
+				if *update {
+					goldens[c.name][m.Name()] = res.Truth
+					continue
+				}
+				want, ok := goldens[c.name][m.Name()]
+				if !ok {
+					t.Errorf("%s: no golden truth recorded (run with -update to bless)", m.Name())
+					continue
+				}
+				diffTruths(t, m.Name(), d.Type == ti.Numeric, res.Truth, want)
+			}
+		})
+	}
+
+	if *update {
+		data, err := json.MarshalIndent(goldens, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(truthsPath(), append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Log("golden corpus rewritten; review and commit the testdata diff")
+	}
+}
+
+func diffTruths(t *testing.T, method string, numeric bool, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Errorf("%s: %d truths, golden has %d", method, len(got), len(want))
+		return
+	}
+	for i := range got {
+		if numeric {
+			if math.Abs(got[i]-want[i]) > 1e-9*math.Max(1, math.Abs(want[i])) {
+				t.Errorf("%s: task %d = %v, golden %v", method, i, got[i], want[i])
+			}
+		} else if got[i] != want[i] {
+			t.Errorf("%s: task %d = %v, golden %v", method, i, got[i], want[i])
+		}
+	}
+}
