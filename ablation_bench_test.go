@@ -1,9 +1,10 @@
 package truthinference
 
-// Ablation benches for the design choices DESIGN.md §7 calls out,
-// mirroring the paper's §6.3.4 factor analysis. Each bench reports the
-// quality delta the design choice buys on the dataset where the paper says
-// it matters.
+// Ablation benches mirroring the paper's §6.3.4 factor analysis. Each
+// bench isolates one modeling choice the evaluation section credits —
+// worker model granularity, priors, inference family, qualification via
+// golden tasks, latent dimensionality — and reports the quality delta
+// that choice buys on the dataset where the paper says it matters.
 
 import (
 	"fmt"

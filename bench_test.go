@@ -1,8 +1,9 @@
 package truthinference
 
 // Benchmark harness: one testing.B target per table and figure of the
-// paper's evaluation section (see DESIGN.md §5 for the experiment index)
-// plus the ablation benches of DESIGN.md §7. Each bench reports, via
+// paper's evaluation section (cmd/benchall's package doc lists the
+// experiment index behind its -exp flag) plus the ablation benches of
+// ablation_bench_test.go. Each bench reports, via
 // b.ReportMetric, the headline quality number of the artifact it
 // regenerates alongside the usual ns/op, so `go test -bench=. -benchmem`
 // doubles as a compact reproduction log. Dataset sizes are scaled to keep

@@ -56,6 +56,14 @@ func main() {
 	}
 	fmt.Fprintln(os.Stderr, buildinfo.String("benchall"))
 
+	if !(*scale > 0 && *scale <= 1) {
+		fmt.Fprintf(os.Stderr, "benchall: -scale %v out of range: want 0 < scale <= 1 (1 = the paper's full dataset sizes)\n", *scale)
+		os.Exit(1)
+	}
+	if *repeats < 1 {
+		fmt.Fprintf(os.Stderr, "benchall: -repeats %d out of range: want >= 1\n", *repeats)
+		os.Exit(1)
+	}
 	selected, err := selectMethods(*methods)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchall: %v\n", err)

@@ -1,0 +1,113 @@
+// Command benchjson measures the serving stack's performance envelope —
+// ingest throughput, per-method inference epoch latency, assignment
+// QPS — and writes it as a schema'd JSON report (BENCH_<n>.json) that is
+// checked into the repo root as one point on the performance trajectory.
+//
+// Usage:
+//
+//	benchjson [-out BENCH_6.json] [-scale 0.1] [-seed 1] [-repeats 5]
+//	          [-baseline BENCH_6.json] [-max-regress 0.20]
+//	          [-validate file.json]
+//
+// With -validate, no measurement runs: the named report is checked
+// against the schema and the process exits (this is the cheap CI step).
+//
+// With -baseline, after measuring, the fresh report's normalized epoch
+// latencies are gated against the baseline file: any method whose
+// normalized latency grew by more than -max-regress fails the run. The
+// comparison uses calibration-normalized values, so a slower CI runner
+// does not read as a regression.
+//
+// To regenerate the checked-in baseline on a quiet machine:
+//
+//	go run ./cmd/benchjson -out BENCH_6.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"truthinference/internal/benchjson"
+	"truthinference/internal/buildinfo"
+)
+
+func main() {
+	var (
+		out        = flag.String("out", "BENCH_6.json", "report file to write")
+		scale      = flag.Float64("scale", 0.1, "dataset scale in (0, 1] (1 = the paper's full sizes)")
+		seed       = flag.Int64("seed", 1, "dataset generation seed")
+		repeats    = flag.Int("repeats", 5, "timing repetitions per measurement (minimum wins)")
+		baseline   = flag.String("baseline", "", "baseline report to gate against (empty = no gate)")
+		maxRegress = flag.Float64("max-regress", 0.20, "max allowed normalized epoch-latency growth vs baseline (0.20 = +20%)")
+		validate   = flag.String("validate", "", "validate this report file and exit (no measurement)")
+	)
+	version := flag.Bool("version", false, "print build info and exit")
+	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("benchjson"))
+		return
+	}
+	fmt.Fprintln(os.Stderr, buildinfo.String("benchjson"))
+
+	if err := run(*out, *scale, *seed, *repeats, *baseline, *maxRegress, *validate); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, scale float64, seed int64, repeats int, baseline string, maxRegress float64, validate string) error {
+	if validate != "" {
+		r, err := benchjson.Load(validate)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: schema v%d, %d epoch-latency entries, valid\n",
+			validate, r.SchemaVersion, len(r.EpochLatency))
+		return nil
+	}
+	if !(scale > 0 && scale <= 1) {
+		return fmt.Errorf("-scale %v out of range: want 0 < scale <= 1", scale)
+	}
+	if repeats < 1 {
+		return fmt.Errorf("-repeats %d out of range: want >= 1", repeats)
+	}
+	if !(maxRegress >= 0) {
+		return fmt.Errorf("-max-regress %v out of range: want >= 0", maxRegress)
+	}
+
+	benchID := strings.TrimSuffix(filepath.Base(out), ".json")
+	r, err := benchjson.Measure(benchID, scale, seed, repeats)
+	if err != nil {
+		return err
+	}
+	if err := benchjson.Validate(r); err != nil {
+		return fmt.Errorf("fresh report failed validation: %w", err)
+	}
+
+	fmt.Printf("calibration %.0f ns; ingest %.0f answers/s; assign %.0f QPS\n",
+		r.CalibrationNs, r.Ingest.OpsPerSec, r.Assign.OpsPerSec)
+	for _, e := range r.EpochLatency {
+		fmt.Printf("  %-6s %-22s %12.0f ns/epoch  (normalized %.4f)\n",
+			e.Method, e.Dataset, e.NsPerEpoch, e.Normalized)
+	}
+
+	if baseline != "" {
+		base, err := benchjson.Load(baseline)
+		if err != nil {
+			return fmt.Errorf("baseline: %w", err)
+		}
+		if err := benchjson.Compare(base, r, maxRegress); err != nil {
+			return err
+		}
+		fmt.Printf("epoch latencies within +%.0f%% of %s\n", maxRegress*100, baseline)
+	}
+
+	if err := r.Write(out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}

@@ -33,6 +33,9 @@ func main() {
 	}
 	fmt.Fprintln(os.Stderr, buildinfo.String("datagen"))
 
+	if !(*scale > 0 && *scale <= 1) {
+		fatal("-scale %v out of range: want 0 < scale <= 1 (1 = the paper's full dataset sizes)", *scale)
+	}
 	kinds := simulate.Kinds
 	if *only != "" {
 		k, err := simulate.KindFromName(*only)

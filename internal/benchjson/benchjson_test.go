@@ -1,0 +1,164 @@
+package benchjson
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func validReport() *Report {
+	return &Report{
+		SchemaVersion: SchemaVersion,
+		BenchID:       "BENCH_TEST",
+		GoVersion:     "go0.0",
+		Scale:         0.1,
+		Seed:          1,
+		CalibrationNs: 1e6,
+		Ingest:        Throughput{OpsPerSec: 5e5, Normalized: 500},
+		Assign:        Throughput{OpsPerSec: 1e4, Normalized: 10},
+		EpochLatency: []EpochStat{
+			{Method: "D&S", Dataset: "s_rel", NsPerEpoch: 2e6, Normalized: 2.0},
+			{Method: "PM", Dataset: "d_product", NsPerEpoch: 1e5, Normalized: 0.1},
+		},
+	}
+}
+
+func TestValidateAcceptsWellFormedReport(t *testing.T) {
+	if err := Validate(validReport()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Report)
+		want   string
+	}{
+		{"schema version", func(r *Report) { r.SchemaVersion = 99 }, "schema_version"},
+		{"empty bench id", func(r *Report) { r.BenchID = "" }, "bench_id"},
+		{"zero calibration", func(r *Report) { r.CalibrationNs = 0 }, "calibration_ns"},
+		{"negative scale", func(r *Report) { r.Scale = -1 }, "scale"},
+		{"zero ingest", func(r *Report) { r.Ingest.OpsPerSec = 0 }, "ingest"},
+		{"zero assign", func(r *Report) { r.Assign.Normalized = 0 }, "assign"},
+		{"no epochs", func(r *Report) { r.EpochLatency = nil }, "epoch_latency is empty"},
+		{"nameless epoch", func(r *Report) { r.EpochLatency[0].Method = "" }, "missing method"},
+		{"duplicate epoch", func(r *Report) { r.EpochLatency[1] = r.EpochLatency[0] }, "duplicate"},
+		{"zero latency", func(r *Report) { r.EpochLatency[1].NsPerEpoch = 0 }, "not positive"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := validReport()
+			tc.mutate(r)
+			err := Validate(r)
+			if err == nil {
+				t.Fatal("Validate accepted a malformed report")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestCompareGatesOnNormalizedLatency(t *testing.T) {
+	base := validReport()
+	cur := validReport()
+
+	// Within the window (+20% exactly is allowed, it is the boundary).
+	cur.EpochLatency[0].Normalized = base.EpochLatency[0].Normalized * 1.2
+	if err := Compare(base, cur, 0.20); err != nil {
+		t.Fatalf("boundary regression rejected: %v", err)
+	}
+
+	// Past the window fails and names the offender.
+	cur.EpochLatency[0].Normalized = base.EpochLatency[0].Normalized * 1.21
+	err := Compare(base, cur, 0.20)
+	if err == nil {
+		t.Fatal("21% regression passed a 20% gate")
+	}
+	if !strings.Contains(err.Error(), "D&S@s_rel") {
+		t.Fatalf("error %q does not name the regressed entry", err)
+	}
+
+	// Raw ns may grow arbitrarily as long as normalized holds: a slower
+	// machine is not a regression.
+	cur = validReport()
+	cur.CalibrationNs *= 10
+	for i := range cur.EpochLatency {
+		cur.EpochLatency[i].NsPerEpoch *= 10
+	}
+	if err := Compare(base, cur, 0.20); err != nil {
+		t.Fatalf("machine slowdown misread as regression: %v", err)
+	}
+}
+
+func TestCompareRequiresBaselineCoverage(t *testing.T) {
+	base := validReport()
+	cur := validReport()
+	cur.EpochLatency = cur.EpochLatency[:1] // dropped PM
+	err := Compare(base, cur, 0.20)
+	if err == nil {
+		t.Fatal("Compare accepted a report that dropped a baseline method")
+	}
+	if !strings.Contains(err.Error(), "PM@d_product") {
+		t.Fatalf("error %q does not name the missing entry", err)
+	}
+
+	// Extra entries in the current report are fine (new methods land
+	// without a baseline).
+	cur = validReport()
+	cur.EpochLatency = append(cur.EpochLatency, EpochStat{
+		Method: "ZC", Dataset: "d_product", NsPerEpoch: 1, Normalized: 1e-6,
+	})
+	if err := Compare(base, cur, 0.20); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_TEST.json")
+	want := validReport()
+	if err := want.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.BenchID != want.BenchID || got.CalibrationNs != want.CalibrationNs ||
+		len(got.EpochLatency) != len(want.EpochLatency) ||
+		got.EpochLatency[1] != want.EpochLatency[1] {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestLoadRejectsMalformedFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("Load found a report in an empty directory")
+	}
+}
+
+// TestMeasureSmoke runs the full measurement once at a tiny scale: every
+// canonical method produces a positive, validated epoch latency and both
+// throughputs land. This is a functional check, not a performance one —
+// the numbers themselves are whatever the test machine gives.
+func TestMeasureSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full measurement pass is slow")
+	}
+	r, err := Measure("BENCH_TEST", 0.02, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(r); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.EpochLatency) != len(epochTargets) {
+		t.Fatalf("measured %d epoch latencies, want %d", len(r.EpochLatency), len(epochTargets))
+	}
+	// A fresh measurement must pass its own gate at any threshold.
+	if err := Compare(r, r, 0); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -14,6 +14,7 @@ import (
 
 	"truthinference/internal/dataset"
 	"truthinference/internal/engine"
+	"truthinference/internal/randx"
 )
 
 // Defaults for iterative methods; individual methods may override via
@@ -162,6 +163,14 @@ type Result struct {
 	// scale is method-specific (probability for ZC, weight for PM, …).
 	WorkerQuality []float64
 
+	// WorkerVariance, when non-nil, holds the learned per-worker answer
+	// variances σ²_w of Gaussian numeric methods (LFC_N). It is the raw
+	// model parameter behind the precision-style WorkerQuality summary,
+	// carried separately so warm starts can resume the exact EM state
+	// instead of re-learning variances from scratch (which is
+	// basin-sensitive on low-redundancy prefixes of a stream).
+	WorkerVariance []float64
+
 	// Confusion, when non-nil, holds per-worker ℓ×ℓ confusion matrices
 	// for confusion-matrix methods (D&S, LFC, BCC, CBCC, VI-*).
 	Confusion [][][]float64
@@ -282,6 +291,47 @@ func ArgmaxTieBreak(w []float64, pick func(n int) int) int {
 		return ties[0]
 	}
 	return ties[pick(len(ties))]
+}
+
+// ArgmaxHashTie returns the index of the maximum of w with exact ties
+// broken by randx.HashPick3(seed, iter, entity) — the allocation-free
+// equivalent of ArgmaxTieBreak with a HashPick closure, used by the
+// zero-allocation CSR truth sweeps of PM and CATD. For every input it
+// returns exactly what
+//
+//	ArgmaxTieBreak(w, func(n int) int { return randx.HashPick(n, seed, iter, entity) })
+//
+// returns, without materializing the tie list or the closure: one pass
+// finds the maximum and the tie count, and a second pass (ties only)
+// locates the picked rank.
+func ArgmaxHashTie(w []float64, seed, iter, entity int64) int {
+	if len(w) == 0 {
+		return -1
+	}
+	best := w[0]
+	first, ties := 0, 1
+	for i, x := range w[1:] {
+		switch {
+		case x > best:
+			best = x
+			first = i + 1
+			ties = 1
+		case x == best:
+			ties++
+		}
+	}
+	if ties == 1 {
+		return first
+	}
+	rank := randx.HashPick3(ties, seed, iter, entity)
+	for i := first; ; i++ {
+		if w[i] == best {
+			if rank == 0 {
+				return i
+			}
+			rank--
+		}
+	}
 }
 
 // PosteriorLabels converts a tasks × choices posterior into hard labels

@@ -22,6 +22,11 @@ type WarmState struct {
 	// WorkerQuality holds the previous per-worker scalar qualities, on
 	// the owning method's scale.
 	WorkerQuality []float64
+	// WorkerVariance holds the previous per-worker answer variances of
+	// Gaussian numeric methods (LFC_N), so a warm-started epoch resumes
+	// the exact EM state — truth estimates *and* precisions — and
+	// converges to the same basin as a cold run on the full data.
+	WorkerVariance []float64
 	// Confusion holds the previous per-worker ℓ×ℓ confusion matrices
 	// (confusion-matrix methods).
 	Confusion [][][]float64
@@ -37,8 +42,9 @@ func (r *Result) Warm() *WarmState {
 		return nil
 	}
 	w := &WarmState{
-		WorkerQuality: append([]float64(nil), r.WorkerQuality...),
-		Truth:         append([]float64(nil), r.Truth...),
+		WorkerQuality:  append([]float64(nil), r.WorkerQuality...),
+		WorkerVariance: append([]float64(nil), r.WorkerVariance...),
+		Truth:          append([]float64(nil), r.Truth...),
 	}
 	if r.Posterior != nil {
 		w.Posterior = make([][]float64, len(r.Posterior))
@@ -85,6 +91,15 @@ func (w *WarmState) QualityOr(worker int, def float64) float64 {
 		return def
 	}
 	return w.WorkerQuality[worker]
+}
+
+// VarianceOr returns the warm answer variance of the given worker, or def
+// when the state is nil or does not cover the worker.
+func (w *WarmState) VarianceOr(worker int, def float64) float64 {
+	if w == nil || worker < 0 || worker >= len(w.WorkerVariance) {
+		return def
+	}
+	return w.WorkerVariance[worker]
 }
 
 // TruthOr returns the warm truth of the given task, or def when the state

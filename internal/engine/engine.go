@@ -109,12 +109,26 @@ func (p *Pool) Workers() int {
 // shared mutable state. For blocks until every chunk completes; a panic
 // in any chunk is re-raised on the calling goroutine.
 func (p *Pool) For(n int, fn func(lo, hi int)) {
+	p.ForSlot(n, func(_, lo, hi int) { fn(lo, hi) })
+}
+
+// ForSlot is For with scratch-buffer support: fn additionally receives a
+// stable slot index in [0, Workers()) identifying the goroutine executing
+// the chunk. Two chunks running concurrently always see distinct slots, so
+// a caller can preallocate Workers() scratch buffers once and index them
+// by slot inside fn — the allocation-free alternative to a fresh scratch
+// per chunk. Slot assignment decides only which goroutine (and scratch
+// buffer) executes a chunk, never the arithmetic, so the package
+// determinism contract is unchanged. The calling goroutine is always slot
+// 0; the sequential path (one worker or one chunk) runs fn(0, 0, n)
+// inline with no allocation.
+func (p *Pool) ForSlot(n int, fn func(slot, lo, hi int)) {
 	if n <= 0 {
 		return
 	}
 	workers := p.Workers()
 	if workers == 1 {
-		fn(0, n)
+		fn(0, 0, n)
 		return
 	}
 	chunk := n / (workers * chunksPerWorker)
@@ -123,7 +137,7 @@ func (p *Pool) For(n int, fn func(lo, hi int)) {
 	}
 	numChunks := (n + chunk - 1) / chunk
 	if numChunks == 1 {
-		fn(0, n)
+		fn(0, 0, n)
 		return
 	}
 	if workers > numChunks {
@@ -135,7 +149,7 @@ func (p *Pool) For(n int, fn func(lo, hi int)) {
 		wg     sync.WaitGroup
 		panicV atomic.Value
 	)
-	body := func() {
+	body := func(slot int) {
 		defer wg.Done()
 		defer func() {
 			if r := recover(); r != nil {
@@ -152,18 +166,19 @@ func (p *Pool) For(n int, fn func(lo, hi int)) {
 			if hi > n {
 				hi = n
 			}
-			fn(lo, hi)
+			fn(slot, lo, hi)
 		}
 	}
 	wg.Add(workers)
 	for i := 1; i < workers; i++ {
+		slot := i
 		if p.jobs != nil {
-			p.jobs <- body
+			p.jobs <- func() { body(slot) }
 		} else {
-			go body()
+			go body(slot)
 		}
 	}
-	body() // the caller is worker 0
+	body(0) // the caller is worker 0
 	wg.Wait()
 	if pv := panicV.Load(); pv != nil {
 		panic(pv.(*panicked).v)

@@ -58,6 +58,91 @@ func TestForDisjointWritesDeterministic(t *testing.T) {
 	}
 }
 
+// TestForSlotSlotsAreExclusive checks the scratch contract: slots are in
+// [0, Workers()), the caller always holds slot 0, and no two concurrent
+// chunks ever share a slot — verified by marking a slot busy for the
+// duration of each chunk and failing on any overlap.
+func TestForSlotSlotsAreExclusive(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 9} {
+		p := New(workers)
+		busy := make([]atomic.Bool, p.Workers())
+		covered := make([]int32, 5000)
+		p.ForSlot(len(covered), func(slot, lo, hi int) {
+			if slot < 0 || slot >= p.Workers() {
+				t.Errorf("workers=%d: slot %d outside [0,%d)", workers, slot, p.Workers())
+			}
+			if !busy[slot].CompareAndSwap(false, true) {
+				t.Errorf("workers=%d: slot %d entered concurrently", workers, slot)
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&covered[i], 1)
+			}
+			busy[slot].Store(false)
+		})
+		for i, v := range covered {
+			if v != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, v)
+			}
+		}
+	}
+}
+
+// TestForSlotSequentialInlineNoAlloc pins the zero-allocation property the
+// CSR inference kernels rely on: a one-worker (or nil) pool must run
+// ForSlot inline without allocating, so a sweep whose body is a pre-bound
+// closure performs zero allocations per call.
+func TestForSlotSequentialInlineNoAlloc(t *testing.T) {
+	p := New(1)
+	out := make([]float64, 256)
+	body := func(slot, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = float64(i + slot)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() { p.ForSlot(len(out), body) })
+	if allocs != 0 {
+		t.Fatalf("sequential ForSlot allocated %.1f times per call, want 0", allocs)
+	}
+}
+
+// TestForSlotScratchDeterministic runs a per-slot-scratch computation at
+// several parallelism levels (the PM/CATD vote-buffer pattern) and demands
+// byte-identical output.
+func TestForSlotScratchDeterministic(t *testing.T) {
+	const n, ell = 4000, 7
+	compute := func(workers int) []float64 {
+		p := New(workers)
+		scratch := make([][]float64, p.Workers())
+		for s := range scratch {
+			scratch[s] = make([]float64, ell)
+		}
+		out := make([]float64, n)
+		p.ForSlot(n, func(slot, lo, hi int) {
+			buf := scratch[slot]
+			for i := lo; i < hi; i++ {
+				for k := range buf {
+					buf[k] = float64((i+k)%ell) * 0.125
+				}
+				var s float64
+				for _, v := range buf {
+					s += v
+				}
+				out[i] = s
+			}
+		})
+		return out
+	}
+	want := compute(1)
+	for _, workers := range []int{2, 4, 16} {
+		got := compute(workers)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: out[%d] = %v, want %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
 func TestEach(t *testing.T) {
 	const n = 500
 	seen := make([]int32, n)

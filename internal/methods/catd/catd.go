@@ -21,7 +21,6 @@ import (
 	"truthinference/internal/core"
 	"truthinference/internal/dataset"
 	"truthinference/internal/mathx"
-	"truthinference/internal/randx"
 )
 
 // lossEpsilon keeps quality weights finite for workers with zero loss.
@@ -87,75 +86,81 @@ func (m *CATD) Infer(d *dataset.Dataset, opts core.Options) (*core.Result, error
 		scale = taskScales(d)
 	}
 
+	c := dataset.BuildCSR(d)
 	truth := make([]float64, d.NumTasks)
 	prevTruth := make([]float64, d.NumTasks)
+	categorical := d.Categorical()
+	// Per-slot vote scratch; ForSlot keeps concurrent chunks on distinct
+	// slots, replacing the old per-chunk allocation.
+	votesBySlot := make([][]float64, pool.Workers())
+	for s := range votesBySlot {
+		votesBySlot[s] = make([]float64, d.NumChoices)
+	}
+
+	// Truth step, fanned out over tasks. Vote ties break on a hash of
+	// (seed, iteration, task) so the pick is order-independent.
+	var curIter int64
+	truthStep := func(slot, ilo, ihi int) {
+		votes := votesBySlot[slot]
+		for i := ilo; i < ihi; i++ {
+			if gv, ok := opts.Golden[i]; ok {
+				truth[i] = gv
+				continue
+			}
+			if c.TaskDegree(i) == 0 {
+				continue
+			}
+			if categorical {
+				for k := range votes {
+					votes[k] = 0
+				}
+				for p := c.TaskOff[i]; p < c.TaskOff[i+1]; p++ {
+					votes[c.TaskLabel[p]] += q[c.TaskWorker[p]]
+				}
+				truth[i] = float64(core.ArgmaxHashTie(votes, opts.Seed, curIter, int64(i)))
+			} else {
+				var num, den float64
+				for p := c.TaskOff[i]; p < c.TaskOff[i+1]; p++ {
+					qw := q[c.TaskWorker[p]]
+					num += qw * c.TaskValue[p]
+					den += qw
+				}
+				if den > 0 {
+					truth[i] = num / den
+				}
+			}
+		}
+	}
+	// Quality step: χ² coefficient over accumulated loss, fanned out over
+	// workers; the mean-1 renormalization stays sequential.
+	qualityStep := func(_, wlo, whi int) {
+		for w := wlo; w < whi; w++ {
+			if c.WorkerDegree(w) == 0 {
+				continue
+			}
+			var loss float64
+			for p := c.WorkerOff[w]; p < c.WorkerOff[w+1]; p++ {
+				t := c.WorkerTask[p]
+				if categorical {
+					if int(c.WorkerLabel[p]) != int(truth[t]) {
+						loss++
+					}
+				} else {
+					dv := (c.WorkerValue[p] - truth[t]) / scale[t]
+					loss += dv * dv
+				}
+			}
+			q[w] = chi[w] / (loss + lossEpsilon)
+		}
+	}
 
 	var iter int
 	converged := false
 	for iter = 1; iter <= opts.MaxIter(); iter++ {
 		copy(prevTruth, truth)
-		// Truth step, fanned out over tasks. Vote ties break on a hash
-		// of (seed, iteration, task) so the pick is order-independent.
-		iter := iter
-		pool.For(d.NumTasks, func(ilo, ihi int) {
-			votes := make([]float64, d.NumChoices)
-			for i := ilo; i < ihi; i++ {
-				if gv, ok := opts.Golden[i]; ok {
-					truth[i] = gv
-					continue
-				}
-				idxs := d.TaskAnswers(i)
-				if len(idxs) == 0 {
-					continue
-				}
-				if d.Categorical() {
-					for k := range votes {
-						votes[k] = 0
-					}
-					for _, ai := range idxs {
-						a := d.Answers[ai]
-						votes[a.Label()] += q[a.Worker]
-					}
-					i := i
-					truth[i] = float64(core.ArgmaxTieBreak(votes, func(n int) int {
-						return randx.HashPick(n, opts.Seed, int64(iter), int64(i))
-					}))
-				} else {
-					var num, den float64
-					for _, ai := range idxs {
-						a := d.Answers[ai]
-						num += q[a.Worker] * a.Value
-						den += q[a.Worker]
-					}
-					if den > 0 {
-						truth[i] = num / den
-					}
-				}
-			}
-		})
-		// Quality step: χ² coefficient over accumulated loss, fanned out
-		// over workers; the mean-1 renormalization stays sequential.
-		pool.For(d.NumWorkers, func(wlo, whi int) {
-			for w := wlo; w < whi; w++ {
-				idxs := d.WorkerAnswers(w)
-				if len(idxs) == 0 {
-					continue
-				}
-				var loss float64
-				for _, ai := range idxs {
-					a := d.Answers[ai]
-					if d.Categorical() {
-						if a.Label() != int(truth[a.Task]) {
-							loss++
-						}
-					} else {
-						dv := (a.Value - truth[a.Task]) / scale[a.Task]
-						loss += dv * dv
-					}
-				}
-				q[w] = chi[w] / (loss + lossEpsilon)
-			}
-		})
+		curIter = int64(iter)
+		pool.ForSlot(d.NumTasks, truthStep)
+		pool.ForSlot(d.NumWorkers, qualityStep)
 		normalizeWeights(q)
 
 		var done bool

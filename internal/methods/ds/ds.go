@@ -65,10 +65,19 @@ func RunWithPriors(d *dataset.Dataset, opts core.Options, priors func(worker, j,
 
 // run is the shared EM core. priors, when non-nil, holds per-worker
 // ℓ×ℓ pseudo-counts added to the confusion M-step (the LFC extension).
+//
+// The inner sweeps iterate the dataset's columnar CSR view and touch only
+// buffers hoisted out of the iteration loop — once the EM loop starts, a
+// full M+E sweep performs zero heap allocations (enforced by
+// TestSweepAllocationRegression). The per-answer log in the E-step is
+// replaced by a per-worker log-confusion table recomputed each iteration:
+// the same math.Log values accumulated in the same order, so results stay
+// bit-identical to the pre-columnar loops.
 func run(d *dataset.Dataset, opts core.Options, priors func(worker, j, k int) float64) (*core.Result, error) {
 	rng := randx.New(opts.Seed)
 	pool := opts.EnginePool()
 	ell := d.NumChoices
+	c := dataset.BuildCSR(d)
 
 	conf := newConfusion(d.NumWorkers, ell)
 	initConfusion(conf, d, opts)
@@ -101,11 +110,11 @@ func run(d *dataset.Dataset, opts core.Options, priors func(worker, j, k int) fl
 		for k := range row {
 			row[k] = 0
 		}
-		idxs := d.TaskAnswers(i)
-		for _, ai := range idxs {
-			row[d.Answers[ai].Label()]++
+		deg := c.TaskDegree(i)
+		for p := c.TaskOff[i]; p < c.TaskOff[i+1]; p++ {
+			row[c.TaskLabel[p]]++
 		}
-		if len(idxs) == 0 {
+		if deg == 0 {
 			for k := range row {
 				row[k] = 1
 			}
@@ -115,35 +124,66 @@ func run(d *dataset.Dataset, opts core.Options, priors func(worker, j, k int) fl
 	core.PinGolden(post, opts.Golden)
 
 	flatPrev := make([]float64, d.NumWorkers*ell*ell)
+	logPrior := make([]float64, ell)
+	logConf := newConfusion(d.NumWorkers, ell)
+
+	// M-step: confusion matrices from posteriors, fanned out over
+	// workers — each goroutine owns a disjoint band of conf.flat.
+	mStep := func(_, wlo, whi int) {
+		for w := wlo; w < whi; w++ {
+			for j := 0; j < ell; j++ {
+				row := conf.row(w, j)
+				for k := range row {
+					row[k] = Smoothing
+					if priors != nil {
+						row[k] += priors(w, j, k)
+					}
+				}
+			}
+			for p := c.WorkerOff[w]; p < c.WorkerOff[w+1]; p++ {
+				pr := post[c.WorkerTask[p]]
+				lab := c.WorkerLabel[p]
+				for j := 0; j < ell; j++ {
+					conf.row(w, j)[lab] += pr[j]
+				}
+			}
+			for j := 0; j < ell; j++ {
+				mathx.Normalize(conf.row(w, j))
+			}
+		}
+	}
+	// Log-confusion table: each worker's cells logged once per iteration
+	// instead of once per (answer, choice) in the E-step — the dominant
+	// cost on redundancy ≥ 2 datasets, removed without changing a bit.
+	logStep := func(_, wlo, whi int) {
+		base := wlo * ell * ell
+		for x := base; x < whi*ell*ell; x++ {
+			logConf.flat[x] = math.Log(conf.flat[x])
+		}
+	}
+	// E-step: task posteriors from confusion matrices, fanned out over
+	// tasks — each goroutine owns a disjoint set of post rows, computed
+	// in place (same op sequence the old scratch-then-copy performed).
+	eStep := func(_, ilo, ihi int) {
+		for i := ilo; i < ihi; i++ {
+			row := post[i]
+			copy(row, logPrior)
+			for p := c.TaskOff[i]; p < c.TaskOff[i+1]; p++ {
+				lrow := logConf.workerRows(int(c.TaskWorker[p]))
+				lab := int(c.TaskLabel[p])
+				for j := 0; j < ell; j++ {
+					row[j] += lrow[j*ell+lab]
+				}
+			}
+			mathx.NormalizeLog(row)
+		}
+	}
+
 	var iter int
 	converged := false
 	for iter = 1; iter <= opts.MaxIter(); iter++ {
-		// M-step: confusion matrices from posteriors, fanned out over
-		// workers — each goroutine owns a disjoint band of conf.flat.
 		copy(flatPrev, conf.flat)
-		pool.For(d.NumWorkers, func(wlo, whi int) {
-			for w := wlo; w < whi; w++ {
-				for j := 0; j < ell; j++ {
-					row := conf.row(w, j)
-					for k := range row {
-						row[k] = Smoothing
-						if priors != nil {
-							row[k] += priors(w, j, k)
-						}
-					}
-				}
-				for _, ai := range d.WorkerAnswers(w) {
-					a := d.Answers[ai]
-					p := post[a.Task]
-					for j := 0; j < ell; j++ {
-						conf.row(w, j)[a.Label()] += p[j]
-					}
-				}
-				for j := 0; j < ell; j++ {
-					mathx.Normalize(conf.row(w, j))
-				}
-			}
-		})
+		pool.ForSlot(d.NumWorkers, mStep)
 		// Class prior: an O(tasks·ℓ) reduction, kept sequential so its
 		// summation order never depends on the chunk layout.
 		for k := range classPrior {
@@ -155,28 +195,12 @@ func run(d *dataset.Dataset, opts core.Options, priors func(worker, j, k int) fl
 			}
 		}
 		mathx.Normalize(classPrior)
-
-		logPrior := make([]float64, ell)
 		for k := 0; k < ell; k++ {
 			logPrior[k] = math.Log(classPrior[k])
 		}
 
-		// E-step: task posteriors from confusion matrices, fanned out
-		// over tasks — each goroutine owns a disjoint set of post rows.
-		pool.For(d.NumTasks, func(ilo, ihi int) {
-			logw := make([]float64, ell)
-			for i := ilo; i < ihi; i++ {
-				copy(logw, logPrior)
-				for _, ai := range d.TaskAnswers(i) {
-					a := d.Answers[ai]
-					for j := 0; j < ell; j++ {
-						logw[j] += math.Log(conf.row(a.Worker, j)[a.Label()])
-					}
-				}
-				mathx.NormalizeLog(logw)
-				copy(post[i], logw)
-			}
-		})
+		pool.ForSlot(d.NumWorkers, logStep)
+		pool.ForSlot(d.NumTasks, eStep)
 		core.PinGolden(post, opts.Golden)
 
 		if core.MaxAbsDiff(conf.flat, flatPrev) < opts.Tol() {
@@ -212,6 +236,14 @@ func newConfusion(workers, ell int) *confusion {
 func (c *confusion) row(worker, j int) []float64 {
 	base := (worker*c.ell + j) * c.ell
 	return c.flat[base : base+c.ell]
+}
+
+// workerRows returns the worker's full ℓ×ℓ block as one flat slice; cell
+// (j, k) lives at index j*ell+k. The E-step walks it directly instead of
+// re-slicing per row.
+func (c *confusion) workerRows(worker int) []float64 {
+	base := worker * c.ell * c.ell
+	return c.flat[base : base+c.ell*c.ell]
 }
 
 // diagMeans summarizes each worker by the mean of the confusion diagonal —

@@ -81,78 +81,84 @@ func (m *GLAD) Infer(d *dataset.Dataset, opts core.Options) (*core.Result, error
 	logBeta := make([]float64, d.NumTasks) // log task easiness, β = e^{logBeta}
 
 	pool := opts.EnginePool()
+	c := dataset.BuildCSR(d)
 	post := core.UniformPosterior(d.NumTasks, d.NumChoices)
 	prevAlpha := make([]float64, d.NumWorkers)
 	gradAlpha := make([]float64, d.NumWorkers)
 	gradLogBeta := make([]float64, d.NumTasks)
 
+	// E-step: posterior over the true label of each task, fanned out over
+	// tasks — each goroutine owns disjoint post rows, computed in place
+	// (same op sequence as the old scratch-then-copy). σ(α·β) depends on
+	// the (worker, task) pair, so it stays per-answer.
+	eStep := func(_, ilo, ihi int) {
+		for i := ilo; i < ihi; i++ {
+			row := post[i]
+			for k := range row {
+				row[k] = 0
+			}
+			beta := math.Exp(logBeta[i])
+			for p := c.TaskOff[i]; p < c.TaskOff[i+1]; p++ {
+				pc := correctProb(alpha[c.TaskWorker[p]], beta)
+				logCorrect := math.Log(pc)
+				logWrong := math.Log((1 - pc) / (ell - 1))
+				lab := int(c.TaskLabel[p])
+				for k := range row {
+					if lab == k {
+						row[k] += logCorrect
+					} else {
+						row[k] += logWrong
+					}
+				}
+			}
+			mathx.NormalizeLog(row)
+		}
+	}
+	// M-step gradient passes: the single answers pass of the textbook
+	// formulation is split into a per-worker pass (∂Q/∂α) and a per-task
+	// pass (∂Q/∂ log β): each gradient entry is then owned by exactly one
+	// loop index, which lets both passes fan out with no shared
+	// accumulators and a summation order (the ascending answer order of
+	// the CSR rows) that is independent of the chunk layout.
+	alphaStep := func(_, wlo, whi int) {
+		for w := wlo; w < whi; w++ {
+			g := -priorWeight * (alpha[w] - 1) // N(1,1) prior on α
+			for p := c.WorkerOff[w]; p < c.WorkerOff[w+1]; p++ {
+				t := c.WorkerTask[p]
+				beta := math.Exp(logBeta[t])
+				s := correctProb(alpha[w], beta)
+				// pCorrect = posterior probability the worker's
+				// answer equals the truth; ∂Q/∂(αβ) = pCorrect - σ(αβ).
+				g += (post[t][c.WorkerLabel[p]] - s) * beta
+			}
+			gradAlpha[w] = g
+		}
+	}
+	betaStep := func(_, ilo, ihi int) {
+		for i := ilo; i < ihi; i++ {
+			g := -priorWeight * logBeta[i] // N(0,1) prior on log β
+			beta := math.Exp(logBeta[i])
+			for p := c.TaskOff[i]; p < c.TaskOff[i+1]; p++ {
+				w := c.TaskWorker[p]
+				s := correctProb(alpha[w], beta)
+				g += (post[i][c.TaskLabel[p]] - s) * alpha[w] * beta
+			}
+			gradLogBeta[i] = g
+		}
+	}
+
 	var iter int
 	converged := false
 	for iter = 1; iter <= opts.MaxIter(); iter++ {
-		// E-step: posterior over the true label of each task, fanned out
-		// over tasks (each goroutine owns disjoint post rows).
-		pool.For(d.NumTasks, func(ilo, ihi int) {
-			logw := make([]float64, d.NumChoices)
-			for i := ilo; i < ihi; i++ {
-				for k := range logw {
-					logw[k] = 0
-				}
-				beta := math.Exp(logBeta[i])
-				for _, ai := range d.TaskAnswers(i) {
-					a := d.Answers[ai]
-					p := correctProb(alpha[a.Worker], beta)
-					logCorrect := math.Log(p)
-					logWrong := math.Log((1 - p) / (ell - 1))
-					for k := 0; k < d.NumChoices; k++ {
-						if a.Label() == k {
-							logw[k] += logCorrect
-						} else {
-							logw[k] += logWrong
-						}
-					}
-				}
-				mathx.NormalizeLog(logw)
-				copy(post[i], logw)
-			}
-		})
+		pool.ForSlot(d.NumTasks, eStep)
 		core.PinGolden(post, opts.Golden)
 
 		// M-step: gradient ascent on the expected complete
-		// log-likelihood Q(α, log β). The single answers pass of the
-		// textbook formulation is split into a per-worker pass (∂Q/∂α)
-		// and a per-task pass (∂Q/∂ log β): each gradient entry is then
-		// owned by exactly one loop index, which lets both passes fan
-		// out with no shared accumulators and a summation order (the
-		// ascending answer order of WorkerAnswers/TaskAnswers) that is
-		// independent of the chunk layout.
+		// log-likelihood Q(α, log β).
 		copy(prevAlpha, alpha)
 		for step := 0; step < gradSteps; step++ {
-			pool.For(d.NumWorkers, func(wlo, whi int) {
-				for w := wlo; w < whi; w++ {
-					g := -priorWeight * (alpha[w] - 1) // N(1,1) prior on α
-					for _, ai := range d.WorkerAnswers(w) {
-						a := d.Answers[ai]
-						beta := math.Exp(logBeta[a.Task])
-						s := correctProb(alpha[w], beta)
-						// pCorrect = posterior probability the worker's
-						// answer equals the truth; ∂Q/∂(αβ) = pCorrect - σ(αβ).
-						g += (post[a.Task][a.Label()] - s) * beta
-					}
-					gradAlpha[w] = g
-				}
-			})
-			pool.For(d.NumTasks, func(ilo, ihi int) {
-				for i := ilo; i < ihi; i++ {
-					g := -priorWeight * logBeta[i] // N(0,1) prior on log β
-					beta := math.Exp(logBeta[i])
-					for _, ai := range d.TaskAnswers(i) {
-						a := d.Answers[ai]
-						s := correctProb(alpha[a.Worker], beta)
-						g += (post[i][a.Label()] - s) * alpha[a.Worker] * beta
-					}
-					gradLogBeta[i] = g
-				}
-			})
+			pool.ForSlot(d.NumWorkers, alphaStep)
+			pool.ForSlot(d.NumTasks, betaStep)
 			for w := range alpha {
 				alpha[w] += learningRate * gradAlpha[w]
 			}

@@ -113,20 +113,21 @@ func (m *LFCN) Infer(d *dataset.Dataset, opts core.Options) (*core.Result, error
 	if err := core.CheckSupport(m, d, opts); err != nil {
 		return nil, err
 	}
+	c := dataset.BuildCSR(d)
 	// Initialize truth with per-task means and variances at the global
 	// answer variance (or the qualification-test error when provided).
 	// A warm start resumes the previous epoch's truth estimates instead.
 	truth := make([]float64, d.NumTasks)
 	for i := 0; i < d.NumTasks; i++ {
-		idxs := d.TaskAnswers(i)
-		if len(idxs) == 0 {
+		deg := c.TaskDegree(i)
+		if deg == 0 {
 			continue
 		}
 		var s float64
-		for _, ai := range idxs {
-			s += d.Answers[ai].Value
+		for p := c.TaskOff[i]; p < c.TaskOff[i+1]; p++ {
+			s += c.TaskValue[p]
 		}
-		truth[i] = opts.WarmStart.TruthOr(i, s/float64(len(idxs)))
+		truth[i] = opts.WarmStart.TruthOr(i, s/float64(deg))
 	}
 	pinGoldenNumeric(truth, opts.Golden)
 
@@ -134,66 +135,80 @@ func (m *LFCN) Infer(d *dataset.Dataset, opts core.Options) (*core.Result, error
 	if globalVar < varFloor {
 		globalVar = 1
 	}
-	// Variances always restart from the global prior, even under a warm
-	// start: precision weights are basin-sensitive, and variances learned
-	// on a low-redundancy prefix of the stream can lock the EM into a
-	// degenerate fixed point that the full data would never reach. The
-	// truth estimates above carry the useful warm state; the variance
-	// step re-derives consistent precisions from them within the first
-	// iterations.
 	variance := make([]float64, d.NumWorkers)
 	for w := range variance {
 		variance[w] = globalVar
 		if opts.QualificationError != nil && !math.IsNaN(opts.QualificationError[w]) {
 			variance[w] = math.Max(opts.QualificationError[w], varFloor)
 		}
+		// A warm start resumes the previous epoch's learned variances
+		// alongside the truth estimates, so the EM restarts from its full
+		// previous state instead of re-learning precisions from scratch.
+		// Workers the state does not cover keep the global/qualification
+		// initialization.
+		variance[w] = math.Max(opts.WarmStart.VarianceOr(w, variance[w]), varFloor)
 	}
 
 	pool := opts.EnginePool()
 	prevTruth := make([]float64, d.NumTasks)
 	prevVar := make([]float64, d.NumWorkers)
+
+	// Truth step: precision-weighted mean, fanned out over tasks.
+	truthStep := func(_, ilo, ihi int) {
+		for i := ilo; i < ihi; i++ {
+			if _, ok := opts.Golden[i]; ok {
+				continue
+			}
+			if c.TaskDegree(i) == 0 {
+				continue
+			}
+			var num, den float64
+			for p := c.TaskOff[i]; p < c.TaskOff[i+1]; p++ {
+				prec := 1 / math.Max(variance[c.TaskWorker[p]], varFloor)
+				num += prec * c.TaskValue[p]
+				den += prec
+			}
+			truth[i] = num / den
+		}
+	}
+	// Variance step: per-worker MSE with inverse-gamma smoothing, fanned
+	// out over workers.
+	varStep := func(_, wlo, whi int) {
+		for w := wlo; w < whi; w++ {
+			deg := c.WorkerDegree(w)
+			if deg == 0 {
+				continue
+			}
+			ss := varPriorScale
+			for p := c.WorkerOff[w]; p < c.WorkerOff[w+1]; p++ {
+				dv := c.WorkerValue[p] - truth[c.WorkerTask[p]]
+				ss += dv * dv
+			}
+			variance[w] = math.Max(ss/(float64(deg)+varPriorShape), varFloor)
+		}
+	}
+
+	// Basin re-anchoring on warm start: precisions carried over from a
+	// low-redundancy prefix of a stream can be collapsed onto a worker the
+	// prefix happened to agree with, and the first truth step would then
+	// propagate that degenerate basin into the grown dataset — the failure
+	// mode the old warm start avoided by discarding variances entirely.
+	// Re-deriving every answering worker's variance from the warm truths
+	// over the *current* data keeps the resumed state self-consistent: the
+	// truths carry the converged signal, and the precisions re-anchor to
+	// full-data residuals, so the EM descends into the same basin a cold
+	// run reaches. Workers without answers keep their resumed variance.
+	if opts.WarmStart != nil && len(opts.WarmStart.Truth) > 0 {
+		pool.ForSlot(d.NumWorkers, varStep)
+	}
+
 	var iter int
 	converged := false
 	for iter = 1; iter <= opts.MaxIter(); iter++ {
 		copy(prevTruth, truth)
 		copy(prevVar, variance)
-		// Truth step: precision-weighted mean, fanned out over tasks.
-		pool.For(d.NumTasks, func(ilo, ihi int) {
-			for i := ilo; i < ihi; i++ {
-				if _, ok := opts.Golden[i]; ok {
-					continue
-				}
-				idxs := d.TaskAnswers(i)
-				if len(idxs) == 0 {
-					continue
-				}
-				var num, den float64
-				for _, ai := range idxs {
-					a := d.Answers[ai]
-					prec := 1 / math.Max(variance[a.Worker], varFloor)
-					num += prec * a.Value
-					den += prec
-				}
-				truth[i] = num / den
-			}
-		})
-		// Variance step: per-worker MSE with inverse-gamma smoothing,
-		// fanned out over workers.
-		pool.For(d.NumWorkers, func(wlo, whi int) {
-			for w := wlo; w < whi; w++ {
-				idxs := d.WorkerAnswers(w)
-				if len(idxs) == 0 {
-					continue
-				}
-				ss := varPriorScale
-				for _, ai := range idxs {
-					a := d.Answers[ai]
-					dv := a.Value - truth[a.Task]
-					ss += dv * dv
-				}
-				variance[w] = math.Max(ss/(float64(len(idxs))+varPriorShape), varFloor)
-			}
-		})
+		pool.ForSlot(d.NumTasks, truthStep)
+		pool.ForSlot(d.NumWorkers, varStep)
 		// Converge on both parameter families: on the first iteration the
 		// truth step reproduces the per-task means (all variances start
 		// equal), so the truth delta alone would spuriously trip.
@@ -212,10 +227,11 @@ func (m *LFCN) Infer(d *dataset.Dataset, opts core.Options) (*core.Result, error
 		quality[w] = 1 / math.Sqrt(variance[w]) // precision-style summary
 	}
 	return &core.Result{
-		Truth:         truth,
-		WorkerQuality: quality,
-		Iterations:    iter,
-		Converged:     converged,
+		Truth:          truth,
+		WorkerQuality:  quality,
+		WorkerVariance: append([]float64(nil), variance...),
+		Iterations:     iter,
+		Converged:      converged,
 	}, nil
 }
 

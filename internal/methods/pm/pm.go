@@ -75,57 +75,168 @@ func (m *PM) inferCategorical(d *dataset.Dataset, opts core.Options) (*core.Resu
 	})
 	warmQuality(opts, q)
 
+	c := dataset.BuildCSR(d)
 	truth := make([]float64, d.NumTasks)
 	prevTruth := make([]float64, d.NumTasks)
 	losses := make([]float64, d.NumWorkers)
+	// Per-slot scratch: ForSlot guarantees concurrent chunks see distinct
+	// slots, so one buffer per pool worker replaces the fresh scratch the
+	// old per-chunk closure allocated. A slot may claim several chunks per
+	// sweep, so its loss accumulator is zeroed before the sweep, never
+	// inside it.
+	votesBySlot := make([][]float64, pool.Workers())
+	lossBySlot := make([][]float64, pool.Workers())
+	for s := range votesBySlot {
+		votesBySlot[s] = make([]float64, d.NumChoices)
+		lossBySlot[s] = make([]float64, d.NumWorkers)
+	}
 
-	var iter int
-	converged := false
-	for iter = 1; iter <= opts.MaxIter(); iter++ {
-		copy(prevTruth, truth)
-		// Step 1: quality-weighted vote, fanned out over tasks. Vote
-		// ties are broken by a hash of (seed, iteration, task) instead
-		// of a shared RNG so the pick is the same at every parallelism
-		// level.
-		iter := iter
-		pool.For(d.NumTasks, func(ilo, ihi int) {
-			votes := make([]float64, d.NumChoices)
-			for i := ilo; i < ihi; i++ {
-				if gv, ok := opts.Golden[i]; ok {
-					truth[i] = gv
+	// Fused step 1 + loss count: the quality-weighted vote fans out over
+	// tasks, and because the categorical 0/1 loss is an exact integer
+	// count, each task can fold its answers' losses into a per-slot
+	// accumulator on the spot — integer-valued float64 additions are exact
+	// in any order, so the per-slot sums reduced in fixed slot order
+	// reproduce the separate worker-major sweep bit for bit while visiting
+	// every answer once instead of twice. Vote ties are broken by a hash
+	// of (seed, iteration, task) instead of a shared RNG so the pick is
+	// the same at every parallelism level. curIter is read through the
+	// closure each sweep.
+	var curIter int64
+	hasGolden := len(opts.Golden) > 0
+	truthStep := func(slot, ilo, ihi int) {
+		// Hoist the CSR arrays into locals: the writes through votes and
+		// lossW would otherwise force the compiler to reload the struct
+		// fields' slice headers on every iteration.
+		taskOff, taskLabel, taskWorker := c.TaskOff, c.TaskLabel, c.TaskWorker
+		votes := votesBySlot[slot]
+		lossW := lossBySlot[slot]
+		for i := ilo; i < ihi; i++ {
+			lo, hi := int(taskOff[i]), int(taskOff[i+1])
+			// Reslicing to the task's band lets range drive the label loop
+			// with a single up-front bounds check instead of one per answer.
+			labels := taskLabel[lo:hi]
+			workers := taskWorker[lo:hi]
+			if gv, ok := goldenAt(opts.Golden, hasGolden, i); ok {
+				truth[i] = gv
+			} else {
+				if lo == hi {
 					continue
 				}
 				for k := range votes {
 					votes[k] = 0
 				}
-				idxs := d.TaskAnswers(i)
-				if len(idxs) == 0 {
-					continue
+				for j, lb := range labels {
+					votes[lb] += q[workers[j]]
 				}
-				for _, ai := range idxs {
-					a := d.Answers[ai]
-					votes[a.Label()] += q[a.Worker]
-				}
-				i := i
-				truth[i] = float64(core.ArgmaxTieBreak(votes, func(n int) int {
-					return randx.HashPick(n, opts.Seed, int64(iter), int64(i))
-				}))
-			}
-		})
-		// Step 2: q_w = -log(loss_w / max loss). Per-worker losses fan
-		// out; the max reduction stays sequential (O(workers)).
-		pool.For(d.NumWorkers, func(wlo, whi int) {
-			for w := wlo; w < whi; w++ {
-				var loss float64
-				for _, ai := range d.WorkerAnswers(w) {
-					a := d.Answers[ai]
-					if a.Label() != int(truth[a.Task]) {
-						loss++
+				// core.ArgmaxHashTie, replicated inline: the call (and its
+				// internal loop) is too large for the inliner, and this is
+				// the hottest call site in the method.
+				best := votes[0]
+				pick, ties := 0, 1
+				for k := 1; k < len(votes); k++ {
+					switch x := votes[k]; {
+					case x > best:
+						best, pick, ties = x, k, 1
+					case x == best:
+						ties++
 					}
 				}
-				losses[w] = loss
+				if ties > 1 {
+					rank := randx.HashPick3(ties, opts.Seed, curIter, int64(i))
+					for k := pick; ; k++ {
+						if votes[k] == best {
+							if rank == 0 {
+								pick = k
+								break
+							}
+							rank--
+						}
+					}
+				}
+				truth[i] = float64(pick)
 			}
-		})
+			lab := int(truth[i])
+			// Branchless 0/1 loss: the mismatch bit becomes a +0.0/+1.0
+			// addend (a conditional move, not a ~half-mispredicted branch),
+			// and adding +0.0 is exact, so the counts are unchanged.
+			for j, lb := range labels {
+				var miss float64
+				if int(lb) != lab {
+					miss = 1
+				}
+				lossW[workers[j]] += miss
+			}
+		}
+	}
+	if d.NumChoices == 2 {
+		// Decision fast path: the two vote tallies live in registers
+		// instead of the votes array, accumulated branchlessly — adding
+		// q·0.0 to the other tally is an exact no-op, so the per-label
+		// accumulation order (and hence every bit) matches the generic
+		// kernel — and the two-way argmax + hash tie-break is inlined
+		// (rank 0 keeps label 0, so the pick is the hash rank itself,
+		// exactly ArgmaxHashTie's walk).
+		truthStep = func(slot, ilo, ihi int) {
+			taskOff, taskLabel, taskWorker := c.TaskOff, c.TaskLabel, c.TaskWorker
+			lossW := lossBySlot[slot]
+			for i := ilo; i < ihi; i++ {
+				lo, hi := int(taskOff[i]), int(taskOff[i+1])
+				labels := taskLabel[lo:hi]
+				workers := taskWorker[lo:hi]
+				if gv, ok := goldenAt(opts.Golden, hasGolden, i); ok {
+					truth[i] = gv
+				} else {
+					if lo == hi {
+						continue
+					}
+					var v0, v1 float64
+					for j, lb := range labels {
+						qw := q[workers[j]]
+						fl := float64(lb)
+						v0 += qw * (1 - fl)
+						v1 += qw * fl
+					}
+					pick := 0
+					switch {
+					case v1 > v0:
+						pick = 1
+					case v1 == v0:
+						pick = randx.HashPick3(2, opts.Seed, curIter, int64(i))
+					}
+					truth[i] = float64(pick)
+				}
+				lab := int(truth[i])
+				for j, lb := range labels {
+					var miss float64
+					if int(lb) != lab {
+						miss = 1
+					}
+					lossW[workers[j]] += miss
+				}
+			}
+		}
+	}
+
+	var iter int
+	converged := false
+	for iter = 1; iter <= opts.MaxIter(); iter++ {
+		copy(prevTruth, truth)
+		curIter = int64(iter)
+		for _, ls := range lossBySlot {
+			for w := range ls {
+				ls[w] = 0
+			}
+		}
+		pool.ForSlot(d.NumTasks, truthStep)
+		// Step 2: q_w = -log(loss_w / max loss). Reduce the per-slot
+		// counts in fixed slot order, then the max reduction; both are
+		// O(slots·workers), far off the hot path.
+		copy(losses, lossBySlot[0])
+		for s := 1; s < len(lossBySlot); s++ {
+			for w, v := range lossBySlot[s] {
+				losses[w] += v
+			}
+		}
 		maxLoss := lossEpsilon
 		for _, loss := range losses {
 			if loss > maxLoss {
@@ -133,7 +244,7 @@ func (m *PM) inferCategorical(d *dataset.Dataset, opts core.Options) (*core.Resu
 			}
 		}
 		for w := range q {
-			if len(d.WorkerAnswers(w)) == 0 {
+			if c.WorkerDegree(w) == 0 {
 				continue
 			}
 			q[w] = -math.Log((losses[w] + lossEpsilon) / (maxLoss + lossEpsilon))
@@ -180,50 +291,53 @@ func (m *PM) inferNumeric(d *dataset.Dataset, opts core.Options) (*core.Result, 
 	scale := taskScales(d)
 
 	pool := opts.EnginePool()
+	c := dataset.BuildCSR(d)
 	truth := make([]float64, d.NumTasks)
 	prevTruth := make([]float64, d.NumTasks)
 	losses := make([]float64, d.NumWorkers)
+
+	// Step 1: weighted mean minimizes the weighted squared loss; fanned
+	// out over tasks.
+	truthStep := func(_, ilo, ihi int) {
+		for i := ilo; i < ihi; i++ {
+			if gv, ok := opts.Golden[i]; ok {
+				truth[i] = gv
+				continue
+			}
+			if c.TaskDegree(i) == 0 {
+				continue
+			}
+			var num, den float64
+			for p := c.TaskOff[i]; p < c.TaskOff[i+1]; p++ {
+				qw := q[c.TaskWorker[p]]
+				num += qw * c.TaskValue[p]
+				den += qw
+			}
+			if den > 0 {
+				truth[i] = num / den
+			}
+		}
+	}
+	// Step 2: normalized squared losses → -log weights; per-worker
+	// losses fan out, the max reduction stays sequential.
+	lossStep := func(_, wlo, whi int) {
+		for w := wlo; w < whi; w++ {
+			var loss float64
+			for p := c.WorkerOff[w]; p < c.WorkerOff[w+1]; p++ {
+				t := c.WorkerTask[p]
+				dv := (c.WorkerValue[p] - truth[t]) / scale[t]
+				loss += dv * dv
+			}
+			losses[w] = loss
+		}
+	}
 
 	var iter int
 	converged := false
 	for iter = 1; iter <= opts.MaxIter(); iter++ {
 		copy(prevTruth, truth)
-		// Step 1: weighted mean minimizes the weighted squared loss;
-		// fanned out over tasks.
-		pool.For(d.NumTasks, func(ilo, ihi int) {
-			for i := ilo; i < ihi; i++ {
-				if gv, ok := opts.Golden[i]; ok {
-					truth[i] = gv
-					continue
-				}
-				idxs := d.TaskAnswers(i)
-				if len(idxs) == 0 {
-					continue
-				}
-				var num, den float64
-				for _, ai := range idxs {
-					a := d.Answers[ai]
-					num += q[a.Worker] * a.Value
-					den += q[a.Worker]
-				}
-				if den > 0 {
-					truth[i] = num / den
-				}
-			}
-		})
-		// Step 2: normalized squared losses → -log weights; per-worker
-		// losses fan out, the max reduction stays sequential.
-		pool.For(d.NumWorkers, func(wlo, whi int) {
-			for w := wlo; w < whi; w++ {
-				var loss float64
-				for _, ai := range d.WorkerAnswers(w) {
-					a := d.Answers[ai]
-					dv := (a.Value - truth[a.Task]) / scale[a.Task]
-					loss += dv * dv
-				}
-				losses[w] = loss
-			}
-		})
+		pool.ForSlot(d.NumTasks, truthStep)
+		pool.ForSlot(d.NumWorkers, lossStep)
 		maxLoss := lossEpsilon
 		for _, loss := range losses {
 			if loss > maxLoss {
@@ -231,7 +345,7 @@ func (m *PM) inferNumeric(d *dataset.Dataset, opts core.Options) (*core.Result, 
 			}
 		}
 		for w := range q {
-			if len(d.WorkerAnswers(w)) == 0 {
+			if c.WorkerDegree(w) == 0 {
 				continue
 			}
 			qw := -math.Log((losses[w] + lossEpsilon) / (maxLoss + lossEpsilon))
@@ -312,4 +426,15 @@ func taskScales(d *dataset.Dataset) []float64 {
 		out[i] = s
 	}
 	return out
+}
+
+// goldenAt is the hot-loop golden lookup: the hoisted hasGolden flag
+// turns the per-task map access into one predictable branch on the
+// (typical) golden-free run.
+func goldenAt(golden map[int]float64, hasGolden bool, i int) (float64, bool) {
+	if !hasGolden {
+		return 0, false
+	}
+	gv, ok := golden[i]
+	return gv, ok
 }

@@ -74,55 +74,70 @@ func (m *ZC) Infer(d *dataset.Dataset, opts core.Options) (*core.Result, error) 
 	}
 
 	pool := opts.EnginePool()
+	c := dataset.BuildCSR(d)
 	post := core.UniformPosterior(d.NumTasks, d.NumChoices)
 	prevQ := make([]float64, d.NumWorkers)
+	logCorrect := make([]float64, d.NumWorkers)
+	logWrong := make([]float64, d.NumWorkers)
+
+	// Per-worker log terms, taken once per iteration instead of once per
+	// answer in the E-step: q_w is constant within an E-step, so these are
+	// the same math.Log values the per-answer form produced.
+	logStep := func(_, wlo, whi int) {
+		for w := wlo; w < whi; w++ {
+			qw := mathx.Clamp(q[w], qualityFloor, 1-qualityFloor)
+			logCorrect[w] = math.Log(qw)
+			logWrong[w] = math.Log((1 - qw) / (ell - 1))
+		}
+	}
+	// E-step: task posteriors from current worker qualities, fanned out
+	// over tasks (each goroutine owns disjoint post rows, computed in
+	// place — same op sequence as the old scratch-then-copy).
+	eStep := func(_, ilo, ihi int) {
+		for i := ilo; i < ihi; i++ {
+			row := post[i]
+			for k := range row {
+				row[k] = 0
+			}
+			for p := c.TaskOff[i]; p < c.TaskOff[i+1]; p++ {
+				w := c.TaskWorker[p]
+				lab := int(c.TaskLabel[p])
+				lc, lw := logCorrect[w], logWrong[w]
+				for k := range row {
+					if lab == k {
+						row[k] += lc
+					} else {
+						row[k] += lw
+					}
+				}
+			}
+			mathx.NormalizeLog(row)
+		}
+	}
+	// M-step: expected accuracy per worker, fanned out over workers.
+	mStep := func(_, wlo, whi int) {
+		for w := wlo; w < whi; w++ {
+			deg := c.WorkerDegree(w)
+			if deg == 0 {
+				continue
+			}
+			var s float64
+			for p := c.WorkerOff[w]; p < c.WorkerOff[w+1]; p++ {
+				s += post[c.WorkerTask[p]][c.WorkerLabel[p]]
+			}
+			q[w] = mathx.Clamp(s/float64(deg), qualityFloor, 1-qualityFloor)
+		}
+	}
 
 	var iter int
 	converged := false
 	for iter = 1; iter <= opts.MaxIter(); iter++ {
-		// E-step: task posteriors from current worker qualities, fanned
-		// out over tasks (each goroutine owns disjoint post rows).
-		pool.For(d.NumTasks, func(ilo, ihi int) {
-			logw := make([]float64, d.NumChoices)
-			for i := ilo; i < ihi; i++ {
-				for k := range logw {
-					logw[k] = 0
-				}
-				for _, ai := range d.TaskAnswers(i) {
-					a := d.Answers[ai]
-					qw := mathx.Clamp(q[a.Worker], qualityFloor, 1-qualityFloor)
-					logCorrect := math.Log(qw)
-					logWrong := math.Log((1 - qw) / (ell - 1))
-					for k := 0; k < d.NumChoices; k++ {
-						if a.Label() == k {
-							logw[k] += logCorrect
-						} else {
-							logw[k] += logWrong
-						}
-					}
-				}
-				mathx.NormalizeLog(logw)
-				copy(post[i], logw)
-			}
-		})
+		pool.ForSlot(d.NumWorkers, logStep)
+		pool.ForSlot(d.NumTasks, eStep)
 		core.PinGolden(post, opts.Golden)
 
-		// M-step: expected accuracy per worker, fanned out over workers.
 		copy(prevQ, q)
-		pool.For(d.NumWorkers, func(wlo, whi int) {
-			for w := wlo; w < whi; w++ {
-				idxs := d.WorkerAnswers(w)
-				if len(idxs) == 0 {
-					continue
-				}
-				var s float64
-				for _, ai := range idxs {
-					a := d.Answers[ai]
-					s += post[a.Task][a.Label()]
-				}
-				q[w] = mathx.Clamp(s/float64(len(idxs)), qualityFloor, 1-qualityFloor)
-			}
-		})
+		pool.ForSlot(d.NumWorkers, mStep)
 
 		if core.MaxAbsDiff(q, prevQ) < opts.Tol() {
 			converged = true

@@ -206,6 +206,23 @@ func HashPick(n int, parts ...int64) int {
 	return int(Mix(parts...) % uint64(n))
 }
 
+// HashPick3 is HashPick with exactly three parts — the (seed, iteration,
+// entity) triple every tie-breaking call site uses — without the variadic
+// slice, so the zero-allocation inference kernels can call it on their hot
+// path. HashPick3(n, a, b, c) == HashPick(n, a, b, c) always.
+func HashPick3(n int, a, b, c int64) int {
+	if n <= 1 {
+		return 0
+	}
+	var state uint64 = 0x6A09E667F3BCC909
+	state ^= uint64(a)
+	splitmix64(&state)
+	state ^= uint64(b)
+	splitmix64(&state)
+	state ^= uint64(c)
+	return int(splitmix64(&state) % uint64(n))
+}
+
 // splitmixSource adapts SplitMix64 to rand.Source64.
 type splitmixSource struct{ state uint64 }
 

@@ -207,3 +207,25 @@ func TestShuffleIsPermutation(t *testing.T) {
 		}
 	}
 }
+
+// TestHashPick3MatchesHashPick pins the fixed-arity hot-path variant to
+// the variadic original for a spread of keys and moduli, and checks it
+// never allocates (the property the CSR kernels rely on).
+func TestHashPick3MatchesHashPick(t *testing.T) {
+	keys := []int64{0, 1, -1, 7, 1 << 40, -9999999}
+	for _, n := range []int{1, 2, 3, 5, 17} {
+		for _, a := range keys {
+			for _, b := range keys {
+				for _, c := range keys {
+					if got, want := HashPick3(n, a, b, c), HashPick(n, a, b, c); got != want {
+						t.Fatalf("HashPick3(%d,%d,%d,%d) = %d, HashPick = %d", n, a, b, c, got, want)
+					}
+				}
+			}
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() { HashPick3(5, 1, 2, 3) })
+	if allocs != 0 {
+		t.Fatalf("HashPick3 allocated %.1f times per call, want 0", allocs)
+	}
+}

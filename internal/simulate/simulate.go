@@ -91,10 +91,13 @@ func Generate(kind Kind, seed int64) *dataset.Dataset {
 // are scaled by the given factor (0 < scale ≤ 1); the worker population
 // mixture and redundancy are preserved. Scaled-down datasets keep the
 // qualitative method ranking and are used by the test suite and the
-// testing.B benches to bound runtime.
+// testing.B benches to bound runtime. An out-of-range scale panics: a
+// caller that asks for scale 0 or -3 has a bug, and silently substituting
+// full scale would hide it behind a dataset ~10× larger than intended
+// (the CLI front ends validate their -scale flags before reaching this).
 func GenerateScaled(kind Kind, seed int64, scale float64) *dataset.Dataset {
-	if scale <= 0 || scale > 1 {
-		scale = 1
+	if !(scale > 0 && scale <= 1) {
+		panic(fmt.Sprintf("simulate: scale %v out of range (0, 1]", scale))
 	}
 	rng := randx.New(seed ^ int64(kind)*0x5851F42D4C957F2D)
 	switch kind {

@@ -89,6 +89,22 @@ func TestDeterminism(t *testing.T) {
 	}
 }
 
+// TestScaleOutOfRangePanics pins the fail-fast contract: a nonsensical
+// scale is a caller bug and must not be silently promoted to full scale
+// (which once made `benchall -scale 0` run the paper-sized datasets).
+func TestScaleOutOfRangePanics(t *testing.T) {
+	for _, scale := range []float64{0, -0.5, 1.001, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("GenerateScaled(scale=%v) did not panic", scale)
+				}
+			}()
+			GenerateScaled(DProduct, 1, scale)
+		}()
+	}
+}
+
 func TestScaledGenerationValidAndProportional(t *testing.T) {
 	for _, k := range Kinds {
 		full := Generate(k, 1)

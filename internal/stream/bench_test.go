@@ -31,6 +31,7 @@ func benchEpoch(b *testing.B, m core.Method) {
 	}
 
 	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := m.Infer(full, opts); err != nil {
 				b.Fatal(err)
@@ -38,6 +39,7 @@ func benchEpoch(b *testing.B, m core.Method) {
 		}
 	})
 	b.Run("warm", func(b *testing.B) {
+		b.ReportAllocs()
 		warm := opts
 		warm.WarmStart = prev.Warm()
 		for i := 0; i < b.N; i++ {

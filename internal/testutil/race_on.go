@@ -1,0 +1,9 @@
+//go:build race
+
+package testutil
+
+// RaceEnabled reports whether the binary was built with -race. The race
+// runtime instruments every memory access and changes allocator
+// behaviour, so allocation-regression tests skip themselves when it is
+// on.
+const RaceEnabled = true

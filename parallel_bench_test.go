@@ -35,6 +35,7 @@ func benchInferParallelism(b *testing.B, method string, kind simulate.Kind) {
 		{"parallel", runtime.GOMAXPROCS(0)},
 	} {
 		b.Run(variant.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := m.Infer(d, Options{Seed: 1, Parallelism: variant.workers}); err != nil {
 					b.Fatal(err)

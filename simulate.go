@@ -18,16 +18,17 @@ const (
 var DatasetKinds = simulate.Kinds
 
 // SimulateDataset generates the calibrated synthetic version of one of
-// the paper's five benchmark datasets, deterministically from seed. See
-// internal/simulate for the calibration details and DESIGN.md §4 for the
-// substitution rationale.
+// the paper's five benchmark datasets, deterministically from seed. The
+// internal/simulate package documentation records the calibration
+// targets and why synthetic data substitutes for the paper's (offline)
+// crowd answers.
 func SimulateDataset(kind DatasetKind, seed int64) *Dataset {
 	return simulate.Generate(kind, seed)
 }
 
-// SimulateDatasetScaled generates a size-scaled variant (0 < scale ≤ 1)
-// preserving the worker-population mixture and redundancy; used to bound
-// test and bench runtime.
+// SimulateDatasetScaled generates a size-scaled variant (0 < scale ≤ 1,
+// anything else panics) preserving the worker-population mixture and
+// redundancy; used to bound test and bench runtime.
 func SimulateDatasetScaled(kind DatasetKind, seed int64, scale float64) *Dataset {
 	return simulate.GenerateScaled(kind, seed, scale)
 }
