@@ -5,8 +5,9 @@
 //
 // Usage:
 //
-//	benchjson [-out BENCH_6.json] [-scale 0.1] [-seed 1] [-repeats 5]
-//	          [-baseline BENCH_6.json] [-max-regress 0.20]
+//	benchjson [-out BENCH_7.json] [-scale 0.1] [-seed 1] [-repeats 5]
+//	          [-baseline BENCH_7.json] [-max-regress 0.20]
+//	          [-http-duration 2s] [-min-http-speedup 5]
 //	          [-validate file.json]
 //
 // With -validate, no measurement runs: the named report is checked
@@ -18,9 +19,16 @@
 // comparison uses calibration-normalized values, so a slower CI runner
 // does not read as a regression.
 //
+// The report also records the HTTP serving-path pair — single-answer
+// JSON vs batched binary ingest, answers/sec each, driven by
+// internal/loadgen against an in-process server. -min-http-speedup
+// fails the run unless the batched path sustains at least that multiple
+// of the single-answer path (0 disables; -http-duration 0 skips the
+// measurement entirely).
+//
 // To regenerate the checked-in baseline on a quiet machine:
 //
-//	go run ./cmd/benchjson -out BENCH_6.json
+//	go run ./cmd/benchjson -out BENCH_7.json
 package main
 
 import (
@@ -29,6 +37,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"truthinference/internal/benchjson"
 	"truthinference/internal/buildinfo"
@@ -36,13 +45,15 @@ import (
 
 func main() {
 	var (
-		out        = flag.String("out", "BENCH_6.json", "report file to write")
-		scale      = flag.Float64("scale", 0.1, "dataset scale in (0, 1] (1 = the paper's full sizes)")
-		seed       = flag.Int64("seed", 1, "dataset generation seed")
-		repeats    = flag.Int("repeats", 5, "timing repetitions per measurement (minimum wins)")
-		baseline   = flag.String("baseline", "", "baseline report to gate against (empty = no gate)")
-		maxRegress = flag.Float64("max-regress", 0.20, "max allowed normalized epoch-latency growth vs baseline (0.20 = +20%)")
-		validate   = flag.String("validate", "", "validate this report file and exit (no measurement)")
+		out          = flag.String("out", "BENCH_7.json", "report file to write")
+		scale        = flag.Float64("scale", 0.1, "dataset scale in (0, 1] (1 = the paper's full sizes)")
+		seed         = flag.Int64("seed", 1, "dataset generation seed")
+		repeats      = flag.Int("repeats", 5, "timing repetitions per measurement (minimum wins)")
+		baseline     = flag.String("baseline", "", "baseline report to gate against (empty = no gate)")
+		maxRegress   = flag.Float64("max-regress", 0.20, "max allowed normalized epoch-latency growth vs baseline (0.20 = +20%)")
+		httpDur      = flag.Duration("http-duration", 2*time.Second, "per-mode window for the HTTP single-vs-batched ingest measurement (0 = skip)")
+		minHTTPSpeed = flag.Float64("min-http-speedup", 5, "fail unless batched HTTP ingest sustains this multiple of the single-answer path (0 = no gate)")
+		validate     = flag.String("validate", "", "validate this report file and exit (no measurement)")
 	)
 	version := flag.Bool("version", false, "print build info and exit")
 	flag.Parse()
@@ -52,13 +63,13 @@ func main() {
 	}
 	fmt.Fprintln(os.Stderr, buildinfo.String("benchjson"))
 
-	if err := run(*out, *scale, *seed, *repeats, *baseline, *maxRegress, *validate); err != nil {
+	if err := run(*out, *scale, *seed, *repeats, *baseline, *maxRegress, *httpDur, *minHTTPSpeed, *validate); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(out string, scale float64, seed int64, repeats int, baseline string, maxRegress float64, validate string) error {
+func run(out string, scale float64, seed int64, repeats int, baseline string, maxRegress float64, httpDur time.Duration, minHTTPSpeed float64, validate string) error {
 	if validate != "" {
 		r, err := benchjson.Load(validate)
 		if err != nil {
@@ -83,6 +94,13 @@ func run(out string, scale float64, seed int64, repeats int, baseline string, ma
 	if err != nil {
 		return err
 	}
+	if httpDur > 0 {
+		h, err := benchjson.MeasureHTTPIngest(r.CalibrationNs, seed, httpDur)
+		if err != nil {
+			return fmt.Errorf("http ingest: %w", err)
+		}
+		r.HTTPIngest = h
+	}
 	if err := benchjson.Validate(r); err != nil {
 		return fmt.Errorf("fresh report failed validation: %w", err)
 	}
@@ -92,6 +110,13 @@ func run(out string, scale float64, seed int64, repeats int, baseline string, ma
 	for _, e := range r.EpochLatency {
 		fmt.Printf("  %-6s %-22s %12.0f ns/epoch  (normalized %.4f)\n",
 			e.Method, e.Dataset, e.NsPerEpoch, e.Normalized)
+	}
+	if h := r.HTTPIngest; h != nil {
+		fmt.Printf("http ingest: single %.0f answers/s, batched %.0f answers/s (%.1fx)\n",
+			h.SingleAnswersPerSec, h.BatchAnswersPerSec, h.Speedup)
+		if minHTTPSpeed > 0 && h.Speedup < minHTTPSpeed {
+			return fmt.Errorf("batched HTTP ingest speedup %.1fx below the required %.1fx floor", h.Speedup, minHTTPSpeed)
+		}
 	}
 
 	if baseline != "" {

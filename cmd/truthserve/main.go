@@ -12,7 +12,9 @@
 //	           [-cold] [-auto-refresh=true] [-data path/to/base]
 //	           [-wal-dir dir] [-snapshot-every 256]
 //	           [-assign-policy uncertainty] [-budget 0] [-redundancy 3]
-//	           [-lease-ttl 1m] [-projects projects.json] [-version]
+//	           [-lease-ttl 1m] [-projects projects.json]
+//	           [-ingest-rate 0] [-ingest-burst 0] [-max-answers 0]
+//	           [-version]
 //
 // The per-project flags above configure the reserved *default* project,
 // which serves the legacy unprefixed routes — a single-project
@@ -33,11 +35,16 @@
 //	GET    /v1/admin/projects/{id}   one project's stats
 //	DELETE /v1/admin/projects/{id}   close + delete a project
 //	*      /v1/projects/{id}/...     that project's API:
-//	  POST ../ingest      append answers/tasks/workers/truths
-//	  POST ../refresh     run one inference epoch now
+//	  POST ../ingest        append answers/tasks/workers/truths (JSON)
+//	  POST ../ingest-batch  batched binary ingest (CRC-framed batch
+//	                        stream; the ack reports accepted vs durable)
+//	  POST ../refresh       run one inference epoch now
 //	  GET  ../truth/{task}, ../truths, ../worker/{id}, ../stats, ../healthz
 //	  GET  ../assign, POST ../complete, GET ../assignstats  (with assign config)
 //	*      /v1/...                   legacy routes → the default project
+//	                                 (DEPRECATED: responses carry a
+//	                                 Deprecation header; use
+//	                                 /v1/projects/default/...)
 //
 // On SIGINT/SIGTERM the daemon drains gracefully: the HTTP listener
 // stops accepting, in-flight requests finish, and every project drains
@@ -60,6 +67,7 @@ import (
 
 	"truthinference/internal/assign"
 	"truthinference/internal/buildinfo"
+	"truthinference/internal/stream"
 	"truthinference/internal/tenant"
 )
 
@@ -83,6 +91,9 @@ type config struct {
 	redundancy    int
 	leaseTTL      time.Duration
 	projectsFile  string
+	ratePerSec    float64
+	rateBurst     int
+	maxAnswers    int
 }
 
 // defaultProject maps the legacy per-daemon flags onto the default
@@ -119,6 +130,13 @@ func (c config) defaultProject() tenant.Config {
 			NoChargeExisting: true,
 		}
 	}
+	if c.ratePerSec > 0 || c.maxAnswers > 0 {
+		pc.Limits = &stream.Limits{
+			RatePerSec: c.ratePerSec,
+			Burst:      c.rateBurst,
+			MaxAnswers: c.maxAnswers,
+		}
+	}
 	return pc
 }
 
@@ -143,6 +161,9 @@ func main() {
 	flag.IntVar(&cfg.redundancy, "redundancy", assign.DefaultRedundancy, "per-task answer cap for assignment")
 	flag.DurationVar(&cfg.leaseTTL, "lease-ttl", assign.DefaultLeaseTTL, "how long a worker holds an assignment before it is reclaimed")
 	flag.StringVar(&cfg.projectsFile, "projects", "", "optional JSON file of additional projects to create at boot (id -> config)")
+	flag.Float64Var(&cfg.ratePerSec, "ingest-rate", 0, "default project's sustained ingest admission rate in answers/sec (0 = unlimited); violations shed with 429 + Retry-After")
+	flag.IntVar(&cfg.rateBurst, "ingest-burst", 0, "token-bucket burst capacity in answers for -ingest-rate (0 = one second's worth)")
+	flag.IntVar(&cfg.maxAnswers, "max-answers", 0, "default project's lifetime answer quota (0 = unlimited)")
 	version := flag.Bool("version", false, "print build info and exit")
 	flag.Parse()
 	if *version {

@@ -1,11 +1,12 @@
 package assign
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
+
+	"truthinference/internal/api"
 )
 
 // The HTTP face of the assignment ledger, mounted by cmd/truthserve next
@@ -21,7 +22,8 @@ import (
 //
 // Status mapping: no eligible task → 404, budget exhausted → 409,
 // unknown/expired lease → 410, wrong worker → 403, malformed request
-// or rejected answer → 400/422.
+// or rejected answer → 400/422. Errors use the shared envelope from
+// internal/api.
 
 // IngestFunc delivers one completed answer into the serving store; the
 // daemon adapts stream.Service.Ingest to it. A delivery that fails
@@ -35,13 +37,6 @@ type IngestFunc func(task, worker int, value float64) (version uint64, err error
 // the worker held the lease).
 var ErrStoreClosed = errors.New("assign: serving store is closed")
 
-// completeRequest is the JSON shape of POST /v1/complete.
-type completeRequest struct {
-	LeaseID uint64  `json:"lease_id"`
-	Worker  int     `json:"worker"`
-	Value   float64 `json:"value"`
-}
-
 // Handler returns the assignment API over the ledger. ingest must be
 // non-nil; it runs under the ledger lock when a lease is redeemed.
 func Handler(l *Ledger, ingest IngestFunc) http.Handler {
@@ -49,22 +44,19 @@ func Handler(l *Ledger, ingest IngestFunc) http.Handler {
 	mux.HandleFunc("GET /v1/assign", func(w http.ResponseWriter, r *http.Request) {
 		worker, err := strconv.Atoi(r.URL.Query().Get("worker"))
 		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("worker id %q is not an integer", r.URL.Query().Get("worker")))
+			api.Error(w, http.StatusBadRequest, fmt.Errorf("worker id %q is not an integer", r.URL.Query().Get("worker")))
 			return
 		}
 		lease, err := l.Assign(worker)
 		if err != nil {
-			writeError(w, assignStatus(err), err)
+			api.Error(w, assignStatus(err), err)
 			return
 		}
-		writeJSON(w, http.StatusOK, lease)
+		api.WriteJSON(w, http.StatusOK, lease)
 	})
 	mux.HandleFunc("POST /v1/complete", func(w http.ResponseWriter, r *http.Request) {
-		var req completeRequest
-		dec := json.NewDecoder(r.Body)
-		dec.DisallowUnknownFields()
-		if err := dec.Decode(&req); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("decode complete body: %w", err))
+		var req api.CompleteRequest
+		if !api.DecodeJSON(w, r, api.MaxAdminBody, &req) {
 			return
 		}
 		var version uint64
@@ -74,16 +66,16 @@ func Handler(l *Ledger, ingest IngestFunc) http.Handler {
 			return ierr
 		})
 		if err != nil {
-			writeError(w, assignStatus(err), err)
+			api.Error(w, assignStatus(err), err)
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]any{
-			"lease_id": req.LeaseID,
-			"version":  version,
+		api.WriteJSON(w, http.StatusOK, api.CompleteResponse{
+			LeaseID: req.LeaseID,
+			Version: version,
 		})
 	})
 	mux.HandleFunc("GET /v1/assignstats", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, l.Stats())
+		api.WriteJSON(w, http.StatusOK, l.Stats())
 	})
 	return mux
 }
@@ -105,14 +97,4 @@ func assignStatus(err error) int {
 		// A rejected answer (delivery failure) or an invalid worker id.
 		return http.StatusUnprocessableEntity
 	}
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
-}
-
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
 }

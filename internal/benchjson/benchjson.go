@@ -45,6 +45,10 @@ type Report struct {
 	Ingest        Throughput  `json:"ingest"`
 	Assign        Throughput  `json:"assign"`
 	EpochLatency  []EpochStat `json:"epoch_latency"`
+	// HTTPIngest is the end-to-end HTTP serving-path measurement
+	// (single-answer JSON vs batched binary). Optional and additive:
+	// earlier schema v1 reports without it stay valid.
+	HTTPIngest *HTTPIngest `json:"http_ingest,omitempty"`
 }
 
 // Throughput is an operations-per-second measurement with its
@@ -389,6 +393,14 @@ func Validate(r *Report) error {
 		seen[key] = true
 		if !(e.NsPerEpoch > 0) || !(e.Normalized > 0) {
 			return fmt.Errorf("epoch_latency %s is not positive: %+v", key, e)
+		}
+	}
+	if h := r.HTTPIngest; h != nil {
+		if !(h.SingleAnswersPerSec > 0) || !(h.BatchAnswersPerSec > 0) {
+			return fmt.Errorf("http_ingest throughput %+v is not positive", h)
+		}
+		if !(h.Speedup > 0) || !(h.SingleNormalized > 0) || !(h.BatchNormalized > 0) {
+			return fmt.Errorf("http_ingest derived values %+v are not positive", h)
 		}
 	}
 	return nil

@@ -1,0 +1,105 @@
+package benchjson
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"time"
+
+	"truthinference/internal/core"
+	"truthinference/internal/dataset"
+	"truthinference/internal/loadgen"
+	"truthinference/internal/methods/direct"
+	"truthinference/internal/stream"
+)
+
+// HTTPIngest is the HTTP serving-path throughput pair: the same answers
+// pushed through the single-answer JSON endpoint and through the
+// batched binary endpoint, measured end to end (request framing, codec,
+// admission, store fold). Speedup is batch/single — the number the
+// batched API exists to maximize. It is an additive, optional report
+// section: schema v1 reports without it stay valid.
+type HTTPIngest struct {
+	// SingleAnswersPerSec is POST /v1/ingest with one answer per request.
+	SingleAnswersPerSec float64 `json:"single_answers_per_sec"`
+	// BatchAnswersPerSec is POST /v1/ingest-batch with framed batches.
+	BatchAnswersPerSec float64 `json:"batch_answers_per_sec"`
+	// Speedup is BatchAnswersPerSec / SingleAnswersPerSec.
+	Speedup float64 `json:"speedup"`
+	// Normalized forms (answers per calibration-loop unit of work), the
+	// machine-independent values.
+	SingleNormalized float64 `json:"single_normalized"`
+	BatchNormalized  float64 `json:"batch_normalized"`
+	// BatchSize and Frames record the batched request shape used.
+	BatchSize int `json:"batch_size"`
+	Frames    int `json:"frames"`
+}
+
+// MeasureHTTPIngest drives the live HTTP surface twice — all
+// single-answer JSON, then all batched binary — against fresh in-process
+// services and returns the throughput pair. calibrationNs is the
+// report's calibration constant (for the normalized forms); duration is
+// the per-mode measurement window.
+func MeasureHTTPIngest(calibrationNs float64, seed int64, duration time.Duration) (*HTTPIngest, error) {
+	const (
+		workers   = 4
+		batchSize = 500
+		frames    = 4
+	)
+	run := func(singleRatio float64) (float64, error) {
+		store, err := stream.NewStore("bench-http", dataset.Decision, 2)
+		if err != nil {
+			return 0, err
+		}
+		svc, err := stream.NewService(store, stream.Config{
+			Method:  direct.NewMV(),
+			Options: core.Options{Seed: seed},
+		})
+		if err != nil {
+			return 0, err
+		}
+		defer svc.Close()
+		srv := httptest.NewServer(svc.Handler())
+		defer srv.Close()
+		res, err := loadgen.Config{
+			BaseURL:          srv.URL,
+			Workers:          workers,
+			Duration:         duration,
+			SingleRatio:      singleRatio,
+			BatchSize:        batchSize,
+			FramesPerRequest: frames,
+			NumTasks:         2000,
+			NumWorkers:       200,
+			Seed:             seed,
+			Client:           srv.Client(),
+		}.Run(context.Background())
+		if err != nil {
+			return 0, err
+		}
+		if res.Errors > 0 {
+			return 0, fmt.Errorf("load run saw %d errors (first: %s)", res.Errors, res.FirstError)
+		}
+		if res.AnswersPerSec <= 0 {
+			return 0, fmt.Errorf("load run accepted no answers: %+v", res)
+		}
+		return res.AnswersPerSec, nil
+	}
+
+	single, err := run(1)
+	if err != nil {
+		return nil, fmt.Errorf("single-answer JSON path: %w", err)
+	}
+	batch, err := run(0)
+	if err != nil {
+		return nil, fmt.Errorf("batched binary path: %w", err)
+	}
+	return &HTTPIngest{
+		SingleAnswersPerSec: single,
+		BatchAnswersPerSec:  batch,
+		Speedup:             batch / single,
+		SingleNormalized:    single * calibrationNs / 1e9,
+		BatchNormalized:     batch * calibrationNs / 1e9,
+		BatchSize:           batchSize,
+		Frames:              frames,
+	}, nil
+}

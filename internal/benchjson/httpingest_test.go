@@ -1,0 +1,81 @@
+package benchjson
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func validHTTPIngest() *HTTPIngest {
+	return &HTTPIngest{
+		SingleAnswersPerSec: 1e3,
+		BatchAnswersPerSec:  1e5,
+		Speedup:             100,
+		SingleNormalized:    1,
+		BatchNormalized:     100,
+		BatchSize:           500,
+		Frames:              4,
+	}
+}
+
+func TestValidateHTTPIngest(t *testing.T) {
+	// Absent is valid (BENCH_6-era reports predate the section).
+	r := validReport()
+	if err := Validate(r); err != nil {
+		t.Fatal(err)
+	}
+	r.HTTPIngest = validHTTPIngest()
+	if err := Validate(r); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*HTTPIngest)
+	}{
+		{"zero single", func(h *HTTPIngest) { h.SingleAnswersPerSec = 0 }},
+		{"zero batch", func(h *HTTPIngest) { h.BatchAnswersPerSec = 0 }},
+		{"zero speedup", func(h *HTTPIngest) { h.Speedup = 0 }},
+		{"zero normalized", func(h *HTTPIngest) { h.BatchNormalized = 0 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := validReport()
+			r.HTTPIngest = validHTTPIngest()
+			tc.mutate(r.HTTPIngest)
+			err := Validate(r)
+			if err == nil {
+				t.Fatal("Validate accepted a malformed http_ingest")
+			}
+			if !strings.Contains(err.Error(), "http_ingest") {
+				t.Fatalf("error %q does not mention http_ingest", err)
+			}
+		})
+	}
+}
+
+// TestMeasureHTTPIngestSmoke runs both HTTP modes briefly: positive
+// throughputs and a computed speedup. The 5x acceptance floor is gated
+// in CI via cmd/benchjson -min-http-speedup, not here — a loaded test
+// machine with a sub-second window is not a fair judge.
+func TestMeasureHTTPIngestSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives live HTTP load")
+	}
+	h, err := MeasureHTTPIngest(1e6, 1, 500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(h.SingleAnswersPerSec > 0) || !(h.BatchAnswersPerSec > 0) || !(h.Speedup > 0) {
+		t.Fatalf("non-positive measurement: %+v", h)
+	}
+	r := validReport()
+	r.HTTPIngest = h
+	if err := Validate(r); err != nil {
+		t.Fatal(err)
+	}
+	if h.BatchAnswersPerSec <= h.SingleAnswersPerSec {
+		t.Fatalf("batched path (%.0f/s) did not beat single-answer path (%.0f/s)",
+			h.BatchAnswersPerSec, h.SingleAnswersPerSec)
+	}
+}

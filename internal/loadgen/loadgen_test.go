@@ -1,0 +1,103 @@
+package loadgen
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"truthinference/internal/dataset"
+	"truthinference/internal/methods/direct"
+	"truthinference/internal/stream"
+)
+
+func loadServer(t *testing.T, limits stream.Limits) *httptest.Server {
+	t.Helper()
+	store, err := stream.NewStore("loadgen-test", dataset.Decision, 2)
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	svc, err := stream.NewService(store, stream.Config{Method: direct.NewMV(), Limits: limits})
+	if err != nil {
+		t.Fatalf("NewService: %v", err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { svc.Close() })
+	return ts
+}
+
+func TestRunMixedTraffic(t *testing.T) {
+	ts := loadServer(t, stream.Limits{})
+	res, err := Config{
+		BaseURL:          ts.URL,
+		Workers:          2,
+		Duration:         400 * time.Millisecond,
+		SingleRatio:      0.5,
+		BatchSize:        20,
+		FramesPerRequest: 2,
+		NumTasks:         50,
+		NumWorkers:       10,
+		Seed:             7,
+		Client:           ts.Client(),
+	}.Run(context.Background())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Errors > 0 {
+		t.Fatalf("run saw %d errors, first: %s", res.Errors, res.FirstError)
+	}
+	if res.Requests == 0 || res.AnswersAccepted == 0 {
+		t.Fatalf("no traffic got through: %+v", res)
+	}
+	if res.SingleRequests == 0 || res.BatchRequests == 0 {
+		t.Fatalf("mix did not cover both paths: single=%d batch=%d", res.SingleRequests, res.BatchRequests)
+	}
+	if res.LastVersion == 0 {
+		t.Fatalf("no store version observed: %+v", res)
+	}
+	if res.AnswersPerSec <= 0 {
+		t.Fatalf("AnswersPerSec not computed: %+v", res)
+	}
+}
+
+func TestRunObservesBackpressure(t *testing.T) {
+	// A near-zero admission rate sheds every request after the first
+	// borrow; every 429 must carry Retry-After.
+	ts := loadServer(t, stream.Limits{RatePerSec: 0.001, Burst: 1})
+	res, err := Config{
+		BaseURL:          ts.URL,
+		Workers:          2,
+		Duration:         300 * time.Millisecond,
+		BatchSize:        10,
+		FramesPerRequest: 1,
+		NumTasks:         20,
+		NumWorkers:       5,
+		Seed:             3,
+		Client:           ts.Client(),
+	}.Run(context.Background())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Errors > 0 {
+		t.Fatalf("run saw %d errors, first: %s", res.Errors, res.FirstError)
+	}
+	if res.Shed == 0 {
+		t.Fatalf("backpressure never engaged: %+v", res)
+	}
+	if res.RetryAfterMissing != 0 {
+		t.Fatalf("%d shed responses lacked Retry-After", res.RetryAfterMissing)
+	}
+	if res.AnswersShed == 0 {
+		t.Fatalf("shed answers not accounted: %+v", res)
+	}
+}
+
+func TestRunRejectsBadRatio(t *testing.T) {
+	if _, err := (Config{BaseURL: "http://x", SingleRatio: 2}).Run(context.Background()); err == nil {
+		t.Fatal("SingleRatio 2 accepted")
+	}
+	if _, err := (Config{}).Run(context.Background()); err == nil {
+		t.Fatal("missing BaseURL accepted")
+	}
+}

@@ -1,21 +1,25 @@
 package stream
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
 	"net/http"
 	"strconv"
 
+	"truthinference/internal/api"
 	"truthinference/internal/dataset"
 )
 
-// The HTTP JSON API over a Service, mounted by cmd/truthserve and
-// exercised end-to-end by the httptest suite:
+// The HTTP API over a Service, mounted by cmd/truthserve and exercised
+// end-to-end by the httptest suite:
 //
 //	POST /v1/ingest        {"answers":[{"task":0,"worker":1,"value":1}],
 //	                        "truth":{"0":1}, "num_tasks":10, "num_workers":5}
+//	POST /v1/ingest-batch  binary batch stream (see codec.go): magic
+//	                       "TIBAT\x01\r\n" + CRC-framed batch payloads;
+//	                       the response distinguishes accepted (version)
+//	                       from durable (durable_version)
 //	POST /v1/refresh       run one inference epoch now (no-op when fresh)
 //	GET  /v1/truth/{task}  one task's truth + confidence
 //	GET  /v1/truths        the full truth vector + the version it reflects
@@ -23,26 +27,14 @@ import (
 //	GET  /v1/stats         store + serving statistics
 //	GET  /v1/healthz       liveness probe
 //
+// Errors use the shared envelope from internal/api; both ingest
+// endpoints enforce Config.Limits, shedding load with 429 + Retry-After
+// before committing anything — a rejected request acknowledges nothing.
+//
 // Reads are served from the last published result and never block behind
 // a running inference epoch; the reported version says how fresh they are.
 
-// wireAnswer is the JSON shape of one answer.
-type wireAnswer struct {
-	Task   int     `json:"task"`
-	Worker int     `json:"worker"`
-	Value  float64 `json:"value"`
-}
-
-// ingestRequest is the JSON shape of POST /v1/ingest. Truth keys are
-// strings because JSON objects cannot have integer keys.
-type ingestRequest struct {
-	Answers    []wireAnswer       `json:"answers"`
-	Truth      map[string]float64 `json:"truth,omitempty"`
-	NumTasks   int                `json:"num_tasks,omitempty"`
-	NumWorkers int                `json:"num_workers,omitempty"`
-}
-
-func (r ingestRequest) batch() (Batch, error) {
+func toBatch(r api.IngestRequest) (Batch, error) {
 	b := Batch{NumTasks: r.NumTasks, NumWorkers: r.NumWorkers}
 	if len(r.Answers) > 0 {
 		b.Answers = make([]dataset.Answer, len(r.Answers))
@@ -67,47 +59,141 @@ func (r ingestRequest) batch() (Batch, error) {
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	mux.HandleFunc("POST /v1/ingest-batch", s.handleIngestBatch)
 	mux.HandleFunc("POST /v1/refresh", s.handleRefresh)
 	mux.HandleFunc("GET /v1/truth/{task}", s.handleTruth)
 	mux.HandleFunc("GET /v1/truths", s.handleTruths)
 	mux.HandleFunc("GET /v1/worker/{worker}", s.handleWorker)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		api.WriteJSON(w, http.StatusOK, api.Health{Status: "ok"})
 	})
 	return mux
 }
 
+// admit charges n answers against the service's rate and quota limits,
+// writing the 429 itself on rejection. Nothing may be committed before
+// admit says yes: a shed request must acknowledge no data.
+func (s *Service) admit(w http.ResponseWriter, n int) bool {
+	if n < 1 {
+		n = 1 // even an empty request spends admission, or probes are free
+	}
+	if q := s.cfg.Limits.MaxAnswers; q > 0 {
+		if _, _, answers := s.store.Dims(); answers+n > q {
+			api.RateLimited(w, QuotaRetryAfter,
+				fmt.Errorf("%w: %d stored + %d incoming exceeds the %d-answer quota", ErrQuotaExceeded, answers, n, q))
+			return false
+		}
+	}
+	if wait, ok := s.limiter.Admit(n); !ok {
+		api.RateLimited(w, wait, ErrRateLimited)
+		return false
+	}
+	return true
+}
+
+// ingestStatus maps an Ingest error onto its HTTP status.
+func ingestStatus(err error) int {
+	if errors.Is(err, ErrClosed) {
+		// The project was deleted while this request was in flight.
+		return http.StatusGone
+	}
+	return http.StatusUnprocessableEntity
+}
+
 func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
-	var req ingestRequest
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decode ingest body: %w", err))
+	var req api.IngestRequest
+	if !api.DecodeJSON(w, r, api.MaxIngestBody, &req) {
 		return
 	}
-	b, err := req.batch()
+	b, err := toBatch(req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		api.Error(w, http.StatusBadRequest, err)
+		return
+	}
+	if !s.admit(w, len(b.Answers)) {
 		return
 	}
 	version, err := s.Ingest(b)
 	if err != nil {
-		status := http.StatusUnprocessableEntity
-		if errors.Is(err, ErrClosed) {
-			// The project was deleted while this request was in flight.
-			status = http.StatusGone
-		}
-		writeError(w, status, err)
+		api.Error(w, ingestStatus(err), err)
 		return
 	}
 	tasks, workers, answers := s.store.Dims()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"version":  version,
-		"ingested": len(b.Answers),
-		"tasks":    tasks,
-		"workers":  workers,
-		"answers":  answers,
+	api.WriteJSON(w, http.StatusOK, api.IngestResponse{
+		Version:  version,
+		Ingested: len(b.Answers),
+		Tasks:    tasks,
+		Workers:  workers,
+		Answers:  answers,
+	})
+}
+
+func (s *Service) handleIngestBatch(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, api.MaxBatchBody)
+	var batches []Batch
+	total := 0
+	if _, err := ReadBatchStream(body, func(b Batch) error {
+		batches = append(batches, b)
+		total += len(b.Answers)
+		return nil
+	}); err != nil {
+		var tooBig *http.MaxBytesError
+		switch {
+		case errors.As(err, &tooBig):
+			api.Error(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("batch stream exceeds the %d-byte cap", tooBig.Limit))
+		case errors.Is(err, ErrFrameTooLarge):
+			api.Error(w, http.StatusRequestEntityTooLarge, err)
+		default:
+			api.Error(w, http.StatusBadRequest, err)
+		}
+		return
+	}
+	if len(batches) == 0 {
+		api.Error(w, http.StatusBadRequest, errors.New("batch stream carries no frames"))
+		return
+	}
+	// The whole request is admitted or shed as one unit, before any
+	// frame commits — a 429 therefore never acknowledges an answer.
+	if !s.admit(w, total) {
+		return
+	}
+	var version uint64
+	for i, b := range batches {
+		v, err := s.Ingest(b)
+		if err != nil {
+			// Frames commit in order; i of them are already in. Report
+			// the commit point so the client can resume past it.
+			api.Error(w, ingestStatus(err),
+				fmt.Errorf("frame %d of %d rejected after %d committed through version %d: %w",
+					i, len(batches), i, version, err))
+			return
+		}
+		version = v
+	}
+	// One group-committed flush for the whole request: concurrent
+	// requests queue behind a shared fsync leader instead of paying one
+	// fsync per frame. The response states the durable watermark
+	// explicitly — "accepted" (version) is not "durable"
+	// (durable_version) until the WAL has flushed past it.
+	durableVersion, durable, err := s.DurableTo(version)
+	if err != nil {
+		api.Error(w, http.StatusInternalServerError,
+			fmt.Errorf("committed through version %d but durability not confirmed past %d: %w",
+				version, durableVersion, err))
+		return
+	}
+	tasks, workers, answers := s.store.Dims()
+	api.WriteJSON(w, http.StatusOK, api.BatchIngestResponse{
+		Batches:        len(batches),
+		Ingested:       total,
+		Version:        version,
+		Durable:        durable,
+		DurableVersion: durableVersion,
+		Tasks:          tasks,
+		Workers:        workers,
+		Answers:        answers,
 	})
 }
 
@@ -117,55 +203,55 @@ func (s *Service) handleRefresh(w http.ResponseWriter, _ *http.Request) {
 		if errors.Is(err, ErrClosed) {
 			status = http.StatusGone
 		}
-		writeError(w, status, err)
+		api.Error(w, status, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, s.Stats())
+	api.WriteJSON(w, http.StatusOK, s.Stats())
 }
 
 func (s *Service) handleTruth(w http.ResponseWriter, r *http.Request) {
 	task, err := strconv.Atoi(r.PathValue("task"))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("task id %q is not an integer", r.PathValue("task")))
+		api.Error(w, http.StatusBadRequest, fmt.Errorf("task id %q is not an integer", r.PathValue("task")))
 		return
 	}
 	info, err := s.Truth(task)
 	if err != nil {
-		writeError(w, queryStatus(err), err)
+		api.Error(w, queryStatus(err), err)
 		return
 	}
 	resp := map[string]any{"task": info.Task, "truth": info.Truth, "version": info.Version}
 	if !math.IsNaN(info.Confidence) {
 		resp["confidence"] = info.Confidence
 	}
-	writeJSON(w, http.StatusOK, resp)
+	api.WriteJSON(w, http.StatusOK, resp)
 }
 
 func (s *Service) handleTruths(w http.ResponseWriter, _ *http.Request) {
 	truths, version, err := s.Truths()
 	if err != nil {
-		writeError(w, queryStatus(err), err)
+		api.Error(w, queryStatus(err), err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"version": version, "truths": truths})
+	api.WriteJSON(w, http.StatusOK, map[string]any{"version": version, "truths": truths})
 }
 
 func (s *Service) handleWorker(w http.ResponseWriter, r *http.Request) {
 	worker, err := strconv.Atoi(r.PathValue("worker"))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("worker id %q is not an integer", r.PathValue("worker")))
+		api.Error(w, http.StatusBadRequest, fmt.Errorf("worker id %q is not an integer", r.PathValue("worker")))
 		return
 	}
 	quality, err := s.WorkerQuality(worker)
 	if err != nil {
-		writeError(w, queryStatus(err), err)
+		api.Error(w, queryStatus(err), err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"worker": worker, "quality": quality})
+	api.WriteJSON(w, http.StatusOK, map[string]any{"worker": worker, "quality": quality})
 }
 
 func (s *Service) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.Stats())
+	api.WriteJSON(w, http.StatusOK, s.Stats())
 }
 
 // queryStatus maps service query errors onto HTTP statuses: asking before
@@ -176,14 +262,4 @@ func queryStatus(err error) int {
 		return http.StatusConflict
 	}
 	return http.StatusNotFound
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
-}
-
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
 }

@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"testing"
 
+	"truthinference/internal/api"
 	"truthinference/internal/core"
 	"truthinference/internal/dataset"
 	"truthinference/internal/methods/direct"
@@ -55,10 +56,10 @@ func getJSON(t *testing.T, client *http.Client, url string, wantStatus int) map[
 }
 
 // wireBatch converts a Batch into the JSON ingest shape.
-func wireBatch(b Batch) ingestRequest {
-	req := ingestRequest{NumTasks: b.NumTasks, NumWorkers: b.NumWorkers}
+func wireBatch(b Batch) api.IngestRequest {
+	req := api.IngestRequest{NumTasks: b.NumTasks, NumWorkers: b.NumWorkers}
 	for _, a := range b.Answers {
-		req.Answers = append(req.Answers, wireAnswer{Task: a.Task, Worker: a.Worker, Value: a.Value})
+		req.Answers = append(req.Answers, api.Answer{Task: a.Task, Worker: a.Worker, Value: a.Value})
 	}
 	if len(b.Truth) > 0 {
 		req.Truth = make(map[string]float64, len(b.Truth))

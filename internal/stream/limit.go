@@ -1,0 +1,99 @@
+package stream
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// Limits is a tenant's ingest admission policy. Zero values disable
+// each control, so the zero Limits admits everything.
+type Limits struct {
+	// RatePerSec is the sustained admission rate in answers per second
+	// (0 = unlimited). Batches are charged by their answer count, so a
+	// 1000-answer batch spends 1000 tokens.
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+	// Burst is the token-bucket capacity in answers (0 = one second's
+	// worth of rate, minimum 1). Bursts above it are admitted by
+	// borrowing against future refill rather than starved forever.
+	Burst int `json:"burst,omitempty"`
+	// MaxAnswers caps the store's total answer count — the tenant's
+	// lifetime quota (0 = unlimited).
+	MaxAnswers int `json:"max_answers,omitempty"`
+}
+
+// Enabled reports whether any control is active.
+func (l Limits) Enabled() bool { return l.RatePerSec > 0 || l.MaxAnswers > 0 }
+
+// ErrRateLimited and ErrQuotaExceeded classify admission rejections;
+// both surface as 429 + Retry-After on the wire.
+var (
+	ErrRateLimited   = errors.New("stream: ingest rate limit exceeded")
+	ErrQuotaExceeded = errors.New("stream: answer quota exhausted")
+)
+
+// QuotaRetryAfter is the Retry-After hint for quota rejections. The
+// quota does not refill on its own — the hint is "come back after an
+// operator raised it", not a token-bucket wait — but every 429 carries
+// a Retry-After so clients need only one backoff path.
+const QuotaRetryAfter = 60 * time.Second
+
+// Limiter is a token-bucket admission controller charged in answers.
+// A nil Limiter admits everything. Admission uses a borrowing bucket:
+// a request is admitted whenever the bucket is positive, and its full
+// cost is deducted even when that drives the bucket negative — so one
+// batch larger than the burst capacity is admitted (then paid off by
+// refill time) instead of being rejected forever, while the sustained
+// rate still converges to RatePerSec.
+type Limiter struct {
+	mu     sync.Mutex
+	rate   float64 // tokens (answers) per second
+	burst  float64 // bucket capacity
+	tokens float64
+	last   time.Time
+	now    func() time.Time // injectable clock for tests
+}
+
+// NewLimiter builds a Limiter for the rate half of l, or nil when no
+// rate is configured (quota is enforced by the caller against the
+// store's answer count, which needs no state here).
+func NewLimiter(l Limits) *Limiter {
+	if l.RatePerSec <= 0 {
+		return nil
+	}
+	burst := float64(l.Burst)
+	if burst <= 0 {
+		burst = l.RatePerSec
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &Limiter{rate: l.RatePerSec, burst: burst, tokens: burst, now: time.Now}
+}
+
+// Admit charges n answers against the bucket. It returns ok=true when
+// admitted; otherwise retryAfter is how long until the bucket is
+// positive again — the Retry-After the rejection should carry.
+func (l *Limiter) Admit(n int) (retryAfter time.Duration, ok bool) {
+	if l == nil {
+		return 0, true
+	}
+	if n < 1 {
+		n = 1
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	if !l.last.IsZero() {
+		l.tokens += now.Sub(l.last).Seconds() * l.rate
+		if l.tokens > l.burst {
+			l.tokens = l.burst
+		}
+	}
+	l.last = now
+	if l.tokens > 0 {
+		l.tokens -= float64(n)
+		return 0, true
+	}
+	return time.Duration(-l.tokens / l.rate * float64(time.Second)), false
+}

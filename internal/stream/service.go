@@ -47,6 +47,11 @@ type Config struct {
 	// because recording any further batch would leave a version gap in
 	// the log that recovery must treat as corruption.
 	Persist Persister
+	// Limits is the ingest admission policy the HTTP handlers enforce
+	// (rate and quota rejections shed load with 429 + Retry-After). The
+	// zero value admits everything. Direct Ingest calls bypass it: WAL
+	// replay and in-process pipelines are not tenant traffic.
+	Limits Limits
 }
 
 // Persister is the durability hook a Service drives: Record appends one
@@ -60,6 +65,18 @@ type Persister interface {
 	Sync() error
 }
 
+// DurablePersister is the optional group-commit side of a Persister.
+// SyncTo blocks until every record through version is on stable storage
+// — concurrent callers coalesce into one fsync — and DurableVersion
+// reports the watermark already durable, letting ingest responses state
+// exactly how much of what they acknowledged would survive a crash.
+// wal.Persister implements it.
+type DurablePersister interface {
+	Persister
+	SyncTo(version uint64) error
+	DurableVersion() uint64
+}
+
 // Service multiplexes concurrent readers against streaming ingestion and
 // background re-inference for one method over one Store. Reads always
 // serve the last published result — possibly a few versions stale while
@@ -68,11 +85,12 @@ type Persister interface {
 // bypass re-inference entirely: ingestion folds each delta into the
 // maintained statistics in O(delta) and reads are always fresh.
 type Service struct {
-	store  *Store
-	method core.Method
-	cfg    Config
-	pool   *engine.Pool // persistent; reused by every epoch's hot loops
-	inc    *incremental // non-nil for MV/Mean/Median
+	store   *Store
+	method  core.Method
+	cfg     Config
+	pool    *engine.Pool // persistent; reused by every epoch's hot loops
+	inc     *incremental // non-nil for MV/Mean/Median
+	limiter *Limiter     // nil unless cfg.Limits configures a rate
 
 	ingestMu   sync.Mutex // serializes Ingest (store append + incremental fold + WAL record)
 	persistErr error      // first Record failure; halts ingestion (guarded by ingestMu)
@@ -121,10 +139,11 @@ func NewService(store *Store, cfg Config) (*Service, error) {
 		return nil, fmt.Errorf("stream: %s does not support %s stores", cfg.Method.Name(), typ)
 	}
 	s := &Service{
-		store:  store,
-		method: cfg.Method,
-		cfg:    cfg,
-		pool:   engine.NewPersistent(cfg.Options.Workers()),
+		store:   store,
+		method:  cfg.Method,
+		cfg:     cfg,
+		pool:    engine.NewPersistent(cfg.Options.Workers()),
+		limiter: NewLimiter(cfg.Limits),
 	}
 	if incrementalMethods[cfg.Method.Name()] {
 		// Fold whatever the store already holds (a preloaded benchmark
@@ -194,6 +213,41 @@ func (s *Service) Ingest(b Batch) (uint64, error) {
 	}
 	s.ingestMu.Unlock()
 	return version, nil
+}
+
+// IngestDurable applies one batch like Ingest, then blocks until the
+// produced version is on stable storage, returning both the committed
+// version and the durable watermark at return time. The flush runs
+// outside the ingest lock, so concurrent callers coalesce into shared
+// fsyncs (group commit) instead of stalling each other's commits.
+// Without a DurablePersister configured, durable is false and the
+// watermark 0 — the caller is acknowledging data that would not
+// survive a crash, and must say so.
+func (s *Service) IngestDurable(b Batch) (version, durableVersion uint64, durable bool, err error) {
+	version, err = s.Ingest(b)
+	if err != nil {
+		return version, 0, false, err
+	}
+	durableVersion, durable, err = s.DurableTo(version)
+	if err != nil {
+		err = fmt.Errorf("stream: batch at version %d applied but not confirmed durable: %w", version, err)
+	}
+	return version, durableVersion, durable, err
+}
+
+// DurableTo blocks until every committed batch through version is on
+// stable storage and returns the durable watermark. durable is false
+// when no DurablePersister is configured — there is no stable storage
+// to wait for, and the caller must report that honestly.
+func (s *Service) DurableTo(version uint64) (durableVersion uint64, durable bool, err error) {
+	dp, ok := s.cfg.Persist.(DurablePersister)
+	if !ok {
+		return 0, false, nil
+	}
+	if err := dp.SyncTo(version); err != nil {
+		return dp.DurableVersion(), true, err
+	}
+	return dp.DurableVersion(), true, nil
 }
 
 // refreshAsync schedules a coalesced background refresh: at most one
@@ -418,6 +472,9 @@ type PersistStats struct {
 	SinceSnapshot int `json:"records_since_snapshot"`
 	// Compacting reports an in-flight background snapshot compaction.
 	Compacting bool `json:"compacting"`
+	// DurableVersion is the highest store version known to be on stable
+	// storage (see DurablePersister).
+	DurableVersion uint64 `json:"durable_version"`
 	// CompactError is the last failed compaction still pending retry.
 	CompactError string `json:"compact_error,omitempty"`
 }

@@ -50,10 +50,8 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"math"
 	"os"
 	"path/filepath"
-	"sort"
 
 	"truthinference/internal/dataset"
 	"truthinference/internal/stream"
@@ -164,28 +162,12 @@ func (l *Log) Close() error {
 // Path returns the log's file path.
 func (l *Log) Path() string { return l.path }
 
-// appendBatch encodes one record payload.
+// appendBatch encodes one record payload: the version prefix plus the
+// shared batch-payload encoding from the stream package (the same
+// encoding the batched HTTP ingest endpoint frames on the wire).
 func appendBatch(buf []byte, version uint64, b stream.Batch) []byte {
 	buf = binary.LittleEndian.AppendUint64(buf, version)
-	buf = binary.AppendUvarint(buf, uint64(max(b.NumTasks, 0)))
-	buf = binary.AppendUvarint(buf, uint64(max(b.NumWorkers, 0)))
-	buf = binary.AppendUvarint(buf, uint64(len(b.Answers)))
-	for _, a := range b.Answers {
-		buf = binary.AppendUvarint(buf, uint64(a.Task))
-		buf = binary.AppendUvarint(buf, uint64(a.Worker))
-		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(a.Value))
-	}
-	ids := make([]int, 0, len(b.Truth))
-	for t := range b.Truth {
-		ids = append(ids, t)
-	}
-	sort.Ints(ids)
-	buf = binary.AppendUvarint(buf, uint64(len(ids)))
-	for _, t := range ids {
-		buf = binary.AppendUvarint(buf, uint64(t))
-		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(b.Truth[t]))
-	}
-	return buf
+	return stream.AppendBatchPayload(buf, b)
 }
 
 // decodeBatch decodes one record payload. It enforces wire shape only;
@@ -196,39 +178,9 @@ func decodeBatch(payload []byte) (version uint64, b stream.Batch, err error) {
 		return 0, stream.Batch{}, errors.New("payload shorter than version field")
 	}
 	version = binary.LittleEndian.Uint64(payload[:8])
-	c := cursor{data: payload, off: 8}
-	b.NumTasks = int(c.uvarint())
-	b.NumWorkers = int(c.uvarint())
-	nAns := c.uvarint()
-	if nAns > uint64(c.remaining()/10) { // min 10 bytes per answer
-		return 0, stream.Batch{}, fmt.Errorf("answer count %d exceeds payload", nAns)
-	}
-	if nAns > 0 {
-		b.Answers = make([]dataset.Answer, nAns)
-		for i := range b.Answers {
-			b.Answers[i] = dataset.Answer{
-				Task:   int(c.uvarint()),
-				Worker: int(c.uvarint()),
-				Value:  math.Float64frombits(c.u64()),
-			}
-		}
-	}
-	nTruth := c.uvarint()
-	if nTruth > uint64(c.remaining()/9) { // min 9 bytes per truth
-		return 0, stream.Batch{}, fmt.Errorf("truth count %d exceeds payload", nTruth)
-	}
-	if nTruth > 0 {
-		b.Truth = make(map[int]float64, nTruth)
-		for i := uint64(0); i < nTruth; i++ {
-			t := int(c.uvarint())
-			b.Truth[t] = math.Float64frombits(c.u64())
-		}
-	}
-	if c.err {
-		return 0, stream.Batch{}, errors.New("truncated payload")
-	}
-	if c.remaining() != 0 {
-		return 0, stream.Batch{}, fmt.Errorf("%d trailing payload bytes", c.remaining())
+	b, err = stream.DecodeBatchPayload(payload[8:])
+	if err != nil {
+		return 0, stream.Batch{}, err
 	}
 	return version, b, nil
 }
@@ -358,34 +310,4 @@ func ReadSnapshot(path string) (*dataset.Dataset, uint64, error) {
 		return nil, 0, &CorruptError{Path: path, Offset: int64(hdr), Reason: err.Error()}
 	}
 	return d, version, nil
-}
-
-// cursor is a bounds-checked sequential reader (mirrors the dataset
-// package's decoder; duplicated to keep the packages decoupled).
-type cursor struct {
-	data []byte
-	off  int
-	err  bool
-}
-
-func (c *cursor) remaining() int { return len(c.data) - c.off }
-
-func (c *cursor) uvarint() uint64 {
-	v, n := binary.Uvarint(c.data[c.off:])
-	if n <= 0 {
-		c.err = true
-		return 0
-	}
-	c.off += n
-	return v
-}
-
-func (c *cursor) u64() uint64 {
-	if c.remaining() < 8 {
-		c.err = true
-		return 0
-	}
-	v := binary.LittleEndian.Uint64(c.data[c.off:])
-	c.off += 8
-	return v
 }

@@ -8,6 +8,7 @@ import (
 	ti "truthinference"
 	"truthinference/internal/assign"
 	"truthinference/internal/dataset"
+	"truthinference/internal/stream"
 	"truthinference/internal/stream/wal"
 )
 
@@ -52,6 +53,10 @@ type Config struct {
 	// Assign, when non-nil, enables the task-assignment control plane
 	// with this policy/budget/redundancy/lease configuration.
 	Assign *assign.Spec `json:"assign,omitempty"`
+	// Limits, when non-nil, is the project's ingest admission policy:
+	// sustained answers/sec, burst capacity, and lifetime answer quota.
+	// Violations shed load with 429 + Retry-After instead of queueing.
+	Limits *stream.Limits `json:"limits,omitempty"`
 }
 
 // DefaultSnapshotEvery is the WAL compaction cadence used when a project
@@ -84,6 +89,17 @@ func (c Config) Validate() error {
 	if c.Assign != nil {
 		if err := c.Assign.Validate(); err != nil {
 			return err
+		}
+	}
+	if c.Limits != nil {
+		if c.Limits.RatePerSec < 0 {
+			return fmt.Errorf("tenant: negative rate_per_sec %v", c.Limits.RatePerSec)
+		}
+		if c.Limits.Burst < 0 {
+			return fmt.Errorf("tenant: negative burst %d", c.Limits.Burst)
+		}
+		if c.Limits.MaxAnswers < 0 {
+			return fmt.Errorf("tenant: negative max_answers %d", c.Limits.MaxAnswers)
 		}
 	}
 	return nil

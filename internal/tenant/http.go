@@ -1,10 +1,13 @@
 package tenant
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"sync"
+
+	"truthinference/internal/api"
 )
 
 // The multi-tenant HTTP surface, mounted by cmd/truthserve:
@@ -17,33 +20,35 @@ import (
 //	                                 /v1/... routes the single-tenant
 //	                                 daemon served)
 //	*      /v1/...                   legacy unprefixed routes → the
-//	                                 default project
+//	                                 default project (DEPRECATED: every
+//	                                 response carries a Deprecation
+//	                                 header pointing at
+//	                                 /v1/projects/default/...)
 //
 // Project APIs are exactly the stream + assign handlers; the registry
 // only rewrites /v1/projects/{id}/ingest to /v1/ingest and dispatches to
 // the addressed project, so per-tenant behavior stays byte-identical to
-// the single-tenant daemon.
+// the single-tenant daemon. Errors use the shared envelope from
+// internal/api.
 
-// createRequest is the JSON shape of POST /v1/admin/projects.
-type createRequest struct {
-	ID     string          `json:"id"`
-	Config json.RawMessage `json:"config"`
-}
+// deprecationNote is logged once per process, on the first legacy
+// unprefixed request.
+const deprecationNote = "tenant: unprefixed /v1/... routes are deprecated; use /v1/projects/default/... (the alias will be removed in a future release)"
 
 // Handler returns the registry's full HTTP surface.
 func (r *Registry) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/admin/projects", r.handleCreate)
 	mux.HandleFunc("GET /v1/admin/projects", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"projects": r.List()})
+		api.WriteJSON(w, http.StatusOK, map[string]any{"projects": r.List()})
 	})
 	mux.HandleFunc("GET /v1/admin/projects/{id}", func(w http.ResponseWriter, req *http.Request) {
 		p, ok := r.Get(req.PathValue("id"))
 		if !ok {
-			writeError(w, http.StatusNotFound, fmt.Errorf("%w: %q", ErrNotFound, req.PathValue("id")))
+			api.Error(w, http.StatusNotFound, fmt.Errorf("%w: %q", ErrNotFound, req.PathValue("id")))
 			return
 		}
-		writeJSON(w, http.StatusOK, p.Info())
+		api.WriteJSON(w, http.StatusOK, p.Info())
 	})
 	mux.HandleFunc("DELETE /v1/admin/projects/{id}", r.handleDelete)
 	mux.HandleFunc("/v1/projects/{id}/{rest...}", r.route)
@@ -51,14 +56,21 @@ func (r *Registry) Handler() http.Handler {
 	// as the per-project probes), so /v1/healthz stays live even if the
 	// default project is somehow absent.
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		api.WriteJSON(w, http.StatusOK, api.Health{Status: "ok"})
 	})
 	// Everything else is a legacy unprefixed route against the default
-	// project.
+	// project: still served, but flagged deprecated on every response
+	// and logged once at first use.
+	var deprecatedOnce sync.Once
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		deprecatedOnce.Do(func() { log.Print(deprecationNote) })
+		// RFC 8594-style deprecation signal plus a human-readable
+		// pointer at the replacement routes.
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", `</v1/projects/default/>; rel="successor-version"`)
 		p, ok := r.Get(DefaultProjectID)
 		if !ok {
-			writeError(w, http.StatusNotFound, errors.New("tenant: no default project"))
+			api.Error(w, http.StatusNotFound, errors.New("tenant: no default project"))
 			return
 		}
 		p.Handler().ServeHTTP(w, req)
@@ -71,7 +83,7 @@ func (r *Registry) Handler() http.Handler {
 func (r *Registry) route(w http.ResponseWriter, req *http.Request) {
 	p, ok := r.Get(req.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("%w: %q", ErrNotFound, req.PathValue("id")))
+		api.Error(w, http.StatusNotFound, fmt.Errorf("%w: %q", ErrNotFound, req.PathValue("id")))
 		return
 	}
 	// Shallow-clone the request with the project prefix stripped, the
@@ -86,20 +98,17 @@ func (r *Registry) route(w http.ResponseWriter, req *http.Request) {
 }
 
 func (r *Registry) handleCreate(w http.ResponseWriter, req *http.Request) {
-	var body createRequest
-	dec := json.NewDecoder(req.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&body); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decode create body: %w", err))
+	var body api.CreateProjectRequest
+	if !api.DecodeJSON(w, req, api.MaxAdminBody, &body) {
 		return
 	}
 	if len(body.Config) == 0 {
-		writeError(w, http.StatusBadRequest, errors.New("tenant: create request has no config"))
+		api.Error(w, http.StatusBadRequest, errors.New("tenant: create request has no config"))
 		return
 	}
 	cfg, err := DecodeConfig(body.Config)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		api.Error(w, http.StatusBadRequest, err)
 		return
 	}
 	p, err := r.Create(body.ID, cfg)
@@ -108,10 +117,10 @@ func (r *Registry) handleCreate(w http.ResponseWriter, req *http.Request) {
 		if errors.Is(err, ErrExists) {
 			status = http.StatusConflict
 		}
-		writeError(w, status, err)
+		api.Error(w, status, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, p.Info())
+	api.WriteJSON(w, http.StatusCreated, p.Info())
 }
 
 func (r *Registry) handleDelete(w http.ResponseWriter, req *http.Request) {
@@ -121,18 +130,8 @@ func (r *Registry) handleDelete(w http.ResponseWriter, req *http.Request) {
 		if errors.Is(err, ErrNotFound) {
 			status = http.StatusNotFound
 		}
-		writeError(w, status, err)
+		api.Error(w, status, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
-}
-
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	api.WriteJSON(w, http.StatusOK, map[string]string{"deleted": id})
 }

@@ -222,6 +222,9 @@ func openProject(id string, cfg Config, base string, logf func(string, ...any)) 
 	if persist != nil {
 		svcCfg.Persist = persist
 	}
+	if cfg.Limits != nil {
+		svcCfg.Limits = *cfg.Limits
+	}
 	svc, err := stream.NewService(store, svcCfg)
 	if err != nil {
 		return fail(err)
