@@ -5,10 +5,10 @@
 //
 // Usage:
 //
-//	benchjson [-out BENCH_7.json] [-scale 0.1] [-seed 1] [-repeats 5]
-//	          [-baseline BENCH_7.json] [-max-regress 0.20]
+//	benchjson [-out BENCH_8.json] [-scale 0.1] [-seed 1] [-repeats 5]
+//	          [-baseline BENCH_8.json] [-max-regress 0.20]
 //	          [-http-duration 2s] [-min-http-speedup 5]
-//	          [-validate file.json]
+//	          [-query-duration 2s] [-validate file.json]
 //
 // With -validate, no measurement runs: the named report is checked
 // against the schema and the process exits (this is the cheap CI step).
@@ -26,9 +26,14 @@
 // of the single-answer path (0 disables; -http-duration 0 skips the
 // measurement entirely).
 //
+// The query section drives the three canned relational views
+// (disagreement, worker-quality-drop, spend-vs-budget) round-robin
+// against an in-process service and records queries/sec and rows/sec
+// (-query-duration 0 skips it).
+//
 // To regenerate the checked-in baseline on a quiet machine:
 //
-//	go run ./cmd/benchjson -out BENCH_7.json
+//	go run ./cmd/benchjson -out BENCH_8.json
 package main
 
 import (
@@ -45,7 +50,7 @@ import (
 
 func main() {
 	var (
-		out          = flag.String("out", "BENCH_7.json", "report file to write")
+		out          = flag.String("out", "BENCH_8.json", "report file to write")
 		scale        = flag.Float64("scale", 0.1, "dataset scale in (0, 1] (1 = the paper's full sizes)")
 		seed         = flag.Int64("seed", 1, "dataset generation seed")
 		repeats      = flag.Int("repeats", 5, "timing repetitions per measurement (minimum wins)")
@@ -53,6 +58,7 @@ func main() {
 		maxRegress   = flag.Float64("max-regress", 0.20, "max allowed normalized epoch-latency growth vs baseline (0.20 = +20%)")
 		httpDur      = flag.Duration("http-duration", 2*time.Second, "per-mode window for the HTTP single-vs-batched ingest measurement (0 = skip)")
 		minHTTPSpeed = flag.Float64("min-http-speedup", 5, "fail unless batched HTTP ingest sustains this multiple of the single-answer path (0 = no gate)")
+		queryDur     = flag.Duration("query-duration", 2*time.Second, "window for the canned-view query measurement (0 = skip)")
 		validate     = flag.String("validate", "", "validate this report file and exit (no measurement)")
 	)
 	version := flag.Bool("version", false, "print build info and exit")
@@ -63,13 +69,13 @@ func main() {
 	}
 	fmt.Fprintln(os.Stderr, buildinfo.String("benchjson"))
 
-	if err := run(*out, *scale, *seed, *repeats, *baseline, *maxRegress, *httpDur, *minHTTPSpeed, *validate); err != nil {
+	if err := run(*out, *scale, *seed, *repeats, *baseline, *maxRegress, *httpDur, *minHTTPSpeed, *queryDur, *validate); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(out string, scale float64, seed int64, repeats int, baseline string, maxRegress float64, httpDur time.Duration, minHTTPSpeed float64, validate string) error {
+func run(out string, scale float64, seed int64, repeats int, baseline string, maxRegress float64, httpDur time.Duration, minHTTPSpeed float64, queryDur time.Duration, validate string) error {
 	if validate != "" {
 		r, err := benchjson.Load(validate)
 		if err != nil {
@@ -101,6 +107,13 @@ func run(out string, scale float64, seed int64, repeats int, baseline string, ma
 		}
 		r.HTTPIngest = h
 	}
+	if queryDur > 0 {
+		q, err := benchjson.MeasureQuery(r.CalibrationNs, seed, scale, queryDur)
+		if err != nil {
+			return fmt.Errorf("query views: %w", err)
+		}
+		r.Query = q
+	}
 	if err := benchjson.Validate(r); err != nil {
 		return fmt.Errorf("fresh report failed validation: %w", err)
 	}
@@ -117,6 +130,10 @@ func run(out string, scale float64, seed int64, repeats int, baseline string, ma
 		if minHTTPSpeed > 0 && h.Speedup < minHTTPSpeed {
 			return fmt.Errorf("batched HTTP ingest speedup %.1fx below the required %.1fx floor", h.Speedup, minHTTPSpeed)
 		}
+	}
+	if q := r.Query; q != nil {
+		fmt.Printf("query views: %.0f queries/s, %.0f rows/s over %d answers\n",
+			q.QueriesPerSec, q.RowsPerSec, q.Answers)
 	}
 
 	if baseline != "" {

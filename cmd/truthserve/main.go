@@ -39,6 +39,9 @@
 //	  POST ../ingest-batch  batched binary ingest (CRC-framed batch
 //	                        stream; the ack reports accepted vs durable)
 //	  POST ../refresh       run one inference epoch now
+//	  POST ../query         relational reads: canned views or a σ/π/⋈/
+//	                        aggregate plan AST over answers, posteriors,
+//	                        worker quality and ledger state (internal/query)
 //	  GET  ../truth/{task}, ../truths, ../worker/{id}, ../stats, ../healthz
 //	  GET  ../assign, POST ../complete, GET ../assignstats  (with assign config)
 //	*      /v1/...                   legacy routes → the default project

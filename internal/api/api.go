@@ -195,6 +195,30 @@ type CompleteResponse struct {
 	Version uint64 `json:"version"`
 }
 
+// QueryRequest is the body of POST /v1/query: either the name of a
+// canned view or a relational-plan AST (exactly one of the two). Plan
+// stays raw here — internal/query owns the AST shape and decodes it
+// strictly. Limit caps the returned rows (0 means the server default);
+// the server also enforces a hard maximum.
+type QueryRequest struct {
+	View  string          `json:"view,omitempty"`
+	Plan  json.RawMessage `json:"plan,omitempty"`
+	Limit int             `json:"limit,omitempty"`
+}
+
+// QueryResponse is the body of a successful POST /v1/query. Every
+// answer-sourced row reflects exactly StoreVersion; model-derived
+// columns (posteriors, worker qualities) reflect ResultVersion, the
+// inference epoch they were published at (0 when the query touched
+// none). Truncated reports that the row limit cut the result short.
+type QueryResponse struct {
+	StoreVersion  uint64      `json:"store_version"`
+	ResultVersion uint64      `json:"result_version,omitempty"`
+	Cols          []string    `json:"cols"`
+	Rows          [][]float64 `json:"rows"`
+	Truncated     bool        `json:"truncated,omitempty"`
+}
+
 // CreateProjectRequest is the body of POST /v1/admin/projects; Config
 // is the tenant config shape, decoded by the tenant layer.
 type CreateProjectRequest struct {

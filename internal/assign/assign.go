@@ -40,6 +40,7 @@ package assign
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 )
@@ -398,6 +399,22 @@ func (l *Ledger) workerProbLocked(worker int) float64 {
 		return QualityToProb(q, ell)
 	}
 	return QualityToProb(l.cfg.PriorQuality, ell)
+}
+
+// Leases reclaims due leases and returns a snapshot of the outstanding
+// ones, ordered by id (issue order). This is the query plane's read
+// surface over assignment state — every returned lease is live as of
+// the call.
+func (l *Ledger) Leases() []Lease {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.reclaimLocked(l.now())
+	out := make([]Lease, 0, len(l.leases))
+	for _, lease := range l.leases {
+		out = append(out, lease)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
 }
 
 // Stats is a consistent snapshot of the ledger (the JSON shape of

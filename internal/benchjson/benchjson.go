@@ -49,6 +49,9 @@ type Report struct {
 	// (single-answer JSON vs batched binary). Optional and additive:
 	// earlier schema v1 reports without it stay valid.
 	HTTPIngest *HTTPIngest `json:"http_ingest,omitempty"`
+	// Query is the relational read-path measurement (the three canned
+	// operator views). Optional and additive like HTTPIngest.
+	Query *QueryBench `json:"query,omitempty"`
 }
 
 // Throughput is an operations-per-second measurement with its
@@ -401,6 +404,16 @@ func Validate(r *Report) error {
 		}
 		if !(h.Speedup > 0) || !(h.SingleNormalized > 0) || !(h.BatchNormalized > 0) {
 			return fmt.Errorf("http_ingest derived values %+v are not positive", h)
+		}
+	}
+	if q := r.Query; q != nil {
+		// RowsPerSec is deliberately not gated: the disagreement view is
+		// allowed to produce zero rows when methods agree.
+		if !(q.QueriesPerSec > 0) || !(q.Normalized > 0) {
+			return fmt.Errorf("query throughput %+v is not positive", q)
+		}
+		if len(q.Views) == 0 {
+			return fmt.Errorf("query section lists no views")
 		}
 	}
 	return nil

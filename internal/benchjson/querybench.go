@@ -1,0 +1,112 @@
+package benchjson
+
+import (
+	"fmt"
+	"time"
+
+	"truthinference/internal/assign"
+	"truthinference/internal/core"
+	"truthinference/internal/methods/direct"
+	"truthinference/internal/query"
+	"truthinference/internal/simulate"
+	"truthinference/internal/stream"
+)
+
+// QueryBench is the relational read-path measurement: the three canned
+// operator views evaluated round-robin against a live service, each
+// query pinning a fresh catalog and draining its relation to completion.
+// It is an additive, optional report section: earlier schema v1 reports
+// without it stay valid.
+type QueryBench struct {
+	// QueriesPerSec counts completed view evaluations (catalog pin +
+	// relation build + full drain) per second.
+	QueriesPerSec float64 `json:"queries_per_sec"`
+	// RowsPerSec counts rows produced across all views. Informational
+	// only: the disagreement view legitimately yields zero rows when
+	// methods agree, so the gate is on QueriesPerSec.
+	RowsPerSec float64 `json:"rows_per_sec"`
+	// Normalized is queries per calibration-loop unit of work, the
+	// machine-independent value.
+	Normalized float64 `json:"normalized"`
+	// Views records which canned views were driven.
+	Views []string `json:"views"`
+	// Answers is the pinned store size the views ran over.
+	Answers int `json:"answers"`
+}
+
+// MeasureQuery drives the three canned views against a fresh in-process
+// service (majority vote over a simulated dataset at the given scale,
+// with a live assignment ledger so spend-vs-budget has something to
+// read) for the given window. calibrationNs is the report's calibration
+// constant; duration is the total measurement window.
+func MeasureQuery(calibrationNs float64, seed int64, scale float64, duration time.Duration) (*QueryBench, error) {
+	d := simulate.GenerateScaled(simulate.DProduct, seed, scale)
+	store, err := stream.NewStore(d.Name, d.Type, d.NumChoices)
+	if err != nil {
+		return nil, err
+	}
+	svc, err := stream.NewService(store, stream.Config{
+		Method:  direct.NewMV(),
+		Options: core.Options{Seed: seed},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer svc.Close()
+	if _, err := svc.Ingest(stream.Batch{
+		NumTasks:   d.NumTasks,
+		NumWorkers: d.NumWorkers,
+		Answers:    d.Answers,
+	}); err != nil {
+		return nil, err
+	}
+	if err := svc.Refresh(); err != nil {
+		return nil, err
+	}
+	policy, err := assign.ParsePolicy("uncertainty")
+	if err != nil {
+		return nil, err
+	}
+	ledger, err := assign.NewLedger(svc, assign.Config{
+		Policy:     policy,
+		Redundancy: 1 << 30,
+		LeaseTTL:   time.Hour,
+		Seed:       seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// A few live leases so the budget and lease surfaces are non-trivial.
+	for w := 0; w < 8; w++ {
+		if _, err := ledger.Assign(d.NumWorkers + w); err != nil {
+			return nil, fmt.Errorf("seeding leases: %w", err)
+		}
+	}
+
+	views := append([]string(nil), query.ViewNames...)
+	var queries, rows int
+	start := time.Now()
+	for time.Since(start) < duration {
+		name := views[queries%len(views)]
+		cat := query.NewCatalog(svc, ledger)
+		rel, err := query.View(cat, name)
+		if err != nil {
+			return nil, fmt.Errorf("view %s: %w", name, err)
+		}
+		out, _ := query.Collect(rel, -1)
+		rows += len(out)
+		queries++
+	}
+	el := time.Since(start)
+	if queries == 0 || el <= 0 {
+		return nil, fmt.Errorf("measurement window %v completed no queries", duration)
+	}
+	qps := float64(queries) / el.Seconds()
+	return &QueryBench{
+		QueriesPerSec: qps,
+		RowsPerSec:    float64(rows) / el.Seconds(),
+		Normalized:    qps * calibrationNs / 1e9,
+		Views:         views,
+		Answers:       len(d.Answers),
+	}, nil
+}

@@ -1,0 +1,85 @@
+package benchjson
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func validQueryBench() *QueryBench {
+	return &QueryBench{
+		QueriesPerSec: 2e3,
+		RowsPerSec:    5e4,
+		Normalized:    2,
+		Views:         []string{"disagreement", "worker-quality-drop", "spend-vs-budget"},
+		Answers:       1000,
+	}
+}
+
+func TestValidateQueryBench(t *testing.T) {
+	// Absent is valid (BENCH_7-era reports predate the section).
+	r := validReport()
+	if err := Validate(r); err != nil {
+		t.Fatal(err)
+	}
+	r.Query = validQueryBench()
+	if err := Validate(r); err != nil {
+		t.Fatal(err)
+	}
+	// Zero rows is valid: the disagreement view may legitimately be empty.
+	r.Query.RowsPerSec = 0
+	if err := Validate(r); err != nil {
+		t.Fatalf("zero rows/sec rejected: %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*QueryBench)
+	}{
+		{"zero queries", func(q *QueryBench) { q.QueriesPerSec = 0 }},
+		{"zero normalized", func(q *QueryBench) { q.Normalized = 0 }},
+		{"no views", func(q *QueryBench) { q.Views = nil }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := validReport()
+			r.Query = validQueryBench()
+			tc.mutate(r.Query)
+			err := Validate(r)
+			if err == nil {
+				t.Fatal("Validate accepted a malformed query section")
+			}
+			if !strings.Contains(err.Error(), "query") {
+				t.Fatalf("error %q does not mention the query section", err)
+			}
+		})
+	}
+}
+
+// TestMeasureQuerySmoke drives the canned views briefly against a small
+// simulated service: positive query throughput, all three views listed.
+func TestMeasureQuerySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives a live service")
+	}
+	q, err := MeasureQuery(1e6, 1, 0.05, 300*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(q.QueriesPerSec > 0) || !(q.Normalized > 0) {
+		t.Fatalf("non-positive measurement: %+v", q)
+	}
+	if len(q.Views) != 3 || q.Answers <= 0 {
+		t.Fatalf("unexpected shape: %+v", q)
+	}
+	// Spend-vs-budget always yields a row, so rows flow even if the
+	// disagreement view is empty.
+	if !(q.RowsPerSec > 0) {
+		t.Fatalf("no rows produced: %+v", q)
+	}
+	r := validReport()
+	r.Query = q
+	if err := Validate(r); err != nil {
+		t.Fatal(err)
+	}
+}

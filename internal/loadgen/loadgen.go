@@ -14,6 +14,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -306,9 +307,7 @@ func post(ctx context.Context, client *http.Client, url, contentType string, bod
 		json.Unmarshal(data, &out.ingest)
 		json.Unmarshal(data, &out.batchIngest)
 	case http.StatusTooManyRequests:
-		if secs, err := time.ParseDuration(resp.Header.Get("Retry-After") + "s"); err == nil {
-			retry = secs
-		}
+		retry = parseRetryAfter(resp.Header.Get("Retry-After"))
 	default:
 		out.snippet = string(data)
 		if len(out.snippet) > 200 {
@@ -316,4 +315,19 @@ func post(ctx context.Context, client *http.Client, url, contentType string, bod
 		}
 	}
 	return out, retry, nil
+}
+
+// parseRetryAfter parses a Retry-After header as RFC 9110 delta-seconds:
+// a non-negative decimal integer, nothing else. Durations ("1m"),
+// fractions, and HTTP dates all return 0 and are counted against the
+// server as RetryAfterMissing — the contract the loadgen verifies is
+// that every 429 carries integer seconds. (The old implementation
+// appended "s" and used time.ParseDuration, which read "1m" as one
+// millisecond and happily accepted values the RFC forbids.)
+func parseRetryAfter(header string) time.Duration {
+	secs, err := strconv.Atoi(header)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }

@@ -1,0 +1,35 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+)
+
+// TestParseRetryAfter pins the RFC 9110 delta-seconds contract: only a
+// non-negative decimal integer counts; everything else reads as 0 and
+// is booked against the server as RetryAfterMissing. The regression
+// being guarded: the old code appended "s" and used time.ParseDuration,
+// which read "1m" as one *millisecond* ("1ms") and accepted fractional
+// and suffixed values the RFC forbids.
+func TestParseRetryAfter(t *testing.T) {
+	cases := []struct {
+		header string
+		want   time.Duration
+	}{
+		{"1", time.Second},
+		{"60", time.Minute},
+		{"0", 0},
+		{"", 0},
+		{"1m", 0},                            // the old bug: parsed as 1ms
+		{"1.5", 0},                           // fractions are not delta-seconds
+		{"2s", 0},                            // duration syntax is not delta-seconds
+		{"-3", 0},                            // negative is nonsense
+		{" 5", 0},                            // no whitespace tolerance
+		{"Wed, 21 Oct 2015 07:28:00 GMT", 0}, // HTTP dates unsupported
+	}
+	for _, tc := range cases {
+		if got := parseRetryAfter(tc.header); got != tc.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", tc.header, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,374 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"truthinference/internal/assign"
+	"truthinference/internal/dataset"
+)
+
+// Source is the serving-state surface the catalog reads from.
+// *stream.Service implements it structurally — this package never
+// imports internal/stream, mirroring how internal/assign consumes the
+// same service.
+type Source interface {
+	// Pin returns a consistent (store version, answer count) pair; every
+	// answer-sourced relation in one query excludes answers at or beyond
+	// the pinned count, so concurrent ingest cannot skew a result.
+	Pin() (version uint64, answers int)
+	// Shards returns the store's shard count (the ScanShard index space).
+	Shards() int
+	// ScanShard copies up to len(dst) answers of shard si starting at log
+	// position pos, excluding global indices >= beforeIdx; it returns the
+	// copied count, the next position, and whether the shard is drained.
+	ScanShard(si, pos, beforeIdx int, dst []dataset.Answer) (n, next int, done bool)
+	// NumChoices returns ℓ for categorical stores, 0 for numeric.
+	NumChoices() int
+	// Posteriors returns per-task posterior rows plus the result version
+	// they reflect; errors mean no posterior exists (yet, or ever).
+	Posteriors() ([][]float64, uint64, error)
+	// Entropies returns per-task posterior entropies (nats).
+	Entropies() ([]float64, uint64, error)
+	// WorkerQualities returns current and previous-epoch worker-quality
+	// vectors plus the result version they reflect.
+	WorkerQualities() (cur, prev []float64, version uint64, err error)
+}
+
+// Ledger is the assignment-state surface (satisfied by *assign.Ledger);
+// nil in a Catalog means the project has no assignment plane and the
+// lease/budget relations are unavailable.
+type Ledger interface {
+	Leases() []assign.Lease
+	Stats() assign.Stats
+}
+
+// ErrNoLedger is returned for lease/budget relations on a project
+// without an assignment ledger.
+var ErrNoLedger = errors.New("query: project has no assignment ledger")
+
+// ErrUnavailable wraps source errors that mean "the data this relation
+// needs does not exist yet" (no posterior before the first epoch, no
+// worker estimates yet). The HTTP layer maps it to 409: retry after an
+// epoch, nothing is wrong with the query.
+type ErrUnavailable struct{ Err error }
+
+func (e ErrUnavailable) Error() string { return fmt.Sprintf("query: relation unavailable: %v", e.Err) }
+func (e ErrUnavailable) Unwrap() error { return e.Err }
+
+// scanChunk is the per-pull copy size of the answer scan: small enough
+// that shard read-locks are held only briefly, large enough to amortize
+// the lock acquisition across many rows.
+const scanChunk = 512
+
+// Cardinality ranks of the base relations, smallest first. The greedy
+// join orderer and the build-side choice in HashJoin need only this
+// ordering — the relations' shapes are known, so no statistics are
+// collected (the janus-datalog approach named in ROADMAP item 3).
+const (
+	rankBudget  = 0 // exactly one row
+	rankLeases  = 1 // outstanding leases (bounded by budget/redundancy)
+	rankWorkers = 2 // one row per worker
+	rankPerTask = 3 // one row per task (mv, posterior_top, entropy) or task×ℓ (posterior)
+	rankAnswers = 4 // one row per answer — always the probe side
+)
+
+// relationRank maps every catalog relation to its cardinality class.
+var relationRank = map[string]int{
+	"budget":        rankBudget,
+	"leases":        rankLeases,
+	"workers":       rankWorkers,
+	"mv":            rankPerTask,
+	"posterior_top": rankPerTask,
+	"entropy":       rankPerTask,
+	"posterior":     rankPerTask,
+	"answers":       rankAnswers,
+}
+
+// RelationNames lists the catalog's base relations (documentation
+// order: cheap to expensive).
+var RelationNames = []string{"budget", "leases", "workers", "mv", "posterior_top", "entropy", "posterior", "answers"}
+
+// Catalog resolves base-relation names to lazily-evaluated Relations,
+// all pinned to one store version captured at construction. Build one
+// Catalog per query.
+type Catalog struct {
+	src    Source
+	ledger Ledger
+
+	// StoreVersion and pinned answer count captured by NewCatalog; every
+	// answers/mv scan in this catalog sees exactly the first PinAnswers
+	// answers, no matter how much is ingested concurrently.
+	StoreVersion uint64
+	PinAnswers   int
+	// ResultVersion is the inference epoch backing any model-derived
+	// relation the query touched (0 until one is touched or none exists).
+	ResultVersion uint64
+}
+
+// NewCatalog pins the store and returns a catalog for one query.
+func NewCatalog(src Source, ledger Ledger) *Catalog {
+	v, n := src.Pin()
+	return &Catalog{src: src, ledger: ledger, StoreVersion: v, PinAnswers: n}
+}
+
+// Relation resolves a base relation by name. Unknown names are an
+// error; names whose backing data does not exist yet return
+// ErrUnavailable (or ErrNoLedger).
+func (c *Catalog) Relation(name string) (Relation, error) {
+	switch name {
+	case "answers":
+		return c.answers(), nil
+	case "mv":
+		return c.mv()
+	case "posterior":
+		return c.posterior()
+	case "posterior_top":
+		return c.posteriorTop()
+	case "entropy":
+		return c.entropy()
+	case "workers":
+		return c.workers()
+	case "leases":
+		return c.leases()
+	case "budget":
+		return c.budget()
+	default:
+		return Relation{}, fmt.Errorf("query: unknown relation %q (have %v)", name, RelationNames)
+	}
+}
+
+// answers streams (task, worker, value) straight off the sharded store:
+// one chunk of scanChunk answers is copied per refill under a short
+// shard read-lock, shards drained in order, everything at global index
+// >= the pin excluded. No lock is ever held between Next calls.
+func (c *Catalog) answers() Relation {
+	var (
+		buf      = make([]dataset.Answer, scanChunk)
+		n, pos   int
+		i        int
+		si       int
+		exhaust  = c.src.Shards() == 0 || c.PinAnswers == 0
+		doneCur  bool
+		haveFill bool
+	)
+	return Relation{Cols: []string{"task", "worker", "value"}, Next: func() (Row, bool) {
+		for {
+			if exhaust {
+				return nil, false
+			}
+			if haveFill && i < n {
+				a := buf[i]
+				i++
+				return Row{float64(a.Task), float64(a.Worker), a.Value}, true
+			}
+			if haveFill && doneCur {
+				si++
+				pos = 0
+				haveFill = false
+				if si >= c.src.Shards() {
+					exhaust = true
+					continue
+				}
+			}
+			n, pos, doneCur = c.src.ScanShard(si, pos, c.PinAnswers, buf)
+			i, haveFill = 0, true
+			if n == 0 && !doneCur {
+				// Defensive: a shard that returns no progress and claims
+				// more data would loop forever; treat it as drained.
+				doneCur = true
+			}
+		}
+	}}
+}
+
+// mv derives the majority vote per task from the pinned answer scan:
+// (task, mv_label, mv_share). State is O(tasks·ℓ) counts — never a copy
+// of the answers. Ties break to the lowest label (deterministic, and
+// independent of the serving method's hashed tie-break — callers
+// comparing against a served MV should avoid tied datasets). Requires a
+// categorical store.
+func (c *Catalog) mv() (Relation, error) {
+	ell := c.src.NumChoices()
+	if ell < 2 {
+		return Relation{}, fmt.Errorf("query: relation \"mv\" requires a categorical store")
+	}
+	var (
+		counts [][]float64
+		total  []float64
+		built  bool
+		task   int
+	)
+	build := func() {
+		scan := c.answers()
+		for {
+			r, ok := scan.Next()
+			if !ok {
+				return
+			}
+			t, label := int(r[0]), int(r[2])
+			for t >= len(counts) {
+				counts = append(counts, make([]float64, ell))
+				total = append(total, 0)
+			}
+			if label >= 0 && label < ell {
+				counts[t][label]++
+				total[t]++
+			}
+		}
+	}
+	return Relation{Cols: []string{"task", "mv_label", "mv_share"}, Next: func() (Row, bool) {
+		if !built {
+			build()
+			built = true
+		}
+		for task < len(counts) {
+			t := task
+			task++
+			if total[t] == 0 {
+				continue // a task with no pinned answers has no vote
+			}
+			best := 0
+			for k := 1; k < ell; k++ {
+				if counts[t][k] > counts[t][best] {
+					best = k
+				}
+			}
+			return Row{float64(t), float64(best), counts[t][best] / total[t]}, true
+		}
+		return nil, false
+	}}, nil
+}
+
+// posterior streams (task, label, p): one row per task × choice from
+// the serving method's published posterior.
+func (c *Catalog) posterior() (Relation, error) {
+	post, v, err := c.src.Posteriors()
+	if err != nil {
+		return Relation{}, ErrUnavailable{err}
+	}
+	c.ResultVersion = v
+	t, k := 0, 0
+	return Relation{Cols: []string{"task", "label", "p"}, Next: func() (Row, bool) {
+		for t < len(post) {
+			if k < len(post[t]) {
+				r := Row{float64(t), float64(k), post[t][k]}
+				k++
+				return r, true
+			}
+			t++
+			k = 0
+		}
+		return nil, false
+	}}, nil
+}
+
+// posteriorTop reduces the posterior to its argmax per task:
+// (task, top_label, top_p). Ties break to the lowest label, matching mv.
+func (c *Catalog) posteriorTop() (Relation, error) {
+	post, v, err := c.src.Posteriors()
+	if err != nil {
+		return Relation{}, ErrUnavailable{err}
+	}
+	c.ResultVersion = v
+	t := 0
+	return Relation{Cols: []string{"task", "top_label", "top_p"}, Next: func() (Row, bool) {
+		for t < len(post) {
+			row := post[t]
+			i := t
+			t++
+			if len(row) == 0 {
+				continue
+			}
+			best := 0
+			for k := 1; k < len(row); k++ {
+				if row[k] > row[best] {
+					best = k
+				}
+			}
+			return Row{float64(i), float64(best), row[best]}, true
+		}
+		return nil, false
+	}}, nil
+}
+
+// entropy streams (task, entropy): the per-task posterior Shannon
+// entropy in nats.
+func (c *Catalog) entropy() (Relation, error) {
+	ent, v, err := c.src.Entropies()
+	if err != nil {
+		return Relation{}, ErrUnavailable{err}
+	}
+	c.ResultVersion = v
+	t := 0
+	return Relation{Cols: []string{"task", "entropy"}, Next: func() (Row, bool) {
+		if t >= len(ent) {
+			return nil, false
+		}
+		r := Row{float64(t), ent[t]}
+		t++
+		return r, true
+	}}, nil
+}
+
+// workers streams (worker, quality, prev_quality, drop) where drop is
+// the decline since the previous published epoch (0 before a second
+// epoch exists and for workers first seen this epoch).
+func (c *Catalog) workers() (Relation, error) {
+	cur, prev, v, err := c.src.WorkerQualities()
+	if err != nil {
+		return Relation{}, ErrUnavailable{err}
+	}
+	c.ResultVersion = v
+	w := 0
+	return Relation{Cols: []string{"worker", "quality", "prev_quality", "drop"}, Next: func() (Row, bool) {
+		if w >= len(cur) {
+			return nil, false
+		}
+		q, pq := cur[w], prev[w]
+		if math.IsNaN(q) {
+			q = -1
+		}
+		if math.IsNaN(pq) {
+			pq = -1
+		}
+		r := Row{float64(w), q, pq, pq - q}
+		w++
+		return r, true
+	}}, nil
+}
+
+// leases streams the outstanding assignment leases:
+// (lease_id, task, worker, expires_unix_ms).
+func (c *Catalog) leases() (Relation, error) {
+	if c.ledger == nil {
+		return Relation{}, ErrNoLedger
+	}
+	leases := c.ledger.Leases()
+	rows := make([]Row, len(leases))
+	for i, l := range leases {
+		rows[i] = Row{float64(l.ID), float64(l.Task), float64(l.Worker), float64(l.Expires.UnixMilli())}
+	}
+	return fromRows([]string{"lease_id", "task", "worker", "expires_unix_ms"}, rows), nil
+}
+
+// budget is the single-row spend-vs-budget relation:
+// (budget, spent, remaining, outstanding, completed, expired).
+// budget and remaining are -1 when the ledger is unlimited; spent is
+// the committed side of the ledger's accounting (completed + live
+// leases, or the store total with charge-existing budgets).
+func (c *Catalog) budget() (Relation, error) {
+	if c.ledger == nil {
+		return Relation{}, ErrNoLedger
+	}
+	st := c.ledger.Stats()
+	budget, remaining, spent := -1.0, -1.0, float64(st.Completed)+float64(st.Outstanding)
+	if st.Budget > 0 {
+		budget = float64(st.Budget)
+		remaining = float64(st.BudgetRemaining)
+		spent = budget - remaining
+	}
+	row := Row{budget, spent, remaining, float64(st.Outstanding), float64(st.Completed), float64(st.Expired)}
+	return fromRows([]string{"budget", "spent", "remaining", "outstanding", "completed", "expired"}, []Row{row}), nil
+}

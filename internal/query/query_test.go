@@ -1,0 +1,425 @@
+package query_test
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"truthinference/internal/assign"
+	"truthinference/internal/dataset"
+	"truthinference/internal/methods/direct"
+	"truthinference/internal/query"
+	"truthinference/internal/stream"
+)
+
+// newMVService wraps a real store in an MV serving service — the
+// structural query.Source the production wiring hands the catalog.
+func newMVService(t *testing.T, store *stream.Store) *stream.Service {
+	t.Helper()
+	svc, err := stream.NewService(store, stream.Config{Method: direct.NewMV()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Close() })
+	return svc
+}
+
+// fakeSource is a deterministic query.Source with a single-shard answer
+// log and hand-set model surfaces — the golden fixture the operator and
+// view tests assert exact rows against.
+type fakeSource struct {
+	answers   []dataset.Answer
+	pinAt     int // Pin reports this count (defaults to len(answers))
+	choices   int
+	post      [][]float64
+	postErr   error
+	cur, prev []float64
+	wqErr     error
+	version   uint64
+}
+
+func (f *fakeSource) Pin() (uint64, int) {
+	n := f.pinAt
+	if n == 0 {
+		n = len(f.answers)
+	}
+	return f.version, n
+}
+func (f *fakeSource) Shards() int { return 1 }
+func (f *fakeSource) ScanShard(si, pos, beforeIdx int, dst []dataset.Answer) (int, int, bool) {
+	if si != 0 {
+		return 0, pos, true
+	}
+	n := 0
+	for pos < len(f.answers) && n < len(dst) {
+		if pos >= beforeIdx { // global idx == log position in one shard
+			return n, pos, true
+		}
+		dst[n] = f.answers[pos]
+		n++
+		pos++
+	}
+	return n, pos, pos >= len(f.answers)
+}
+func (f *fakeSource) NumChoices() int { return f.choices }
+func (f *fakeSource) Posteriors() ([][]float64, uint64, error) {
+	if f.postErr != nil {
+		return nil, 0, f.postErr
+	}
+	return f.post, f.version, nil
+}
+func (f *fakeSource) Entropies() ([]float64, uint64, error) {
+	if f.postErr != nil {
+		return nil, 0, f.postErr
+	}
+	ent := make([]float64, len(f.post))
+	for i, row := range f.post {
+		for _, p := range row {
+			if p > 0 {
+				ent[i] -= p * math.Log(p)
+			}
+		}
+	}
+	return ent, f.version, nil
+}
+func (f *fakeSource) WorkerQualities() (cur, prev []float64, version uint64, err error) {
+	if f.wqErr != nil {
+		return nil, nil, 0, f.wqErr
+	}
+	return f.cur, f.prev, f.version, nil
+}
+
+// fakeLedger is a fixed query.Ledger.
+type fakeLedger struct {
+	leases []assign.Lease
+	stats  assign.Stats
+}
+
+func (f *fakeLedger) Leases() []assign.Lease { return f.leases }
+func (f *fakeLedger) Stats() assign.Stats    { return f.stats }
+
+// golden builds the shared fixture: 3 tasks × 3 workers of binary
+// answers where MV and the posterior argmax disagree on task 2 only.
+//
+//	task 0: answers 1,1,0 → MV 1 (2/3); posterior favors 1 — agree
+//	task 1: answers 0,0,0 → MV 0 (3/3); posterior favors 0 — agree
+//	task 2: answers 1,1,0 → MV 1 (2/3); posterior favors 0 — DISAGREE
+//	          (the model decided workers 0 and 1 are unreliable)
+func golden() *fakeSource {
+	return &fakeSource{
+		answers: []dataset.Answer{
+			{Task: 0, Worker: 0, Value: 1}, {Task: 0, Worker: 1, Value: 1}, {Task: 0, Worker: 2, Value: 0},
+			{Task: 1, Worker: 0, Value: 0}, {Task: 1, Worker: 1, Value: 0}, {Task: 1, Worker: 2, Value: 0},
+			{Task: 2, Worker: 0, Value: 1}, {Task: 2, Worker: 1, Value: 1}, {Task: 2, Worker: 2, Value: 0},
+		},
+		choices: 2,
+		post:    [][]float64{{0.2, 0.8}, {0.9, 0.1}, {0.7, 0.3}},
+		cur:     []float64{0.55, 0.60, 0.95},
+		prev:    []float64{0.80, 0.55, 0.95},
+		version: 7,
+	}
+}
+
+func collectAll(t *testing.T, rel query.Relation) []query.Row {
+	t.Helper()
+	rows, truncated := query.Collect(rel, -1)
+	if truncated {
+		t.Fatal("unbounded Collect reported truncation")
+	}
+	return rows
+}
+
+func compileJSON(t *testing.T, c *query.Catalog, plan string) (query.Relation, error) {
+	t.Helper()
+	var node query.Node
+	if err := json.Unmarshal([]byte(plan), &node); err != nil {
+		t.Fatalf("bad test plan %s: %v", plan, err)
+	}
+	return query.Compile(c, &node)
+}
+
+func mustCompile(t *testing.T, c *query.Catalog, plan string) query.Relation {
+	t.Helper()
+	rel, err := compileJSON(t, c, plan)
+	if err != nil {
+		t.Fatalf("compile %s: %v", plan, err)
+	}
+	return rel
+}
+
+func TestScanSelectProjectLimit(t *testing.T) {
+	c := query.NewCatalog(golden(), nil)
+	rel := mustCompile(t, c, `{
+		"op":"limit","n":2,"input":{
+			"op":"project","cols":["task","worker"],"input":{
+				"op":"select","where":{"op":"eq","col":"value","value":1},
+				"input":{"op":"scan","relation":"answers"}}}}`)
+	if got, want := fmt.Sprint(rel.Cols), "[task worker]"; got != want {
+		t.Fatalf("cols = %v, want %v", got, want)
+	}
+	rows := collectAll(t, rel)
+	want := []query.Row{{0, 0}, {0, 1}}
+	if fmt.Sprint(rows) != fmt.Sprint(want) {
+		t.Fatalf("rows = %v, want %v", rows, want)
+	}
+}
+
+func TestGroupAggregate(t *testing.T) {
+	c := query.NewCatalog(golden(), nil)
+	// Answers per worker plus their mean value.
+	rel := mustCompile(t, c, `{
+		"op":"aggregate","by":["worker"],
+		"aggs":[{"op":"count","as":"n"},{"op":"avg","col":"value","as":"mean"}],
+		"input":{"op":"scan","relation":"answers"}}`)
+	rows := collectAll(t, rel)
+	want := []query.Row{{0, 3, 2.0 / 3}, {1, 3, 2.0 / 3}, {2, 3, 0}}
+	if fmt.Sprint(rows) != fmt.Sprint(want) {
+		t.Fatalf("rows = %v, want %v", rows, want)
+	}
+	// Global aggregate over zero rows still yields exactly one row.
+	c2 := query.NewCatalog(&fakeSource{choices: 2}, nil)
+	rel2 := mustCompile(t, c2, `{
+		"op":"aggregate","aggs":[{"op":"count","as":"n"},{"op":"min","col":"value","as":"lo"}],
+		"input":{"op":"scan","relation":"answers"}}`)
+	rows2 := collectAll(t, rel2)
+	if fmt.Sprint(rows2) != fmt.Sprint([]query.Row{{0, -1}}) {
+		t.Fatalf("empty-input aggregate = %v, want [[0 -1]]", rows2)
+	}
+}
+
+func TestJoinAnswersWithWorkersAndMV(t *testing.T) {
+	c := query.NewCatalog(golden(), nil)
+	// A three-way join exercising the greedy orderer: workers (rank 2)
+	// seeds, mv folds in via... no shared column with workers — answers
+	// must bridge. The orderer joins workers⋈answers (worker), then
+	// ⋈mv (task).
+	rel := mustCompile(t, c, `{
+		"op":"join","inputs":[
+			{"op":"scan","relation":"answers"},
+			{"op":"scan","relation":"mv"},
+			{"op":"scan","relation":"workers"}]}`)
+	rows := collectAll(t, rel)
+	if len(rows) != 9 {
+		t.Fatalf("join produced %d rows, want 9 (one per answer)", len(rows))
+	}
+	for _, col := range []string{"task", "worker", "value", "mv_label", "mv_share", "quality", "drop"} {
+		found := false
+		for _, c := range rel.Cols {
+			if c == col {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("join schema %v is missing %q", rel.Cols, col)
+		}
+	}
+}
+
+func TestDisagreementViewGolden(t *testing.T) {
+	c := query.NewCatalog(golden(), nil)
+	rel, err := query.View(c, query.ViewDisagreement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := collectAll(t, rel)
+	if len(rows) != 1 {
+		t.Fatalf("disagreement rows = %v, want exactly task 2", rows)
+	}
+	get := func(col string) float64 {
+		for i, c := range rel.Cols {
+			if c == col {
+				return rows[0][i]
+			}
+		}
+		t.Fatalf("column %q missing from %v", col, rel.Cols)
+		return 0
+	}
+	if get("task") != 2 || get("mv_label") != 1 || get("top_label") != 0 {
+		t.Fatalf("disagreement row = %v (%v), want task 2: mv 1 vs top 0", rows[0], rel.Cols)
+	}
+	if math.Abs(get("mv_share")-2.0/3) > 1e-12 || get("top_p") != 0.7 {
+		t.Fatalf("disagreement shares = %v (%v)", rows[0], rel.Cols)
+	}
+	if c.StoreVersion != 7 || c.ResultVersion != 7 {
+		t.Fatalf("catalog versions = (%d, %d), want (7, 7)", c.StoreVersion, c.ResultVersion)
+	}
+}
+
+func TestWorkerQualityDropViewGolden(t *testing.T) {
+	c := query.NewCatalog(golden(), nil)
+	rel, err := query.View(c, query.ViewWorkerQualityDrop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := collectAll(t, rel)
+	// Only worker 0 dropped (0.80 → 0.55); worker 1 rose, worker 2 held.
+	want := []query.Row{{0, 0.55, 0.80, 0.25}}
+	if fmt.Sprint(rows) != fmt.Sprint(want) {
+		t.Fatalf("drop rows = %v, want %v", rows, want)
+	}
+}
+
+func TestSpendVsBudgetViewGolden(t *testing.T) {
+	led := &fakeLedger{
+		leases: []assign.Lease{{ID: 3, Task: 1, Worker: 2, Expires: time.UnixMilli(1000)}},
+		stats:  assign.Stats{Budget: 100, BudgetRemaining: 40, Outstanding: 10, Completed: 50, Expired: 4},
+	}
+	c := query.NewCatalog(golden(), led)
+	rel, err := query.View(c, query.ViewSpendVsBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := collectAll(t, rel)
+	want := []query.Row{{100, 60, 40, 10, 50, 4}}
+	if fmt.Sprint(rows) != fmt.Sprint(want) {
+		t.Fatalf("budget row = %v, want %v", rows, want)
+	}
+
+	// The leases relation is queryable alongside.
+	c2 := query.NewCatalog(golden(), led)
+	rel2 := mustCompile(t, c2, `{"op":"scan","relation":"leases"}`)
+	rows2 := collectAll(t, rel2)
+	if fmt.Sprint(rows2) != fmt.Sprint([]query.Row{{3, 1, 2, 1000}}) {
+		t.Fatalf("lease rows = %v", rows2)
+	}
+
+	// Without a ledger both relations are structural errors.
+	c3 := query.NewCatalog(golden(), nil)
+	if _, err := query.View(c3, query.ViewSpendVsBudget); !errors.Is(err, query.ErrNoLedger) {
+		t.Fatalf("budget without ledger: err = %v, want ErrNoLedger", err)
+	}
+}
+
+func TestUnavailableSurfaces(t *testing.T) {
+	src := golden()
+	src.postErr = errors.New("not inferred yet")
+	src.wqErr = src.postErr
+	c := query.NewCatalog(src, nil)
+	for _, name := range []string{"posterior", "posterior_top", "entropy", "workers"} {
+		_, err := compileJSON(t, c, fmt.Sprintf(`{"op":"scan","relation":%q}`, name))
+		var unavailable query.ErrUnavailable
+		if !errors.As(err, &unavailable) {
+			t.Fatalf("scan %s before an epoch: err = %v, want ErrUnavailable", name, err)
+		}
+	}
+	if _, err := query.View(c, query.ViewDisagreement); err == nil {
+		t.Fatal("disagreement view compiled without a posterior")
+	}
+}
+
+func TestHostileAST(t *testing.T) {
+	cases := []struct {
+		name, plan, wantErr string
+	}{
+		{"unknown op", `{"op":"explode"}`, "unknown operator"},
+		{"unknown relation", `{"op":"scan","relation":"secrets"}`, "unknown relation"},
+		{"unknown column", `{"op":"project","cols":["nope"],"input":{"op":"scan","relation":"answers"}}`, "unknown column"},
+		{"unknown pred col", `{"op":"select","where":{"op":"eq","col":"nope","value":1},"input":{"op":"scan","relation":"answers"}}`, "unknown column"},
+		{"pred without rhs", `{"op":"select","where":{"op":"eq","col":"task"},"input":{"op":"scan","relation":"answers"}}`, "requires col2 or value"},
+		{"select without where", `{"op":"select","input":{"op":"scan","relation":"answers"}}`, "without a where"},
+		{"cross join", `{"op":"join","inputs":[{"op":"scan","relation":"answers"},{"op":"scan","relation":"budget"}]}`, "share no columns"},
+		{"join arity", `{"op":"join","inputs":[{"op":"scan","relation":"answers"}]}`, "at least 2"},
+		{"unknown aggregate", `{"op":"aggregate","aggs":[{"op":"median","col":"value","as":"m"}],"input":{"op":"scan","relation":"answers"}}`, "unknown op"},
+		{"negative limit", `{"op":"limit","n":-1,"input":{"op":"scan","relation":"answers"}}`, "n >= 0"},
+		{"missing input", `{"op":"select","where":{"op":"eq","col":"task","value":0}}`, "requires an input"},
+	}
+	// Cross-join needs a ledger for the budget relation to resolve first.
+	c := query.NewCatalog(golden(), &fakeLedger{})
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := compileJSON(t, c, tc.plan)
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+	if _, err := query.Compile(c, nil); err == nil {
+		t.Fatal("nil plan compiled")
+	}
+	// Oversized plan: a chain of MaxNodes+1 selects.
+	deep := `{"op":"scan","relation":"answers"}`
+	for i := 0; i < query.MaxNodes; i++ {
+		deep = fmt.Sprintf(`{"op":"select","where":{"op":"ge","col":"task","value":0},"input":%s}`, deep)
+	}
+	if _, err := compileJSON(t, c, deep); err == nil || !strings.Contains(err.Error(), "max") {
+		t.Fatalf("oversized plan: err = %v, want node-cap rejection", err)
+	}
+}
+
+// TestPinnedScanUnderConcurrentIngest proves the tentpole consistency
+// property on the real sharded store: a catalog pinned before a wave of
+// concurrent ingests sees exactly the pinned answers — no more, no less
+// — even while the store grows under it, and a catalog pinned after
+// sees everything.
+func TestPinnedScanUnderConcurrentIngest(t *testing.T) {
+	store, err := stream.NewStoreN("query-pin", dataset.Decision, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const initial = 100
+	ans := make([]dataset.Answer, initial)
+	for i := range ans {
+		ans[i] = dataset.Answer{Task: i % 10, Worker: i % 7, Value: float64(i % 2)}
+	}
+	if _, _, err := store.Ingest(stream.Batch{Answers: ans}); err != nil {
+		t.Fatal(err)
+	}
+	svc := newMVService(t, store)
+
+	c := query.NewCatalog(svc, nil)
+	if c.PinAnswers != initial {
+		t.Fatalf("pinned %d answers, want %d", c.PinAnswers, initial)
+	}
+	rel := mustCompile(t, c, `{"op":"scan","relation":"answers"}`)
+
+	// Read half the relation, then grow the store concurrently from
+	// multiple goroutines while draining the rest.
+	var got []query.Row
+	for i := 0; i < initial/2; i++ {
+		r, ok := rel.Next()
+		if !ok {
+			t.Fatalf("scan ended early at row %d", i)
+		}
+		got = append(got, r)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for b := 0; b < 5; b++ {
+				batch := make([]dataset.Answer, 20)
+				for i := range batch {
+					batch[i] = dataset.Answer{Task: (g*100 + b*20 + i) % 50, Worker: 7 + g, Value: 1}
+				}
+				if _, _, err := store.Ingest(stream.Batch{Answers: batch}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	for {
+		r, ok := rel.Next()
+		if !ok {
+			break
+		}
+		got = append(got, r)
+	}
+	wg.Wait()
+
+	if len(got) != initial {
+		t.Fatalf("pinned scan returned %d rows, want exactly %d", len(got), initial)
+	}
+	// A fresh catalog pinned after the wave sees everything.
+	c2 := query.NewCatalog(svc, nil)
+	rows, _ := query.Collect(mustCompile(t, c2, `{"op":"scan","relation":"answers"}`), -1)
+	if want := initial + 4*5*20; len(rows) != want {
+		t.Fatalf("post-ingest scan returned %d rows, want %d", len(rows), want)
+	}
+}

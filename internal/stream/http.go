@@ -74,22 +74,47 @@ func (s *Service) Handler() http.Handler {
 // admit charges n answers against the service's rate and quota limits,
 // writing the 429 itself on rejection. Nothing may be committed before
 // admit says yes: a shed request must acknowledge no data.
-func (s *Service) admit(w http.ResponseWriter, n int) bool {
+//
+// Quota headroom is *reserved* atomically here, not merely checked:
+// checking Dims() and committing later would let two concurrent
+// requests, each individually under MaxAnswers, pass the check together
+// and jointly exceed it. The returned release hands the reservation
+// back and must run only once the request's outcome is reflected in the
+// store's answer count (after Ingest returned, success or failure) —
+// callers defer it — so at every instant the quota covers stored plus
+// in-flight answers and the cap is hard under concurrency.
+func (s *Service) admit(w http.ResponseWriter, n int) (release func(), ok bool) {
 	if n < 1 {
 		n = 1 // even an empty request spends admission, or probes are free
 	}
+	release = func() {}
 	if q := s.cfg.Limits.MaxAnswers; q > 0 {
-		if _, _, answers := s.store.Dims(); answers+n > q {
-			api.RateLimited(w, QuotaRetryAfter,
-				fmt.Errorf("%w: %d stored + %d incoming exceeds the %d-answer quota", ErrQuotaExceeded, answers, n, q))
-			return false
+		for {
+			// The reservation is loaded before the store count: a racing
+			// request releases only after its answers are in the count, so
+			// this order can at worst see both (a spurious 429), never
+			// neither (an over-commit past the quota).
+			reserved := s.quotaReserved.Load()
+			_, _, answers := s.store.Dims()
+			if answers+int(reserved)+n > q {
+				api.RateLimited(w, QuotaRetryAfter,
+					fmt.Errorf("%w: %d stored + %d in flight + %d incoming exceeds the %d-answer quota",
+						ErrQuotaExceeded, answers, reserved, n, q))
+				return nil, false
+			}
+			if s.quotaReserved.CompareAndSwap(reserved, reserved+int64(n)) {
+				break
+			}
 		}
+		m := int64(n)
+		release = func() { s.quotaReserved.Add(-m) }
 	}
-	if wait, ok := s.limiter.Admit(n); !ok {
+	if wait, limOK := s.limiter.Admit(n); !limOK {
+		release()
 		api.RateLimited(w, wait, ErrRateLimited)
-		return false
+		return nil, false
 	}
-	return true
+	return release, true
 }
 
 // ingestStatus maps an Ingest error onto its HTTP status.
@@ -111,9 +136,11 @@ func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
 		api.Error(w, http.StatusBadRequest, err)
 		return
 	}
-	if !s.admit(w, len(b.Answers)) {
+	release, ok := s.admit(w, len(b.Answers))
+	if !ok {
 		return
 	}
+	defer release()
 	version, err := s.Ingest(b)
 	if err != nil {
 		api.Error(w, ingestStatus(err), err)
@@ -155,10 +182,15 @@ func (s *Service) handleIngestBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// The whole request is admitted or shed as one unit, before any
-	// frame commits — a 429 therefore never acknowledges an answer.
-	if !s.admit(w, total) {
+	// frame commits — a 429 therefore never acknowledges an answer. The
+	// reservation is held until this handler returns: by then every
+	// committed frame is in the store count and every failed one never
+	// will be.
+	release, ok := s.admit(w, total)
+	if !ok {
 		return
 	}
+	defer release()
 	var version uint64
 	for i, b := range batches {
 		v, err := s.Ingest(b)

@@ -1,0 +1,119 @@
+package stream
+
+import (
+	"net/http"
+	"sync"
+	"testing"
+
+	"truthinference/internal/dataset"
+)
+
+// TestQuotaHardCapUnderConcurrentIngest is the regression gate for the
+// admission TOCTOU: the old admit read store.Dims() and committed later,
+// so N concurrent batches, each individually under MaxAnswers, could
+// all pass the check and jointly blow the quota. With atomic
+// reservation the cap must hold no matter how the requests interleave.
+// Run under -race (the CI race job greps for this test by name).
+func TestQuotaHardCapUnderConcurrentIngest(t *testing.T) {
+	const (
+		quota     = 50
+		clients   = 20
+		batchSize = 5 // every batch fits the quota on its own
+	)
+	srv, svc := batchServer(t, Config{Limits: Limits{MaxAnswers: quota}})
+
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	var admitted, shed int
+	var mu sync.Mutex
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			// Distinct (task, worker) pairs per client so batches never
+			// collide on content, only on the quota.
+			answers := make([]dataset.Answer, batchSize)
+			for i := range answers {
+				answers[i] = dataset.Answer{Task: c*batchSize + i, Worker: c, Value: 1}
+			}
+			<-start
+			resp, body := postBatchStream(t, srv, []Batch{{Answers: answers}})
+			mu.Lock()
+			defer mu.Unlock()
+			switch resp.StatusCode {
+			case http.StatusOK:
+				admitted++
+			case http.StatusTooManyRequests:
+				shed++
+			default:
+				t.Errorf("client %d: unexpected status %d: %s", c, resp.StatusCode, body)
+			}
+		}(c)
+	}
+	close(start)
+	wg.Wait()
+
+	_, _, answers := svc.store.Dims()
+	if answers > quota {
+		t.Fatalf("store holds %d answers, quota is %d: concurrent admission overshot the cap", answers, quota)
+	}
+	if got := admitted * batchSize; got != answers {
+		t.Fatalf("%d requests admitted (%d answers) but the store holds %d", admitted, got, answers)
+	}
+	if admitted+shed != clients {
+		t.Fatalf("admitted %d + shed %d != %d clients", admitted, shed, clients)
+	}
+	// Every reservation must have been handed back once its request
+	// settled — a leak here would shrink the usable quota forever.
+	if r := svc.quotaReserved.Load(); r != 0 {
+		t.Fatalf("%d answers still reserved after all requests finished", r)
+	}
+	// The quota itself must still be reachable: exactly the remaining
+	// headroom is admitted in one batch.
+	if answers < quota {
+		rest := make([]dataset.Answer, quota-answers)
+		for i := range rest {
+			rest[i] = dataset.Answer{Task: i, Worker: clients + 1, Value: 0}
+		}
+		resp, body := postBatchStream(t, srv, []Batch{{Answers: rest}})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("filling the remaining %d answers of headroom failed: %d: %s", len(rest), resp.StatusCode, body)
+		}
+	}
+}
+
+// TestQuotaReservationReleasedOnIngestFailure proves a batch that passes
+// admission but fails ingest (invalid answer) hands its reservation
+// back: the failed answers never occupy quota headroom.
+func TestQuotaReservationReleasedOnIngestFailure(t *testing.T) {
+	const quota = 10
+	srv, svc := batchServer(t, Config{Limits: Limits{MaxAnswers: quota}})
+
+	// 8 answers, one invalid: admitted (8 <= 10), then rejected by the
+	// store's validation — nothing commits.
+	bad := make([]dataset.Answer, 8)
+	for i := range bad {
+		bad[i] = dataset.Answer{Task: i, Worker: 0, Value: 1}
+	}
+	bad[7].Task = -1
+	resp, body := postBatchStream(t, srv, []Batch{{Answers: bad}})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("invalid batch: status = %d, want 422: %s", resp.StatusCode, body)
+	}
+	if _, _, answers := svc.store.Dims(); answers != 0 {
+		t.Fatalf("failed batch committed %d answers", answers)
+	}
+	if r := svc.quotaReserved.Load(); r != 0 {
+		t.Fatalf("failed batch leaked a reservation of %d", r)
+	}
+
+	// The full quota must still be available.
+	full := make([]dataset.Answer, quota)
+	for i := range full {
+		full[i] = dataset.Answer{Task: i, Worker: 1, Value: 1}
+	}
+	resp, body = postBatchStream(t, srv, []Batch{{Answers: full}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("full-quota batch after a failed ingest: status = %d, want 200: %s", resp.StatusCode, body)
+	}
+}

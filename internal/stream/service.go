@@ -119,6 +119,19 @@ type Service struct {
 	// publishes (the epoch-boundary invalidation — see source.go).
 	entropies  []float64
 	entVersion uint64
+
+	// prevQuality is the previous published epoch's worker-quality
+	// vector, retained when a new result replaces it so the query
+	// plane's worker-quality-drop view can compare across the epoch
+	// boundary (guarded by mu; nil before the second epoch).
+	prevQuality []float64
+
+	// quotaReserved is headroom claimed against Limits.MaxAnswers by
+	// admitted-but-not-yet-committed requests. Admission reserves it
+	// atomically and releases it once the ingest's outcome is in the
+	// store's answer count (or the ingest failed), so concurrent
+	// requests can never jointly commit past the quota. See admit.
+	quotaReserved atomic.Int64
 }
 
 // NewService builds a service for the given method over the store. The
@@ -347,6 +360,9 @@ func (s *Service) refreshLocked() error {
 	elapsed := time.Since(start)
 
 	s.mu.Lock()
+	if s.res != nil {
+		s.prevQuality = append(s.prevQuality[:0], s.res.WorkerQuality...)
+	}
 	s.res = res
 	s.resVersion = version
 	s.epochs++

@@ -3,13 +3,18 @@ package stream
 import (
 	"errors"
 	"math"
+
+	"truthinference/internal/dataset"
 )
 
 // This file is the serving-state surface the assignment subsystem
 // (internal/assign) scores tasks from: per-task posterior distributions
 // and their entropies, worker qualities, and the store/result versions
 // that say how fresh they are. The Service satisfies assign.Source
-// structurally — neither package imports the other.
+// structurally — neither package imports the other. The same is true of
+// the relational query plane: the Service satisfies query.Source
+// (internal/query) through the pinned-scan forwarders and
+// WorkerQualities below, again with no import in either direction.
 
 // ErrNoPosterior is returned by Posteriors and Entropies when the serving
 // method publishes no per-task posterior (the numeric methods Mean and
@@ -34,6 +39,56 @@ func (s *Service) NumChoices() int { return s.store.NumChoices() }
 // ForEachAnswer streams every (task, worker) pair currently in the
 // store; see Store.ForEachAnswer for the locking contract.
 func (s *Service) ForEachAnswer(f func(task, worker int)) { s.store.ForEachAnswer(f) }
+
+// Pin returns a consistent (version, answer count) pair for a
+// non-materializing pinned read of the underlying store; see Store.Pin.
+func (s *Service) Pin() (version uint64, answers int) { return s.store.Pin() }
+
+// Shards returns the underlying store's shard count (the ScanShard
+// index space).
+func (s *Service) Shards() int { return s.store.Shards() }
+
+// ScanShard streams one shard of the underlying store's pinned answer
+// log; see Store.ScanShard for the chunking and locking contract.
+func (s *Service) ScanShard(si, pos, beforeIdx int, dst []dataset.Answer) (n, next int, done bool) {
+	return s.store.ScanShard(si, pos, beforeIdx, dst)
+}
+
+// WorkerQualities returns every worker's quality estimate from the last
+// published result alongside the previous published epoch's estimate
+// (equal to the current one before a second epoch exists, and for
+// workers that joined since), plus the store version the vector
+// reflects. The incremental methods model workers uniformly and report
+// 1 for both. Iterative methods return ErrNotInferred before their
+// first epoch. The pair is what the query plane's worker-quality-drop
+// view differences across the epoch boundary.
+func (s *Service) WorkerQualities() (cur, prev []float64, version uint64, err error) {
+	if s.inc != nil {
+		_, workers, _ := s.store.Dims()
+		cur = make([]float64, workers)
+		prev = make([]float64, workers)
+		for i := range cur {
+			cur[i], prev[i] = 1, 1
+		}
+		s.mu.RLock()
+		version = s.incVersion
+		s.mu.RUnlock()
+		return cur, prev, version, nil
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.res == nil {
+		return nil, nil, 0, ErrNotInferred
+	}
+	cur = append([]float64(nil), s.res.WorkerQuality...)
+	prev = make([]float64, len(cur))
+	n := copy(prev, s.prevQuality)
+	// Workers first seen this epoch (and every worker before the second
+	// epoch) have no history; their "previous" estimate is the current
+	// one, so their delta reads 0 rather than a phantom drop.
+	copy(prev[n:], cur[n:])
+	return cur, prev, s.resVersion, nil
+}
 
 // ResultVersion returns the store version the published inference state
 // reflects: the last epoch's snapshot version for iterative methods, the

@@ -318,6 +318,52 @@ func checkTruth(d *dataset.Dataset, task int, v float64) error {
 	return nil
 }
 
+// Pin returns a consistent (version, answer count) pair for a
+// non-materializing read: every answer with global index < answers is
+// part of the pinned view, everything at or beyond it is newer. The
+// pair is read under the commit lock, so it can never tear across a
+// concurrent ingest. The visibility guarantee ScanShard relies on: a
+// batch's indices are assigned (under seq) while its shards' write
+// locks are held, and those locks are released only after the answers
+// are physically appended — so by the time a reader acquires a shard's
+// read lock, every entry below the pinned count is present in that
+// shard's log. The query plane (internal/query) streams whole relations
+// at one pinned version this way without copying the store.
+func (s *Store) Pin() (version uint64, answers int) {
+	s.seq.Lock()
+	defer s.seq.Unlock()
+	return s.version.Load(), int(s.numAnswers.Load())
+}
+
+// ScanShard copies up to len(dst) answers from shard si's append log
+// into dst, starting at log position pos and excluding everything at
+// global index >= beforeIdx (the Pin answer count). It returns the
+// number of answers copied, the next log position, and whether the
+// pinned view of this shard is exhausted. The shard's read lock is held
+// only for the copy — never across calls — so a caller streaming a
+// large store chunk by chunk cannot starve writers or deadlock against
+// a queued writer by re-locking the shard it already holds. Shard logs
+// are ascending in global index, so the first out-of-pin entry ends the
+// shard.
+func (s *Store) ScanShard(si, pos, beforeIdx int, dst []dataset.Answer) (n, next int, done bool) {
+	if si < 0 || si >= len(s.shards) || len(dst) == 0 {
+		return 0, pos, true
+	}
+	sh := &s.shards[si]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	for pos < len(sh.log) && n < len(dst) {
+		e := sh.log[pos]
+		if e.idx >= beforeIdx {
+			return n, pos, true
+		}
+		dst[n] = e.ans
+		n++
+		pos++
+	}
+	return n, pos, pos >= len(sh.log)
+}
+
 // parallelCopyThreshold is the answer count below which Snapshot
 // reassembles the shards serially (goroutine fan-out costs more than it
 // saves on tiny stores).

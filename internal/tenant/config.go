@@ -101,6 +101,12 @@ func (c Config) Validate() error {
 		if c.Limits.MaxAnswers < 0 {
 			return fmt.Errorf("tenant: negative max_answers %d", c.Limits.MaxAnswers)
 		}
+		if c.Limits.Burst > 0 && c.Limits.RatePerSec == 0 {
+			// stream.NewLimiter builds no limiter for rate 0, so a burst
+			// on its own would be silently inert — reject it instead of
+			// letting the operator believe a limit is in force.
+			return fmt.Errorf("tenant: burst %d without rate_per_sec does nothing — set rate_per_sec or drop burst", c.Limits.Burst)
+		}
 	}
 	return nil
 }

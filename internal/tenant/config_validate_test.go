@@ -1,0 +1,38 @@
+package tenant
+
+import (
+	"strings"
+	"testing"
+
+	"truthinference/internal/stream"
+)
+
+// TestValidateRejectsInertLimits pins the fail-fast contract on the
+// limits block: a burst without a rate builds no limiter at all
+// (stream.NewLimiter returns nil for rate 0), so accepting it would
+// leave the operator believing a limit is in force when nothing is.
+func TestValidateRejectsInertLimits(t *testing.T) {
+	cfg := Config{Method: "MV", Limits: &stream.Limits{Burst: 500}}
+	err := cfg.Validate()
+	if err == nil || !strings.Contains(err.Error(), "burst") {
+		t.Fatalf("burst-without-rate validated: err = %v", err)
+	}
+	// The exact config the validation exists for really is inert.
+	if stream.NewLimiter(stream.Limits{Burst: 500}) != nil {
+		t.Fatal("NewLimiter built a limiter for rate 0 — the validation may be obsolete")
+	}
+
+	// The legitimate shapes still validate.
+	for _, limits := range []stream.Limits{
+		{},                             // no limits at all
+		{RatePerSec: 100, Burst: 500},  // rate limiting
+		{MaxAnswers: 1000},             // quota only
+		{RatePerSec: 10},               // rate with default burst
+		{RatePerSec: 1, MaxAnswers: 5}, // both
+	} {
+		cfg := Config{Method: "MV", Limits: &limits}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("limits %+v rejected: %v", limits, err)
+		}
+	}
+}

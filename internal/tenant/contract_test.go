@@ -58,6 +58,9 @@ func contractServer(t *testing.T) (*httptest.Server, assign.Lease) {
 	}
 	post("/v1/admin/projects", `{"id":"quota","config":{"method":"MV","limits":{"max_answers":5}}}`, http.StatusCreated)
 	post("/v1/admin/projects", `{"id":"limited","config":{"method":"MV","limits":{"rate_per_sec":0.000001,"burst":1}}}`, http.StatusCreated)
+	// An iterative method with no epochs yet: its query plane's
+	// model-derived relations are unavailable (409) until a refresh.
+	post("/v1/admin/projects", `{"id":"dscold","config":{"method":"D&S","no_auto_refresh":true}}`, http.StatusCreated)
 
 	// Default project, redundancy 3: fill tasks 0 and 1 to the cap, so
 	// the setup lease deterministically lands on task 2 — then fill task
@@ -134,6 +137,20 @@ func TestHTTPContract(t *testing.T) {
 			`{"answers":[` + strings.Repeat(`{"task":0,"worker":0,"value":1},`, 5) + `{"task":0,"worker":0,"value":1}],"num_tasks":1,"num_workers":1}`,
 			http.StatusTooManyRequests, true},
 
+		// query surface
+		{"query malformed body", "POST", "/v1/projects/default/query", "application/json", `{"plan":`, http.StatusBadRequest, false},
+		{"query view and plan", "POST", "/v1/projects/default/query", "application/json",
+			`{"view":"disagreement","plan":{"op":"scan","relation":"answers"}}`, http.StatusBadRequest, false},
+		{"query unknown view", "POST", "/v1/projects/default/query", "application/json", `{"view":"profits"}`, http.StatusNotFound, false},
+		{"query oversized body", "POST", "/v1/projects/default/query", "application/json",
+			`{"view":"` + strings.Repeat("x", api.MaxAdminBody+1) + `"}`, http.StatusRequestEntityTooLarge, false},
+		{"query unknown relation", "POST", "/v1/projects/default/query", "application/json",
+			`{"plan":{"op":"scan","relation":"secrets"}}`, http.StatusUnprocessableEntity, false},
+		{"query hostile plan", "POST", "/v1/projects/default/query", "application/json",
+			`{"plan":{"op":"join","inputs":[{"op":"scan","relation":"answers"}]}}`, http.StatusUnprocessableEntity, false},
+		{"query before first epoch", "POST", "/v1/projects/dscold/query", "application/json",
+			`{"view":"worker-quality-drop"}`, http.StatusConflict, false},
+
 		// assign surface
 		{"assign bad worker param", "GET", "/v1/projects/default/assign?worker=abc", "", "", http.StatusBadRequest, false},
 		{"assign nothing eligible", "GET", "/v1/projects/default/assign?worker=0", "", "", http.StatusNotFound, false},
@@ -200,6 +217,56 @@ func TestHTTPContract(t *testing.T) {
 				t.Fatalf("unexpected Retry-After %q on a %d", retry, resp.StatusCode)
 			}
 		})
+	}
+}
+
+// TestQueryPlaneThroughTenantRouter drives the happy path of the query
+// endpoint across the per-project rewrite: the default project's held
+// lease is visible through the leases relation, and its unlimited
+// budget reports -1 through the canned spend view.
+func TestQueryPlaneThroughTenantRouter(t *testing.T) {
+	srv, lease := contractServer(t)
+	post := func(body string) api.QueryResponse {
+		t.Helper()
+		resp, err := srv.Client().Post(srv.URL+"/v1/projects/default/query", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query %s → %d: %s", body, resp.StatusCode, data)
+		}
+		var out api.QueryResponse
+		if err := json.Unmarshal(data, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	leases := post(`{"plan":{"op":"scan","relation":"leases"}}`)
+	if len(leases.Rows) != 1 || leases.Rows[0][0] != float64(lease.ID) || leases.Rows[0][1] != float64(lease.Task) {
+		t.Fatalf("leases rows = %v, want the held lease %d on task %d", leases.Rows, lease.ID, lease.Task)
+	}
+
+	spend := post(`{"view":"spend-vs-budget"}`)
+	if len(spend.Rows) != 1 || spend.Rows[0][0] != -1 {
+		t.Fatalf("spend view = %v, want one row with unlimited (-1) budget", spend.Rows)
+	}
+	if outstanding := spend.Rows[0][3]; outstanding != 1 {
+		t.Fatalf("spend view outstanding = %v, want the 1 held lease", outstanding)
+	}
+
+	// An aggregate over the pinned answer scan: 9 + 3 answers ingested
+	// during setup, counted per task through the project router.
+	counts := post(`{"plan":{"op":"aggregate","by":["task"],"aggs":[{"op":"count","as":"n"}],"input":{"op":"scan","relation":"answers"}}}`)
+	if len(counts.Rows) != 3 {
+		t.Fatalf("per-task counts = %v, want 3 tasks", counts.Rows)
+	}
+	for _, row := range counts.Rows {
+		if row[1] != 3 {
+			t.Fatalf("task %v holds %v answers, want 3", row[0], row[1])
+		}
 	}
 }
 

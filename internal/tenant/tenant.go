@@ -49,6 +49,7 @@ import (
 	ti "truthinference"
 	"truthinference/internal/assign"
 	"truthinference/internal/dataset"
+	"truthinference/internal/query"
 	"truthinference/internal/stream"
 	"truthinference/internal/stream/wal"
 )
@@ -241,7 +242,8 @@ func openProject(id string, cfg Config, base string, logf func(string, ...any)) 
 	}
 
 	p := &Project{id: id, cfg: cfg, store: store, svc: svc, persist: persist}
-	handler := svc.Handler()
+	mux := http.NewServeMux()
+	mux.Handle("/", svc.Handler())
 	if cfg.Assign != nil {
 		ledger, err := cfg.Assign.Ledger(svc, cfg.Seed)
 		if err != nil {
@@ -263,17 +265,22 @@ func openProject(id string, cfg Config, base string, logf func(string, ...any)) 
 			}
 			return v, err
 		})
-		mux := http.NewServeMux()
-		mux.Handle("/", handler)
 		for _, pattern := range []string{"GET /v1/assign", "POST /v1/complete", "GET /v1/assignstats"} {
 			mux.Handle(pattern, assignAPI)
 		}
-		handler = mux
 		p.ledger = ledger
 		logf("tenant %s: assignment enabled (policy=%s redundancy=%d budget=%d lease_ttl=%v)",
 			id, ledger.Policy().Name(), ledger.Stats().Redundancy, cfg.Assign.Budget, cfg.Assign.LeaseTTL)
 	}
-	p.handler = handler
+	// The relational query plane is mounted on every project; without a
+	// ledger the lease/budget relations just report as unavailable. The
+	// typed-nil dance keeps the query.Ledger interface genuinely nil.
+	var ql query.Ledger
+	if p.ledger != nil {
+		ql = p.ledger
+	}
+	mux.Handle("POST /v1/query", query.NewHandler(svc, ql))
+	p.handler = mux
 	logf("tenant %s: serving %s (warm_start=%v auto_refresh=%v shards=%d durable=%v)",
 		id, m.Name(), !cfg.ColdStart, !cfg.NoAutoRefresh, store.Shards(), persist != nil)
 	return p, nil
