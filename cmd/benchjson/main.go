@@ -5,10 +5,11 @@
 //
 // Usage:
 //
-//	benchjson [-out BENCH_8.json] [-scale 0.1] [-seed 1] [-repeats 5]
-//	          [-baseline BENCH_8.json] [-max-regress 0.20]
+//	benchjson [-out BENCH_9.json] [-scale 0.1] [-seed 1] [-repeats 5]
+//	          [-baseline BENCH_9.json] [-max-regress 0.20]
 //	          [-http-duration 2s] [-min-http-speedup 5]
-//	          [-query-duration 2s] [-validate file.json]
+//	          [-query-duration 2s] [-telemetry-duration 2s]
+//	          [-max-telemetry-overhead 0.03] [-validate file.json]
 //
 // With -validate, no measurement runs: the named report is checked
 // against the schema and the process exits (this is the cheap CI step).
@@ -31,9 +32,15 @@
 // against an in-process service and records queries/sec and rows/sec
 // (-query-duration 0 skips it).
 //
+// The telemetry section measures instrumentation overhead: batched
+// ingest with the full telemetry plane (registry, stream metrics,
+// request-ID middleware) vs without. -max-telemetry-overhead fails the
+// run if the instruments cost more than that throughput fraction
+// (-telemetry-duration 0 skips the measurement).
+//
 // To regenerate the checked-in baseline on a quiet machine:
 //
-//	go run ./cmd/benchjson -out BENCH_8.json
+//	go run ./cmd/benchjson -out BENCH_9.json
 package main
 
 import (
@@ -50,7 +57,7 @@ import (
 
 func main() {
 	var (
-		out          = flag.String("out", "BENCH_8.json", "report file to write")
+		out          = flag.String("out", "BENCH_9.json", "report file to write")
 		scale        = flag.Float64("scale", 0.1, "dataset scale in (0, 1] (1 = the paper's full sizes)")
 		seed         = flag.Int64("seed", 1, "dataset generation seed")
 		repeats      = flag.Int("repeats", 5, "timing repetitions per measurement (minimum wins)")
@@ -59,6 +66,8 @@ func main() {
 		httpDur      = flag.Duration("http-duration", 2*time.Second, "per-mode window for the HTTP single-vs-batched ingest measurement (0 = skip)")
 		minHTTPSpeed = flag.Float64("min-http-speedup", 5, "fail unless batched HTTP ingest sustains this multiple of the single-answer path (0 = no gate)")
 		queryDur     = flag.Duration("query-duration", 2*time.Second, "window for the canned-view query measurement (0 = skip)")
+		telemetryDur = flag.Duration("telemetry-duration", 2*time.Second, "per-mode window for the instrumented-vs-uninstrumented ingest measurement (0 = skip)")
+		maxOverhead  = flag.Float64("max-telemetry-overhead", 0.03, "fail if telemetry costs more than this fraction of batched ingest throughput (0 = no gate)")
 		validate     = flag.String("validate", "", "validate this report file and exit (no measurement)")
 	)
 	version := flag.Bool("version", false, "print build info and exit")
@@ -69,13 +78,13 @@ func main() {
 	}
 	fmt.Fprintln(os.Stderr, buildinfo.String("benchjson"))
 
-	if err := run(*out, *scale, *seed, *repeats, *baseline, *maxRegress, *httpDur, *minHTTPSpeed, *queryDur, *validate); err != nil {
+	if err := run(*out, *scale, *seed, *repeats, *baseline, *maxRegress, *httpDur, *minHTTPSpeed, *queryDur, *telemetryDur, *maxOverhead, *validate); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(out string, scale float64, seed int64, repeats int, baseline string, maxRegress float64, httpDur time.Duration, minHTTPSpeed float64, queryDur time.Duration, validate string) error {
+func run(out string, scale float64, seed int64, repeats int, baseline string, maxRegress float64, httpDur time.Duration, minHTTPSpeed float64, queryDur, telemetryDur time.Duration, maxOverhead float64, validate string) error {
 	if validate != "" {
 		r, err := benchjson.Load(validate)
 		if err != nil {
@@ -114,6 +123,13 @@ func run(out string, scale float64, seed int64, repeats int, baseline string, ma
 		}
 		r.Query = q
 	}
+	if telemetryDur > 0 {
+		tel, err := benchjson.MeasureTelemetry(r.CalibrationNs, seed, telemetryDur)
+		if err != nil {
+			return fmt.Errorf("telemetry overhead: %w", err)
+		}
+		r.Telemetry = tel
+	}
 	if err := benchjson.Validate(r); err != nil {
 		return fmt.Errorf("fresh report failed validation: %w", err)
 	}
@@ -134,6 +150,14 @@ func run(out string, scale float64, seed int64, repeats int, baseline string, ma
 	if q := r.Query; q != nil {
 		fmt.Printf("query views: %.0f queries/s, %.0f rows/s over %d answers\n",
 			q.QueriesPerSec, q.RowsPerSec, q.Answers)
+	}
+	if tel := r.Telemetry; tel != nil {
+		fmt.Printf("telemetry: uninstrumented %.0f answers/s, instrumented %.0f answers/s (overhead %.1f%%)\n",
+			tel.UninstrumentedAnswersPerSec, tel.InstrumentedAnswersPerSec, tel.OverheadFrac*100)
+		if maxOverhead > 0 && tel.OverheadFrac > maxOverhead {
+			return fmt.Errorf("telemetry overhead %.1f%% exceeds the %.1f%% budget",
+				tel.OverheadFrac*100, maxOverhead*100)
+		}
 	}
 
 	if baseline != "" {

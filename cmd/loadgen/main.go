@@ -73,6 +73,12 @@ func main() {
 		if res.LastVersion > 0 {
 			fmt.Printf("loadgen: server version %d, durable through %d\n", res.LastVersion, res.LastDurable)
 		}
+		if s := res.SingleLatency; s != nil {
+			fmt.Printf("loadgen: single latency  n=%d  p50=%.2fms p95=%.2fms p99=%.2fms\n", s.Count, s.P50Ms, s.P95Ms, s.P99Ms)
+		}
+		if b := res.BatchLatency; b != nil {
+			fmt.Printf("loadgen: batch latency   n=%d  p50=%.2fms p95=%.2fms p99=%.2fms\n", b.Count, b.P50Ms, b.P95Ms, b.P99Ms)
+		}
 	}
 
 	failed := false

@@ -60,9 +60,11 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -97,6 +99,8 @@ type config struct {
 	ratePerSec    float64
 	rateBurst     int
 	maxAnswers    int
+	debugAddr     string
+	slowRequest   time.Duration
 }
 
 // defaultProject maps the legacy per-daemon flags onto the default
@@ -167,6 +171,8 @@ func main() {
 	flag.Float64Var(&cfg.ratePerSec, "ingest-rate", 0, "default project's sustained ingest admission rate in answers/sec (0 = unlimited); violations shed with 429 + Retry-After")
 	flag.IntVar(&cfg.rateBurst, "ingest-burst", 0, "token-bucket burst capacity in answers for -ingest-rate (0 = one second's worth)")
 	flag.IntVar(&cfg.maxAnswers, "max-answers", 0, "default project's lifetime answer quota (0 = unlimited)")
+	flag.StringVar(&cfg.debugAddr, "debug-addr", "", "private listen address for net/http/pprof and a second /metrics mount (empty = disabled; keep off the public network)")
+	flag.DurationVar(&cfg.slowRequest, "slow-request", time.Second, "log requests slower than this threshold (0 = disabled)")
 	version := flag.Bool("version", false, "print build info and exit")
 	flag.Parse()
 	if *version {
@@ -180,7 +186,8 @@ func main() {
 	if err != nil {
 		fatal("%v", err)
 	}
-	if err := run(ctx, cfg, ln, log.Printf); err != nil {
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	if err := run(ctx, cfg, ln, logger); err != nil {
 		fatal("%v", err)
 	}
 }
@@ -190,8 +197,11 @@ func main() {
 // the server fails. On cancellation it drains: HTTP shutdown, then every
 // project concurrently (in-flight epoch, WAL fsync + final snapshot) —
 // and returns nil.
-func run(ctx context.Context, cfg config, ln net.Listener, logf func(string, ...any)) error {
-	logf("%s starting", buildinfo.String("truthserve"))
+func run(ctx context.Context, cfg config, ln net.Listener, logger *slog.Logger) error {
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	logger.Info("starting", "build", buildinfo.String("truthserve"))
 
 	// The default project's config is validated before anything else so a
 	// typoed flag is immediately actionable.
@@ -212,7 +222,8 @@ func run(ctx context.Context, cfg config, ln net.Listener, logf func(string, ...
 		}
 	}
 
-	reg := tenant.NewRegistry(cfg.walDir, logf)
+	reg := tenant.NewRegistry(cfg.walDir, logger)
+	reg.SlowRequest = cfg.slowRequest
 	drained := false
 	defer func() {
 		if !drained {
@@ -229,18 +240,41 @@ func run(ctx context.Context, cfg config, ln net.Listener, logf func(string, ...
 	}
 	for id, pc := range boot {
 		if _, ok := reg.Get(id); ok {
-			logf("truthserve: project %q already recovered from the manifest; boot-file entry ignored", id)
+			logger.Warn("project already recovered from the manifest; boot-file entry ignored", "project", id)
 			continue
 		}
 		if _, err := reg.Create(id, pc); err != nil {
 			return fmt.Errorf("create project %q: %w", id, err)
 		}
 	}
+	// Every namespace is recovered and every boot project exists: the
+	// daemon is ready. /v1/readyz flips to 200 and truthserve_ready to 1.
+	reg.SetReady()
+
+	// The debug listener is a separate private mux: pprof profiles and a
+	// second /metrics mount, never exposed on the serving address.
+	var debugSrv *http.Server
+	if cfg.debugAddr != "" {
+		dln, err := net.Listen("tcp", cfg.debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dmux.Handle("GET /metrics", reg.Telemetry().Handler())
+		debugSrv = &http.Server{Handler: dmux}
+		go debugSrv.Serve(dln)
+		logger.Info("debug listener up", "addr", dln.Addr().String())
+	}
 
 	srv := &http.Server{Handler: reg.Handler()}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
-	logf("truthserve: serving %d project(s) on %s (durable=%v)", len(reg.List()), ln.Addr(), reg.Durable())
+	logger.Info("serving", "projects", len(reg.List()), "addr", ln.Addr().String(), "durable", reg.Durable())
 
 	select {
 	case err := <-serveErr:
@@ -249,14 +283,17 @@ func run(ctx context.Context, cfg config, ln net.Listener, logf func(string, ...
 	}
 
 	// Graceful drain: stop accepting, let in-flight requests finish.
-	logf("truthserve: signal received, draining")
+	logger.Info("signal received, draining")
 	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(sctx); err != nil {
-		logf("truthserve: HTTP shutdown: %v", err)
+		logger.Warn("HTTP shutdown", "err", err)
 	}
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		logf("truthserve: listener: %v", err)
+		logger.Warn("listener", "err", err)
+	}
+	if debugSrv != nil {
+		debugSrv.Close()
 	}
 	// Fan the drain out across every tenant: each finishes its in-flight
 	// epoch, fsyncs its WAL and compacts a final snapshot.
@@ -264,7 +301,7 @@ func run(ctx context.Context, cfg config, ln net.Listener, logf func(string, ...
 	if err := reg.Close(); err != nil {
 		return fmt.Errorf("drain projects: %w", err)
 	}
-	logf("truthserve: drained, exiting")
+	logger.Info("drained, exiting")
 	return nil
 }
 

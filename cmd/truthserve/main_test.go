@@ -16,6 +16,7 @@ import (
 	ti "truthinference"
 	"truthinference/internal/dataset"
 	"truthinference/internal/tenant"
+	"truthinference/internal/testutil"
 )
 
 func TestParseTaskType(t *testing.T) {
@@ -58,7 +59,7 @@ func startDaemon(t *testing.T, cfg config) (baseURL string, sigterm context.Canc
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	done = make(chan error, 1)
-	go func() { done <- run(ctx, cfg, ln, t.Logf) }()
+	go func() { done <- run(ctx, cfg, ln, testutil.Logger(t)) }()
 	baseURL = "http://" + ln.Addr().String()
 	waitHealthy(t, baseURL)
 	return baseURL, cancel, done
@@ -344,7 +345,7 @@ func TestRunFailsFastOnBadConfig(t *testing.T) {
 			t.Fatal(err)
 		}
 		ctx, cancel := context.WithCancel(context.Background())
-		err = run(ctx, cfg, ln, func(string, ...any) {})
+		err = run(ctx, cfg, ln, nil)
 		cancel()
 		ln.Close()
 		if err == nil {
@@ -472,7 +473,7 @@ func TestRunFailsFastOnBadProjectsFile(t *testing.T) {
 			defer ln.Close()
 			ctx, cancel := context.WithCancel(context.Background())
 			defer cancel()
-			err = run(ctx, config{method: "MV", taskType: "decision", choices: 2, projectsFile: file}, ln, func(string, ...any) {})
+			err = run(ctx, config{method: "MV", taskType: "decision", choices: 2, projectsFile: file}, ln, nil)
 			if err == nil {
 				t.Fatalf("run accepted projects file %q", body)
 			}
@@ -487,7 +488,7 @@ func TestRunFailsFastOnBadProjectsFile(t *testing.T) {
 		ctx, cancel := context.WithCancel(context.Background())
 		defer cancel()
 		err = run(ctx, config{method: "MV", taskType: "decision", choices: 2,
-			projectsFile: filepath.Join(t.TempDir(), "absent.json")}, ln, func(string, ...any) {})
+			projectsFile: filepath.Join(t.TempDir(), "absent.json")}, ln, nil)
 		if err == nil {
 			t.Fatal("run accepted a missing projects file")
 		}
@@ -506,7 +507,7 @@ func TestServeErrorIsReturned(t *testing.T) {
 	defer cancel()
 	done := make(chan error, 1)
 	go func() {
-		done <- run(ctx, config{method: "MV", taskType: "decision", choices: 2, shards: 2}, ln, func(string, ...any) {})
+		done <- run(ctx, config{method: "MV", taskType: "decision", choices: 2, shards: 2}, ln, nil)
 	}()
 	waitHealthy(t, "http://"+ln.Addr().String())
 	ln.Close()

@@ -8,10 +8,13 @@
 //
 // Every non-2xx response is
 //
-//	{"error":{"code":"<machine code>","message":"<human message>"}}
+//	{"error":{"code":"<machine code>","message":"<human message>","request_id":"<id>"}}
 //
 // with a stable machine-readable code (see ErrorCode) alongside the HTTP
-// status, so clients branch on codes instead of parsing prose. 429
+// status, so clients branch on codes instead of parsing prose; the
+// request_id field (present when the request passed through the
+// telemetry middleware) joins the failure to the server's structured
+// logs. 429
 // responses always carry a Retry-After header (seconds) — backpressure
 // is actionable, not just an error.
 //
@@ -83,10 +86,15 @@ func CodeFor(status int) ErrorCode {
 	}
 }
 
-// ErrorBody is the inner object of the error envelope.
+// ErrorBody is the inner object of the error envelope. RequestID echoes
+// the X-Request-ID the telemetry middleware stamped on the response, so
+// a client error report can be joined against the server's structured
+// logs; it is empty on responses written outside the middleware (tests
+// driving handlers directly).
 type ErrorBody struct {
-	Code    ErrorCode `json:"code"`
-	Message string    `json:"message"`
+	Code      ErrorCode `json:"code"`
+	Message   string    `json:"message"`
+	RequestID string    `json:"request_id,omitempty"`
 }
 
 // ErrorEnvelope is the JSON shape of every non-2xx response.
@@ -101,9 +109,15 @@ func WriteJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// Error writes the error envelope with the status's default code.
+// Error writes the error envelope with the status's default code. The
+// request ID, when the telemetry middleware has already stamped one on
+// the response headers, rides along in the envelope.
 func Error(w http.ResponseWriter, status int, err error) {
-	WriteJSON(w, status, ErrorEnvelope{Error: ErrorBody{Code: CodeFor(status), Message: err.Error()}})
+	WriteJSON(w, status, ErrorEnvelope{Error: ErrorBody{
+		Code:      CodeFor(status),
+		Message:   err.Error(),
+		RequestID: w.Header().Get("X-Request-ID"),
+	}})
 }
 
 // RateLimited writes a 429 with code "rate_limited" and a Retry-After

@@ -120,6 +120,9 @@ type Config struct {
 	// Now is the ledger's clock; nil means time.Now. Tests and the
 	// closed-loop simulator inject a fake clock for deterministic expiry.
 	Now func() time.Time
+	// Metrics, when non-nil, receives lease lifecycle and budget
+	// observations (see NewMetrics). Nil disables instrumentation.
+	Metrics *Metrics
 }
 
 // Sentinel errors of the assignment API.
@@ -306,6 +309,8 @@ func (l *Ledger) Assign(worker int) (Lease, error) {
 		l.seen[best] = map[int]struct{}{}
 	}
 	l.seen[best][worker] = struct{}{}
+	l.cfg.Metrics.observeIssued()
+	l.publishGaugesLocked()
 	return lease, nil
 }
 
@@ -335,6 +340,8 @@ func (l *Ledger) Complete(id uint64, worker int, deliver func(task int) error) e
 	delete(l.leases, id)
 	l.outstanding[lease.Task]--
 	l.redeemed++
+	l.cfg.Metrics.observeCompleted()
+	l.publishGaugesLocked()
 	return nil
 }
 
@@ -343,6 +350,7 @@ func (l *Ledger) Complete(id uint64, worker int, deliver func(task int) error) e
 // while the original worker stays in the task's seen set — a worker
 // never sees a task twice, even one it abandoned.
 func (l *Ledger) reclaimLocked(now time.Time) {
+	reclaimed := 0
 	for len(l.expiry) > 0 && !l.expiry[0].expires.After(now) {
 		e := l.expiry.pop()
 		lease, ok := l.leases[e.id]
@@ -352,7 +360,28 @@ func (l *Ledger) reclaimLocked(now time.Time) {
 		delete(l.leases, e.id)
 		l.outstanding[lease.Task]--
 		l.expired++
+		reclaimed++
 	}
+	if reclaimed > 0 {
+		l.cfg.Metrics.observeExpired(reclaimed)
+		l.publishGaugesLocked()
+	}
+}
+
+// publishGaugesLocked refreshes the outstanding-lease and
+// budget-remaining gauges after a lease-state transition; the caller
+// holds l.mu. The budget arithmetic mirrors Stats.
+func (l *Ledger) publishGaugesLocked() {
+	if l.cfg.Metrics == nil {
+		return
+	}
+	remaining := -1
+	if l.cfg.Budget > 0 {
+		if remaining = l.cfg.Budget - l.budgetCommittedLocked(); remaining < 0 {
+			remaining = 0
+		}
+	}
+	l.cfg.Metrics.observeState(len(l.leases), remaining)
 }
 
 // syncLocked refreshes the cached serving state: answer counts when the

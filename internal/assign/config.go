@@ -63,8 +63,10 @@ func (sp Spec) Validate() error {
 
 // Ledger builds the live ledger the spec describes over src, seeded with
 // the project's seed (so a project's whole behavior — inference and
-// assignment — replays from one number).
-func (sp Spec) Ledger(src Source, seed int64) (*Ledger, error) {
+// assignment — replays from one number). m, when non-nil, is the
+// per-tenant instrument bundle the ledger records lease lifecycle and
+// budget observations into.
+func (sp Spec) Ledger(src Source, seed int64, m *Metrics) (*Ledger, error) {
 	if err := sp.Validate(); err != nil {
 		return nil, err
 	}
@@ -80,6 +82,7 @@ func (sp Spec) Ledger(src Source, seed int64) (*Ledger, error) {
 		LeaseTTL:       time.Duration(sp.LeaseTTL),
 		Seed:           seed,
 		PriorQuality:   sp.PriorQuality,
+		Metrics:        m,
 	})
 }
 

@@ -20,13 +20,13 @@ func TestSpecValidateAndBuild(t *testing.T) {
 		if err := sp.Validate(); err == nil {
 			t.Errorf("Spec %+v validated", sp)
 		}
-		if _, err := sp.Ledger(newFakeSource(0, 2), 1); err == nil {
+		if _, err := sp.Ledger(newFakeSource(0, 2), 1, nil); err == nil {
 			t.Errorf("Spec %+v built a ledger", sp)
 		}
 	}
 
 	sp := Spec{Policy: "least-answered", Redundancy: 2, Budget: 9, LeaseTTL: Duration(45 * time.Second)}
-	l, err := sp.Ledger(newFakeSource(3, 2), 5)
+	l, err := sp.Ledger(newFakeSource(3, 2), 5, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

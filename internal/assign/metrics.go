@@ -1,0 +1,71 @@
+package assign
+
+import (
+	"truthinference/internal/telemetry"
+)
+
+// Metrics is the ledger's instrument bundle, bound to one tenant at
+// construction. A nil *Metrics is inert — every observer no-ops — so
+// uninstrumented ledgers (tests, the closed-loop simulator) pay one
+// branch per event.
+type Metrics struct {
+	issued          *telemetry.Counter
+	completed       *telemetry.Counter
+	expired         *telemetry.Counter
+	outstanding     *telemetry.Gauge
+	budgetRemaining *telemetry.Gauge
+}
+
+// NewMetrics registers the assignment instruments on reg with a
+// per-tenant label. Returns nil — an inert bundle — for a nil registry.
+func NewMetrics(reg *telemetry.Registry, tenant string) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		issued: reg.Counter("truthserve_assign_leases_issued_total",
+			"Leases issued to workers, by tenant.",
+			"tenant").With(tenant),
+		completed: reg.Counter("truthserve_assign_leases_completed_total",
+			"Leases redeemed with a delivered answer, by tenant.",
+			"tenant").With(tenant),
+		expired: reg.Counter("truthserve_assign_leases_expired_total",
+			"Leases reclaimed after their TTL passed, by tenant.",
+			"tenant").With(tenant),
+		outstanding: reg.Gauge("truthserve_assign_leases_outstanding",
+			"Live leases currently held by workers, by tenant.",
+			"tenant").With(tenant),
+		budgetRemaining: reg.Gauge("truthserve_assign_budget_remaining",
+			"Uncommitted answer budget (-1 when unlimited), by tenant.",
+			"tenant").With(tenant),
+	}
+}
+
+func (m *Metrics) observeIssued() {
+	if m == nil {
+		return
+	}
+	m.issued.Inc()
+}
+
+func (m *Metrics) observeCompleted() {
+	if m == nil {
+		return
+	}
+	m.completed.Inc()
+}
+
+func (m *Metrics) observeExpired(n int) {
+	if m == nil || n == 0 {
+		return
+	}
+	m.expired.Add(uint64(n))
+}
+
+func (m *Metrics) observeState(outstanding, budgetRemaining int) {
+	if m == nil {
+		return
+	}
+	m.outstanding.Set(float64(outstanding))
+	m.budgetRemaining.Set(float64(budgetRemaining))
+}

@@ -52,6 +52,9 @@ type Report struct {
 	// Query is the relational read-path measurement (the three canned
 	// operator views). Optional and additive like HTTPIngest.
 	Query *QueryBench `json:"query,omitempty"`
+	// Telemetry is the instrumentation-overhead measurement (batched
+	// ingest with vs without the telemetry plane). Optional and additive.
+	Telemetry *Telemetry `json:"telemetry,omitempty"`
 }
 
 // Throughput is an operations-per-second measurement with its
@@ -404,6 +407,17 @@ func Validate(r *Report) error {
 		}
 		if !(h.Speedup > 0) || !(h.SingleNormalized > 0) || !(h.BatchNormalized > 0) {
 			return fmt.Errorf("http_ingest derived values %+v are not positive", h)
+		}
+	}
+	if t := r.Telemetry; t != nil {
+		if !(t.UninstrumentedAnswersPerSec > 0) || !(t.InstrumentedAnswersPerSec > 0) {
+			return fmt.Errorf("telemetry throughput %+v is not positive", t)
+		}
+		if !(t.UninstrumentedNormalized > 0) || !(t.InstrumentedNormalized > 0) {
+			return fmt.Errorf("telemetry normalized values %+v are not positive", t)
+		}
+		if t.OverheadFrac < 0 || t.OverheadFrac >= 1 {
+			return fmt.Errorf("telemetry overhead_frac %v outside [0,1)", t.OverheadFrac)
 		}
 	}
 	if q := r.Query; q != nil {

@@ -1,0 +1,129 @@
+package benchjson
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"truthinference/internal/core"
+	"truthinference/internal/dataset"
+	"truthinference/internal/loadgen"
+	"truthinference/internal/methods/direct"
+	"truthinference/internal/stream"
+	"truthinference/internal/telemetry"
+)
+
+// Telemetry is the instrumentation-overhead pair: the batched binary
+// ingest path measured with the telemetry plane fully wired (metrics
+// registry, per-tenant stream instruments, request-ID middleware, HTTP
+// histograms) and with no instrumentation at all. OverheadFrac is the
+// fraction of throughput the instruments cost; the CI gate bounds it.
+// Additive, optional report section like HTTPIngest.
+type Telemetry struct {
+	// UninstrumentedAnswersPerSec is batched ingest with no telemetry.
+	UninstrumentedAnswersPerSec float64 `json:"uninstrumented_answers_per_sec"`
+	// InstrumentedAnswersPerSec is the same traffic with the registry,
+	// stream metrics bundle, and HTTP middleware in the request path.
+	InstrumentedAnswersPerSec float64 `json:"instrumented_answers_per_sec"`
+	// OverheadFrac = max(0, 1 − instrumented/uninstrumented).
+	OverheadFrac float64 `json:"overhead_frac"`
+	// Normalized forms (answers per calibration-loop unit of work).
+	UninstrumentedNormalized float64 `json:"uninstrumented_normalized"`
+	InstrumentedNormalized   float64 `json:"instrumented_normalized"`
+}
+
+// MeasureTelemetry measures batched ingest throughput with and without
+// the telemetry plane, interleaving the two modes across repeats (best
+// of each) so CPU frequency drift hits both sides evenly.
+func MeasureTelemetry(calibrationNs float64, seed int64, duration time.Duration) (*Telemetry, error) {
+	const (
+		workers   = 4
+		batchSize = 500
+		frames    = 4
+		repeats   = 2
+	)
+	run := func(instrumented bool) (float64, error) {
+		store, err := stream.NewStore("bench-telemetry", dataset.Decision, 2)
+		if err != nil {
+			return 0, err
+		}
+		svcCfg := stream.Config{
+			Method:  direct.NewMV(),
+			Options: core.Options{Seed: seed},
+		}
+		var reg *telemetry.Registry
+		if instrumented {
+			reg = telemetry.NewRegistry()
+			svcCfg.Metrics = stream.NewMetrics(reg, "bench", "MV")
+		}
+		svc, err := stream.NewService(store, svcCfg)
+		if err != nil {
+			return 0, err
+		}
+		defer svc.Close()
+		handler := http.Handler(svc.Handler())
+		if instrumented {
+			logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+			handler = telemetry.Middleware(handler,
+				telemetry.NewHTTPMetrics(reg, "truthserve"), logger, 0,
+				func(*http.Request) (string, string) { return "/v1/ingest-batch", "bench" })
+		}
+		srv := httptest.NewServer(handler)
+		defer srv.Close()
+		res, err := loadgen.Config{
+			BaseURL:          srv.URL,
+			Workers:          workers,
+			Duration:         duration,
+			SingleRatio:      0,
+			BatchSize:        batchSize,
+			FramesPerRequest: frames,
+			NumTasks:         2000,
+			NumWorkers:       200,
+			Seed:             seed,
+			Client:           srv.Client(),
+		}.Run(context.Background())
+		if err != nil {
+			return 0, err
+		}
+		if res.Errors > 0 {
+			return 0, fmt.Errorf("load run saw %d errors (first: %s)", res.Errors, res.FirstError)
+		}
+		if res.AnswersPerSec <= 0 {
+			return 0, fmt.Errorf("load run accepted no answers: %+v", res)
+		}
+		return res.AnswersPerSec, nil
+	}
+
+	var uninst, inst float64
+	for i := 0; i < repeats; i++ {
+		u, err := run(false)
+		if err != nil {
+			return nil, fmt.Errorf("uninstrumented path: %w", err)
+		}
+		if u > uninst {
+			uninst = u
+		}
+		in, err := run(true)
+		if err != nil {
+			return nil, fmt.Errorf("instrumented path: %w", err)
+		}
+		if in > inst {
+			inst = in
+		}
+	}
+	overhead := 1 - inst/uninst
+	if overhead < 0 {
+		overhead = 0
+	}
+	return &Telemetry{
+		UninstrumentedAnswersPerSec: uninst,
+		InstrumentedAnswersPerSec:   inst,
+		OverheadFrac:                overhead,
+		UninstrumentedNormalized:    uninst * calibrationNs / 1e9,
+		InstrumentedNormalized:      inst * calibrationNs / 1e9,
+	}, nil
+}

@@ -1,0 +1,79 @@
+package benchjson
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func validTelemetry() *Telemetry {
+	return &Telemetry{
+		UninstrumentedAnswersPerSec: 1e5,
+		InstrumentedAnswersPerSec:   9.8e4,
+		OverheadFrac:                0.02,
+		UninstrumentedNormalized:    100,
+		InstrumentedNormalized:      98,
+	}
+}
+
+func TestValidateTelemetry(t *testing.T) {
+	// Absent is valid (pre-telemetry reports stay loadable).
+	r := validReport()
+	if err := Validate(r); err != nil {
+		t.Fatal(err)
+	}
+	r.Telemetry = validTelemetry()
+	if err := Validate(r); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*Telemetry)
+	}{
+		{"zero uninstrumented", func(tel *Telemetry) { tel.UninstrumentedAnswersPerSec = 0 }},
+		{"zero instrumented", func(tel *Telemetry) { tel.InstrumentedAnswersPerSec = 0 }},
+		{"zero normalized", func(tel *Telemetry) { tel.InstrumentedNormalized = 0 }},
+		{"negative overhead", func(tel *Telemetry) { tel.OverheadFrac = -0.1 }},
+		{"overhead of one", func(tel *Telemetry) { tel.OverheadFrac = 1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := validReport()
+			r.Telemetry = validTelemetry()
+			tc.mutate(r.Telemetry)
+			err := Validate(r)
+			if err == nil {
+				t.Fatal("Validate accepted a malformed telemetry section")
+			}
+			if !strings.Contains(err.Error(), "telemetry") {
+				t.Fatalf("error %q does not mention telemetry", err)
+			}
+		})
+	}
+}
+
+// TestMeasureTelemetrySmoke runs both modes briefly: positive
+// throughputs and an overhead fraction inside [0,1). The 3% acceptance
+// budget is gated in CI via cmd/benchjson -max-telemetry-overhead, not
+// here — a loaded test machine with a sub-second window is too noisy.
+func TestMeasureTelemetrySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives live HTTP load")
+	}
+	tel, err := MeasureTelemetry(1e6, 1, 400*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(tel.UninstrumentedAnswersPerSec > 0) || !(tel.InstrumentedAnswersPerSec > 0) {
+		t.Fatalf("non-positive measurement: %+v", tel)
+	}
+	if tel.OverheadFrac < 0 || tel.OverheadFrac >= 1 {
+		t.Fatalf("overhead fraction %v outside [0,1)", tel.OverheadFrac)
+	}
+	r := validReport()
+	r.Telemetry = tel
+	if err := Validate(r); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"truthinference/internal/api"
 	"truthinference/internal/dataset"
 	"truthinference/internal/stream"
+	"truthinference/internal/telemetry"
 )
 
 // Config parameterizes one load run.
@@ -70,6 +71,31 @@ type Result struct {
 	AnswersPerSec     float64       `json:"answers_per_sec"`
 	LastVersion       uint64        `json:"last_version"`
 	LastDurable       uint64        `json:"last_durable_version"`
+	// SingleLatency/BatchLatency summarize per-endpoint request latency
+	// (nil when that endpoint saw no completed requests).
+	SingleLatency *LatencyStats `json:"single_latency,omitempty"`
+	BatchLatency  *LatencyStats `json:"batch_latency,omitempty"`
+}
+
+// LatencyStats is one endpoint's latency summary, interpolated from a
+// fixed-bucket histogram (the same buckets the server's telemetry uses).
+type LatencyStats struct {
+	Count uint64  `json:"count"`
+	P50Ms float64 `json:"p50_ms"`
+	P95Ms float64 `json:"p95_ms"`
+	P99Ms float64 `json:"p99_ms"`
+}
+
+func latencyStats(h *telemetry.Histogram) *LatencyStats {
+	if h.Count() == 0 {
+		return nil
+	}
+	return &LatencyStats{
+		Count: h.Count(),
+		P50Ms: h.Quantile(0.50) * 1000,
+		P95Ms: h.Quantile(0.95) * 1000,
+		P99Ms: h.Quantile(0.99) * 1000,
+	}
 }
 
 // counters is the shared accumulator behind Result.
@@ -79,6 +105,7 @@ type counters struct {
 	retryAfterMissing, errs     atomic.Int64
 	lastVersion, lastDurable    atomic.Uint64
 	firstErr                    atomic.Value // string
+	singleLat, batchLat         *telemetry.Histogram
 }
 
 func (c *counters) error(err error) {
@@ -140,7 +167,10 @@ func (cfg Config) Run(ctx context.Context) (Result, error) {
 	runCtx, cancel := context.WithTimeout(ctx, cfg.Duration)
 	defer cancel()
 
-	var c counters
+	c := counters{
+		singleLat: telemetry.NewHistogram(telemetry.LatencyBuckets),
+		batchLat:  telemetry.NewHistogram(telemetry.LatencyBuckets),
+	}
 	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
@@ -172,6 +202,8 @@ func (cfg Config) Run(ctx context.Context) (Result, error) {
 		Errors:            c.errs.Load(),
 		LastVersion:       c.lastVersion.Load(),
 		LastDurable:       c.lastDurable.Load(),
+		SingleLatency:     latencyStats(c.singleLat),
+		BatchLatency:      latencyStats(c.batchLat),
 	}
 	if s, ok := c.firstErr.Load().(string); ok {
 		res.FirstError = s
@@ -203,6 +235,7 @@ func (cfg Config) doSingle(ctx context.Context, client *http.Client, prefix stri
 		NumWorkers: cfg.NumWorkers,
 	})
 	c.single.Add(1)
+	reqStart := time.Now()
 	resp, retry, err := post(ctx, client, prefix+"/ingest", "application/json", body)
 	if err != nil {
 		if ctx.Err() == nil {
@@ -210,6 +243,7 @@ func (cfg Config) doSingle(ctx context.Context, client *http.Client, prefix stri
 		}
 		return
 	}
+	c.singleLat.Observe(time.Since(reqStart).Seconds())
 	c.requests.Add(1)
 	switch {
 	case resp.status == http.StatusOK:
@@ -241,6 +275,7 @@ func (cfg Config) doBatch(ctx context.Context, client *http.Client, prefix strin
 		return
 	}
 	c.batch.Add(1)
+	reqStart := time.Now()
 	resp, retry, err := post(ctx, client, prefix+"/ingest-batch", "application/octet-stream", body)
 	if err != nil {
 		if ctx.Err() == nil {
@@ -248,6 +283,7 @@ func (cfg Config) doBatch(ctx context.Context, client *http.Client, prefix strin
 		}
 		return
 	}
+	c.batchLat.Observe(time.Since(reqStart).Seconds())
 	c.requests.Add(1)
 	switch {
 	case resp.status == http.StatusOK:

@@ -105,6 +105,11 @@ type Catalog struct {
 	// ResultVersion is the inference epoch backing any model-derived
 	// relation the query touched (0 until one is touched or none exists).
 	ResultVersion uint64
+	// Scanned counts answers copied out of the store by this catalog's
+	// scans — the query's real read cost, as opposed to the rows it
+	// returned. Read it after the query has been collected; catalogs are
+	// per-query and single-goroutine, so plain int is fine.
+	Scanned int
 }
 
 // NewCatalog pins the store and returns a catalog for one query.
@@ -173,6 +178,7 @@ func (c *Catalog) answers() Relation {
 				}
 			}
 			n, pos, doneCur = c.src.ScanShard(si, pos, c.PinAnswers, buf)
+			c.Scanned += n
 			i, haveFill = 0, true
 			if n == 0 && !doneCur {
 				// Defensive: a shard that returns no progress and claims

@@ -29,16 +29,17 @@ const (
 // 400 malformed body or view+plan confusion, 404 unknown view, 409 the
 // backing data does not exist yet (retry after an epoch), 413 oversized
 // body, 422 structurally invalid plan. ledger may be nil (no assignment
-// plane): lease/budget relations then answer 422.
-func NewHandler(src Source, ledger Ledger) http.Handler {
+// plane): lease/budget relations then answer 422. m, when non-nil,
+// counts served queries, rows scanned vs returned, and truncations.
+func NewHandler(src Source, ledger Ledger, m *Metrics) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/query", func(w http.ResponseWriter, r *http.Request) {
-		handleQuery(w, r, src, ledger)
+		handleQuery(w, r, src, ledger, m)
 	})
 	return mux
 }
 
-func handleQuery(w http.ResponseWriter, r *http.Request, src Source, ledger Ledger) {
+func handleQuery(w http.ResponseWriter, r *http.Request, src Source, ledger Ledger, m *Metrics) {
 	var req api.QueryRequest
 	if !api.DecodeJSON(w, r, api.MaxAdminBody, &req) {
 		return
@@ -83,6 +84,7 @@ func handleQuery(w http.ResponseWriter, r *http.Request, src Source, ledger Ledg
 	}
 
 	rows, truncated := Collect(rel, limit)
+	m.observe(req.View, len(rows), cat.Scanned, truncated)
 	out := make([][]float64, len(rows))
 	for i, r := range rows {
 		out[i] = r

@@ -16,7 +16,7 @@ import (
 
 func queryServer(t *testing.T, src query.Source, led query.Ledger) *httptest.Server {
 	t.Helper()
-	srv := httptest.NewServer(query.NewHandler(src, led))
+	srv := httptest.NewServer(query.NewHandler(src, led, nil))
 	t.Cleanup(srv.Close)
 	return srv
 }

@@ -1,0 +1,55 @@
+package query
+
+import (
+	"truthinference/internal/telemetry"
+)
+
+// Metrics is the query plane's instrument bundle, bound to one tenant
+// at construction. The view label stays dynamic (canned view names plus
+// "plan" for ad-hoc operator trees — bounded cardinality either way). A
+// nil *Metrics is inert.
+type Metrics struct {
+	tenant       string
+	queries      *telemetry.CounterVec // tenant, view
+	rowsReturned *telemetry.Counter
+	rowsScanned  *telemetry.Counter
+	truncated    *telemetry.Counter
+}
+
+// NewMetrics registers the query instruments on reg with a per-tenant
+// label. Returns nil — an inert bundle — for a nil registry.
+func NewMetrics(reg *telemetry.Registry, tenant string) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		tenant: tenant,
+		queries: reg.Counter("truthserve_query_total",
+			"Queries answered, by tenant and view (\"plan\" for ad-hoc plans).",
+			"tenant", "view"),
+		rowsReturned: reg.Counter("truthserve_query_rows_returned_total",
+			"Rows returned to query clients, by tenant.",
+			"tenant").With(tenant),
+		rowsScanned: reg.Counter("truthserve_query_rows_scanned_total",
+			"Answers scanned out of the store to serve queries, by tenant.",
+			"tenant").With(tenant),
+		truncated: reg.Counter("truthserve_query_truncated_total",
+			"Queries cut short by the row limit, by tenant.",
+			"tenant").With(tenant),
+	}
+}
+
+func (m *Metrics) observe(view string, returned, scanned int, truncated bool) {
+	if m == nil {
+		return
+	}
+	if view == "" {
+		view = "plan"
+	}
+	m.queries.With(m.tenant, view).Inc()
+	m.rowsReturned.Add(uint64(returned))
+	m.rowsScanned.Add(uint64(scanned))
+	if truncated {
+		m.truncated.Inc()
+	}
+}

@@ -97,6 +97,7 @@ func (s *Service) admit(w http.ResponseWriter, n int) (release func(), ok bool) 
 			reserved := s.quotaReserved.Load()
 			_, _, answers := s.store.Dims()
 			if answers+int(reserved)+n > q {
+				s.cfg.Metrics.observeShed(n, true)
 				api.RateLimited(w, QuotaRetryAfter,
 					fmt.Errorf("%w: %d stored + %d in flight + %d incoming exceeds the %d-answer quota",
 						ErrQuotaExceeded, answers, reserved, n, q))
@@ -107,13 +108,19 @@ func (s *Service) admit(w http.ResponseWriter, n int) (release func(), ok bool) 
 			}
 		}
 		m := int64(n)
-		release = func() { s.quotaReserved.Add(-m) }
+		s.cfg.Metrics.quotaReserve(m)
+		release = func() {
+			s.quotaReserved.Add(-m)
+			s.cfg.Metrics.quotaReserve(-m)
+		}
 	}
 	if wait, limOK := s.limiter.Admit(n); !limOK {
 		release()
+		s.cfg.Metrics.observeShed(n, false)
 		api.RateLimited(w, wait, ErrRateLimited)
 		return nil, false
 	}
+	s.cfg.Metrics.observeAdmitted(n)
 	return release, true
 }
 

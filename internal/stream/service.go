@@ -52,6 +52,10 @@ type Config struct {
 	// zero value admits everything. Direct Ingest calls bypass it: WAL
 	// replay and in-process pipelines are not tenant traffic.
 	Limits Limits
+	// Metrics, when non-nil, receives admission, epoch, and incremental
+	// fold observations (see NewMetrics). Nil disables instrumentation
+	// at the cost of one branch per event.
+	Metrics *Metrics
 }
 
 // Persister is the durability hook a Service drives: Record appends one
@@ -207,6 +211,7 @@ func (s *Service) Ingest(b Batch) (uint64, error) {
 		s.inc.apply(b.Answers, tasks, s.store.TaskValues)
 		s.incVersion = version
 		s.mu.Unlock()
+		s.cfg.Metrics.observeFolded(len(b.Answers))
 	}
 	if s.cfg.Persist != nil {
 		// Recorded under ingestMu so WAL order always matches version
@@ -358,6 +363,7 @@ func (s *Service) refreshLocked() error {
 		return fmt.Errorf("stream: %s epoch failed: %w", s.method.Name(), err)
 	}
 	elapsed := time.Since(start)
+	s.cfg.Metrics.observeEpoch(elapsed, opts.WarmStart != nil)
 
 	s.mu.Lock()
 	if s.res != nil {

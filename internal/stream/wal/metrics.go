@@ -1,0 +1,56 @@
+package wal
+
+import (
+	"time"
+
+	"truthinference/internal/telemetry"
+)
+
+// Metrics is the persister's instrument bundle, bound to one tenant at
+// construction. A nil *Metrics is inert — every observer no-ops — so
+// uninstrumented persisters (tests, recovery tooling) pay one branch.
+type Metrics struct {
+	fsyncSeconds *telemetry.Histogram
+	batchSize    *telemetry.Histogram
+	records      *telemetry.Counter
+	durableLag   *telemetry.Gauge
+}
+
+// NewMetrics registers the WAL instruments on reg with a per-tenant
+// label. Returns nil — an inert bundle — for a nil registry.
+func NewMetrics(reg *telemetry.Registry, tenant string) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		fsyncSeconds: reg.Histogram("truthserve_wal_fsync_seconds",
+			"Group-commit fsync latency in seconds, by tenant.",
+			telemetry.FsyncBuckets, "tenant").With(tenant),
+		batchSize: reg.Histogram("truthserve_wal_group_commit_batch",
+			"Store versions made durable per group-commit fsync, by tenant.",
+			telemetry.BatchSizeBuckets, "tenant").With(tenant),
+		records: reg.Counter("truthserve_wal_records_total",
+			"Batches appended to the write-ahead log, by tenant.",
+			"tenant").With(tenant),
+		durableLag: reg.Gauge("truthserve_wal_durable_lag",
+			"Store versions appended to the log but not yet fsynced, by tenant.",
+			"tenant").With(tenant),
+	}
+}
+
+func (m *Metrics) observeRecord(lag uint64) {
+	if m == nil {
+		return
+	}
+	m.records.Inc()
+	m.durableLag.Set(float64(lag))
+}
+
+func (m *Metrics) observeFsync(d time.Duration, batch, lag uint64) {
+	if m == nil {
+		return
+	}
+	m.fsyncSeconds.Observe(d.Seconds())
+	m.batchSize.Observe(float64(batch))
+	m.durableLag.Set(float64(lag))
+}

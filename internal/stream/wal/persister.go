@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"truthinference/internal/stream"
 )
@@ -24,6 +25,9 @@ type Options struct {
 	// (0 = stream.DefaultShards). Shard count never affects recovered
 	// state, only contention.
 	Shards int
+	// Metrics, when non-nil, receives append/fsync observations (see
+	// NewMetrics). Nil disables instrumentation.
+	Metrics *Metrics
 }
 
 // Recovery describes what Open found on disk.
@@ -82,6 +86,7 @@ type Persister struct {
 	pending    []pendingRec
 	compactErr error // last failed compaction; retried on a later Record, surfaced by Sync
 	closed     bool
+	m          *Metrics // nil-safe instrument bundle (see metrics.go)
 
 	// syncMu serializes fsyncs: the group-commit leader lock. Ordered
 	// after p.mu is released — never held together with it.
@@ -185,7 +190,7 @@ func Open(base string, fresh func() (*stream.Store, error), opts Options) (*Pers
 		return nil, nil, statErr
 	}
 
-	p := &Persister{store: rec.Store, log: log, base: base, every: opts.SnapshotEvery}
+	p := &Persister{store: rec.Store, log: log, base: base, every: opts.SnapshotEvery, m: opts.Metrics}
 	p.idle.L = &p.mu
 	// Everything recovered came off stable storage: the recovered version
 	// is both the last appended and the durable watermark.
@@ -215,6 +220,7 @@ func (p *Persister) Record(version uint64, b stream.Batch) error {
 	}
 	p.appended = version
 	p.since++
+	p.m.observeRecord(version - p.durable.Load())
 	if p.every > 0 && p.since >= p.every && !p.compacting {
 		p.compacting = true
 		go p.compactAsync()
@@ -268,6 +274,8 @@ func (p *Persister) SyncTo(version uint64) error {
 	if version > target {
 		return fmt.Errorf("wal: SyncTo(%d) beyond last recorded version %d", version, target)
 	}
+	durableBefore := p.durable.Load()
+	start := time.Now()
 	if err := log.Sync(); err != nil {
 		if errors.Is(err, os.ErrClosed) {
 			// A concurrent compaction swapped the log out from under us.
@@ -281,6 +289,12 @@ func (p *Persister) SyncTo(version uint64) error {
 		return err
 	}
 	p.advanceDurable(target)
+	if target > durableBefore {
+		// The group-commit batch is how many store versions this one
+		// fsync made durable — every waiter queued behind this leader
+		// returns on the watermark fast path without touching the disk.
+		p.m.observeFsync(time.Since(start), target-durableBefore, 0)
+	}
 	return nil
 }
 

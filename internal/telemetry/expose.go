@@ -1,0 +1,167 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Prometheus text exposition format version served
+// by Handler.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Expose renders every registered family in Prometheus text format
+// v0.0.4: families sorted by name, series sorted by label tuple, with
+// # HELP / # TYPE headers and cumulative histogram buckets.
+func (r *Registry) Expose() string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	names := append([]string(nil), r.names...)
+	fams := make([]*family, 0, len(names))
+	for _, n := range names {
+		fams = append(fams, r.families[n])
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		f.expose(&b)
+	}
+	return b.String()
+}
+
+// Handler serves the scrape at any path it is mounted on (conventionally
+// GET /metrics).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		_, _ = w.Write([]byte(r.Expose()))
+	})
+}
+
+func (f *family) expose(b *strings.Builder) {
+	f.mu.RLock()
+	keys := append([]string(nil), f.keys...)
+	series := make([]any, len(keys))
+	for i, k := range keys {
+		series[i] = f.series[k]
+	}
+	f.mu.RUnlock()
+	if len(series) == 0 {
+		return
+	}
+
+	fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.kind)
+	for i, s := range series {
+		values := splitKey(keys[i], len(f.labels))
+		switch m := s.(type) {
+		case *Counter:
+			b.WriteString(f.name)
+			writeLabels(b, f.labels, values, "", "")
+			b.WriteByte(' ')
+			b.WriteString(strconv.FormatUint(m.Value(), 10))
+			b.WriteByte('\n')
+		case *Gauge:
+			b.WriteString(f.name)
+			writeLabels(b, f.labels, values, "", "")
+			b.WriteByte(' ')
+			b.WriteString(formatFloat(m.Value()))
+			b.WriteByte('\n')
+		case *Histogram:
+			var cum uint64
+			for j := range m.counts {
+				cum += m.counts[j].Load()
+				le := "+Inf"
+				if j < len(m.upper) {
+					le = formatFloat(m.upper[j])
+				}
+				b.WriteString(f.name)
+				b.WriteString("_bucket")
+				writeLabels(b, f.labels, values, "le", le)
+				b.WriteByte(' ')
+				b.WriteString(strconv.FormatUint(cum, 10))
+				b.WriteByte('\n')
+			}
+			b.WriteString(f.name)
+			b.WriteString("_sum")
+			writeLabels(b, f.labels, values, "", "")
+			b.WriteByte(' ')
+			b.WriteString(formatFloat(m.Sum()))
+			b.WriteByte('\n')
+			b.WriteString(f.name)
+			b.WriteString("_count")
+			writeLabels(b, f.labels, values, "", "")
+			b.WriteByte(' ')
+			b.WriteString(strconv.FormatUint(m.Count(), 10))
+			b.WriteByte('\n')
+		}
+	}
+}
+
+// splitKey reverses seriesKey for n label values, padding with empty
+// strings when trailing values were empty.
+func splitKey(key string, n int) []string {
+	if n == 0 {
+		return nil
+	}
+	parts := strings.SplitN(key, "\x1f", n)
+	for len(parts) < n {
+		parts = append(parts, "")
+	}
+	return parts
+}
+
+// writeLabels renders {a="x",b="y"}; extraName/extraValue append the
+// histogram le label. Emits nothing for zero labels and no extra.
+func writeLabels(b *strings.Builder, names, values []string, extraName, extraValue string) {
+	if len(names) == 0 && extraName == "" {
+		return
+	}
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(extraValue))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }
+
+// formatFloat renders a sample value the way Prometheus clients do:
+// shortest round-trip representation, with +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,113 @@
+package telemetry
+
+import (
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestGoldenScrape pins the full exposition of a populated registry:
+// family ordering, series ordering, HELP/TYPE lines, cumulative
+// histogram buckets, and value formatting.
+func TestGoldenScrape(t *testing.T) {
+	r := NewRegistry()
+	ing := r.Counter("ts_ingest_total", "Answers ingested.", "tenant")
+	ing.With("beta").Add(7)
+	ing.With("alpha").Add(3)
+	r.Gauge("ts_ready", "1 once recovery completed.").With().Set(1)
+	h := r.Histogram("ts_fsync_seconds", "Fsync latency.", []float64{0.001, 0.01}, "tenant")
+	h.With("alpha").Observe(0.0005)
+	h.With("alpha").Observe(0.002)
+	h.With("alpha").Observe(5) // +Inf bucket
+
+	want := strings.Join([]string{
+		`# HELP ts_fsync_seconds Fsync latency.`,
+		`# TYPE ts_fsync_seconds histogram`,
+		`ts_fsync_seconds_bucket{tenant="alpha",le="0.001"} 1`,
+		`ts_fsync_seconds_bucket{tenant="alpha",le="0.01"} 2`,
+		`ts_fsync_seconds_bucket{tenant="alpha",le="+Inf"} 3`,
+		`ts_fsync_seconds_sum{tenant="alpha"} 5.0025`,
+		`ts_fsync_seconds_count{tenant="alpha"} 3`,
+		`# HELP ts_ingest_total Answers ingested.`,
+		`# TYPE ts_ingest_total counter`,
+		`ts_ingest_total{tenant="alpha"} 3`,
+		`ts_ingest_total{tenant="beta"} 7`,
+		`# HELP ts_ready 1 once recovery completed.`,
+		`# TYPE ts_ready gauge`,
+		`ts_ready 1`,
+	}, "\n") + "\n"
+
+	if got := r.Expose(); got != want {
+		t.Fatalf("scrape mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m_total", `help with \ backslash`+"\nand newline", "name").
+		With(`quo"te\slash` + "\nnewline").Inc()
+	got := r.Expose()
+	wantHelp := `# HELP m_total help with \\ backslash\nand newline`
+	wantSeries := `m_total{name="quo\"te\\slash\nnewline"} 1`
+	for _, want := range []string{wantHelp, wantSeries} {
+		if !strings.Contains(got, want+"\n") {
+			t.Errorf("scrape missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestHistogramBucketMonotonicity feeds a histogram adversarial values
+// (bucket boundaries, +Inf landers, negatives) and checks the exposed
+// cumulative bucket counts never decrease and end at the series count.
+func TestHistogramBucketMonotonicity(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", "help", LatencyBuckets).With()
+	values := []float64{-1, 0, 0.0001, 0.00011, 0.001, 0.0025, 0.5, 1, 9.999, 10, 11, 1e6}
+	for _, v := range values {
+		h.Observe(v)
+	}
+	var prev uint64
+	buckets := 0
+	for _, line := range strings.Split(r.Expose(), "\n") {
+		if !strings.HasPrefix(line, "h_seconds_bucket{") {
+			continue
+		}
+		buckets++
+		n, err := strconv.ParseUint(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("bad bucket line %q: %v", line, err)
+		}
+		if n < prev {
+			t.Fatalf("cumulative count went backwards at %q (prev %d)", line, prev)
+		}
+		prev = n
+	}
+	if buckets != len(LatencyBuckets)+1 {
+		t.Fatalf("exposed %d buckets, want %d (+Inf included)", buckets, len(LatencyBuckets)+1)
+	}
+	if prev != uint64(len(values)) {
+		t.Fatalf("+Inf bucket = %d, want the full count %d", prev, len(values))
+	}
+}
+
+func TestHandlerServesScrape(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("up_total", "help").With().Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != ContentType {
+		t.Fatalf("content type = %q, want %q", ct, ContentType)
+	}
+	if !strings.Contains(rec.Body.String(), "up_total 1") {
+		t.Fatalf("scrape body missing series:\n%s", rec.Body.String())
+	}
+}
+
+func TestEmptyFamiliesAreOmitted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("never_used_total", "help", "tenant") // registered, no series
+	if got := r.Expose(); got != "" {
+		t.Fatalf("series-less family leaked into the scrape:\n%s", got)
+	}
+}

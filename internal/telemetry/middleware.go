@@ -1,0 +1,200 @@
+package telemetry
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// RequestIDHeader is the header the middleware accepts from clients and
+// echoes on every response. The internal/api error envelope copies it
+// into the request_id field.
+const RequestIDHeader = "X-Request-ID"
+
+// maxRequestIDLen bounds accepted client-supplied IDs so a hostile
+// header cannot bloat logs or metrics.
+const maxRequestIDLen = 128
+
+type ctxKey int
+
+const requestIDKey ctxKey = 0
+
+// WithRequestID returns a context carrying the request ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey, id)
+}
+
+// RequestID extracts the request ID from ctx, or "" if none was stamped.
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+var ridFallback atomic.Uint64
+
+// newRequestID mints a 16-hex-char random ID, falling back to a process
+// counter if the system randomness source fails.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		var c [8]byte
+		n := ridFallback.Add(1)
+		for i := range c {
+			c[i] = byte(n >> (8 * i))
+		}
+		b = c
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// validRequestID accepts printable ASCII without spaces, bounded in
+// length — anything else is replaced with a minted ID.
+func validRequestID(id string) bool {
+	if id == "" || len(id) > maxRequestIDLen {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		if id[i] <= ' ' || id[i] >= 0x7f {
+			return false
+		}
+	}
+	return true
+}
+
+// HTTPMetrics is the per-request instrument pair recorded by Middleware.
+type HTTPMetrics struct {
+	requests *CounterVec   // route, method, status, tenant
+	duration *HistogramVec // route, tenant
+}
+
+// NewHTTPMetrics registers the request counter and latency histogram
+// under the given name prefix (e.g. "truthserve"). Returns nil for a
+// nil registry.
+func NewHTTPMetrics(r *Registry, prefix string) *HTTPMetrics {
+	if r == nil {
+		return nil
+	}
+	return &HTTPMetrics{
+		requests: r.Counter(prefix+"_http_requests_total",
+			"HTTP requests served, by route, method, status, and tenant.",
+			"route", "method", "status", "tenant"),
+		duration: r.Histogram(prefix+"_http_request_seconds",
+			"HTTP request latency in seconds, by route and tenant.",
+			LatencyBuckets, "route", "tenant"),
+	}
+}
+
+// RouteFunc classifies a request into a bounded-cardinality route label
+// and a tenant label ("" when the request is not tenant-scoped).
+type RouteFunc func(*http.Request) (route, tenant string)
+
+// statusWriter records the status code written by the wrapped handler.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Middleware stamps every request with a request ID (accepting a valid
+// client-supplied X-Request-ID or minting one), echoes it in the
+// response headers and context, records count/latency/status per route
+// and tenant, and logs requests slower than slow (0 disables the slow
+// log). Any of m and logger may be nil; routeOf nil falls back to the
+// raw URL path as the route label (fine for tests, unbounded for
+// production).
+func Middleware(next http.Handler, m *HTTPMetrics, logger *slog.Logger, slow time.Duration, routeOf RouteFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(RequestIDHeader)
+		if !validRequestID(id) {
+			id = newRequestID()
+		}
+		// Set the response header before the handler runs so error
+		// writers (internal/api.Error) can echo it into the envelope.
+		w.Header().Set(RequestIDHeader, id)
+		r = r.WithContext(WithRequestID(r.Context(), id))
+
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		elapsed := time.Since(start)
+
+		route, tenant := r.URL.Path, ""
+		if routeOf != nil {
+			route, tenant = routeOf(r)
+		}
+		if m != nil {
+			m.requests.With(route, r.Method, statusText(sw.status), tenant).Inc()
+			m.duration.With(route, tenant).Observe(elapsed.Seconds())
+		}
+		if logger != nil && slow > 0 && elapsed >= slow {
+			logger.Warn("slow request",
+				"request_id", id,
+				"method", r.Method,
+				"route", route,
+				"tenant", tenant,
+				"status", sw.status,
+				"elapsed", elapsed)
+		}
+	})
+}
+
+// statusText renders a status code label without an allocation for the
+// common codes.
+func statusText(code int) string {
+	switch code {
+	case 200:
+		return "200"
+	case 201:
+		return "201"
+	case 202:
+		return "202"
+	case 204:
+		return "204"
+	case 400:
+		return "400"
+	case 404:
+		return "404"
+	case 409:
+		return "409"
+	case 413:
+		return "413"
+	case 429:
+		return "429"
+	case 500:
+		return "500"
+	case 503:
+		return "503"
+	}
+	return itoa(code)
+}
+
+func itoa(n int) string {
+	if n < 0 {
+		n = 0
+	}
+	var buf [8]byte
+	i := len(buf)
+	for {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+		if n == 0 {
+			break
+		}
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,131 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"truthinference/internal/api"
+)
+
+func TestMiddlewareMintsRequestID(t *testing.T) {
+	var seen string
+	h := Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen = RequestID(r.Context())
+	}), nil, nil, 0, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/stats", nil))
+	echoed := rec.Header().Get(RequestIDHeader)
+	if echoed == "" || echoed != seen {
+		t.Fatalf("minted ID not propagated: header %q, context %q", echoed, seen)
+	}
+	if !regexp.MustCompile(`^[0-9a-f]{16}$`).MatchString(echoed) {
+		t.Fatalf("minted ID %q is not 16 hex chars", echoed)
+	}
+}
+
+func TestMiddlewareAcceptsClientRequestID(t *testing.T) {
+	h := Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}),
+		nil, nil, 0, nil)
+	req := httptest.NewRequest("GET", "/", nil)
+	req.Header.Set(RequestIDHeader, "client-supplied-42")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if got := rec.Header().Get(RequestIDHeader); got != "client-supplied-42" {
+		t.Fatalf("client ID not echoed: %q", got)
+	}
+
+	// Hostile IDs (control bytes, oversized) are replaced, not echoed.
+	for _, bad := range []string{"has space", "ctrl\x01byte", strings.Repeat("x", 200)} {
+		req := httptest.NewRequest("GET", "/", nil)
+		req.Header.Set(RequestIDHeader, bad)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if got := rec.Header().Get(RequestIDHeader); got == bad || got == "" {
+			t.Fatalf("hostile ID %q survived as %q", bad, got)
+		}
+	}
+}
+
+// TestRequestIDReachesErrorEnvelope is the middleware/api contract: a
+// handler failing through api.Error inside the middleware produces an
+// envelope whose request_id matches the response header.
+func TestRequestIDReachesErrorEnvelope(t *testing.T) {
+	h := Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		api.Error(w, http.StatusNotFound, errors.New("no such project"))
+	}), nil, nil, 0, nil)
+	req := httptest.NewRequest("GET", "/v1/projects/nope/stats", nil)
+	req.Header.Set(RequestIDHeader, "trace-me-7")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+
+	var env api.ErrorEnvelope
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+		t.Fatalf("decode envelope: %v", err)
+	}
+	if env.Error.RequestID != "trace-me-7" {
+		t.Fatalf("envelope request_id = %q, want trace-me-7", env.Error.RequestID)
+	}
+	if env.Error.Code != api.CodeNotFound {
+		t.Fatalf("envelope code = %q, want not_found", env.Error.Code)
+	}
+}
+
+func TestMiddlewareRecordsMetrics(t *testing.T) {
+	reg := NewRegistry()
+	m := NewHTTPMetrics(reg, "ts")
+	routeOf := func(r *http.Request) (string, string) { return "/v1/ingest", "alpha" }
+	h := Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTooManyRequests)
+	}), m, nil, 0, routeOf)
+	for i := 0; i < 3; i++ {
+		h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("POST", "/v1/ingest", nil))
+	}
+	scrape := reg.Expose()
+	want := `ts_http_requests_total{route="/v1/ingest",method="POST",status="429",tenant="alpha"} 3`
+	if !strings.Contains(scrape, want+"\n") {
+		t.Fatalf("scrape missing %q:\n%s", want, scrape)
+	}
+	if !strings.Contains(scrape, `ts_http_request_seconds_count{route="/v1/ingest",tenant="alpha"} 3`) {
+		t.Fatalf("latency histogram not recorded:\n%s", scrape)
+	}
+}
+
+func TestMiddlewareSlowRequestLog(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+	slow := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(5 * time.Millisecond)
+	})
+	h := Middleware(slow, nil, logger, time.Millisecond, nil)
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/v1/stats", nil))
+	if !strings.Contains(buf.String(), "slow request") {
+		t.Fatalf("no slow-request log line:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "request_id=") {
+		t.Fatalf("slow-request log missing request_id:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	fast := Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}),
+		nil, logger, time.Second, nil)
+	fast.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+	if buf.Len() != 0 {
+		t.Fatalf("fast request logged as slow:\n%s", buf.String())
+	}
+}
+
+func TestStatusText(t *testing.T) {
+	for code, want := range map[int]string{200: "200", 429: "429", 503: "503", 418: "418", 999: "999"} {
+		if got := statusText(code); got != want {
+			t.Fatalf("statusText(%d) = %q, want %q", code, got, want)
+		}
+	}
+}

@@ -1,0 +1,415 @@
+// Package telemetry is the daemon's dependency-free observability core:
+// atomic counters, gauges, and fixed-bucket latency histograms organized
+// into a Registry keyed by metric name + label values, exposed in
+// Prometheus text format (see expose.go) and fed by the HTTP middleware
+// (see middleware.go).
+//
+// The package is deliberately not named metrics: internal/metrics holds
+// the paper's inference-quality metrics (accuracy/F1/MAE/RMSE), while
+// this package holds operational telemetry about the serving stack.
+//
+// All instruments are nil-safe: calling Inc/Add/Set/Observe on a nil
+// instrument is a no-op, so uninstrumented construction paths (tests,
+// benchmarks measuring the uninstrumented baseline) simply pass nil and
+// pay a single predictable branch.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind discriminates the metric families a Registry can hold.
+type Kind int
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one. Safe on a nil receiver.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n events. Safe on a nil receiver.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value reads the current count. Safe on a nil receiver.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous float64 value that can move both ways.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the value. Safe on a nil receiver.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add moves the value by delta (negative deltas decrement). Safe on a
+// nil receiver.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value reads the current value. Safe on a nil receiver.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket distribution with cumulative Prometheus
+// semantics: bucket i counts observations <= upper[i], plus an implicit
+// +Inf bucket. Observations and scrapes are lock-free.
+type Histogram struct {
+	upper   []float64 // ascending strict upper bounds; +Inf is implicit
+	counts  []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// LatencyBuckets spans 100µs to 10s — the serving-path range from a
+// cached in-memory hit to a badly stalled fsync.
+var LatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// FsyncBuckets spans 10µs to 2.5s: group-commit fsyncs sit in the
+// hundreds of microseconds on NVMe and tens of milliseconds on cloud
+// block storage.
+var FsyncBuckets = []float64{
+	0.00001, 0.000025, 0.00005, 0.0001, 0.00025, 0.0005,
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// BatchSizeBuckets counts items per group commit (powers of two).
+var BatchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
+// NewHistogram builds a standalone histogram (not registered anywhere)
+// over the given ascending bucket upper bounds. Useful for callers like
+// cmd/loadgen that want quantiles without exposition. Panics if buckets
+// is empty or not strictly ascending.
+func NewHistogram(buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		panic("telemetry: histogram needs at least one bucket")
+	}
+	for i := 1; i < len(buckets); i++ {
+		if !(buckets[i] > buckets[i-1]) {
+			panic("telemetry: histogram buckets must be strictly ascending")
+		}
+	}
+	upper := make([]float64, len(buckets))
+	copy(upper, buckets)
+	return &Histogram{
+		upper:  upper,
+		counts: make([]atomic.Uint64, len(upper)+1),
+	}
+}
+
+// Observe records one value. Safe on a nil receiver.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Binary search for the first bucket whose upper bound admits v;
+	// sort.SearchFloat64s finds the leftmost i with upper[i] >= v.
+	i := sort.SearchFloat64s(h.upper, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count reads the total number of observations. Safe on a nil receiver.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum reads the running total of observed values. Safe on a nil receiver.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear
+// interpolation inside the bucket holding the target rank, the same
+// estimator Prometheus' histogram_quantile uses. Returns 0 when the
+// histogram is empty or nil. Values landing in the +Inf bucket clamp to
+// the highest finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if n == 0 {
+			continue
+		}
+		prev := cum
+		cum += n
+		if float64(cum) < rank {
+			continue
+		}
+		if i == len(h.upper) { // +Inf bucket: clamp to last finite bound
+			return h.upper[len(h.upper)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.upper[i-1]
+		}
+		hi := h.upper[i]
+		frac := (rank - float64(prev)) / float64(n)
+		if frac < 0 {
+			frac = 0
+		} else if frac > 1 {
+			frac = 1
+		}
+		return lo + (hi-lo)*frac
+	}
+	return h.upper[len(h.upper)-1]
+}
+
+// family is one named metric with a fixed kind, help string, label
+// schema, and a series per distinct label-value tuple.
+type family struct {
+	name    string
+	help    string
+	kind    Kind
+	labels  []string
+	buckets []float64 // histograms only
+
+	mu     sync.RWMutex
+	series map[string]any // label-tuple key -> *Counter | *Gauge | *Histogram
+	keys   []string       // sorted view rebuilt on insert, for stable scrapes
+}
+
+// seriesKey joins label values with unit separators — a byte that cannot
+// survive in practical label values, so distinct tuples never collide.
+func seriesKey(values []string) string {
+	switch len(values) {
+	case 0:
+		return ""
+	case 1:
+		return values[0]
+	}
+	n := len(values) - 1
+	for _, v := range values {
+		n += len(v)
+	}
+	b := make([]byte, 0, n)
+	for i, v := range values {
+		if i > 0 {
+			b = append(b, 0x1f)
+		}
+		b = append(b, v...)
+	}
+	return string(b)
+}
+
+func (f *family) get(values []string, mk func() any) any {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("telemetry: metric %s wants %d label values, got %d",
+			f.name, len(f.labels), len(values)))
+	}
+	key := seriesKey(values)
+	f.mu.RLock()
+	s, ok := f.series[key]
+	f.mu.RUnlock()
+	if ok {
+		return s
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[key]; ok {
+		return s
+	}
+	s = mk()
+	f.series[key] = s
+	f.keys = append(f.keys, key)
+	sort.Strings(f.keys)
+	return s
+}
+
+// CounterVec is a counter family; With binds label values to one series.
+type CounterVec struct{ f *family }
+
+// GaugeVec is a gauge family; With binds label values to one series.
+type GaugeVec struct{ f *family }
+
+// HistogramVec is a histogram family; With binds label values to one
+// series.
+type HistogramVec struct{ f *family }
+
+// With returns the counter for the given label values, creating it on
+// first use. Safe on a nil receiver (returns a nil, no-op Counter).
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	return v.f.get(values, func() any { return &Counter{} }).(*Counter)
+}
+
+// With returns the gauge for the given label values, creating it on
+// first use. Safe on a nil receiver (returns a nil, no-op Gauge).
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	return v.f.get(values, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// With returns the histogram for the given label values, creating it on
+// first use. Safe on a nil receiver (returns a nil, no-op Histogram).
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	f := v.f
+	return f.get(values, func() any { return NewHistogram(f.buckets) }).(*Histogram)
+}
+
+// Registry holds metric families and renders them as a Prometheus text
+// scrape. The zero value is not usable; call NewRegistry. A nil
+// *Registry is accepted by the NewXxxMetrics constructors across the
+// repo and yields nil (no-op) instrument bundles.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	names    []string // sorted view rebuilt on insert
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+func (r *Registry) family(name, help string, kind Kind, buckets []float64, labels []string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind {
+			panic(fmt.Sprintf("telemetry: metric %s redefined as %s (was %s)", name, kind, f.kind))
+		}
+		if len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("telemetry: metric %s redefined with %d labels (was %d)", name, len(labels), len(f.labels)))
+		}
+		for i := range labels {
+			if f.labels[i] != labels[i] {
+				panic(fmt.Sprintf("telemetry: metric %s redefined with label %q (was %q)", name, labels[i], f.labels[i]))
+			}
+		}
+		return f
+	}
+	f := &family{
+		name:    name,
+		help:    help,
+		kind:    kind,
+		labels:  append([]string(nil), labels...),
+		buckets: buckets,
+		series:  map[string]any{},
+	}
+	if kind == KindHistogram {
+		// Validate eagerly so a bad bucket spec fails at registration,
+		// not at the first Observe.
+		NewHistogram(buckets)
+	}
+	r.families[name] = f
+	r.names = append(r.names, name)
+	sort.Strings(r.names)
+	return f
+}
+
+// Counter registers (or fetches) a counter family. Get-or-create: a
+// second call with the same name and label schema returns the same
+// family, so per-tenant bundles can share one registry. Safe on a nil
+// receiver (returns nil).
+func (r *Registry) Counter(name, help string, labels ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{f: r.family(name, help, KindCounter, nil, labels)}
+}
+
+// Gauge registers (or fetches) a gauge family. Safe on a nil receiver.
+func (r *Registry) Gauge(name, help string, labels ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	return &GaugeVec{f: r.family(name, help, KindGauge, nil, labels)}
+}
+
+// Histogram registers (or fetches) a histogram family over the given
+// bucket upper bounds. Safe on a nil receiver.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	return &HistogramVec{f: r.family(name, help, KindHistogram, buckets, labels)}
+}

@@ -1,0 +1,159 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "help", "tenant").With("a")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("c_total", "help", "tenant").With("a"); again.Value() != 5 {
+		t.Fatalf("get-or-create returned a fresh series: %d", again.Value())
+	}
+	if other := r.Counter("c_total", "help", "tenant").With("b"); other.Value() != 0 {
+		t.Fatalf("distinct label tuple shared state: %d", other.Value())
+	}
+
+	g := r.Gauge("g", "help").With()
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+}
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var (
+		c *Counter
+		g *Gauge
+		h *Histogram
+		r *Registry
+	)
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+	if r.Counter("x", "").With("v") != nil {
+		t.Fatal("nil registry must yield nil instruments")
+	}
+	if r.Gauge("x", "").With() != nil || r.Histogram("x", "", LatencyBuckets).With() != nil {
+		t.Fatal("nil registry must yield nil instruments")
+	}
+	if r.Expose() != "" {
+		t.Fatal("nil registry must expose nothing")
+	}
+}
+
+func TestHistogramObserveAndQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8})
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i%8) + 0.5) // uniform over [0.5, 7.5]
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d, want 100", h.Count())
+	}
+	wantSum := 0.0
+	for i := 0; i < 100; i++ {
+		wantSum += float64(i%8) + 0.5
+	}
+	if math.Abs(h.Sum()-wantSum) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", h.Sum(), wantSum)
+	}
+	// Median of a uniform [0.5, 7.5] sample sits near 4; the bucket
+	// estimator must land inside the (2, 4] bucket.
+	p50 := h.Quantile(0.5)
+	if p50 <= 2 || p50 > 4 {
+		t.Fatalf("p50 = %v, want in (2, 4]", p50)
+	}
+	if q := h.Quantile(1); q != 8 {
+		t.Fatalf("p100 = %v, want 8 (top finite bound)", q)
+	}
+	// Values beyond every bound land in +Inf and clamp to the top
+	// finite bound.
+	h2 := NewHistogram([]float64{1})
+	h2.Observe(100)
+	if q := h2.Quantile(0.99); q != 1 {
+		t.Fatalf("+Inf quantile = %v, want clamp to 1", q)
+	}
+}
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	h := NewHistogram(LatencyBuckets)
+	if q := h.Quantile(0.5); q != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", q)
+	}
+}
+
+func TestRegistryRedefinitionPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m_total", "help", "tenant")
+	for name, fn := range map[string]func(){
+		"kind":   func() { r.Gauge("m_total", "help", "tenant") },
+		"arity":  func() { r.Counter("m_total", "help", "tenant", "route") },
+		"labels": func() { r.Counter("m_total", "help", "route") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s mismatch did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestWrongLabelArityPanics(t *testing.T) {
+	r := NewRegistry()
+	v := r.Counter("m_total", "help", "tenant")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("With() with wrong arity did not panic")
+		}
+	}()
+	v.With("a", "b")
+}
+
+func TestConcurrentObservations(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "help", "tenant")
+	h := r.Histogram("h_seconds", "help", LatencyBuckets, "tenant")
+	g := r.Gauge("g", "help", "tenant")
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tenant := string(rune('a' + w%2))
+			for i := 0; i < per; i++ {
+				c.With(tenant).Inc()
+				h.With(tenant).Observe(0.001)
+				g.With(tenant).Add(1)
+				_ = r.Expose() // scrapes race against writes
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := c.With("a").Value() + c.With("b").Value()
+	if total != workers*per {
+		t.Fatalf("counter total = %d, want %d", total, workers*per)
+	}
+	if got := h.With("a").Count() + h.With("b").Count(); got != workers*per {
+		t.Fatalf("histogram count = %d, want %d", got, workers*per)
+	}
+	if got := g.With("a").Value() + g.With("b").Value(); got != workers*per {
+		t.Fatalf("gauge total = %v, want %d", got, workers*per)
+	}
+}

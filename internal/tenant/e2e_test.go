@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"truthinference/internal/assign"
+	"truthinference/internal/testutil"
 )
 
 // TestTwoProjectsConcurrentIsolationAndRecovery is the multi-tenant
@@ -19,7 +20,7 @@ import (
 // recover their WAL namespaces to bit-identical stores.
 func TestTwoProjectsConcurrentIsolationAndRecovery(t *testing.T) {
 	root := t.TempDir()
-	reg := NewRegistry(root, t.Logf)
+	reg := NewRegistry(root, testutil.Logger(t))
 	if err := reg.Bootstrap(Config{Method: "MV", Seed: 1}); err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +174,7 @@ func TestTwoProjectsConcurrentIsolationAndRecovery(t *testing.T) {
 		t.Fatalf("drain: %v", err)
 	}
 
-	reg2 := NewRegistry(root, t.Logf)
+	reg2 := NewRegistry(root, testutil.Logger(t))
 	defer reg2.Close()
 	if err := reg2.Bootstrap(Config{Method: "MV", Seed: 1}); err != nil {
 		t.Fatal(err)

@@ -3,11 +3,12 @@ package tenant
 import (
 	"errors"
 	"fmt"
-	"log"
 	"net/http"
+	"strings"
 	"sync"
 
 	"truthinference/internal/api"
+	"truthinference/internal/telemetry"
 )
 
 // The multi-tenant HTTP surface, mounted by cmd/truthserve:
@@ -58,12 +59,25 @@ func (r *Registry) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		api.WriteJSON(w, http.StatusOK, api.Health{Status: "ok"})
 	})
+	// Readiness is distinct from liveness: it flips to 200 only after
+	// boot-time recovery of every tenant namespace (Registry.SetReady),
+	// so load balancers do not route traffic into a daemon still
+	// replaying WALs.
+	mux.HandleFunc("GET /v1/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if !r.Ready() {
+			api.WriteJSON(w, http.StatusServiceUnavailable, api.Health{Status: "starting"})
+			return
+		}
+		api.WriteJSON(w, http.StatusOK, api.Health{Status: "ready"})
+	})
+	// The scrape endpoint for the daemon-wide metrics registry.
+	mux.Handle("GET /metrics", r.tel.Handler())
 	// Everything else is a legacy unprefixed route against the default
 	// project: still served, but flagged deprecated on every response
 	// and logged once at first use.
 	var deprecatedOnce sync.Once
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
-		deprecatedOnce.Do(func() { log.Print(deprecationNote) })
+		deprecatedOnce.Do(func() { r.logger.Warn(deprecationNote) })
 		// RFC 8594-style deprecation signal plus a human-readable
 		// pointer at the replacement routes.
 		w.Header().Set("Deprecation", "true")
@@ -75,7 +89,66 @@ func (r *Registry) Handler() http.Handler {
 		}
 		p.Handler().ServeHTTP(w, req)
 	})
-	return mux
+	// Every request flows through the telemetry middleware: request-ID
+	// stamping (minted or accepted from X-Request-ID), per-route/tenant
+	// count + latency, and slow-request logging above r.SlowRequest.
+	return telemetry.Middleware(mux, r.httpMetric, r.logger, r.SlowRequest, r.routeLabel)
+}
+
+// routeLabel classifies a request into bounded route and tenant label
+// values for the HTTP metrics. Routes come from a fixed vocabulary (no
+// raw paths — task ids and worker ids would explode cardinality) and
+// the tenant label only carries ids of live projects, so a scan of
+// random project names cannot mint series.
+func (r *Registry) routeLabel(req *http.Request) (route, tenant string) {
+	path := req.URL.Path
+	switch {
+	case path == "/metrics":
+		return "/metrics", ""
+	case path == "/v1/healthz":
+		return "/v1/healthz", ""
+	case path == "/v1/readyz":
+		return "/v1/readyz", ""
+	case path == "/v1/admin/projects":
+		return "/v1/admin/projects", ""
+	case strings.HasPrefix(path, "/v1/admin/projects/"):
+		return "/v1/admin/projects/{id}", ""
+	case strings.HasPrefix(path, "/v1/projects/"):
+		rest := strings.TrimPrefix(path, "/v1/projects/")
+		id, sub, _ := strings.Cut(rest, "/")
+		return "/v1/projects/{id}" + subRoute(sub), r.tenantLabel(id)
+	case strings.HasPrefix(path, "/v1/"):
+		// Legacy unprefixed alias of the default project.
+		return "/v1" + subRoute(strings.TrimPrefix(path, "/v1/")), DefaultProjectID
+	default:
+		return "/other", ""
+	}
+}
+
+// tenantLabel returns id when it names a live project, else "unknown",
+// keeping the tenant label's cardinality bounded by real projects.
+func (r *Registry) tenantLabel(id string) string {
+	if _, ok := r.Get(id); ok {
+		return id
+	}
+	return "unknown"
+}
+
+// subRoute maps a project-relative sub-path onto the fixed route
+// vocabulary of the per-project API.
+func subRoute(sub string) string {
+	head, _, _ := strings.Cut(sub, "/")
+	switch head {
+	case "ingest", "ingest-batch", "refresh", "truths", "stats",
+		"healthz", "assign", "complete", "assignstats", "query":
+		return "/" + head
+	case "truth":
+		return "/truth/{task}"
+	case "worker":
+		return "/worker/{id}"
+	default:
+		return "/other"
+	}
 }
 
 // route dispatches /v1/projects/{id}/<rest> to project id's own handler

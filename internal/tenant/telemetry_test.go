@@ -1,0 +1,130 @@
+package tenant
+
+import (
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestReadyzGatesOnRecovery pins the readiness contract: /v1/readyz
+// answers 503 until SetReady (boot recovery done), then 200 — while
+// /v1/healthz is 200 throughout (liveness, not readiness).
+func TestReadyzGatesOnRecovery(t *testing.T) {
+	r, ts := startServer(t)
+
+	status, body := doJSON(t, "GET", ts.URL+"/v1/healthz", "")
+	if status != http.StatusOK || body["status"] != "ok" {
+		t.Fatalf("healthz before ready: HTTP %d %v", status, body)
+	}
+	status, body = doJSON(t, "GET", ts.URL+"/v1/readyz", "")
+	if status != http.StatusServiceUnavailable || body["status"] != "starting" {
+		t.Fatalf("readyz before ready: HTTP %d %v, want 503 starting", status, body)
+	}
+
+	r.SetReady()
+	status, body = doJSON(t, "GET", ts.URL+"/v1/readyz", "")
+	if status != http.StatusOK || body["status"] != "ready" {
+		t.Fatalf("readyz after ready: HTTP %d %v, want 200 ready", status, body)
+	}
+	if !r.Ready() {
+		t.Fatal("Ready() = false after SetReady")
+	}
+}
+
+// TestMetricsScrapeEndToEnd drives real traffic through the full router
+// and asserts the scrape carries per-tenant series from every
+// instrumented plane plus the HTTP middleware's own counters.
+func TestMetricsScrapeEndToEnd(t *testing.T) {
+	r, ts := startServer(t)
+	r.SetReady()
+
+	// D&S rather than MV: an EM method, so Refresh runs a real epoch
+	// (incremental MV folds at ingest and skips the epoch entirely).
+	if status, body := doJSON(t, "POST", ts.URL+"/v1/admin/projects",
+		`{"id":"scraped","config":{"method":"D&S","task_type":"decision","seed":3}}`); status != http.StatusCreated {
+		t.Fatalf("create: HTTP %d %v", status, body)
+	}
+	// Ingest over HTTP so the admission path (where the admitted counter
+	// lives) is exercised, then force a synchronous epoch.
+	if status, body := doJSON(t, "POST", ts.URL+"/v1/projects/scraped/ingest",
+		`{"answers":[{"task":0,"worker":0,"value":1},{"task":0,"worker":1,"value":0},
+		             {"task":1,"worker":0,"value":1},{"task":1,"worker":2,"value":1}]}`); status != http.StatusOK {
+		t.Fatalf("ingest: HTTP %d %v", status, body)
+	}
+	p, _ := r.Get("scraped")
+	if err := p.Service().Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if status, body := doJSON(t, "POST", ts.URL+"/v1/projects/scraped/query",
+		`{"view":"disagreement"}`); status != http.StatusOK {
+		t.Fatalf("query: HTTP %d %v", status, body)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("scrape content type = %q", ct)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	scrape := string(raw)
+
+	wantRE := []string{
+		`truthserve_ready 1`,
+		`truthserve_ingest_answers_admitted_total\{tenant="scraped"\} [1-9]`,
+		`truthserve_epochs_total\{tenant="scraped",method="[^"]+"\} [1-9]`,
+		`truthserve_epoch_seconds_count\{tenant="scraped",method="[^"]+"\} [1-9]`,
+		`truthserve_query_total\{tenant="scraped",view="disagreement"\} 1`,
+		`truthserve_http_requests_total\{route="/v1/projects/\{id\}/query",method="POST",status="200",tenant="scraped"\} 1`,
+		`truthserve_http_request_seconds_count\{route="/v1/projects/\{id\}/query",tenant="scraped"\} 1`,
+	}
+	for _, want := range wantRE {
+		if !regexp.MustCompile(want).MatchString(scrape) {
+			t.Errorf("scrape has no match for %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("scrape:\n%s", scrape)
+	}
+}
+
+// TestRequestIDFlowsThroughRouter: a caller-supplied X-Request-ID
+// survives the tenant routing layer into both the response header and
+// the error envelope of a project-level failure.
+func TestRequestIDFlowsThroughRouter(t *testing.T) {
+	_, ts := startServer(t)
+
+	req, err := http.NewRequest("GET", ts.URL+"/v1/projects/nope/stats", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-ID", "rid-route-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Request-ID"); got != "rid-route-42" {
+		t.Errorf("response header request id = %q", got)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(raw), `"request_id":"rid-route-42"`) {
+		t.Errorf("error envelope missing request id: %s", raw)
+	}
+	// A request without the header gets a minted id.
+	resp2, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.Header.Get("X-Request-ID") == "" {
+		t.Error("no request id minted for a bare request")
+	}
+}

@@ -40,11 +40,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	ti "truthinference"
 	"truthinference/internal/assign"
@@ -52,6 +56,7 @@ import (
 	"truthinference/internal/query"
 	"truthinference/internal/stream"
 	"truthinference/internal/stream/wal"
+	"truthinference/internal/telemetry"
 )
 
 // DefaultProjectID is the reserved id of the project the legacy
@@ -148,11 +153,13 @@ func (p *Project) Info() Info {
 
 // openProject builds one tenant from its config. base is the durable
 // file base path ("" = not durable; the registry namespaces it per
-// project). The wiring mirrors the original single-tenant daemon: fail
-// fast on config errors, recover (or build) the store, attach the
-// service, publish an initial result when the store has state, and mount
-// the ledger endpoints next to the streaming API.
-func openProject(id string, cfg Config, base string, logf func(string, ...any)) (*Project, error) {
+// project), and tel is the registry's shared metrics registry (nil =
+// uninstrumented) the project's per-tenant instrument bundles register
+// on. The wiring mirrors the original single-tenant daemon: fail fast on
+// config errors, recover (or build) the store, attach the service,
+// publish an initial result when the store has state, and mount the
+// ledger endpoints next to the streaming API.
+func openProject(id string, cfg Config, base string, logger *slog.Logger, tel *telemetry.Registry) (*Project, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -160,6 +167,7 @@ func openProject(id string, cfg Config, base string, logf func(string, ...any)) 
 	if err != nil {
 		return nil, err
 	}
+	logger = logger.With("tenant", id)
 
 	// fresh builds the store the project starts from when there is no
 	// durable state to recover. Deterministic across restarts — the WAL
@@ -171,7 +179,8 @@ func openProject(id string, cfg Config, base string, logf func(string, ...any)) 
 				return nil, fmt.Errorf("tenant: preload %s: %w", id, err)
 			}
 			d.Name = id // stores are named by project so stats self-describe
-			logf("tenant %s: preloaded %s: %d tasks, %d workers, %d answers", id, cfg.Data, d.NumTasks, d.NumWorkers, len(d.Answers))
+			logger.Info("preloaded dataset", "path", cfg.Data,
+				"tasks", d.NumTasks, "workers", d.NumWorkers, "answers", len(d.Answers))
 			return stream.NewStoreAt(d, 1, cfg.Shards), nil
 		}
 		typ, err := ParseTaskType(cfg.taskTypeOrDefault())
@@ -184,16 +193,21 @@ func openProject(id string, cfg Config, base string, logf func(string, ...any)) 
 	var store *stream.Store
 	var persist *wal.Persister
 	if base != "" {
-		p, rec, err := wal.Open(base, fresh, wal.Options{SnapshotEvery: cfg.snapshotEvery(), Shards: cfg.Shards})
+		p, rec, err := wal.Open(base, fresh, wal.Options{
+			SnapshotEvery: cfg.snapshotEvery(),
+			Shards:        cfg.Shards,
+			Metrics:       wal.NewMetrics(tel, id),
+		})
 		if err != nil {
 			return nil, fmt.Errorf("tenant: recover %s: %w", id, err)
 		}
 		if rec.TailErr != nil {
-			logf("tenant %s: WARNING: WAL tail damaged, recovered the consistent prefix: %v", id, rec.TailErr)
+			logger.Warn("WAL tail damaged, recovered the consistent prefix", "err", rec.TailErr)
 		}
 		tasks, workers, answers := rec.Store.Dims()
-		logf("tenant %s: recovered store at version %d (snapshot@%d + %d WAL records): %d tasks, %d workers, %d answers",
-			id, rec.Store.Version(), rec.SnapshotVersion, rec.Replayed, tasks, workers, answers)
+		logger.Info("recovered store",
+			"version", rec.Store.Version(), "snapshot_version", rec.SnapshotVersion,
+			"replayed", rec.Replayed, "tasks", tasks, "workers", workers, "answers", answers)
 		// Snapshots written before the multi-tenant layer persisted the
 		// old hardcoded store name; rename so stats (and every future
 		// snapshot) self-describe with the project id.
@@ -219,6 +233,7 @@ func openProject(id string, cfg Config, base string, logf func(string, ...any)) 
 		Options:     ti.Options{Seed: cfg.Seed, MaxIterations: cfg.MaxIter, Parallelism: par},
 		ColdStart:   cfg.ColdStart,
 		AutoRefresh: !cfg.NoAutoRefresh,
+		Metrics:     stream.NewMetrics(tel, id, m.Name()),
 	}
 	if persist != nil {
 		svcCfg.Persist = persist
@@ -238,14 +253,15 @@ func openProject(id string, cfg Config, base string, logf func(string, ...any)) 
 			return fail(fmt.Errorf("tenant: initial inference of %s: %w", id, err))
 		}
 		st := svc.Stats()
-		logf("tenant %s: initial %s epoch: %d iterations, converged=%v", id, st.Method, st.Iterations, st.Converged)
+		logger.Info("initial epoch published",
+			"method", st.Method, "iterations", st.Iterations, "converged", st.Converged)
 	}
 
 	p := &Project{id: id, cfg: cfg, store: store, svc: svc, persist: persist}
 	mux := http.NewServeMux()
 	mux.Handle("/", svc.Handler())
 	if cfg.Assign != nil {
-		ledger, err := cfg.Assign.Ledger(svc, cfg.Seed)
+		ledger, err := cfg.Assign.Ledger(svc, cfg.Seed, assign.NewMetrics(tel, id))
 		if err != nil {
 			svc.Close()
 			return fail(err)
@@ -269,8 +285,9 @@ func openProject(id string, cfg Config, base string, logf func(string, ...any)) 
 			mux.Handle(pattern, assignAPI)
 		}
 		p.ledger = ledger
-		logf("tenant %s: assignment enabled (policy=%s redundancy=%d budget=%d lease_ttl=%v)",
-			id, ledger.Policy().Name(), ledger.Stats().Redundancy, cfg.Assign.Budget, cfg.Assign.LeaseTTL)
+		logger.Info("assignment enabled",
+			"policy", ledger.Policy().Name(), "redundancy", ledger.Stats().Redundancy,
+			"budget", cfg.Assign.Budget, "lease_ttl", time.Duration(cfg.Assign.LeaseTTL))
 	}
 	// The relational query plane is mounted on every project; without a
 	// ledger the lease/budget relations just report as unavailable. The
@@ -279,17 +296,27 @@ func openProject(id string, cfg Config, base string, logf func(string, ...any)) 
 	if p.ledger != nil {
 		ql = p.ledger
 	}
-	mux.Handle("POST /v1/query", query.NewHandler(svc, ql))
+	mux.Handle("POST /v1/query", query.NewHandler(svc, ql, query.NewMetrics(tel, id)))
 	p.handler = mux
-	logf("tenant %s: serving %s (warm_start=%v auto_refresh=%v shards=%d durable=%v)",
-		id, m.Name(), !cfg.ColdStart, !cfg.NoAutoRefresh, store.Shards(), persist != nil)
+	logger.Info("serving", "method", m.Name(), "warm_start", !cfg.ColdStart,
+		"auto_refresh", !cfg.NoAutoRefresh, "shards", store.Shards(), "durable", persist != nil)
 	return p, nil
 }
 
-// Registry owns the live projects of one daemon.
+// Registry owns the live projects of one daemon, plus the daemon-wide
+// telemetry registry every project's instrument bundles register on.
 type Registry struct {
-	root string // durable root directory; "" = memory-only
-	logf func(string, ...any)
+	root   string // durable root directory; "" = memory-only
+	logger *slog.Logger
+
+	tel        *telemetry.Registry
+	httpMetric *telemetry.HTTPMetrics
+	readyGauge *telemetry.Gauge
+	ready      atomic.Bool
+
+	// SlowRequest is the latency above which the HTTP middleware logs a
+	// request as slow (0 disables). Set it before calling Handler.
+	SlowRequest time.Duration
 
 	mu       sync.RWMutex
 	projects map[string]*Project
@@ -308,13 +335,39 @@ type Registry struct {
 
 // NewRegistry builds an empty registry. root is the durable root
 // directory (the legacy -wal-dir; "" disables durability for every
-// project). logf receives operational logging; nil discards it.
-func NewRegistry(root string, logf func(string, ...any)) *Registry {
-	if logf == nil {
-		logf = func(string, ...any) {}
+// project). logger receives structured operational logging; nil
+// discards it.
+func NewRegistry(root string, logger *slog.Logger) *Registry {
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
-	return &Registry{root: root, logf: logf, projects: map[string]*Project{}, pending: map[string]struct{}{}}
+	tel := telemetry.NewRegistry()
+	return &Registry{
+		root:       root,
+		logger:     logger,
+		tel:        tel,
+		httpMetric: telemetry.NewHTTPMetrics(tel, "truthserve"),
+		readyGauge: tel.Gauge("truthserve_ready",
+			"1 once boot-time recovery of every tenant namespace completed.").With(),
+		projects: map[string]*Project{},
+		pending:  map[string]struct{}{},
+	}
 }
+
+// Telemetry returns the daemon-wide metrics registry (for mounting the
+// scrape on auxiliary listeners, e.g. the pprof debug mux).
+func (r *Registry) Telemetry() *telemetry.Registry { return r.tel }
+
+// SetReady marks boot-time recovery complete: GET /v1/readyz starts
+// answering 200 and the truthserve_ready gauge flips to 1. The daemon
+// calls it once Bootstrap, Recover, and boot-file creates have finished.
+func (r *Registry) SetReady() {
+	r.ready.Store(true)
+	r.readyGauge.Set(1)
+}
+
+// Ready reports whether SetReady has been called.
+func (r *Registry) Ready() bool { return r.ready.Load() }
 
 // Durable reports whether the registry persists project state.
 func (r *Registry) Durable() bool { return r.root != "" }
@@ -358,7 +411,7 @@ func (r *Registry) Bootstrap(cfg Config) error {
 	if err != nil {
 		return err
 	}
-	p, err := openProject(DefaultProjectID, cfg, base, r.logf)
+	p, err := openProject(DefaultProjectID, cfg, base, r.logger, r.tel)
 	if err != nil {
 		return err
 	}
@@ -461,7 +514,7 @@ func (r *Registry) Create(id string, cfg Config) (*Project, error) {
 	if err != nil {
 		return abort(err)
 	}
-	p, err := openProject(id, cfg, base, r.logf)
+	p, err := openProject(id, cfg, base, r.logger, r.tel)
 	if err != nil {
 		return abort(err)
 	}
@@ -500,7 +553,7 @@ func (r *Registry) Delete(id string) error {
 	// A close error does not abort the delete (the operator asked for
 	// the project to go away).
 	if err := p.Close(); err != nil {
-		r.logf("tenant %s: close during delete: %v", id, err)
+		r.logger.Warn("close during delete", "tenant", id, "err", err)
 	}
 	if r.root != "" {
 		if err := r.writeManifest(func(m map[string]Config) { delete(m, id) }); err != nil {
@@ -568,7 +621,7 @@ func (r *Registry) Recover() error {
 		if err != nil {
 			return err
 		}
-		p, err := openProject(id, cfg, base, r.logf)
+		p, err := openProject(id, cfg, base, r.logger, r.tel)
 		if err != nil {
 			return fmt.Errorf("tenant: recover project %q: %w", id, err)
 		}
@@ -587,7 +640,7 @@ func (r *Registry) Recover() error {
 	if spaces, err := wal.Namespaces(r.projectsDir()); err == nil {
 		for _, id := range spaces {
 			if _, ok := manifest[id]; !ok {
-				r.logf("tenant: WARNING: orphaned durable namespace %q (no manifest entry) — not recovered", id)
+				r.logger.Warn("orphaned durable namespace (no manifest entry) — not recovered", "namespace", id)
 			}
 		}
 	}

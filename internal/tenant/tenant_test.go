@@ -1,7 +1,9 @@
 package tenant
 
 import (
+	"bytes"
 	"errors"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strings"
@@ -106,7 +108,7 @@ func TestRegistryDuplicateCreate(t *testing.T) {
 // namespace directory.
 func TestManifestPersistsProjects(t *testing.T) {
 	root := t.TempDir()
-	r := NewRegistry(root, t.Logf)
+	r := NewRegistry(root, testutil.Logger(t))
 	cfg := Config{Method: "MV", TaskType: "single-choice", Choices: 4, Seed: 9,
 		Assign: &assign.Spec{Policy: "least-answered", Redundancy: 2}}
 	p := mustCreate(t, r, "imgs", cfg)
@@ -120,7 +122,7 @@ func TestManifestPersistsProjects(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	r2 := NewRegistry(root, t.Logf)
+	r2 := NewRegistry(root, testutil.Logger(t))
 	defer r2.Close()
 	if err := r2.Recover(); err != nil {
 		t.Fatal(err)
@@ -151,7 +153,7 @@ func TestManifestPersistsProjects(t *testing.T) {
 		t.Fatalf("namespace dir survived delete: %v", err)
 	}
 	// A third boot recovers nothing.
-	r3 := NewRegistry(root, t.Logf)
+	r3 := NewRegistry(root, testutil.Logger(t))
 	defer r3.Close()
 	if err := r3.Recover(); err != nil {
 		t.Fatal(err)
@@ -202,7 +204,7 @@ func TestCreateRefusesOrphanedNamespace(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(orphan, "store.wal"), []byte("old data"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	r := NewRegistry(root, t.Logf)
+	r := NewRegistry(root, testutil.Logger(t))
 	defer r.Close()
 	if _, err := r.Create("ghost", Config{Method: "MV"}); err == nil || !strings.Contains(err.Error(), "durable state") {
 		t.Fatalf("Create adopted an orphaned namespace: %v", err)
@@ -227,7 +229,7 @@ func TestFailedCreateDoesNotBrickID(t *testing.T) {
 		t.Fatal(err)
 	}
 	root := t.TempDir()
-	r := NewRegistry(root, t.Logf)
+	r := NewRegistry(root, testutil.Logger(t))
 	defer r.Close()
 	// Mean cannot serve the decision dataset; with Data set the mismatch
 	// surfaces at open time, after wal.Open touched the namespace.
@@ -250,7 +252,7 @@ func TestBudgetChargedAcrossRestart(t *testing.T) {
 	root := t.TempDir()
 	cfg := Config{Method: "MV",
 		Assign: &assign.Spec{Policy: "random", Redundancy: 1, Budget: 3}}
-	r := NewRegistry(root, t.Logf)
+	r := NewRegistry(root, testutil.Logger(t))
 	p := mustCreate(t, r, "capped", cfg)
 	if _, err := p.Service().Ingest(stream.Batch{
 		Answers:  []dataset.Answer{{Task: 0, Worker: 0, Value: 1}, {Task: 1, Worker: 0, Value: 1}},
@@ -262,7 +264,7 @@ func TestBudgetChargedAcrossRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	r2 := NewRegistry(root, t.Logf)
+	r2 := NewRegistry(root, testutil.Logger(t))
 	defer r2.Close()
 	if err := r2.Recover(); err != nil {
 		t.Fatal(err)
@@ -300,7 +302,7 @@ func TestLegacySnapshotRenamedToProjectID(t *testing.T) {
 	if err := wal.WriteSnapshot(filepath.Join(root, "truthserve.snap"), d, 1); err != nil {
 		t.Fatal(err)
 	}
-	r := NewRegistry(root, t.Logf)
+	r := NewRegistry(root, testutil.Logger(t))
 	defer r.Close()
 	if err := r.Bootstrap(Config{Method: "MV"}); err != nil {
 		t.Fatal(err)
@@ -325,22 +327,14 @@ func TestRecoverWarnsAboutOrphans(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(orphan, "store.wal"), []byte("x"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	var logs []string
-	r := NewRegistry(root, func(format string, args ...any) {
-		logs = append(logs, format)
-	})
+	var logs bytes.Buffer
+	r := NewRegistry(root, slog.New(slog.NewTextHandler(&logs, nil)))
 	defer r.Close()
 	if err := r.Recover(); err != nil {
 		t.Fatal(err)
 	}
-	found := false
-	for _, l := range logs {
-		if strings.Contains(l, "orphaned") {
-			found = true
-		}
-	}
-	if !found {
-		t.Fatalf("no orphan warning in %v", logs)
+	if !strings.Contains(logs.String(), "orphaned") {
+		t.Fatalf("no orphan warning in %q", logs.String())
 	}
 	if _, err := os.Stat(orphan); err != nil {
 		t.Fatalf("orphan was destroyed: %v", err)

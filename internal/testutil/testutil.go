@@ -4,6 +4,10 @@
 package testutil
 
 import (
+	"bytes"
+	"log/slog"
+	"testing"
+
 	"math/rand"
 
 	"truthinference/internal/dataset"
@@ -129,4 +133,18 @@ func AccuracyOf(truthMap map[int]float64, inferred []float64) float64 {
 		}
 	}
 	return float64(correct) / float64(len(truthMap))
+}
+
+// Logger bridges a *slog.Logger onto the test log, so daemon components
+// that take structured loggers stay chatty under -v without writing to
+// the process stderr.
+func Logger(tb testing.TB) *slog.Logger {
+	return slog.New(slog.NewTextHandler(testWriter{tb}, &slog.HandlerOptions{Level: slog.LevelDebug}))
+}
+
+type testWriter struct{ tb testing.TB }
+
+func (w testWriter) Write(p []byte) (int, error) {
+	w.tb.Logf("%s", bytes.TrimRight(p, "\n"))
+	return len(p), nil
 }
