@@ -12,7 +12,11 @@
 //	           [-cold] [-auto-refresh=true] [-data path/to/base]
 //	           [-wal-dir dir] [-snapshot-every 256]
 //	           [-assign-policy uncertainty] [-budget 0] [-redundancy 3]
-//	           [-lease-ttl 1m] [-projects projects.json]
+//	           [-lease-ttl 1m] [-golden-pass 0] [-golden-fails 0]
+//	           [-min-quality 0] [-quality-drop 0] [-quality-min-answers 0]
+//	           [-collusion-threshold 0] [-collusion-overlap 0]
+//	           [-collusion-partners 0] [-down-weight-only]
+//	           [-projects projects.json]
 //	           [-ingest-rate 0] [-ingest-burst 0] [-max-answers 0]
 //	           [-version]
 //
@@ -95,12 +99,23 @@ type config struct {
 	budget        int
 	redundancy    int
 	leaseTTL      time.Duration
-	projectsFile  string
-	ratePerSec    float64
-	rateBurst     int
-	maxAnswers    int
-	debugAddr     string
-	slowRequest   time.Duration
+	// defense flags (the assignment ledger's adversarial-crowd
+	// defenses; they require -assign-policy)
+	goldenPass         int
+	goldenFails        int
+	minQuality         float64
+	qualityDrop        float64
+	qualityMinAnswers  int
+	collusionThreshold float64
+	collusionOverlap   int
+	collusionPartners  int
+	downWeightOnly     bool
+	projectsFile       string
+	ratePerSec         float64
+	rateBurst          int
+	maxAnswers         int
+	debugAddr          string
+	slowRequest        time.Duration
 }
 
 // defaultProject maps the legacy per-daemon flags onto the default
@@ -135,6 +150,7 @@ func (c config) defaultProject() tenant.Config {
 			// because their manifest recovery leaves no place to pass a
 			// remainder.
 			NoChargeExisting: true,
+			Defense:          c.defenseSpec(),
 		}
 	}
 	if c.ratePerSec > 0 || c.maxAnswers > 0 {
@@ -145,6 +161,26 @@ func (c config) defaultProject() tenant.Config {
 		}
 	}
 	return pc
+}
+
+// defenseSpec maps the defense flags onto the default project's
+// DefenseSpec, or nil when no detector is armed.
+func (c config) defenseSpec() *assign.DefenseSpec {
+	spec := &assign.DefenseSpec{
+		GoldenPass:          c.goldenPass,
+		GoldenFails:         c.goldenFails,
+		MinQuality:          c.minQuality,
+		QualityDrop:         c.qualityDrop,
+		QualityMinAnswers:   c.qualityMinAnswers,
+		CollusionThreshold:  c.collusionThreshold,
+		CollusionMinOverlap: c.collusionOverlap,
+		CollusionPartners:   c.collusionPartners,
+		DownWeightOnly:      c.downWeightOnly,
+	}
+	if !spec.Enabled() {
+		return nil
+	}
+	return spec
 }
 
 func main() {
@@ -167,6 +203,15 @@ func main() {
 	flag.IntVar(&cfg.budget, "budget", 0, "global answer budget for assignment, counted per daemon run (0 = unlimited; on restart pass the remaining budget)")
 	flag.IntVar(&cfg.redundancy, "redundancy", assign.DefaultRedundancy, "per-task answer cap for assignment")
 	flag.DurationVar(&cfg.leaseTTL, "lease-ttl", assign.DefaultLeaseTTL, "how long a worker holds an assignment before it is reclaimed")
+	flag.IntVar(&cfg.goldenPass, "golden-pass", 0, "golden tasks a worker must answer correctly before earning real assignments (0 = gate off; needs -assign-policy and ingested golden truth)")
+	flag.IntVar(&cfg.goldenFails, "golden-fails", 0, "wrong golden answers before a worker is banned (0 = default when the gate is on)")
+	flag.Float64Var(&cfg.minQuality, "min-quality", 0, "ban workers whose estimated probability-correct stays below this floor (0 = off; needs -assign-policy)")
+	flag.Float64Var(&cfg.qualityDrop, "quality-drop", 0, "ban workers whose estimated quality stays this far below its peak — the sleeper detector (0 = off; needs -assign-policy)")
+	flag.IntVar(&cfg.qualityMinAnswers, "quality-min-answers", 0, "minimum delivered answers before the quality detectors judge a worker (0 = default)")
+	flag.Float64Var(&cfg.collusionThreshold, "collusion-threshold", 0, "flag worker pairs whose wrong-agreement rate reaches this fraction (0 = off; needs -assign-policy)")
+	flag.IntVar(&cfg.collusionOverlap, "collusion-overlap", 0, "minimum co-answered tasks before a pair can be flagged for collusion (0 = default)")
+	flag.IntVar(&cfg.collusionPartners, "collusion-partners", 0, "distinct flagged partners that trigger the action on a worker (0 = default)")
+	flag.BoolVar(&cfg.downWeightOnly, "down-weight-only", false, "quality/collusion detections down-weight workers instead of banning them (golden-gate failures always ban)")
 	flag.StringVar(&cfg.projectsFile, "projects", "", "optional JSON file of additional projects to create at boot (id -> config)")
 	flag.Float64Var(&cfg.ratePerSec, "ingest-rate", 0, "default project's sustained ingest admission rate in answers/sec (0 = unlimited); violations shed with 429 + Retry-After")
 	flag.IntVar(&cfg.rateBurst, "ingest-burst", 0, "token-bucket burst capacity in answers for -ingest-rate (0 = one second's worth)")
@@ -205,6 +250,9 @@ func run(ctx context.Context, cfg config, ln net.Listener, logger *slog.Logger) 
 
 	// The default project's config is validated before anything else so a
 	// typoed flag is immediately actionable.
+	if cfg.assignPolicy == "" && cfg.defenseSpec() != nil {
+		return errors.New("defense flags need -assign-policy: the defenses live in the assignment ledger")
+	}
 	defCfg := cfg.defaultProject()
 	if err := defCfg.Validate(); err != nil {
 		return err

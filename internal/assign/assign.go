@@ -40,6 +40,7 @@ package assign
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -123,6 +124,11 @@ type Config struct {
 	// Metrics, when non-nil, receives lease lifecycle and budget
 	// observations (see NewMetrics). Nil disables instrumentation.
 	Metrics *Metrics
+	// Defense, when non-nil and enabled, arms the adversarial-crowd
+	// defense layer: golden-task qualification gates, quality
+	// change-detection, and pairwise collusion scoring (see DefenseSpec
+	// in defense.go). Requires a categorical source.
+	Defense *DefenseSpec
 }
 
 // Sentinel errors of the assignment API.
@@ -175,6 +181,10 @@ type Ledger struct {
 	issued   uint64
 	redeemed uint64
 	expired  uint64
+
+	// def is the defense layer's state (nil when disabled); see
+	// defense.go.
+	def *defense
 }
 
 // budgetCommittedLocked returns the spend counted against the budget:
@@ -249,6 +259,26 @@ func NewLedger(src Source, cfg Config) (*Ledger, error) {
 		}
 		l.seen[task][worker] = struct{}{}
 	})
+	if cfg.Defense.Enabled() {
+		def, err := newDefense(*cfg.Defense, ell)
+		if err != nil {
+			return nil, err
+		}
+		l.def = def
+		// Defense state rebuilds from the store like the exclusion sets:
+		// the golden pool from recorded truth, then pass/fail tallies and
+		// the collusion record replayed from the stored answers — so a
+		// worker qualified (or banned) before a restart stays so after.
+		l.refreshGoldenLocked()
+		if avs, ok := src.(AnswerValueSource); ok {
+			avs.ForEachAnswerValue(func(task, worker int, value float64) {
+				if task < 0 || worker < 0 {
+					return
+				}
+				l.recordLocked(task, worker, value)
+			})
+		}
+	}
 	return l, nil
 }
 
@@ -268,10 +298,27 @@ func (l *Ledger) Assign(worker int) (Lease, error) {
 	defer l.mu.Unlock()
 	now := l.now()
 	l.reclaimLocked(now)
+	if l.def != nil && l.def.state(worker).banned {
+		return Lease{}, fmt.Errorf("%w (worker %d: %s)", ErrWorkerBanned, worker, l.def.state(worker).banReason)
+	}
 	if l.cfg.Budget > 0 && l.budgetCommittedLocked() >= l.cfg.Budget {
 		return Lease{}, ErrBudgetExhausted
 	}
 	l.syncLocked()
+
+	// An unqualified worker is routed only golden tasks: its probe
+	// answers are graded against recorded truth (and anchored by it, so
+	// they can't poison inference) until it passes the gate or spends
+	// its golden chances. Golden leases bypass the redundancy cap — the
+	// gate must not starve on a popular golden pool — but respect the
+	// budget and self-exclusion like any lease.
+	if l.def.gateActiveLocked() && !l.def.qualifiedLocked(worker) {
+		t := l.goldenTaskLocked(worker)
+		if t < 0 {
+			return Lease{}, ErrNoTask
+		}
+		return l.issueLocked(t, worker, now, true), nil
+	}
 
 	req := &Request{
 		Worker:    worker,
@@ -299,19 +346,28 @@ func (l *Ledger) Assign(worker int) (Lease, error) {
 	if best == -1 {
 		return Lease{}, ErrNoTask
 	}
+	return l.issueLocked(best, worker, now, false), nil
+}
 
+// issueLocked creates, registers and returns a lease on task for worker;
+// the caller holds l.mu and has already enforced budget and eligibility.
+func (l *Ledger) issueLocked(task, worker int, now time.Time, golden bool) Lease {
 	l.issued++
-	lease := Lease{ID: l.issued, Task: best, Worker: worker, Expires: now.Add(l.cfg.LeaseTTL)}
+	lease := Lease{ID: l.issued, Task: task, Worker: worker, Expires: now.Add(l.cfg.LeaseTTL), Golden: golden}
 	l.leases[lease.ID] = lease
 	l.expiry.push(expiryEntry{id: lease.ID, expires: lease.Expires})
-	l.outstanding[best]++
-	if l.seen[best] == nil {
-		l.seen[best] = map[int]struct{}{}
+	for len(l.outstanding) <= task {
+		l.outstanding = append(l.outstanding, 0)
+		l.seen = append(l.seen, nil)
 	}
-	l.seen[best][worker] = struct{}{}
+	l.outstanding[task]++
+	if l.seen[task] == nil {
+		l.seen[task] = map[int]struct{}{}
+	}
+	l.seen[task][worker] = struct{}{}
 	l.cfg.Metrics.observeIssued()
 	l.publishGaugesLocked()
-	return lease, nil
+	return lease
 }
 
 // Complete redeems a lease: deliver (when non-nil) is invoked with the
@@ -321,7 +377,18 @@ func (l *Ledger) Assign(worker int) (Lease, error) {
 // ledger operation. An expired lease fails with ErrLeaseNotFound even if
 // the deadline passed only just now: its task may already be re-leased,
 // and the budget must not admit both answers.
+//
+// Complete never sees the answer's value, so the defense layer cannot
+// grade or correlate it; defense-enabled deployments should redeem
+// through CompleteValue (the HTTP handler does).
 func (l *Ledger) Complete(id uint64, worker int, deliver func(task int) error) error {
+	return l.CompleteValue(id, worker, math.NaN(), deliver)
+}
+
+// CompleteValue is Complete carrying the delivered answer's value, which
+// the defense layer grades against golden truth and records for
+// collusion scoring. A NaN value records nothing.
+func (l *Ledger) CompleteValue(id uint64, worker int, value float64, deliver func(task int) error) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.reclaimLocked(l.now())
@@ -340,6 +407,7 @@ func (l *Ledger) Complete(id uint64, worker int, deliver func(task int) error) e
 	delete(l.leases, id)
 	l.outstanding[lease.Task]--
 	l.redeemed++
+	l.recordLocked(lease.Task, worker, value)
 	l.cfg.Metrics.observeCompleted()
 	l.publishGaugesLocked()
 	return nil
@@ -406,6 +474,8 @@ func (l *Ledger) syncLocked() {
 		l.outstanding = append(l.outstanding, 0)
 		l.seen = append(l.seen, nil)
 	}
+	l.refreshGoldenLocked()
+	l.defenseSweepLocked()
 }
 
 // loadLocked returns per-task collected + outstanding counts (the
@@ -424,6 +494,13 @@ func (l *Ledger) loadLocked() []int {
 // workers without an estimate.
 func (l *Ledger) workerProbLocked(worker int) float64 {
 	ell := l.src.NumChoices()
+	if l.def != nil {
+		if st, ok := l.def.workers[worker]; ok && st.downWeighted {
+			// A down-weighted worker scores at chance: its answers are
+			// routed as carrying no information.
+			return QualityToProb(0, ell)
+		}
+	}
 	if q, err := l.src.WorkerQuality(worker); err == nil {
 		return QualityToProb(q, ell)
 	}
@@ -471,6 +548,13 @@ type Stats struct {
 	MeanEntropy float64 `json:"mean_entropy"`
 	// ResultVersion is the epoch the cached scores reflect.
 	ResultVersion uint64 `json:"result_version"`
+	// Defense accounting (all zero when the defense layer is disabled):
+	// banned and down-weighted workers, distinct flagged collusion
+	// pairs, and the golden-pool size.
+	BannedWorkers       int `json:"banned_workers,omitempty"`
+	DownWeightedWorkers int `json:"down_weighted_workers,omitempty"`
+	CollusionPairs      int `json:"collusion_pairs,omitempty"`
+	GoldenPool          int `json:"golden_pool,omitempty"`
 }
 
 // Stats reclaims due leases, re-syncs the caches, and reports the
@@ -508,6 +592,18 @@ func (l *Ledger) Stats() Stats {
 			sum += h
 		}
 		st.MeanEntropy = sum / float64(len(l.entropy))
+	}
+	if l.def != nil {
+		st.CollusionPairs = l.def.pairs / 2 // each flagged pair is recorded on both workers
+		st.GoldenPool = len(l.def.goldenIDs)
+		for _, wd := range l.def.workers {
+			if wd.banned {
+				st.BannedWorkers++
+			}
+			if wd.downWeighted {
+				st.DownWeightedWorkers++
+			}
+		}
 	}
 	return st
 }

@@ -35,6 +35,10 @@ type Spec struct {
 	// PriorQuality is the probability-correct assumed for workers the
 	// serving method has no estimate for (0 = DefaultPriorQuality).
 	PriorQuality float64 `json:"prior_quality,omitempty"`
+	// Defense configures the adversarial-crowd defense layer: golden
+	// qualification gates, quality change-detection, and collusion
+	// scoring (see DefenseSpec). Omitted or all-zero = no defenses.
+	Defense *DefenseSpec `json:"defense,omitempty"`
 }
 
 // Validate checks the spec without building anything: the policy name
@@ -57,6 +61,9 @@ func (sp Spec) Validate() error {
 	}
 	if sp.PriorQuality < 0 || sp.PriorQuality >= 1 {
 		return fmt.Errorf("assign: prior quality %v outside [0,1)", sp.PriorQuality)
+	}
+	if err := sp.Defense.Validate(); err != nil {
+		return err
 	}
 	return nil
 }
@@ -83,6 +90,7 @@ func (sp Spec) Ledger(src Source, seed int64, m *Metrics) (*Ledger, error) {
 		Seed:           seed,
 		PriorQuality:   sp.PriorQuality,
 		Metrics:        m,
+		Defense:        sp.Defense,
 	})
 }
 

@@ -21,9 +21,9 @@ import (
 // either both happen or neither.
 //
 // Status mapping: no eligible task → 404, budget exhausted → 409,
-// unknown/expired lease → 410, wrong worker → 403, malformed request
-// or rejected answer → 400/422. Errors use the shared envelope from
-// internal/api.
+// unknown/expired lease → 410, wrong or banned worker → 403, malformed
+// request or rejected answer → 400/422. Errors use the shared envelope
+// from internal/api.
 
 // IngestFunc delivers one completed answer into the serving store; the
 // daemon adapts stream.Service.Ingest to it. A delivery that fails
@@ -60,7 +60,9 @@ func Handler(l *Ledger, ingest IngestFunc) http.Handler {
 			return
 		}
 		var version uint64
-		err := l.Complete(req.LeaseID, req.Worker, func(task int) error {
+		// The value-carrying completion path lets the defense layer grade
+		// golden answers and record them for collusion scoring.
+		err := l.CompleteValue(req.LeaseID, req.Worker, req.Value, func(task int) error {
 			v, ierr := ingest(task, req.Worker, req.Value)
 			version = v
 			return ierr
@@ -92,6 +94,8 @@ func assignStatus(err error) int {
 	case errors.Is(err, ErrStoreClosed):
 		return http.StatusGone
 	case errors.Is(err, ErrLeaseWorker):
+		return http.StatusForbidden
+	case errors.Is(err, ErrWorkerBanned):
 		return http.StatusForbidden
 	default:
 		// A rejected answer (delivery failure) or an invalid worker id.

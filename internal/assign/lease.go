@@ -15,6 +15,10 @@ type Lease struct {
 	Task    int       `json:"task"`
 	Worker  int       `json:"worker"`
 	Expires time.Time `json:"expires_at"`
+	// Golden marks a qualification lease: the task carries recorded
+	// ground truth and the answer will be graded by the defense layer
+	// (see DefenseSpec.GoldenPass).
+	Golden bool `json:"golden,omitempty"`
 }
 
 // expiryEntry is one heap slot. Entries are never removed eagerly on

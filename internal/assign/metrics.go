@@ -14,6 +14,16 @@ type Metrics struct {
 	expired         *telemetry.Counter
 	outstanding     *telemetry.Gauge
 	budgetRemaining *telemetry.Gauge
+
+	// Defense instruments (see defense.go): bans by reason, the
+	// quarantined-worker gauge (banned + down-weighted), collusion pair
+	// flags, and golden-task grading outcomes.
+	bans           *telemetry.CounterVec
+	tenant         string
+	quarantined    *telemetry.Gauge
+	collusionFlags *telemetry.Counter
+	goldenPassed   *telemetry.Counter
+	goldenFailed   *telemetry.Counter
 }
 
 // NewMetrics registers the assignment instruments on reg with a
@@ -37,6 +47,22 @@ func NewMetrics(reg *telemetry.Registry, tenant string) *Metrics {
 			"tenant").With(tenant),
 		budgetRemaining: reg.Gauge("truthserve_assign_budget_remaining",
 			"Uncommitted answer budget (-1 when unlimited), by tenant.",
+			"tenant").With(tenant),
+		bans: reg.Counter("truthserve_assign_worker_bans_total",
+			"Workers banned by the defense layer, by tenant and reason (golden, quality, collusion).",
+			"tenant", "reason"),
+		tenant: tenant,
+		quarantined: reg.Gauge("truthserve_assign_workers_quarantined",
+			"Workers currently banned or down-weighted by the defense layer, by tenant.",
+			"tenant").With(tenant),
+		collusionFlags: reg.Counter("truthserve_assign_collusion_flags_total",
+			"Distinct worker pairs flagged by the collusion detector, by tenant (each pair counts twice, once per member).",
+			"tenant").With(tenant),
+		goldenPassed: reg.Counter("truthserve_assign_golden_passed_total",
+			"Golden-task answers graded correct, by tenant.",
+			"tenant").With(tenant),
+		goldenFailed: reg.Counter("truthserve_assign_golden_failed_total",
+			"Golden-task answers graded wrong, by tenant.",
 			"tenant").With(tenant),
 	}
 }
@@ -68,4 +94,37 @@ func (m *Metrics) observeState(outstanding, budgetRemaining int) {
 	}
 	m.outstanding.Set(float64(outstanding))
 	m.budgetRemaining.Set(float64(budgetRemaining))
+}
+
+func (m *Metrics) observeBan(reason string) {
+	if m == nil {
+		return
+	}
+	m.bans.With(m.tenant, reason).Inc()
+	m.quarantined.Add(1)
+}
+
+func (m *Metrics) observeDownWeighted() {
+	if m == nil {
+		return
+	}
+	m.quarantined.Add(1)
+}
+
+func (m *Metrics) observeCollusionFlag() {
+	if m == nil {
+		return
+	}
+	m.collusionFlags.Inc()
+}
+
+func (m *Metrics) observeGolden(passed bool) {
+	if m == nil {
+		return
+	}
+	if passed {
+		m.goldenPassed.Inc()
+		return
+	}
+	m.goldenFailed.Inc()
 }

@@ -4,6 +4,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"truthinference/internal/query"
 )
 
 func validQueryBench() *QueryBench {
@@ -57,7 +59,7 @@ func TestValidateQueryBench(t *testing.T) {
 }
 
 // TestMeasureQuerySmoke drives the canned views briefly against a small
-// simulated service: positive query throughput, all three views listed.
+// simulated service: positive query throughput, every canned view listed.
 func TestMeasureQuerySmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("drives a live service")
@@ -69,7 +71,7 @@ func TestMeasureQuerySmoke(t *testing.T) {
 	if !(q.QueriesPerSec > 0) || !(q.Normalized > 0) {
 		t.Fatalf("non-positive measurement: %+v", q)
 	}
-	if len(q.Views) != 3 || q.Answers <= 0 {
+	if len(q.Views) != len(query.ViewNames) || q.Answers <= 0 {
 		t.Fatalf("unexpected shape: %+v", q)
 	}
 	// Spend-vs-budget always yields a row, so rows flow even if the

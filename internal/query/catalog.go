@@ -42,6 +42,10 @@ type Source interface {
 type Ledger interface {
 	Leases() []assign.Lease
 	Stats() assign.Stats
+	// Suspects returns per-worker defense dossiers (nil when the
+	// ledger's defense layer is disabled — the suspects relation is
+	// then empty, not an error: no defenses means no suspects).
+	Suspects() []assign.Suspect
 }
 
 // ErrNoLedger is returned for lease/budget relations on a project
@@ -79,6 +83,7 @@ var relationRank = map[string]int{
 	"budget":        rankBudget,
 	"leases":        rankLeases,
 	"workers":       rankWorkers,
+	"suspects":      rankWorkers,
 	"mv":            rankPerTask,
 	"posterior_top": rankPerTask,
 	"entropy":       rankPerTask,
@@ -88,7 +93,7 @@ var relationRank = map[string]int{
 
 // RelationNames lists the catalog's base relations (documentation
 // order: cheap to expensive).
-var RelationNames = []string{"budget", "leases", "workers", "mv", "posterior_top", "entropy", "posterior", "answers"}
+var RelationNames = []string{"budget", "leases", "workers", "suspects", "mv", "posterior_top", "entropy", "posterior", "answers"}
 
 // Catalog resolves base-relation names to lazily-evaluated Relations,
 // all pinned to one store version captured at construction. Build one
@@ -137,6 +142,8 @@ func (c *Catalog) Relation(name string) (Relation, error) {
 		return c.workers()
 	case "leases":
 		return c.leases()
+	case "suspects":
+		return c.suspects()
 	case "budget":
 		return c.budget()
 	default:
@@ -357,6 +364,60 @@ func (c *Catalog) leases() (Relation, error) {
 		rows[i] = Row{float64(l.ID), float64(l.Task), float64(l.Worker), float64(l.Expires.UnixMilli())}
 	}
 	return fromRows([]string{"lease_id", "task", "worker", "expires_unix_ms"}, rows), nil
+}
+
+// suspects streams the defense layer's per-worker dossiers:
+// (worker, qualified, golden_passed, golden_failed, banned, ban_reason,
+// down_weighted, collusion_score, collusion_partners, quality_drop,
+// suspect). Booleans are 0/1; ban_reason is a code (0 none, 1 golden,
+// 2 quality, 3 collusion); suspect summarizes "any detector has
+// something on this worker". Empty when the defense layer is disabled.
+func (c *Catalog) suspects() (Relation, error) {
+	if c.ledger == nil {
+		return Relation{}, ErrNoLedger
+	}
+	sus := c.ledger.Suspects()
+	rows := make([]Row, len(sus))
+	for i, s := range sus {
+		rows[i] = Row{
+			float64(s.Worker),
+			b2f(s.Qualified),
+			float64(s.GoldenPassed),
+			float64(s.GoldenFailed),
+			b2f(s.Banned),
+			banReasonCode(s.BanReason),
+			b2f(s.DownWeighted),
+			s.CollusionScore,
+			float64(s.CollusionPartners),
+			s.QualityDrop,
+			b2f(s.Banned || s.DownWeighted || s.GoldenFailed > 0 || s.CollusionPartners > 0 || s.QualityDrop > 0),
+		}
+	}
+	return fromRows([]string{"worker", "qualified", "golden_passed", "golden_failed", "banned",
+		"ban_reason", "down_weighted", "collusion_score", "collusion_partners", "quality_drop",
+		"suspect"}, rows), nil
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// banReasonCode maps the ledger's ban reason onto the numeric column
+// (relations carry float64 cells only).
+func banReasonCode(reason string) float64 {
+	switch reason {
+	case "golden":
+		return 1
+	case "quality":
+		return 2
+	case "collusion":
+		return 3
+	default:
+		return 0
+	}
 }
 
 // budget is the single-row spend-vs-budget relation:

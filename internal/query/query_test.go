@@ -96,12 +96,14 @@ func (f *fakeSource) WorkerQualities() (cur, prev []float64, version uint64, err
 
 // fakeLedger is a fixed query.Ledger.
 type fakeLedger struct {
-	leases []assign.Lease
-	stats  assign.Stats
+	leases   []assign.Lease
+	stats    assign.Stats
+	suspects []assign.Suspect
 }
 
-func (f *fakeLedger) Leases() []assign.Lease { return f.leases }
-func (f *fakeLedger) Stats() assign.Stats    { return f.stats }
+func (f *fakeLedger) Leases() []assign.Lease     { return f.leases }
+func (f *fakeLedger) Stats() assign.Stats        { return f.stats }
+func (f *fakeLedger) Suspects() []assign.Suspect { return f.suspects }
 
 // golden builds the shared fixture: 3 tasks × 3 workers of binary
 // answers where MV and the posterior argmax disagree on task 2 only.

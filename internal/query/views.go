@@ -21,10 +21,16 @@ const (
 	// project's assignment ledger: (budget, spent, remaining,
 	// outstanding, completed, expired); -1 budget means unlimited.
 	ViewSpendVsBudget = "spend-vs-budget"
+	// ViewWorkerSuspect lists workers the defense layer has something
+	// on — banned, down-weighted, failed golden answers, flagged
+	// collusion partners, or a detected quality drop — with the full
+	// dossier columns of the suspects relation. Empty when no defenses
+	// are configured or nobody tripped one.
+	ViewWorkerSuspect = "worker-suspect"
 )
 
 // ViewNames lists the canned views.
-var ViewNames = []string{ViewDisagreement, ViewWorkerQualityDrop, ViewSpendVsBudget}
+var ViewNames = []string{ViewDisagreement, ViewWorkerQualityDrop, ViewSpendVsBudget, ViewWorkerSuspect}
 
 // ErrUnknownView distinguishes "no such view" (HTTP 404) from
 // structural plan errors (422).
@@ -66,6 +72,14 @@ func View(c *Catalog, name string) (Relation, error) {
 
 	case ViewSpendVsBudget:
 		return c.Relation("budget")
+
+	case ViewWorkerSuspect:
+		sus, err := c.Relation("suspects")
+		if err != nil {
+			return Relation{}, err
+		}
+		flag := colIndexMust(sus.Cols, "suspect")
+		return Select(sus, func(r Row) bool { return r[flag] == 1 }), nil
 
 	default:
 		return Relation{}, ErrUnknownView{name}

@@ -1,0 +1,131 @@
+package closedloop
+
+import (
+	"math"
+	"testing"
+
+	"truthinference/internal/assign"
+	"truthinference/internal/methods/ds"
+)
+
+// attackCase is one archetype's scenario: a crowd mounting the attack
+// and the defense tuned to counter it. The undefended run is the same
+// config with Defense stripped.
+type attackCase struct {
+	name    string
+	cfg     LoopConfig
+	defense *assign.DefenseSpec
+}
+
+// attackCases are the four canonical attacks of the threat model, each
+// against the defense that counters it: golden gates stop always-wrong
+// colluders at the door; the quality floor catches spammers as soon as
+// D&S estimates them; change-detection catches sleepers when their
+// estimate collapses; correlation scoring catches copy-paste rings.
+func attackCases() []attackCase {
+	// A colluding clique outvoting honest MV on a binary board; the
+	// golden gate bans always-wrong workers at the door.
+	collusion := LoopConfig{
+		Tasks: 300, Choices: 2, Seed: 11, Budget: 900, Redundancy: 9,
+		GoldenTasks: 12, AccuracyLo: 0.62, AccuracyHi: 0.85,
+		Crowd: &CrowdSpec{Honest: 24, Colluders: 8},
+	}
+	// Uniform spammers on a dense 4-choice board served by D&S (9
+	// answers per task keeps the posterior sharp enough for per-worker
+	// estimates to mean something): defense in depth — most spammers
+	// fail the golden gate at the door (they answer golden tasks at
+	// chance), and the quality floor catches the ones that luck through,
+	// whose estimated diagonal settles near chance (0.25).
+	spammer := LoopConfig{
+		Tasks: 100, Choices: 4, Seed: 11, Budget: 900, Redundancy: 9,
+		GoldenTasks: 8, AccuracyLo: 0.65, AccuracyHi: 0.85,
+		Crowd: &CrowdSpec{Honest: 24, Spammers: 8},
+	}
+	spammer.Method = ds.New()
+	spammer.RefreshEvery = 40
+	// Sleepers that turn actively malicious after 8 answers. A golden
+	// gate cannot stop them — they are honest when they qualify, which
+	// is the archetype's whole point — so this case rides on the
+	// change-detector alone: the estimated quality collapses mid-stream
+	// and the sustained drop fires.
+	sleeper := spammer
+	sleeper.Crowd = &CrowdSpec{Honest: 24, Sleepers: 8, SleeperAfter: 8, SleeperAccuracy: 0.15}
+	// A copy-paste ring on a small dense board (9 answers per task, so
+	// pairs actually co-answer enough tasks to correlate): the parrots
+	// amplify whatever answer lands first, capturing MV's consensus —
+	// only the identical-stream rule catches them.
+	copycat := LoopConfig{
+		Tasks: 100, Choices: 4, Seed: 11, Budget: 900, Redundancy: 9,
+		GoldenTasks: 8, AccuracyLo: 0.62, AccuracyHi: 0.85,
+		Crowd: &CrowdSpec{Honest: 24, Copycats: 8},
+	}
+
+	return []attackCase{
+		{"collusion", collusion, &assign.DefenseSpec{GoldenPass: 2, GoldenFails: 3}},
+		{"spammer", spammer, &assign.DefenseSpec{GoldenPass: 2, GoldenFails: 3, MinQuality: 0.28, QualityMinAnswers: 12}},
+		{"sleeper", sleeper, &assign.DefenseSpec{QualityDrop: 0.3, QualityMinAnswers: 12}},
+		{"copy-paste", copycat, &assign.DefenseSpec{CollusionThreshold: 0.35, CollusionMinOverlap: 6}},
+	}
+}
+
+// actioned splits the actioned workers into honest casualties and caught
+// adversaries, using the deterministic class order of CrowdSpec (honest
+// workers take the low ids).
+func actioned(r LoopResult, honest int) (casualties, caught int) {
+	for _, s := range r.Suspects {
+		if !s.Banned && !s.DownWeighted {
+			continue
+		}
+		if s.Worker < honest {
+			casualties++
+		} else {
+			caught++
+		}
+	}
+	return casualties, caught
+}
+
+// TestDefendedBeatsUndefendedUnderEachAttack is the ISSUE-10 acceptance
+// gate: for every attack archetype, at the same seed and the same
+// budget, the defended pipeline must reach strictly higher accuracy
+// than the undefended one. Everything is seeded (crowd, clock, policy
+// hashing), so these are hard inequalities, not statistical assertions.
+func TestDefendedBeatsUndefendedUnderEachAttack(t *testing.T) {
+	for _, tc := range attackCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			undef, err := ClosedLoop(tc.cfg, "uncertainty")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defended := tc.cfg
+			defended.Defense = tc.defense
+			def, err := ClosedLoop(defended, "uncertainty")
+			if err != nil {
+				t.Fatal(err)
+			}
+			casualties, caught := actioned(def, tc.cfg.Crowd.Honest)
+			adversaries := tc.cfg.Crowd.Total() - tc.cfg.Crowd.Honest
+			t.Logf("%-10s undefended=%.4f defended=%.4f caught=%d/%d honest casualties=%d/%d",
+				tc.name, undef.Accuracy, def.Accuracy, caught, adversaries, casualties, tc.cfg.Crowd.Honest)
+			if math.IsNaN(undef.Accuracy) || math.IsNaN(def.Accuracy) {
+				t.Fatalf("NaN accuracy (undefended %v, defended %v)", undef.Accuracy, def.Accuracy)
+			}
+			if def.Accuracy <= undef.Accuracy {
+				t.Fatalf("defended accuracy %.4f not strictly above undefended %.4f under %s attack",
+					def.Accuracy, undef.Accuracy, tc.name)
+			}
+			// The defense must actually catch the ring, not just shrink the
+			// crowd: most adversaries actioned, fewer honest casualties
+			// than adversaries caught.
+			if caught*2 < adversaries {
+				t.Fatalf("defense caught only %d of %d adversaries", caught, adversaries)
+			}
+			if casualties >= caught {
+				t.Fatalf("defense hit %d honest workers while catching %d adversaries", casualties, caught)
+			}
+			if undef.Banned != 0 || undef.DownWeighted != 0 {
+				t.Fatalf("undefended run actioned workers: %+v", undef)
+			}
+		})
+	}
+}

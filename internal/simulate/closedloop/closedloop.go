@@ -14,7 +14,6 @@ package closedloop
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 	"time"
 
 	"truthinference/internal/assign"
@@ -24,17 +23,6 @@ import (
 	"truthinference/internal/randx"
 	"truthinference/internal/stream"
 )
-
-// confusionWorker is one simulated crowd member: an ℓ×ℓ confusion matrix
-// (row = true label, column = answered label), the same worker model the
-// Table-5 dataset generators use.
-type confusionWorker struct {
-	conf [][]float64
-}
-
-func (w confusionWorker) answer(rng *rand.Rand, truth int) int {
-	return randx.Categorical(rng, w.conf[truth])
-}
 
 // LoopConfig parameterizes one closed-loop simulation.
 type LoopConfig struct {
@@ -64,9 +52,19 @@ type LoopConfig struct {
 	// GoldenTasks anchors the first N tasks: their ground truth is given
 	// to the method as golden tasks (platforms do this to anchor
 	// label-symmetric methods like D&S, whose EM can otherwise converge
-	// to the permuted labeling on sparse early epochs). Golden tasks are
-	// excluded from the reported accuracy.
+	// to the permuted labeling on sparse early epochs), and is recorded
+	// in the store so the ledger's golden qualification gate can grade
+	// against it. Golden tasks are excluded from the reported accuracy;
+	// GoldenTasks >= Tasks is rejected (nothing would be scored). Must
+	// be > 0 when Defense.GoldenPass is set.
 	GoldenTasks int
+	// Crowd, when non-nil, replaces the all-honest pool of Workers with
+	// a mixed honest/adversarial crowd (see CrowdSpec); Workers is then
+	// ignored in favor of Crowd.Total().
+	Crowd *CrowdSpec
+	// Defense, when non-nil and enabled, arms the ledger's defense
+	// layer against the crowd (see assign.DefenseSpec).
+	Defense *assign.DefenseSpec
 }
 
 // LoopResult summarizes one closed-loop run.
@@ -79,6 +77,13 @@ type LoopResult struct {
 	Issued    uint64
 	Expired   uint64
 	Rounds    int
+	// Banned/DownWeighted count workers the defense layer actioned
+	// (0 when no defense is configured).
+	Banned       int
+	DownWeighted int
+	// Suspects is the final per-worker defense dossier (nil when no
+	// defense is configured) — who was actioned, and why.
+	Suspects []assign.Suspect
 }
 
 func (r LoopResult) String() string {
@@ -93,43 +98,53 @@ func ClosedLoop(cfg LoopConfig, policyName string) (LoopResult, error) {
 	if err != nil {
 		return LoopResult{}, err
 	}
-	if cfg.Tasks <= 0 || cfg.Workers <= 0 || cfg.Choices < 2 {
+	workers := cfg.Workers
+	if cfg.Crowd != nil {
+		if err := cfg.Crowd.Validate(); err != nil {
+			return LoopResult{}, err
+		}
+		workers = cfg.Crowd.Total()
+	}
+	if cfg.Tasks <= 0 || workers <= 0 || cfg.Choices < 2 {
 		return LoopResult{}, fmt.Errorf("closedloop: closed loop needs tasks, workers and ≥2 choices (got %d/%d/%d)",
-			cfg.Tasks, cfg.Workers, cfg.Choices)
+			cfg.Tasks, workers, cfg.Choices)
 	}
 	if cfg.Budget <= 0 {
 		return LoopResult{}, errors.New("closedloop: closed loop needs a positive answer budget")
 	}
+	if cfg.GoldenTasks < 0 || cfg.GoldenTasks >= cfg.Tasks {
+		// Golden tasks are excluded from the reported accuracy, so an
+		// all-golden board would score 0 of 0 tasks — a NaN accuracy.
+		// Reject fail-fast instead of letting the NaN propagate into
+		// comparisons (NaN > x is false, silently passing gates).
+		return LoopResult{}, fmt.Errorf("closedloop: %d golden tasks leave no scored task on a %d-task board",
+			cfg.GoldenTasks, cfg.Tasks)
+	}
 	lo, hi := cfg.AccuracyLo, cfg.AccuracyHi
 	if lo == 0 && hi == 0 {
 		lo, hi = 0.55, 0.8
+	}
+	// An accuracy below chance (1/ℓ) or above 1 would put negative
+	// error mass on the confusion rows' off-diagonals; inverted bounds
+	// would silently flip the draw. Fail fast, like GenerateScaled does
+	// for bad scales.
+	if chance := 1 / float64(cfg.Choices); lo > hi || lo < chance || hi > 1 {
+		return LoopResult{}, fmt.Errorf("closedloop: accuracy bounds [%v,%v] invalid — need 1/ℓ=%v <= lo <= hi <= 1",
+			lo, hi, chance)
 	}
 	method := cfg.Method
 	if method == nil {
 		method = direct.NewMV()
 	}
 
-	// The hidden world: ground truth and the worker pool's confusion
-	// matrices (symmetric accuracy, errors uniform over other labels).
+	// The hidden world: ground truth and the crowd (confusion-matrix
+	// honest workers plus any adversarial archetypes — see CrowdSpec).
 	rng := randx.New(cfg.Seed)
 	truth := make([]int, cfg.Tasks)
 	for i := range truth {
 		truth[i] = rng.Intn(cfg.Choices)
 	}
-	crowd := make([]confusionWorker, cfg.Workers)
-	for w := range crowd {
-		acc := lo + rng.Float64()*(hi-lo)
-		conf := make([][]float64, cfg.Choices)
-		for z := 0; z < cfg.Choices; z++ {
-			row := make([]float64, cfg.Choices)
-			for k := range row {
-				row[k] = (1 - acc) / float64(cfg.Choices-1)
-			}
-			row[z] = acc
-			conf[z] = row
-		}
-		crowd[w] = confusionWorker{conf: conf}
-	}
+	crowd := buildCrowd(cfg.Crowd, workers, cfg.Choices, cfg.Seed, lo, hi, rng)
 
 	typ := dataset.SingleChoice
 	if cfg.Choices == 2 {
@@ -140,13 +155,15 @@ func ClosedLoop(cfg LoopConfig, policyName string) (LoopResult, error) {
 		return LoopResult{}, err
 	}
 	opts := core.Options{Seed: cfg.Seed}
-	if cfg.GoldenTasks > cfg.Tasks {
-		cfg.GoldenTasks = cfg.Tasks
-	}
+	board := stream.Batch{NumTasks: cfg.Tasks, NumWorkers: workers}
 	if cfg.GoldenTasks > 0 {
 		opts.Golden = make(map[int]float64, cfg.GoldenTasks)
+		board.Truth = make(map[int]float64, cfg.GoldenTasks)
 		for i := 0; i < cfg.GoldenTasks; i++ {
 			opts.Golden[i] = float64(truth[i])
+			// Recording the truth in the store is what lets the ledger's
+			// qualification gate grade answers on these tasks.
+			board.Truth[i] = float64(truth[i])
 		}
 	}
 	svc, err := stream.NewService(store, stream.Config{
@@ -157,8 +174,9 @@ func ClosedLoop(cfg LoopConfig, policyName string) (LoopResult, error) {
 		return LoopResult{}, err
 	}
 	defer svc.Close()
-	// Post the task board and worker roster up front, as a platform does.
-	if _, err := svc.Ingest(stream.Batch{NumTasks: cfg.Tasks, NumWorkers: cfg.Workers}); err != nil {
+	// Post the task board, worker roster and golden truth up front, as a
+	// platform does.
+	if _, err := svc.Ingest(board); err != nil {
 		return LoopResult{}, err
 	}
 
@@ -173,6 +191,7 @@ func ClosedLoop(cfg LoopConfig, policyName string) (LoopResult, error) {
 		LeaseTTL:   30 * time.Second,
 		Seed:       cfg.Seed,
 		Now:        func() time.Time { return now },
+		Defense:    cfg.Defense,
 	})
 	if err != nil {
 		return LoopResult{}, err
@@ -180,7 +199,7 @@ func ClosedLoop(cfg LoopConfig, policyName string) (LoopResult, error) {
 
 	res := LoopResult{Policy: policyName, Budget: cfg.Budget}
 	completedSinceRefresh := 0
-	order := make([]int, cfg.Workers)
+	order := make([]int, workers)
 	for i := range order {
 		order[i] = i
 	}
@@ -194,6 +213,8 @@ func ClosedLoop(cfg LoopConfig, policyName string) (LoopResult, error) {
 			switch {
 			case errors.Is(err, assign.ErrNoTask), errors.Is(err, assign.ErrBudgetExhausted):
 				continue
+			case errors.Is(err, assign.ErrWorkerBanned):
+				continue // the defense layer cut this worker off
 			case err != nil:
 				return LoopResult{}, err
 			}
@@ -201,8 +222,8 @@ func ClosedLoop(cfg LoopConfig, policyName string) (LoopResult, error) {
 			if cfg.AbandonProb > 0 && rng.Float64() < cfg.AbandonProb {
 				continue // walks away; the lease expires and is reclaimed
 			}
-			label := crowd[w].answer(rng, truth[lease.Task])
-			err = ledger.Complete(lease.ID, w, func(task int) error {
+			label := crowd.answer(rng, w, lease.Task, truth[lease.Task])
+			err = ledger.CompleteValue(lease.ID, w, float64(label), func(task int) error {
 				_, ierr := svc.Ingest(stream.Batch{Answers: []dataset.Answer{
 					{Task: task, Worker: w, Value: float64(label)},
 				}})
@@ -211,6 +232,7 @@ func ClosedLoop(cfg LoopConfig, policyName string) (LoopResult, error) {
 			if err != nil {
 				return LoopResult{}, fmt.Errorf("closedloop: complete lease %d: %w", lease.ID, err)
 			}
+			crowd.record(w, lease.Task, label)
 			completedSinceRefresh++
 			if cfg.RefreshEvery > 0 && completedSinceRefresh >= cfg.RefreshEvery {
 				if err := svc.Refresh(); err != nil {
@@ -241,6 +263,8 @@ func ClosedLoop(cfg LoopConfig, policyName string) (LoopResult, error) {
 	res.Accuracy = float64(correct) / float64(scored)
 	st := ledger.Stats()
 	res.Collected, res.Issued, res.Expired = st.Completed, st.Issued, st.Expired
+	res.Banned, res.DownWeighted = st.BannedWorkers, st.DownWeightedWorkers
+	res.Suspects = ledger.Suspects()
 	return res, nil
 }
 

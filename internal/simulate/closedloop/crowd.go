@@ -1,0 +1,195 @@
+package closedloop
+
+import (
+	"fmt"
+	"math/rand"
+
+	"truthinference/internal/randx"
+)
+
+// This file is the attack half of the threat model (ROADMAP item 4):
+// adversarial worker archetypes behind one serializable CrowdSpec, so an
+// attack is exactly reproducible from a seed. The defense half lives in
+// internal/assign (DefenseSpec); the closed loop pits the two against
+// each other at a fixed budget.
+
+// Worker classes, in worker-id order within a crowd.
+const (
+	classHonest = iota
+	// classSpammer answers uniformly at random, ignoring the task.
+	classSpammer
+	// classColluder answers a shared wrong label derived from the crowd
+	// seed and the task id — the whole clique agrees, and is always
+	// wrong. This is the strongest correlated attack: under plain MV a
+	// large enough clique simply outvotes the honest crowd.
+	classColluder
+	// classSleeper answers from an honest confusion row until it has
+	// completed SleeperAfter answers, then degrades to SleeperAccuracy —
+	// the build-reputation-then-burn-it attack.
+	classSleeper
+	// classCopycat replays the first answer already delivered on the
+	// task, answering at chance when it arrives first. Copycats add no
+	// information but inherit the apparent quality of whoever they copy,
+	// and they correlate perfectly with each other.
+	classCopycat
+)
+
+// CrowdSpec is the serializable composition of a simulated crowd: how
+// many workers of each archetype, plus the archetype parameters. Worker
+// ids are assigned deterministically in class order — honest first, then
+// spammers, colluders, sleepers, copycats — so a (spec, seed) pair
+// replays bit-identically.
+type CrowdSpec struct {
+	Honest    int `json:"honest"`
+	Spammers  int `json:"spammers,omitempty"`
+	Colluders int `json:"colluders,omitempty"`
+	Sleepers  int `json:"sleepers,omitempty"`
+	Copycats  int `json:"copycats,omitempty"`
+	// SleeperAfter is the completed-answer count after which a sleeper
+	// degrades (0 = DefaultSleeperAfter).
+	SleeperAfter int `json:"sleeper_after,omitempty"`
+	// SleeperAccuracy is the degraded accuracy (0 = chance, 1/ℓ).
+	SleeperAccuracy float64 `json:"sleeper_accuracy,omitempty"`
+}
+
+// DefaultSleeperAfter is the default completed-answer count before a
+// sleeper degrades.
+const DefaultSleeperAfter = 10
+
+// Total is the crowd size the spec describes.
+func (c *CrowdSpec) Total() int {
+	return c.Honest + c.Spammers + c.Colluders + c.Sleepers + c.Copycats
+}
+
+// Validate rejects impossible crowds fail-fast.
+func (c *CrowdSpec) Validate() error {
+	for _, n := range []int{c.Honest, c.Spammers, c.Colluders, c.Sleepers, c.Copycats} {
+		if n < 0 {
+			return fmt.Errorf("closedloop: negative archetype count in crowd %+v", *c)
+		}
+	}
+	if c.Total() == 0 {
+		return fmt.Errorf("closedloop: crowd spec has no workers")
+	}
+	if c.SleeperAfter < 0 {
+		return fmt.Errorf("closedloop: negative sleeper_after %d", c.SleeperAfter)
+	}
+	if c.SleeperAccuracy < 0 || c.SleeperAccuracy > 1 {
+		return fmt.Errorf("closedloop: sleeper accuracy %v outside [0,1]", c.SleeperAccuracy)
+	}
+	return nil
+}
+
+// simWorker is one simulated crowd member.
+type simWorker struct {
+	class     int
+	conf      [][]float64 // honest/sleeper confusion rows (nil otherwise)
+	asleep    [][]float64 // sleeper's degraded rows
+	completed int         // delivered answers (sleeper trigger)
+}
+
+// simCrowd is the live crowd: the workers plus the shared state the
+// correlated archetypes need (the per-task delivered-answer record the
+// copycats replay, and the seed the colluders derive their shared label
+// from).
+type simCrowd struct {
+	workers []simWorker
+	spec    CrowdSpec
+	choices int
+	seed    int64
+	first   map[int]int // task → first delivered label (copycat source)
+}
+
+// confusionRows builds the symmetric-accuracy confusion matrix the
+// Table-5 generators use: acc on the diagonal, errors uniform over the
+// other labels.
+func confusionRows(acc float64, ell int) [][]float64 {
+	conf := make([][]float64, ell)
+	for z := 0; z < ell; z++ {
+		row := make([]float64, ell)
+		for k := range row {
+			row[k] = (1 - acc) / float64(ell-1)
+		}
+		row[z] = acc
+		conf[z] = row
+	}
+	return conf
+}
+
+// buildCrowd draws the crowd from rng in worker-id order. With a nil
+// spec it reproduces the legacy all-honest pool (same draws, same
+// order), so existing seeds replay identically.
+func buildCrowd(spec *CrowdSpec, workers, choices int, seed int64, lo, hi float64, rng *rand.Rand) *simCrowd {
+	s := CrowdSpec{Honest: workers}
+	if spec != nil {
+		s = *spec
+	}
+	if s.SleeperAfter == 0 {
+		s.SleeperAfter = DefaultSleeperAfter
+	}
+	if s.SleeperAccuracy == 0 {
+		s.SleeperAccuracy = 1 / float64(choices)
+	}
+	c := &simCrowd{spec: s, choices: choices, seed: seed, first: map[int]int{}}
+	add := func(n, class int) {
+		for i := 0; i < n; i++ {
+			w := simWorker{class: class}
+			switch class {
+			case classHonest, classSleeper:
+				acc := lo + rng.Float64()*(hi-lo)
+				w.conf = confusionRows(acc, choices)
+				if class == classSleeper {
+					w.asleep = confusionRows(s.SleeperAccuracy, choices)
+				}
+			}
+			c.workers = append(c.workers, w)
+		}
+	}
+	add(s.Honest, classHonest)
+	add(s.Spammers, classSpammer)
+	add(s.Colluders, classColluder)
+	add(s.Sleepers, classSleeper)
+	add(s.Copycats, classCopycat)
+	return c
+}
+
+// colludedLabel is the clique's shared wrong answer for a task: a label
+// other than truth, derived deterministically from the crowd seed and
+// the task id so every clique member agrees without communicating.
+func (c *simCrowd) colludedLabel(task, truth int) int {
+	off := 1 + int(randx.Mix(c.seed, int64(task), 0xC011)%uint64(c.choices-1))
+	return (truth + off) % c.choices
+}
+
+// answer draws worker w's answer for a task with the given hidden truth.
+func (c *simCrowd) answer(rng *rand.Rand, w, task, truth int) int {
+	wk := &c.workers[w]
+	switch wk.class {
+	case classSpammer:
+		return rng.Intn(c.choices)
+	case classColluder:
+		return c.colludedLabel(task, truth)
+	case classSleeper:
+		if wk.completed >= c.spec.SleeperAfter {
+			return randx.Categorical(rng, wk.asleep[truth])
+		}
+		return randx.Categorical(rng, wk.conf[truth])
+	case classCopycat:
+		if label, ok := c.first[task]; ok {
+			return label
+		}
+		return rng.Intn(c.choices)
+	default:
+		return randx.Categorical(rng, wk.conf[truth])
+	}
+}
+
+// record notes one delivered answer: the copycats' replay source and the
+// sleepers' completion counter advance only on delivery, matching what
+// the platform actually received.
+func (c *simCrowd) record(w, task, label int) {
+	c.workers[w].completed++
+	if _, ok := c.first[task]; !ok {
+		c.first[task] = label
+	}
+}

@@ -1,0 +1,321 @@
+package closedloop
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"truthinference/internal/assign"
+	"truthinference/internal/core"
+	"truthinference/internal/dataset"
+	"truthinference/internal/methods/direct"
+	"truthinference/internal/randx"
+	"truthinference/internal/stream"
+)
+
+func TestCrowdSpecValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		spec CrowdSpec
+		ok   bool
+	}{
+		{"honest only", CrowdSpec{Honest: 10}, true},
+		{"mixed", CrowdSpec{Honest: 10, Spammers: 2, Colluders: 3, Sleepers: 1, Copycats: 2, SleeperAfter: 5, SleeperAccuracy: 0.2}, true},
+		{"all adversarial", CrowdSpec{Colluders: 4}, true},
+		{"empty crowd", CrowdSpec{}, false},
+		{"negative archetype", CrowdSpec{Honest: 5, Spammers: -1}, false},
+		{"negative sleeper after", CrowdSpec{Honest: 5, SleeperAfter: -1}, false},
+		{"sleeper accuracy above 1", CrowdSpec{Honest: 5, SleeperAccuracy: 1.5}, false},
+		{"negative sleeper accuracy", CrowdSpec{Honest: 5, SleeperAccuracy: -0.5}, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := c.spec.Validate(); (err == nil) != c.ok {
+				t.Fatalf("Validate(%+v) = %v, want ok=%v", c.spec, err, c.ok)
+			}
+		})
+	}
+}
+
+func TestCrowdSpecJSONRoundTrip(t *testing.T) {
+	in := CrowdSpec{Honest: 24, Spammers: 8, Sleepers: 4, SleeperAfter: 8, SleeperAccuracy: 0.15}
+	raw, err := json.Marshal(&in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out CrowdSpec
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip %+v -> %s -> %+v", in, raw, out)
+	}
+	if out.Total() != 36 {
+		t.Fatalf("Total() = %d, want 36", out.Total())
+	}
+}
+
+func TestBuildCrowdAssignsIdsInClassOrder(t *testing.T) {
+	rng := randx.New(7)
+	spec := &CrowdSpec{Honest: 2, Spammers: 1, Colluders: 1, Sleepers: 1, Copycats: 1}
+	c := buildCrowd(spec, 0, 4, 7, 0.6, 0.9, rng)
+	want := []int{classHonest, classHonest, classSpammer, classColluder, classSleeper, classCopycat}
+	for w, cls := range want {
+		if c.workers[w].class != cls {
+			t.Fatalf("worker %d class = %d, want %d", w, c.workers[w].class, cls)
+		}
+	}
+	// Only honest workers and sleepers carry confusion rows; sleepers also
+	// carry their degraded rows.
+	for w, wk := range c.workers {
+		wantConf := wk.class == classHonest || wk.class == classSleeper
+		if (wk.conf != nil) != wantConf {
+			t.Fatalf("worker %d (class %d) conf presence = %v", w, wk.class, wk.conf != nil)
+		}
+		if (wk.asleep != nil) != (wk.class == classSleeper) {
+			t.Fatalf("worker %d (class %d) asleep presence = %v", w, wk.class, wk.asleep != nil)
+		}
+	}
+}
+
+func TestColludersShareAWrongLabel(t *testing.T) {
+	rng := randx.New(3)
+	c := buildCrowd(&CrowdSpec{Honest: 1, Colluders: 3}, 0, 4, 3, 0.6, 0.9, rng)
+	for task := 0; task < 50; task++ {
+		truth := task % 4
+		first := c.answer(rng, 1, task, truth)
+		if first == truth {
+			t.Fatalf("task %d: colluded label %d equals truth", task, first)
+		}
+		if first < 0 || first >= 4 {
+			t.Fatalf("task %d: colluded label %d outside alphabet", task, first)
+		}
+		// The whole clique agrees without communicating, and repeat draws
+		// are stable: the label is a function of (seed, task) only.
+		for _, w := range []int{1, 2, 3} {
+			if got := c.answer(rng, w, task, truth); got != first {
+				t.Fatalf("task %d: clique member %d answered %d, not shared label %d", task, w, got, first)
+			}
+		}
+	}
+}
+
+func TestSleeperDegradesAfterThreshold(t *testing.T) {
+	// Accuracy bounds pinned to 1.0 make the honest phase deterministic:
+	// a sleeper answers truth until SleeperAfter deliveries, then falls to
+	// SleeperAccuracy.
+	rng := randx.New(5)
+	spec := &CrowdSpec{Honest: 1, Sleepers: 1, SleeperAfter: 3, SleeperAccuracy: 0.5}
+	c := buildCrowd(spec, 0, 2, 5, 1.0, 1.0, rng)
+	const sleeper = 1
+	for i := 0; i < 3; i++ {
+		if got := c.answer(rng, sleeper, i, 1); got != 1 {
+			t.Fatalf("answer %d: sleeper answered %d during its honest phase", i, got)
+		}
+		c.record(sleeper, i, 1)
+	}
+	wrong := 0
+	for i := 0; i < 200; i++ {
+		if c.answer(rng, sleeper, 100+i, 1) != 1 {
+			wrong++
+		}
+	}
+	if wrong == 0 {
+		t.Fatal("sleeper never degraded after its trigger")
+	}
+}
+
+func TestCopycatReplaysFirstDeliveredAnswer(t *testing.T) {
+	rng := randx.New(9)
+	c := buildCrowd(&CrowdSpec{Honest: 1, Copycats: 2}, 0, 4, 9, 0.6, 0.9, rng)
+	c.record(0, 7, 2) // the honest worker delivers label 2 on task 7 first
+	for i := 0; i < 20; i++ {
+		for _, w := range []int{1, 2} {
+			if got := c.answer(rng, w, 7, 0); got != 2 {
+				t.Fatalf("copycat %d answered %d, want replayed label 2", w, got)
+			}
+		}
+	}
+	// On a task with no delivered answer yet, a copycat answers at chance
+	// within the alphabet.
+	if got := c.answer(rng, 1, 8, 0); got < 0 || got >= 4 {
+		t.Fatalf("copycat first-mover answer %d outside alphabet", got)
+	}
+}
+
+// TestGoldenTasksMustLeaveScoredTasks is the regression test for the NaN
+// accuracy bug: an all-golden board scored 0 of 0 tasks and returned
+// accuracy NaN, which silently passes (NaN > x is false) in comparisons.
+func TestGoldenTasksMustLeaveScoredTasks(t *testing.T) {
+	base := LoopConfig{Tasks: 4, Workers: 3, Choices: 2, Seed: 1, Budget: 12}
+	for _, golden := range []int{4, 5, -1} {
+		cfg := base
+		cfg.GoldenTasks = golden
+		if _, err := ClosedLoop(cfg, "random"); err == nil {
+			t.Fatalf("GoldenTasks=%d on a 4-task board accepted", golden)
+		}
+	}
+	cfg := base
+	cfg.GoldenTasks = 3 // one scored task left: legal
+	res, err := ClosedLoop(cfg, "random")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.Accuracy) {
+		t.Fatal("accuracy is NaN on a legal golden board")
+	}
+}
+
+// TestAccuracyBoundsValidation is the regression test for silently
+// accepted accuracy bounds: below-chance, above-1 or inverted bounds
+// produced confusion rows with negative error mass.
+func TestAccuracyBoundsValidation(t *testing.T) {
+	base := LoopConfig{Tasks: 4, Workers: 3, Choices: 4, Seed: 1, Budget: 12}
+	cases := []struct {
+		name   string
+		lo, hi float64
+		ok     bool
+	}{
+		{"defaults", 0, 0, true},
+		{"valid range", 0.3, 0.9, true},
+		{"degenerate point", 0.5, 0.5, true},
+		{"inverted", 0.9, 0.6, false},
+		{"below chance", 0.1, 0.9, false},
+		{"above one", 0.5, 1.2, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cfg := base
+			cfg.AccuracyLo, cfg.AccuracyHi = c.lo, c.hi
+			_, err := ClosedLoop(cfg, "random")
+			if (err == nil) != c.ok {
+				t.Fatalf("bounds [%v,%v]: err = %v, want ok=%v", c.lo, c.hi, err, c.ok)
+			}
+		})
+	}
+}
+
+func TestStandardAttacksShape(t *testing.T) {
+	attacks := StandardAttacks(24, 8)
+	want := []string{"collusion", "spammer", "sleeper", "copy-paste"}
+	if len(attacks) != len(want) {
+		t.Fatalf("got %d attacks, want %d", len(attacks), len(want))
+	}
+	for i, a := range attacks {
+		if a.Name != want[i] {
+			t.Fatalf("attack %d named %q, want %q", i, a.Name, want[i])
+		}
+		if a.Crowd.Honest != 24 || a.Crowd.Total() != 32 {
+			t.Fatalf("attack %q crowd %+v, want 24 honest of 32", a.Name, a.Crowd)
+		}
+		if err := a.Crowd.Validate(); err != nil {
+			t.Fatalf("attack %q crowd invalid: %v", a.Name, err)
+		}
+	}
+}
+
+func TestAttackMatrixShape(t *testing.T) {
+	base := LoopConfig{Tasks: 12, Choices: 2, Seed: 2, Budget: 48, Redundancy: 4}
+	attacks := StandardAttacks(6, 2)[:2]
+	rows, err := AttackMatrix(base, "least-answered", []core.Method{nil}, attacks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || len(rows[0]) != 1 {
+		t.Fatalf("matrix shape %dx%d, want 2x1", len(rows), len(rows[0]))
+	}
+	for i, row := range rows {
+		if math.IsNaN(row[0].Accuracy) || row[0].Collected == 0 {
+			t.Fatalf("attack %q result %+v is degenerate", attacks[i].Name, row[0])
+		}
+	}
+}
+
+// TestDefenseStateRebuildsAcrossServiceRestart drives the golden gate
+// against a real stream.Service, then rebuilds a fresh ledger over the
+// same service — modeling a daemon restart, where defense state must be
+// replayed from the store's recorded truth and answers.
+func TestDefenseStateRebuildsAcrossServiceRestart(t *testing.T) {
+	store, err := stream.NewStore("restart", dataset.Decision, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := stream.NewService(store, stream.Config{Method: direct.NewMV()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if _, err := svc.Ingest(stream.Batch{
+		NumTasks: 6, NumWorkers: 8,
+		Truth: map[int]float64{0: 1, 1: 0},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	spec := &assign.DefenseSpec{GoldenPass: 1, GoldenFails: 2}
+	now := time.Unix(1_000_000, 0)
+	mkLedger := func() *assign.Ledger {
+		l, err := assign.NewLedger(svc, assign.Config{
+			Policy:  assign.LeastAnswered{},
+			Budget:  100,
+			Seed:    1,
+			Now:     func() time.Time { return now },
+			Defense: spec,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	deliver := func(worker int, label float64) func(int) error {
+		return func(task int) error {
+			_, err := svc.Ingest(stream.Batch{Answers: []dataset.Answer{
+				{Task: task, Worker: worker, Value: label},
+			}})
+			return err
+		}
+	}
+
+	l1 := mkLedger()
+	truth := map[int]float64{0: 1, 1: 0}
+	// Worker 2 qualifies; worker 5 fails out of the gate.
+	lease, err := l1.Assign(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l1.CompleteValue(lease.ID, 2, truth[lease.Task], deliver(2, truth[lease.Task])); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		lease, err = l1.Assign(5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wrong := 1 - truth[lease.Task]
+		if err := l1.CompleteValue(lease.ID, 5, wrong, deliver(5, wrong)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// "Restart": a fresh ledger over the same service.
+	l2 := mkLedger()
+	state := map[int]assign.Suspect{}
+	for _, s := range l2.Suspects() {
+		state[s.Worker] = s
+	}
+	if !state[2].Qualified || state[2].Banned {
+		t.Fatalf("restart lost worker 2's qualification: %+v", state[2])
+	}
+	if !state[5].Banned || state[5].BanReason != "golden" {
+		t.Fatalf("restart lost worker 5's ban: %+v", state[5])
+	}
+	lease, err = l2.Assign(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lease.Golden {
+		t.Fatalf("rebuilt ledger re-gated the qualified worker: %+v", lease)
+	}
+}

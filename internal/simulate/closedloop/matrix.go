@@ -1,0 +1,49 @@
+package closedloop
+
+import (
+	"truthinference/internal/core"
+)
+
+// NamedCrowd pairs an attack name with the crowd that mounts it.
+type NamedCrowd struct {
+	Name  string
+	Crowd *CrowdSpec
+}
+
+// StandardAttacks returns the four canonical attack crowds at the given
+// honest/adversary split: a colluding clique, uniform spammers, sleepers
+// and copy-paste workers. Pass them to AttackMatrix, or pick one for a
+// single defended-vs-undefended comparison.
+func StandardAttacks(honest, adversaries int) []NamedCrowd {
+	return []NamedCrowd{
+		{Name: "collusion", Crowd: &CrowdSpec{Honest: honest, Colluders: adversaries}},
+		{Name: "spammer", Crowd: &CrowdSpec{Honest: honest, Spammers: adversaries}},
+		{Name: "sleeper", Crowd: &CrowdSpec{Honest: honest, Sleepers: adversaries}},
+		{Name: "copy-paste", Crowd: &CrowdSpec{Honest: honest, Copycats: adversaries}},
+	}
+}
+
+// AttackMatrix runs the closed loop once per (attack, method) pair —
+// same seed, same budget, same policy — and returns the results
+// attack-major, in input order: the matrix mapping which attacks break
+// which methods. base supplies everything but Crowd and Method (set
+// base.RefreshEvery for the iterative methods; the incremental ones
+// ignore it). A nil method entry runs the default incremental MV.
+func AttackMatrix(base LoopConfig, policy string, methods []core.Method, attacks []NamedCrowd) ([][]LoopResult, error) {
+	out := make([][]LoopResult, 0, len(attacks))
+	for _, a := range attacks {
+		row := make([]LoopResult, 0, len(methods))
+		for _, m := range methods {
+			cfg := base
+			cfg.Crowd = a.Crowd
+			cfg.Method = m
+			r, err := ClosedLoop(cfg, policy)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, r)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}

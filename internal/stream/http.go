@@ -84,11 +84,17 @@ func (s *Service) Handler() http.Handler {
 // callers defer it — so at every instant the quota covers stored plus
 // in-flight answers and the cap is hard under concurrency.
 func (s *Service) admit(w http.ResponseWriter, n int) (release func(), ok bool) {
-	if n < 1 {
-		n = 1 // even an empty request spends admission, or probes are free
+	// The rate limiter charges at least 1 so probes are never free, but
+	// the quota reserves only the actual answer count: MaxAnswers caps
+	// stored answers, and charging metadata-only requests against it
+	// would leave a tenant at quota unable to ever grow its task board
+	// or post workers again.
+	charge := n
+	if charge < 1 {
+		charge = 1
 	}
 	release = func() {}
-	if q := s.cfg.Limits.MaxAnswers; q > 0 {
+	if q := s.cfg.Limits.MaxAnswers; q > 0 && n > 0 {
 		for {
 			// The reservation is loaded before the store count: a racing
 			// request releases only after its answers are in the count, so
@@ -114,13 +120,13 @@ func (s *Service) admit(w http.ResponseWriter, n int) (release func(), ok bool) 
 			s.cfg.Metrics.quotaReserve(-m)
 		}
 	}
-	if wait, limOK := s.limiter.Admit(n); !limOK {
+	if wait, limOK := s.limiter.Admit(charge); !limOK {
 		release()
-		s.cfg.Metrics.observeShed(n, false)
+		s.cfg.Metrics.observeShed(charge, false)
 		api.RateLimited(w, wait, ErrRateLimited)
 		return nil, false
 	}
-	s.cfg.Metrics.observeAdmitted(n)
+	s.cfg.Metrics.observeAdmitted(charge)
 	return release, true
 }
 

@@ -229,3 +229,36 @@ func TestIngestQuotaRejects(t *testing.T) {
 		t.Fatal("quota 429 without Retry-After")
 	}
 }
+
+func TestIngestQuotaAllowsMetadataOnlyGrowth(t *testing.T) {
+	// Hitting the answer quota must not freeze the board: batches that
+	// carry no answers (task/worker growth, golden truth) reserve
+	// nothing against MaxAnswers and still commit. Only answer-bearing
+	// ingest is refused.
+	srv, svc := batchServer(t, Config{Limits: Limits{MaxAnswers: 2}})
+	resp, body := postBatchStream(t, srv, []Batch{
+		{NumTasks: 2, NumWorkers: 2, Answers: []dataset.Answer{{Task: 0, Worker: 0, Value: 1}, {Task: 1, Worker: 1, Value: 0}}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("within-quota request: %d: %s", resp.StatusCode, body)
+	}
+
+	// At quota: board growth and golden truth still land.
+	resp, body = postBatchStream(t, srv, []Batch{
+		{NumTasks: 5, NumWorkers: 3, Truth: map[int]float64{0: 1}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metadata-only batch at quota: %d, want 200: %s", resp.StatusCode, body)
+	}
+	if tasks, workers, _ := svc.Dims(); tasks != 5 || workers != 3 {
+		t.Fatalf("board did not grow: %d tasks, %d workers", tasks, workers)
+	}
+
+	// Answer-bearing ingest is still refused.
+	resp, body = postBatchStream(t, srv, []Batch{
+		{Answers: []dataset.Answer{{Task: 2, Worker: 2, Value: 1}}},
+	})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota answers: %d, want 429: %s", resp.StatusCode, body)
+	}
+}

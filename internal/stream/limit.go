@@ -95,5 +95,14 @@ func (l *Limiter) Admit(n int) (retryAfter time.Duration, ok bool) {
 		l.tokens -= float64(n)
 		return 0, true
 	}
-	return time.Duration(-l.tokens / l.rate * float64(time.Second)), false
+	// Admission needs tokens > 0, so the hint must cross the boundary:
+	// the exact time to refill back to zero would leave a client that
+	// honors it re-shed with a zero wait. Bump the wait geometrically
+	// until the refill it buys is strictly positive under the same
+	// float arithmetic the next Admit will run.
+	wait := time.Duration(-l.tokens / l.rate * float64(time.Second))
+	for bump := time.Nanosecond; l.tokens+wait.Seconds()*l.rate <= 0; bump *= 2 {
+		wait += bump
+	}
+	return wait, false
 }

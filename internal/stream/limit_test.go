@@ -110,3 +110,28 @@ func TestLimiterDefaultBurst(t *testing.T) {
 		t.Fatalf("tiny-rate burst = %v, want floor of 1", lim.burst)
 	}
 }
+
+func TestLimiterRetryAfterIsSufficient(t *testing.T) {
+	// The Retry-After hint must be an upper bound: a client that waits
+	// exactly the hinted duration is always admitted. The refill
+	// arithmetic is float; a hint computed as the exact zero-crossing
+	// lands the bucket at 0 tokens, and admission needs tokens > 0 — the
+	// hint has to round up past the boundary. Odd rates maximize the
+	// float mismatch.
+	for _, rate := range []float64{3, 7, 10, 0.3, 1234.5} {
+		lim, clk := newTestLimiter(Limits{RatePerSec: rate, Burst: 5})
+		for i := 0; i < 50; i++ {
+			if _, ok := lim.Admit(3); ok {
+				continue
+			}
+			wait, ok := lim.Admit(3)
+			if ok {
+				continue
+			}
+			clk.advance(wait)
+			if _, ok := lim.Admit(1); !ok {
+				t.Fatalf("rate %v iter %d: waited exactly Retry-After (%v) and was shed again", rate, i, wait)
+			}
+		}
+	}
+}

@@ -130,6 +130,13 @@ type Service struct {
 	// boundary (guarded by mu; nil before the second epoch).
 	prevQuality []float64
 
+	// qualityHist retains the worker-quality vector of each of the last
+	// QualityHistoryEpochs published epochs, oldest first (guarded by
+	// mu). The assignment ledger's change-detection defense reads it
+	// through QualityHistory to spot sleepers — workers whose estimated
+	// quality collapses mid-stream after a trustworthy start.
+	qualityHist [][]float64
+
 	// quotaReserved is headroom claimed against Limits.MaxAnswers by
 	// admitted-but-not-yet-committed requests. Admission reserves it
 	// atomically and releases it once the ingest's outcome is in the
@@ -373,6 +380,12 @@ func (s *Service) refreshLocked() error {
 	s.resVersion = version
 	s.epochs++
 	s.lastInfer = elapsed
+	if len(res.WorkerQuality) > 0 {
+		s.qualityHist = append(s.qualityHist, append([]float64(nil), res.WorkerQuality...))
+		if len(s.qualityHist) > QualityHistoryEpochs {
+			s.qualityHist = s.qualityHist[len(s.qualityHist)-QualityHistoryEpochs:]
+		}
+	}
 	s.mu.Unlock()
 
 	// Epoch boundary: everything the published result reflects is now

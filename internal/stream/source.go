@@ -40,6 +40,41 @@ func (s *Service) NumChoices() int { return s.store.NumChoices() }
 // store; see Store.ForEachAnswer for the locking contract.
 func (s *Service) ForEachAnswer(f func(task, worker int)) { s.store.ForEachAnswer(f) }
 
+// ForEachAnswerValue streams every (task, worker, value) triple currently
+// in the store; see Store.ForEachAnswerValue. The assignment ledger's
+// defense layer rebuilds golden-gate and correlation state from it.
+func (s *Service) ForEachAnswerValue(f func(task, worker int, value float64)) {
+	s.store.ForEachAnswerValue(f)
+}
+
+// ForEachGolden streams every task with recorded ground truth; see
+// Store.ForEachGolden. This is the golden pool the assignment ledger
+// grades qualification answers against.
+func (s *Service) ForEachGolden(f func(task int, truth float64)) { s.store.ForEachGolden(f) }
+
+// QualityHistoryEpochs bounds the per-epoch worker-quality history the
+// service retains for QualityHistory.
+const QualityHistoryEpochs = 16
+
+// QualityHistory returns copies of the worker-quality vectors of up to
+// the last QualityHistoryEpochs published epochs, oldest first, plus the
+// result version of the newest. Incremental methods model workers
+// uniformly and publish no epochs, so their history is empty — quality
+// change-detection is only meaningful under iterative methods (D&S and
+// kin) that actually estimate workers.
+func (s *Service) QualityHistory() (hist [][]float64, version uint64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.qualityHist) == 0 {
+		return nil, s.resultVersionLocked()
+	}
+	hist = make([][]float64, len(s.qualityHist))
+	for i, row := range s.qualityHist {
+		hist[i] = append([]float64(nil), row...)
+	}
+	return hist, s.resVersion
+}
+
 // Pin returns a consistent (version, answer count) pair for a
 // non-materializing pinned read of the underlying store; see Store.Pin.
 func (s *Service) Pin() (version uint64, answers int) { return s.store.Pin() }

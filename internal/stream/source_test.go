@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 	"strings"
+	"sync"
 	"testing"
 
 	"truthinference/internal/core"
@@ -257,3 +258,97 @@ type statPersister struct{}
 func (statPersister) Record(uint64, Batch) error { return nil }
 func (statPersister) Sync() error                { return nil }
 func (statPersister) PersistStats() PersistStats { return PersistStats{SinceSnapshot: 7} }
+
+func TestQualityHistoryRetainsEpochWindow(t *testing.T) {
+	store, err := NewStore("qh", dataset.Decision, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := NewService(store, Config{Method: ds.New(), Options: optsSeq(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ingestT(t, svc, Batch{NumTasks: 4, NumWorkers: 3, Answers: []dataset.Answer{
+		{Task: 0, Worker: 0, Value: 1}, {Task: 1, Worker: 1, Value: 0}, {Task: 2, Worker: 2, Value: 1},
+	}})
+
+	if hist, _ := svc.QualityHistory(); len(hist) != 0 {
+		t.Fatalf("history before any epoch: %d rows", len(hist))
+	}
+	for i := 0; i < QualityHistoryEpochs+5; i++ {
+		ingestT(t, svc, Batch{Answers: []dataset.Answer{{Task: i % 4, Worker: i % 3, Value: 1}}})
+		if err := svc.Refresh(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hist, ver := svc.QualityHistory()
+	if len(hist) != QualityHistoryEpochs {
+		t.Fatalf("retained %d epochs, want %d", len(hist), QualityHistoryEpochs)
+	}
+	if ver == 0 {
+		t.Fatal("history version is zero after publishes")
+	}
+	for i, row := range hist {
+		if len(row) != 3 {
+			t.Fatalf("epoch %d has %d workers, want 3", i, len(row))
+		}
+	}
+	// The returned rows are copies: scribbling on them must not corrupt
+	// the retained history.
+	hist[0][0] = math.Inf(1)
+	again, _ := svc.QualityHistory()
+	if math.IsInf(again[0][0], 1) {
+		t.Fatal("QualityHistory returned aliased rows")
+	}
+}
+
+// TestQualityHistoryConcurrentReads hammers QualityHistory from reader
+// goroutines while epoch publishes append to the retained window — the
+// race tripwire for the defense layer's detector input (run under
+// -race in CI).
+func TestQualityHistoryConcurrentReads(t *testing.T) {
+	store, err := NewStore("qhrace", dataset.Decision, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := NewService(store, Config{Method: ds.New(), Options: optsSeq(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ingestT(t, svc, Batch{NumTasks: 8, NumWorkers: 4, Answers: []dataset.Answer{
+		{Task: 0, Worker: 0, Value: 1}, {Task: 1, Worker: 1, Value: 0},
+		{Task: 2, Worker: 2, Value: 1}, {Task: 3, Worker: 3, Value: 0},
+	}})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				hist, _ := svc.QualityHistory()
+				for _, row := range hist {
+					for _, q := range row {
+						_ = q
+					}
+				}
+			}
+		}()
+	}
+	for i := 0; i < 40; i++ {
+		ingestT(t, svc, Batch{Answers: []dataset.Answer{{Task: i % 8, Worker: i % 4, Value: float64(i % 2)}}})
+		if err := svc.Refresh(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -508,6 +508,38 @@ func (s *Store) ForEachAnswer(f func(task, worker int)) {
 	}
 }
 
+// ForEachAnswerValue streams every (task, worker, value) triple currently
+// in the store under the same locking contract as ForEachAnswer. The
+// assignment ledger's defense layer rebuilds its golden-gate and
+// answer-correlation state from it at construction, so qualification
+// decisions survive a daemon restart exactly like the exclusion sets do.
+func (s *Store) ForEachAnswerValue(f func(task, worker int, value float64)) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, e := range sh.log {
+			f(e.ans.Task, e.ans.Worker, e.ans.Value)
+		}
+		sh.mu.RUnlock()
+	}
+}
+
+// ForEachGolden streams every task whose ground truth has been recorded
+// (Batch.Truth), one shard at a time under that shard's read lock. These
+// are the tasks the assignment ledger can grade qualification answers
+// against; truth is persisted in snapshots and the WAL, so the golden
+// pool too survives restarts.
+func (s *Store) ForEachGolden(f func(task int, truth float64)) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for t, v := range sh.truth {
+			f(t, v)
+		}
+		sh.mu.RUnlock()
+	}
+}
+
 // Name returns the store's name (the project id in a multi-tenant
 // deployment, or the preloaded dataset's name).
 func (s *Store) Name() string { return s.name }
